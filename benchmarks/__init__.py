@@ -1,0 +1,1 @@
+"""Benchmark harness: one module per experiment id (see DESIGN.md §3)."""

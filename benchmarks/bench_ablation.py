@@ -1,0 +1,142 @@
+"""Ablations of CSR_Improve's design choices (DESIGN.md §4).
+
+Four knobs, each measured against the exact optimum on one random
+family:
+
+* zones — plain plug-ins (zone = target) vs zone-extended preparation
+  with TPA re-packing (the paper's I1);
+* seed — empty start (paper) vs seeding from the factor-4 baseline;
+* policy — first-improvement (paper) vs best-improvement;
+* methods — I1 only vs I1+I2+I3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from fragalign.core import (
+    MatchScorer,
+    SolutionState,
+    exact_csr,
+    full_improve,
+    i1_attempts,
+    random_instance,
+    run_improvement,
+)
+from fragalign.core.csr_improve import csr_improve
+
+
+def _family(seed: int):
+    return random_instance(n_h=3, n_m=2, len_lo=2, len_hi=4, rng=seed)
+
+
+def _dense_family(seed: int):
+    # Denser scores + longer fragments: zone re-packing starts to matter
+    # (crowded hosts force preparation to truncate existing matches).
+    return random_instance(
+        n_h=4, n_m=2, len_lo=3, len_hi=5, score_density=3.0, rng=seed
+    )
+
+
+def test_zone_ablation(benchmark):
+    rows = []
+    for label, max_zones in (("no zones (target only)", 1), ("zoned (paper)", 8)):
+        ratios = []
+        attempts = []
+        for seed in range(10):
+            inst = _dense_family(seed)
+            opt = exact_csr(inst).score
+            sol = full_improve(inst, max_zones=max_zones)
+            if opt > 0:
+                ratios.append(opt / max(sol.score, 1e-12))
+            attempts.append(sol.stats["attempts"])
+        rows.append(
+            (
+                label,
+                f"{np.mean(ratios):.3f}",
+                f"{np.max(ratios):.3f}",
+                int(np.mean(attempts)),
+            )
+        )
+    print_table(
+        "ABL-zones", ["variant", "mean ratio", "worst ratio", "attempts"], rows
+    )
+    benchmark(full_improve, _family(0))
+
+
+def test_seed_ablation(benchmark):
+    rows = []
+    for label, seed_mode in (("empty (paper)", "empty"), ("baseline4", "baseline")):
+        ratios = []
+        accepted = []
+        for s in range(10):
+            inst = _family(s)
+            opt = exact_csr(inst).score
+            sol = csr_improve(inst, seed=seed_mode)
+            if opt > 0:
+                ratios.append(opt / max(sol.score, 1e-12))
+            accepted.append(sol.stats["accepted"])
+        rows.append(
+            (
+                label,
+                f"{np.mean(ratios):.3f}",
+                f"{np.max(ratios):.3f}",
+                f"{np.mean(accepted):.1f}",
+            )
+        )
+    print_table(
+        "ABL-seed", ["variant", "mean ratio", "worst ratio", "accepts"], rows
+    )
+    benchmark(csr_improve, _family(1), 1e-9, None, None, "baseline")
+
+
+def test_policy_ablation(benchmark):
+    rows = []
+    for policy in ("first", "best"):
+        ratios = []
+        attempts = []
+        for s in range(8):
+            inst = _family(s)
+            opt = exact_csr(inst).score
+            sol = csr_improve(inst, policy=policy)
+            if opt > 0:
+                ratios.append(opt / max(sol.score, 1e-12))
+            attempts.append(sol.stats["attempts"])
+        rows.append(
+            (
+                policy,
+                f"{np.mean(ratios):.3f}",
+                f"{np.max(ratios):.3f}",
+                int(np.mean(attempts)),
+            )
+        )
+    print_table(
+        "ABL-policy", ["policy", "mean ratio", "worst ratio", "attempts"], rows
+    )
+    inst = _family(2)
+    benchmark(lambda: csr_improve(inst, policy="best"))
+
+
+def test_method_ablation(benchmark):
+    rows = []
+    for label, use_all in (("I1 only", False), ("I1+I2+I3 (paper)", True)):
+        ratios = []
+        for s in range(8):
+            inst = _family(s)
+            opt = exact_csr(inst).score
+            if use_all:
+                sol_score = csr_improve(inst).score
+            else:
+                state = SolutionState(inst, MatchScorer(inst))
+                run_improvement(state, [i1_attempts])
+                from fragalign.core.solution import CSRSolution
+
+                sol_score = CSRSolution.from_state(state, "i1_only").score
+            if opt > 0:
+                ratios.append(opt / max(sol_score, 1e-12))
+        rows.append(
+            (label, f"{np.mean(ratios):.3f}", f"{np.max(ratios):.3f}")
+        )
+    print_table("ABL-methods", ["variant", "mean ratio", "worst ratio"], rows)
+    benchmark(csr_improve, _family(3))

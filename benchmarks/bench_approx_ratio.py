@@ -1,0 +1,123 @@
+"""B-COR1 / B-THM4 / B-LEM9 / B-THM5 / B-THM6 — approximation ratios.
+
+The paper's central table-equivalent: each guarantee measured as the
+empirical OPT/ALG distribution against the exact oracle on the
+appropriate instance family.  Who wins and by what factor:
+
+* exact ≥ csr_improve ≥ baseline4 on average;
+* every algorithm stays inside its proven bound (4, 3+ε, 2, 3+ε, 3+ε);
+* greedy (no guarantee) is the only one that can fall off a cliff.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from fragalign.core import (
+    baseline4,
+    border_chain_instance,
+    border_improve,
+    csr_improve,
+    exact_csr,
+    full_csr_instance,
+    full_improve,
+    greedy_csr,
+    matching_2approx,
+    random_instance,
+)
+
+
+def _measure(make_instance, algorithms, n_seeds=15):
+    ratios = {name: [] for name, _ in algorithms}
+    for seed in range(n_seeds):
+        inst = make_instance(seed)
+        opt = exact_csr(inst).score
+        if opt <= 0:
+            continue
+        for name, algo in algorithms:
+            got = algo(inst).score
+            ratios[name].append(opt / max(got, 1e-12))
+    return ratios
+
+
+def _rows(ratios, bounds):
+    rows = []
+    for name, values in ratios.items():
+        rows.append(
+            (
+                name,
+                f"{np.mean(values):.3f}",
+                f"{np.max(values):.3f}",
+                bounds.get(name, "—"),
+            )
+        )
+    return rows
+
+
+def test_corollary1_and_theorem6(benchmark):
+    """General CSR: baseline4 (≤4), csr_improve (≤3+ε), greedy (none)."""
+    algorithms = [
+        ("baseline4", baseline4),
+        ("csr_improve", csr_improve),
+        ("greedy", greedy_csr),
+    ]
+    ratios = _measure(
+        lambda s: random_instance(n_h=3, n_m=2, rng=s), algorithms
+    )
+    print_table(
+        "B-COR1/B-THM6 (general CSR)",
+        ["algorithm", "mean OPT/ALG", "worst OPT/ALG", "bound"],
+        _rows(ratios, {"baseline4": "4", "csr_improve": "3+ε"}),
+    )
+    assert max(ratios["baseline4"]) <= 4.0 + 1e-6
+    assert max(ratios["csr_improve"]) <= 3.0 + 1e-6
+    inst = random_instance(n_h=3, n_m=2, rng=0)
+    benchmark(csr_improve, inst)
+
+
+def test_theorem4_full_csr(benchmark):
+    """Full CSR (single-region H fragments): Full_Improve ≤ 3+ε."""
+    algorithms = [
+        ("full_improve", full_improve),
+        ("baseline4", baseline4),
+    ]
+    ratios = _measure(
+        lambda s: full_csr_instance(n_h=4, n_m=2, m_len=3, rng=s), algorithms
+    )
+    print_table(
+        "B-THM4 (Full CSR)",
+        ["algorithm", "mean OPT/ALG", "worst OPT/ALG", "bound"],
+        _rows(ratios, {"full_improve": "3+ε", "baseline4": "4"}),
+    )
+    assert max(ratios["full_improve"]) <= 3.0 + 1e-6
+    inst = full_csr_instance(n_h=4, n_m=2, m_len=3, rng=0)
+    benchmark(full_improve, inst)
+
+
+def test_lemma9_and_theorem5_border_csr(benchmark):
+    """Border CSR: matching ≤ 2, Border_Improve ≤ 3+ε."""
+    algorithms = [
+        ("matching_2approx", matching_2approx),
+        ("border_improve", border_improve),
+        ("csr_improve", csr_improve),
+    ]
+    ratios = _measure(
+        lambda s: border_chain_instance(k=3, jitter=1.0, rng=s), algorithms
+    )
+    print_table(
+        "B-LEM9/B-THM5 (Border CSR)",
+        ["algorithm", "mean OPT/ALG", "worst OPT/ALG", "bound"],
+        _rows(
+            ratios,
+            {
+                "matching_2approx": "2",
+                "border_improve": "3+ε",
+                "csr_improve": "3+ε",
+            },
+        ),
+    )
+    assert max(ratios["matching_2approx"]) <= 2.0 + 1e-6
+    assert max(ratios["border_improve"]) <= 3.0 + 1e-6
+    inst = border_chain_instance(k=3, jitter=1.0, rng=0)
+    benchmark(border_improve, inst)

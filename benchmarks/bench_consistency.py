@@ -1,0 +1,82 @@
+"""E-FIG3 / E-FIG6 — inconsistency patterns and match classification.
+
+Executable versions of the paper's two Fig.-3 counterexamples, the
+Fig.-6 full/border taxonomy on a constructed layout, and the screen's
+throughput on large random match collections.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from fragalign.core import (
+    Arrangement,
+    CSRInstance,
+    Match,
+    Site,
+    derive_matches,
+    find_inconsistency,
+    paper_example,
+)
+
+
+def test_fig3_patterns(benchmark):
+    # First example: a–c supports the orientation, b–d demands reversal.
+    orient = [
+        Match(Site("H", 0, 0, 1), Site("M", 0, 0, 1), False, "full", 1.0),
+        Match(Site("H", 0, 2, 3), Site("M", 0, 2, 3), True, "full", 1.0),
+    ]
+    # Second example: aligned regions in opposite orders.
+    order = [
+        Match(Site("H", 0, 0, 1), Site("M", 0, 2, 3), False, "full", 1.0),
+        Match(Site("H", 0, 2, 3), Site("M", 0, 0, 1), False, "full", 1.0),
+    ]
+    rows = [
+        ("orientation conflict", find_inconsistency(orient) is not None),
+        ("order violation", find_inconsistency(order) is not None),
+    ]
+    print_table("E-FIG3", ["pattern", "detected"], rows)
+    assert all(flag for _n, flag in rows)
+    benchmark(find_inconsistency, orient + order)
+
+
+def test_fig6_classification(benchmark):
+    # A layout with both full and border matches, as in Fig. 6.
+    inst = CSRInstance.build(
+        [(1, 2), (3,), (4, 5)],
+        [(6, 7, 8), (9, 10)],
+        {(2, 6): 2.0, (3, 7): 2.0, (4, 8): 2.0, (5, 9): 2.0},
+    )
+    arr_h = Arrangement("H", ((0, False), (1, False), (2, False)))
+    arr_m = Arrangement("M", ((0, False), (1, False)))
+    matches = benchmark(derive_matches, inst, arr_h, arr_m)
+    kinds = sorted(m.kind for m in matches)
+    rows = [(str(m.h_site), str(m.m_site), m.kind, m.score) for m in matches]
+    print_table("E-FIG6", ["h site", "m site", "kind", "score"], rows)
+    assert "border" in kinds and "full" in kinds
+
+
+def test_screen_throughput(benchmark, rng):
+    # Many pairwise-consistent matches: the screen must stay fast.
+    matches = []
+    for i in range(200):
+        matches.append(
+            Match(
+                Site("H", i, 0, 1),
+                Site("M", i, 0, 1),
+                False,
+                "full",
+                1.0,
+            )
+        )
+    result = benchmark(find_inconsistency, matches)
+    assert result is None
+
+
+def test_paper_solution_is_consistent(benchmark):
+    inst = paper_example()
+    arr_h = Arrangement("H", ((0, False), (1, True)))
+    arr_m = Arrangement("M", ((0, False), (1, False)))
+    matches = derive_matches(inst, arr_h, arr_m)
+    assert benchmark(find_inconsistency, matches) is None

@@ -1,0 +1,110 @@
+"""B-GENOME — the Fig.-1 inference, end to end.
+
+Accuracy of orient/order recovery vs divergence and contig count, and
+the solver comparison on the same pipeline — the "biological payoff"
+series standing in for the paper's manually-curated examples [8].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from fragalign.genome import PipelineConfig, run_pipeline
+
+
+def _accuracy_over_seeds(cfg: PipelineConfig, seeds) -> tuple[str, str]:
+    orients, orders = [], []
+    for seed in seeds:
+        res = run_pipeline(cfg, rng=seed)
+        if res.report.n_orientation_checks:
+            orients.append(res.report.orientation_accuracy)
+        if res.report.n_order_checks:
+            orders.append(res.report.order_accuracy)
+    fmt = lambda xs: f"{float(np.mean(xs)):.2%}" if xs else "—"
+    return fmt(orients), fmt(orders)
+
+
+def test_accuracy_vs_divergence(benchmark):
+    rows = []
+    for sub_rate in (0.02, 0.10, 0.25):
+        cfg = PipelineConfig(
+            n_blocks=6,
+            block_len=120,
+            n_h_contigs=2,
+            n_m_contigs=3,
+            sub_rate=sub_rate,
+            discovery="truth",
+        )
+        orient, order = _accuracy_over_seeds(cfg, range(5))
+        rows.append((f"{sub_rate:.2f}", orient, order))
+    print_table(
+        "B-GENOME divergence sweep",
+        ["sub rate", "orientation acc", "order acc"],
+        rows,
+    )
+    cfg = PipelineConfig(
+        n_blocks=6, block_len=120, n_h_contigs=2, n_m_contigs=3
+    )
+    benchmark(run_pipeline, cfg, 0)
+
+
+def test_accuracy_vs_fragmentation(benchmark):
+    rows = []
+    for n_m in (2, 4, 6):
+        cfg = PipelineConfig(
+            n_blocks=8,
+            block_len=100,
+            n_h_contigs=2,
+            n_m_contigs=n_m,
+            discovery="truth",
+        )
+        orient, order = _accuracy_over_seeds(cfg, range(5))
+        rows.append((n_m, orient, order))
+    print_table(
+        "B-GENOME fragmentation sweep",
+        ["m-contigs", "orientation acc", "order acc"],
+        rows,
+    )
+    cfg = PipelineConfig(n_blocks=8, block_len=100, n_h_contigs=2, n_m_contigs=4)
+    benchmark(run_pipeline, cfg, 1)
+
+
+def test_solver_comparison(benchmark):
+    rows = []
+    for solver in ("csr_improve", "baseline4", "greedy"):
+        cfg = PipelineConfig(
+            n_blocks=6,
+            block_len=100,
+            n_h_contigs=2,
+            n_m_contigs=3,
+            solver=solver,
+            discovery="truth",
+        )
+        scores = [run_pipeline(cfg, rng=s).solution.score for s in range(5)]
+        orient, order = _accuracy_over_seeds(cfg, range(5))
+        rows.append(
+            (solver, f"{np.mean(scores):.0f}", orient, order)
+        )
+    print_table(
+        "B-GENOME solver comparison",
+        ["solver", "mean score", "orientation acc", "order acc"],
+        rows,
+    )
+    cfg = PipelineConfig(
+        n_blocks=6, block_len=100, n_h_contigs=2, n_m_contigs=3
+    )
+    benchmark(run_pipeline, cfg, 2)
+
+
+def test_alignment_discovery_pipeline(benchmark):
+    cfg = PipelineConfig(
+        n_blocks=4,
+        block_len=100,
+        spacer_len=60,
+        n_h_contigs=2,
+        n_m_contigs=2,
+        discovery="alignment",
+    )
+    res = benchmark.pedantic(run_pipeline, args=(cfg, 3), rounds=1, iterations=1)
+    assert res.solution.score >= 0

@@ -1,0 +1,70 @@
+"""E-THM2 — the MAX-SNP hardness gadget, executed.
+
+Measures both directions of Theorem 2's accounting |U| = 5n + |W| on
+random cubic graphs, the CSoP optimum matching the MIS optimum through
+the gadget, and the construction/solve costs.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_table
+from fragalign.reductions import (
+    build_gadget,
+    exact_csop,
+    exact_mis,
+    greedy_csop,
+    greedy_mis,
+    independent_set_to_solution,
+    random_cubic_graph,
+    solution_to_independent_set,
+)
+
+
+def test_size_accounting_table(benchmark):
+    rows = []
+    for n in (8, 10, 12, 14):
+        g = random_cubic_graph(n, rng=n)
+        gad = build_gadget(g)
+        W = exact_mis(gad.graph)
+        U = independent_set_to_solution(gad, W)
+        W2, U2 = solution_to_independent_set(gad, U)
+        rows.append(
+            (n, len(W), len(U), gad.expected_size(len(W)), len(W2))
+        )
+        assert len(U) == gad.expected_size(len(W))
+        assert len(W2) == len(W)  # optimal W survives the round trip
+    print_table(
+        "E-THM2 5n+|W|",
+        ["nodes", "|MIS|", "|U| fwd", "5n+|W|", "|W| back"],
+        rows,
+    )
+    g = random_cubic_graph(12, rng=1)
+    benchmark(build_gadget, g)
+
+
+def test_csop_optimum_equals_gadget_prediction(benchmark):
+    g = random_cubic_graph(8, rng=3)
+    gad = build_gadget(g)
+    W = exact_mis(gad.graph)
+    U_opt = benchmark(exact_csop, gad.csop, 30)
+    assert len(U_opt) == gad.expected_size(len(W))
+
+
+def test_greedy_csop_vs_exact(benchmark):
+    rows = []
+    for n in (8, 10, 12):
+        g = random_cubic_graph(n, rng=2 * n)
+        gad = build_gadget(g)
+        exact_u = exact_csop(gad.csop, max_pairs=40)
+        greedy_u = greedy_csop(gad.csop)
+        greedy_w = greedy_mis(gad.graph)
+        rows.append((n, len(exact_u), len(greedy_u), len(greedy_w)))
+        assert len(greedy_u) <= len(exact_u)
+    print_table(
+        "E-THM2 greedy-vs-exact",
+        ["nodes", "CSoP exact", "CSoP greedy", "greedy MIS"],
+        rows,
+    )
+    g = random_cubic_graph(10, rng=9)
+    gad = build_gadget(g)
+    benchmark(greedy_csop, gad.csop)

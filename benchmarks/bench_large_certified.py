@@ -1,0 +1,81 @@
+"""B-CERT — certified quality beyond the exact oracle's reach.
+
+At sizes where exhaustive search is impossible (the regime the paper's
+approximation algorithms exist for), the occurrence-matching bound
+still certifies solution quality: bound / score ≥ OPT / score.  The
+table tracks the certificate as instances grow, and on planted
+instances additionally sandwiches OPT between the planted score and
+the bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from fragalign.core import (
+    baseline4,
+    csr_improve,
+    greedy_csr,
+    matching_bound,
+    planted_instance,
+    random_instance,
+)
+
+
+def test_certified_ratio_growth(benchmark):
+    rows = []
+    for n in (3, 5, 7, 9):
+        certs = []
+        for seed in range(4):
+            inst = random_instance(
+                n_h=n, n_m=n, len_lo=2, len_hi=3, rng=seed
+            )
+            sol = csr_improve(inst)
+            bound = matching_bound(inst)
+            if sol.score > 0:
+                certs.append(bound / sol.score)
+        rows.append(
+            (f"{n}×{n}", f"{np.mean(certs):.3f}", f"{np.max(certs):.3f}")
+        )
+    print_table(
+        "B-CERT growth",
+        ["fragments", "mean bound/ALG", "worst bound/ALG"],
+        rows,
+    )
+    inst = random_instance(n_h=6, n_m=6, len_lo=2, len_hi=3, rng=0)
+    benchmark.pedantic(csr_improve, args=(inst,), rounds=1, iterations=1)
+
+
+def test_planted_sandwich(benchmark):
+    """planted ≤ OPT ≤ bound — and the solvers inside the sandwich."""
+    rows = []
+    for seed in range(4):
+        p = planted_instance(n_blocks=10, n_h=4, n_m=4, rng=seed)
+        inst = p.instance
+        bound = matching_bound(inst)
+        improve = csr_improve(inst).score
+        base = baseline4(inst).score
+        greedy = greedy_csr(inst).score
+        rows.append(
+            (
+                seed,
+                f"{p.planted_score:g}",
+                f"{improve:g}",
+                f"{base:g}",
+                f"{greedy:g}",
+                f"{bound:g}",
+            )
+        )
+        assert bound + 1e-9 >= improve
+        # The guarantee relative to the planted lower bound on OPT.
+        assert 3.0 * improve + 1e-6 >= p.planted_score
+    print_table(
+        "B-CERT planted sandwich",
+        ["seed", "planted ≤ OPT", "csr_improve", "baseline4", "greedy", "bound ≥ OPT"],
+        rows,
+    )
+    p = planted_instance(n_blocks=10, n_h=4, n_m=4, rng=0)
+    benchmark.pedantic(
+        csr_improve, args=(p.instance,), rounds=1, iterations=1
+    )

@@ -1,0 +1,74 @@
+"""E-FIG7-8 — MS computation: the Fig.-7 full-site rule, the Fig.-8
+border geometry, and scorer cache throughput."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from fragalign.core import (
+    CSRInstance,
+    MatchScorer,
+    Site,
+    paper_example,
+    random_instance,
+)
+
+
+def test_fig7_full_site_rule(benchmark):
+    inst = paper_example()
+    ms = MatchScorer(inst)
+    # h2 = ⟨d⟩ against full m2 = ⟨u, v⟩: direct pairing scores 0, the
+    # reversal sees σ(d, vᴿ) = 2 — MS takes the max over orientations.
+    h = Site("H", 1, 0, 1)
+    m = Site("M", 1, 0, 2)
+    direct = ms.p_score(h, m, rev=False)
+    flipped = ms.p_score(h, m, rev=True)
+    score, rev = ms.ms_full(h, m)
+    rows = [("P(h̄, m̄)", direct), ("P(h̄, m̄ᴿ)", flipped), ("MS", score)]
+    print_table("E-FIG7", ["quantity", "value"], rows)
+    assert score == max(direct, flipped) == 2.0
+    assert rev is True
+    benchmark(ms.ms_full, h, m)
+
+
+def test_fig8_border_geometry(benchmark):
+    inst = CSRInstance.build(
+        [(1, 2)], [(3, 4)], {(2, 3): 5.0, (2, -4): 4.0}
+    )
+    ms = MatchScorer(inst)
+    suffix_h = Site("H", 0, 1, 2)
+    prefix_m = Site("M", 0, 0, 1)
+    suffix_m = Site("M", 0, 1, 2)
+    s1, r1 = ms.ms_border(suffix_h, prefix_m)  # opposite ends → direct
+    s2, r2 = ms.ms_border(suffix_h, suffix_m)  # equal ends → reversed
+    rows = [
+        ("suffix(h) ↔ prefix(m)", "direct", s1),
+        ("suffix(h) ↔ suffix(m)", "reversed", s2),
+    ]
+    print_table("E-FIG8", ["border pair", "orientation", "MS"], rows)
+    assert (r1, r2) == (False, True)
+    assert s1 == 5.0 and s2 == 4.0
+    benchmark(ms.ms_border, suffix_h, prefix_m)
+
+
+def test_scorer_cache_throughput(benchmark):
+    inst = random_instance(n_h=4, n_m=3, len_lo=3, len_hi=5, rng=5)
+    ms = MatchScorer(inst)
+
+    def sweep() -> float:
+        total = 0.0
+        for h in inst.h_fragments:
+            for m in inst.m_fragments:
+                for d in range(len(m)):
+                    for e in range(d + 1, len(m) + 1):
+                        score, _rev = ms.ms_full(
+                            Site("H", h.fid, 0, len(h)),
+                            Site("M", m.fid, d, e),
+                        )
+                        total += score
+        return total
+
+    first = sweep()  # populate the cache
+    result = benchmark(sweep)
+    assert result == pytest.approx(first)

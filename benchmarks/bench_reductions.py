@@ -1,0 +1,105 @@
+"""E-LEM1 / E-THM3 — the transfer reductions, measured.
+
+* Lemma 1: forward score preservation and the (1−ε) backward bound of
+  the φ₀/φ₁ gadget, swept over ε.
+* Theorem 3: inequality (2) — Opt(H,M′) + Opt(M,H′) ≥ Opt(H,M) — and
+  the blue/yellow colouring covering every aligned pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from fragalign.core import (
+    exact_csr,
+    identity_arrangement,
+    random_instance,
+    score_pair,
+)
+from fragalign.core.baseline import concat_m_instance, transposed_concat_instance
+from fragalign.reductions import (
+    blue_yellow_split,
+    backward_score,
+    csr_to_ucsr,
+    forward_score,
+)
+
+
+def test_lemma1_eps_sweep(benchmark):
+    from fragalign.core import CSRInstance
+
+    rows = []
+    # Deterministic two-region instance with a positive identity score
+    # (σ(1,3)=4 direct plus σ(2,4ᴿ)=2 reachable by flipping m).
+    inst = CSRInstance.build(
+        [(1, 2)], [(3, 4)], {(1, 3): 4.0, (2, 4): 2.0}
+    )
+    arr_h = identity_arrangement(inst, "H")
+    arr_m = identity_arrangement(inst, "M")
+    original = score_pair(inst, arr_h, arr_m)
+    for eps in (1.0, 0.5, 0.25):
+        gadget = csr_to_ucsr(inst, eps=eps)
+        fwd = forward_score(gadget, arr_h, arr_m)
+        bwd = backward_score(gadget, arr_h, arr_m)
+        rows.append(
+            (
+                eps,
+                gadget.s,
+                len(gadget.ucsr.fragment("H", 0)),
+                f"{original:.2f}",
+                f"{fwd:.2f}",
+                f"{bwd:.2f}",
+                f"{(1 - eps) * fwd:.2f}",
+            )
+        )
+        assert fwd + 1e-9 >= original  # property 2
+        assert bwd + 1e-9 >= (1 - eps) * fwd  # property 3
+    print_table(
+        "E-LEM1",
+        ["ε", "s", "|x·word|", "orig", "forward", "backward", "(1−ε)·fwd"],
+        rows,
+    )
+    benchmark(csr_to_ucsr, inst, 0.5)
+
+
+def test_theorem3_inequality2(benchmark):
+    rows = []
+    gaps = []
+    for seed in range(12):
+        inst = random_instance(n_h=2, n_m=2, rng=seed)
+        opt = exact_csr(inst).score
+        opt_hm = exact_csr(concat_m_instance(inst)).score
+        opt_mh = exact_csr(transposed_concat_instance(inst)).score
+        assert opt_hm + opt_mh + 1e-9 >= opt
+        if opt > 0:
+            gaps.append((opt_hm + opt_mh) / opt)
+            rows.append(
+                (seed, f"{opt:.1f}", f"{opt_hm:.1f}", f"{opt_mh:.1f}")
+            )
+    print_table(
+        "E-THM3 inequality (2)",
+        ["seed", "Opt(H,M)", "Opt(H,M′)", "Opt(M,H′)"],
+        rows[:6],
+    )
+    print(f"  mean (Opt(H,M′)+Opt(M,H′)) / Opt = {np.mean(gaps):.3f} (≥ 1)")
+    inst = random_instance(n_h=2, n_m=2, rng=0)
+    benchmark(lambda: exact_csr(concat_m_instance(inst)).score)
+
+
+def test_blue_yellow_cover(benchmark):
+    covered = []
+    for seed in range(12):
+        inst = random_instance(n_h=2, n_m=2, rng=seed)
+        res = exact_csr(inst)
+        by = blue_yellow_split(inst, res.arr_h, res.arr_m)
+        assert by.covers
+        if by.total > 0:
+            covered.append((by.blue + by.yellow) / by.total)
+    print(
+        f"\n[E-THM3 colouring] mean (blue+yellow)/total = "
+        f"{np.mean(covered):.3f} (≥ 1; >1 means double-painted pairs)"
+    )
+    inst = random_instance(n_h=2, n_m=2, rng=1)
+    res = exact_csr(inst)
+    benchmark(blue_yellow_split, inst, res.arr_h, res.arr_m)

@@ -1,0 +1,56 @@
+"""B-SCALE — §4.1's scaling rule and solver runtime growth.
+
+* The acceptance threshold u = ε·X/k² caps accepted improvements at
+  4X/u, measured against the unscaled run.
+* Wall-clock growth of csr_improve vs instance size (the polynomial
+  claim, qualitatively).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from fragalign.core import (
+    baseline4,
+    csr_improve,
+    iteration_bound,
+    random_instance,
+    scaling_threshold,
+)
+
+
+def test_threshold_caps_iterations(benchmark):
+    rows = []
+    for seed in range(6):
+        inst = random_instance(n_h=4, n_m=3, rng=seed)
+        base = baseline4(inst).score
+        plain = csr_improve(inst)
+        scaled = csr_improve(inst, eps=0.25, baseline_score=base)
+        bound = iteration_bound(
+            base, scaling_threshold(inst, base, eps=0.25)
+        )
+        rows.append(
+            (
+                seed,
+                plain.stats["accepted"],
+                scaled.stats["accepted"],
+                bound,
+                f"{scaled.score / max(plain.score, 1e-9):.3f}",
+            )
+        )
+        assert scaled.stats["accepted"] <= bound
+    print_table(
+        "B-SCALE",
+        ["seed", "accepts (plain)", "accepts (ε=0.25)", "bound 4X/u", "score ratio"],
+        rows,
+    )
+    inst = random_instance(n_h=4, n_m=3, rng=0)
+    benchmark(csr_improve, inst, 1e-9, 0.25)
+
+
+@pytest.mark.parametrize("n_frags", [2, 3, 4, 5])
+def test_runtime_vs_size(benchmark, n_frags):
+    inst = random_instance(n_h=n_frags, n_m=n_frags, rng=11)
+    sol = benchmark(csr_improve, inst)
+    assert sol.score >= 0

@@ -1,0 +1,93 @@
+"""B-TPA — the two-phase algorithm: ratio ≥ ½·OPT and O(n log n) time.
+
+Reproduces §3.4's claims: measured worst/mean ratio vs the exact ISP
+optimum across instance families, the greedy foil losing unboundedly on
+the staircase family, and runtime scaling consistent with n log n.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from fragalign.isp import (
+    ISPInstance,
+    exact_isp,
+    greedy_isp,
+    random_instance,
+    staircase_instance,
+    tpa,
+    tpa_select,
+)
+
+
+def _ratio_rows(n_seeds: int = 40) -> list[tuple]:
+    rows = []
+    for family, make in [
+        ("uniform", lambda s: random_instance(20, 6, rng=s)),
+        ("crowded", lambda s: random_instance(24, 3, horizon=30, rng=s)),
+        ("sparse", lambda s: random_instance(12, 12, horizon=200, rng=s)),
+    ]:
+        ratios = []
+        for seed in range(n_seeds):
+            inst = make(seed)
+            if len(inst.items) > 24:
+                inst = ISPInstance.build(inst.items[:24])
+            opt, _ = exact_isp(inst)
+            got, _ = tpa_select(inst)
+            if opt > 0:
+                ratios.append(opt / max(got, 1e-12))
+        rows.append(
+            (
+                family,
+                f"{np.mean(ratios):.3f}",
+                f"{np.max(ratios):.3f}",
+                "2.000",
+            )
+        )
+    return rows
+
+
+def test_ratio_table(benchmark):
+    rows = _ratio_rows()
+    print_table(
+        "B-TPA ratio", ["family", "mean OPT/TPA", "worst OPT/TPA", "bound"], rows
+    )
+    for _f, _m, worst, _b in rows:
+        assert float(worst) <= 2.0 + 1e-6
+    inst = random_instance(200, 20, rng=0)
+    benchmark(tpa, inst)
+
+
+def test_staircase_foil(benchmark):
+    rows = []
+    for k in (5, 10, 20, 40):
+        inst = staircase_instance(k)
+        t, _ = tpa_select(inst)
+        g, _ = greedy_isp(inst)
+        rows.append((k, f"{t:g}", f"{g:g}", k))
+    print_table(
+        "B-TPA staircase", ["k", "TPA", "greedy", "OPT"], rows
+    )
+    # Greedy's ratio grows with k; TPA stays within 2.
+    inst = staircase_instance(40)
+    t, _ = tpa_select(inst)
+    g, _ = greedy_isp(inst)
+    assert g < t / 2
+    benchmark(tpa, inst)
+
+
+@pytest.mark.parametrize("n", [200, 400, 800, 1600])
+def test_runtime_scaling(benchmark, n):
+    inst = random_instance(n, n // 10, horizon=n, rng=1)
+    benchmark(tpa, inst)
+
+
+def test_fast_phase1_consistency(benchmark):
+    inst = random_instance(300, 25, rng=3)
+    fast = benchmark(lambda: tpa(inst, fast=True))
+    slow = tpa(inst, fast=False)
+    assert [(i.index, i.start, i.end) for i in fast] == [
+        (i.index, i.start, i.end) for i in slow
+    ]

@@ -1,0 +1,28 @@
+"""Benchmark-suite helpers: result tables printed per experiment id.
+
+Every bench prints the rows it reproduces (`pytest benchmarks/
+--benchmark-only -s` to see them live); EXPERIMENTS.md records the
+values of a reference run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+def print_table(experiment: str, headers: list[str], rows: list[tuple]) -> None:
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n[{experiment}]")
+    print("  " + " | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    print("  " + "-+-".join("-" * w for w in widths))
+    for r in rows:
+        print("  " + " | ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2026)

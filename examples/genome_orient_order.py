@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""The Fig.-1 scenario end to end: orient and order contigs of one
+species using a related species' contigs.
+
+Simulates an ancestor genome with conserved blocks, evolves two
+species (substitutions, inversions, translocations), fragments both
+into contigs with unknown order/orientation, discovers conserved
+regions by local alignment, solves the resulting CSR instance with the
+(3+ε) approximation, and reports the inferred relationships against
+the simulation's ground truth.
+
+Run:  python examples/genome_orient_order.py [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from fragalign.genome import PipelineConfig, run_pipeline
+
+
+def main(seed: int = 2026) -> None:
+    config = PipelineConfig(
+        n_blocks=8,
+        block_len=150,
+        spacer_len=80,
+        sub_rate=0.06,
+        inversion_prob=0.35,
+        shuffle_m=True,
+        n_h_contigs=3,
+        n_m_contigs=4,
+        discovery="alignment",
+        solver="csr_improve",
+    )
+    print("Simulating two species and fragmenting into contigs ...")
+    result = run_pipeline(config, rng=seed)
+
+    print(f"\nContigs (order/orientation withheld from the solver):")
+    for c in result.h_contigs:
+        print(
+            f"  H {c.name}: {len(c)} bp, {len(c.blocks)} conserved blocks"
+            f" (truth: {'-' if c.true_reversed else '+'} strand)"
+        )
+    for c in result.m_contigs:
+        print(
+            f"  M {c.name}: {len(c)} bp, {len(c.blocks)} conserved blocks"
+            f" (truth: {'-' if c.true_reversed else '+'} strand)"
+        )
+
+    print(f"\nConserved regions found by alignment: {result.stats['raw_hits']}")
+    print(f"Kept after overlap resolution: {result.stats['selected_hits']}")
+    print(f"\nCSR instance:\n{result.instance.describe()}")
+
+    sol = result.solution
+    print(f"\nSolver: {sol.summary()}")
+    print("Inferred M-contig layout relative to H:")
+    for fid, rev in sol.arr_m.order:
+        name = result.m_contigs[fid].name
+        print(f"  {name}{'ᴿ' if rev else ''}", end="")
+    print()
+
+    print(f"\nAccuracy vs ground truth: {result.report.summary()}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 2026)

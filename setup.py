@@ -1,0 +1,12 @@
+"""Setup shim.
+
+This offline environment lacks the ``wheel`` package, so PEP 660
+editable installs (which need ``bdist_wheel``) fail; this shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to
+the classic ``setup.py develop`` path.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

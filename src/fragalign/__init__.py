@@ -1,0 +1,29 @@
+"""fragalign — reproduction of "Aligning Two Fragmented Sequences"
+(Veeramachaneni, Berman, Miller; IPPS 2002 / DAM 127:119–143, 2003).
+
+Public API highlights:
+
+* :class:`fragalign.core.CSRInstance` — the consensus sequence
+  reconstruction problem (two fragment sets + region score function).
+* :func:`fragalign.core.csr_improve` — the paper's (3+ε)-approximation.
+* :func:`fragalign.core.baseline4` — the Corollary-1 factor-4 baseline.
+* :func:`fragalign.core.exact_csr` — exact oracle for small instances.
+* :mod:`fragalign.isp` — interval selection + the two-phase algorithm.
+* :mod:`fragalign.align` — alignment DP substrate (serial + parallel).
+* :mod:`fragalign.reductions` — the paper's reductions, executable.
+* :mod:`fragalign.genome` — two-species contig simulation pipeline.
+"""
+
+from fragalign import align, core, genome, isp, reductions, util
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "align",
+    "core",
+    "genome",
+    "isp",
+    "reductions",
+    "util",
+    "__version__",
+]

@@ -1,0 +1,8 @@
+"""``python -m fragalign`` entry point."""
+
+import sys
+
+from fragalign.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

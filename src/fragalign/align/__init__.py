@@ -1,0 +1,66 @@
+"""Alignment substrate: chain DP (P_score kernel), pairwise nucleotide
+alignment (linear and affine gaps, linear-space traceback),
+blocked-wavefront parallel DP, incremental all-intervals DP.
+"""
+
+from fragalign.align.affine import (
+    affine_global_score,
+    affine_global_score_reference,
+)
+from fragalign.align.chain import (
+    chain_pairs_scores,
+    chain_score,
+    chain_score_reference,
+    chain_score_with_pairs,
+    chain_table,
+)
+from fragalign.align.hirschberg import hirschberg_align
+from fragalign.align.interval_dp import (
+    all_interval_chain_scores,
+    all_interval_chain_scores_parallel,
+    all_interval_chain_scores_reference,
+)
+from fragalign.align.pairwise import (
+    Alignment,
+    banded_global_score,
+    global_align,
+    global_score,
+    global_score_reference,
+    local_align,
+    local_score,
+    overlap_score,
+)
+from fragalign.align.scoring_matrices import (
+    SubstitutionModel,
+    encode,
+    transition_transversion,
+    unit_dna,
+)
+from fragalign.align.wavefront import nw_score_wavefront
+
+__all__ = [
+    "affine_global_score",
+    "affine_global_score_reference",
+    "hirschberg_align",
+    "chain_pairs_scores",
+    "chain_score",
+    "chain_score_reference",
+    "chain_score_with_pairs",
+    "chain_table",
+    "all_interval_chain_scores",
+    "all_interval_chain_scores_parallel",
+    "all_interval_chain_scores_reference",
+    "Alignment",
+    "banded_global_score",
+    "global_align",
+    "global_score",
+    "global_score_reference",
+    "local_align",
+    "local_score",
+    "overlap_score",
+    "SubstitutionModel",
+    "encode",
+    "transition_transversion",
+    "unit_dna",
+    "nw_score_wavefront",
+]

@@ -1,0 +1,266 @@
+"""Pairwise nucleotide alignment: global, local, overlap, banded.
+
+All score-only kernels are row-vectorized.  With a linear gap penalty
+``g`` the in-row dependency ``H[i][j-1] + g`` collapses to a prefix
+maximum of ``V[j] - g·j`` (then add ``g·j`` back), so each row is three
+NumPy elementwise ops plus one ``maximum.accumulate`` — the same trick
+the chain DP uses, generalized to penalized gaps.
+
+Scalar implementations with traceback are provided for callers that
+need the actual aligned pairs (conserved-region discovery, tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from fragalign.align.scoring_matrices import SubstitutionModel, encode, unit_dna
+
+__all__ = [
+    "Alignment",
+    "global_score",
+    "global_score_reference",
+    "global_align",
+    "local_score",
+    "local_align",
+    "overlap_score",
+    "banded_global_score",
+]
+
+_NEG = -1e30  # effectively -inf while staying finite for arithmetic
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """An explicit alignment: score plus aligned index pairs.
+
+    ``pairs`` lists (i, j) positions aligned to each other; positions
+    absent from the list are aligned to gaps.  ``start``/``end`` bound
+    the aligned window in each sequence (useful for local alignments).
+    """
+
+    score: float
+    pairs: tuple[tuple[int, int], ...]
+    a_interval: tuple[int, int]
+    b_interval: tuple[int, int]
+
+    def identity(self, a: str, b: str) -> float:
+        """Fraction of aligned pairs that are exact character matches."""
+        if not self.pairs:
+            return 0.0
+        hits = sum(1 for i, j in self.pairs if a[i].upper() == b[j].upper())
+        return hits / len(self.pairs)
+
+
+def _pair_matrix(a: str, b: str, model: SubstitutionModel) -> np.ndarray:
+    return model.pair_matrix(encode(a), encode(b))
+
+
+def global_score_reference(a: str, b: str, model: SubstitutionModel | None = None) -> float:
+    """Scalar Needleman–Wunsch, the oracle for the vectorized kernels."""
+    model = model or unit_dna()
+    W = _pair_matrix(a, b, model)
+    g = model.gap
+    n, m = len(a), len(b)
+    prev = [j * g for j in range(m + 1)]
+    for i in range(1, n + 1):
+        cur = [i * g] + [0.0] * m
+        for j in range(1, m + 1):
+            cur[j] = max(
+                prev[j - 1] + W[i - 1, j - 1],
+                prev[j] + g,
+                cur[j - 1] + g,
+            )
+        prev = cur
+    return float(prev[m])
+
+
+def global_score(a: str, b: str, model: SubstitutionModel | None = None) -> float:
+    """Needleman–Wunsch score, row-vectorized (score only)."""
+    model = model or unit_dna()
+    W = _pair_matrix(a, b, model)
+    g = model.gap
+    n, m = len(a), len(b)
+    if n == 0:
+        return m * g
+    if m == 0:
+        return n * g
+    js = np.arange(m + 1)
+    prev = js * g
+    for i in range(1, n + 1):
+        # V[j] = best entering cell (i, j) from above or diagonally.
+        V = np.empty(m + 1)
+        V[0] = i * g
+        np.maximum(prev[:-1] + W[i - 1], prev[1:] + g, out=V[1:])
+        # Left-extension: H[j] = max_{j' <= j} V[j'] + g*(j - j').
+        t = V - g * js
+        np.maximum.accumulate(t, out=t)
+        prev = t + g * js
+    return float(prev[m])
+
+
+def global_align(a: str, b: str, model: SubstitutionModel | None = None) -> Alignment:
+    """Needleman–Wunsch with traceback (O(nm) memory)."""
+    model = model or unit_dna()
+    W = _pair_matrix(a, b, model)
+    g = model.gap
+    n, m = len(a), len(b)
+    H = np.empty((n + 1, m + 1))
+    H[0] = np.arange(m + 1) * g
+    js = np.arange(m + 1)
+    for i in range(1, n + 1):
+        V = np.empty(m + 1)
+        V[0] = i * g
+        np.maximum(H[i - 1, :-1] + W[i - 1], H[i - 1, 1:] + g, out=V[1:])
+        t = V - g * js
+        np.maximum.accumulate(t, out=t)
+        H[i] = t + g * js
+    pairs: list[tuple[int, int]] = []
+    i, j = n, m
+    while i > 0 and j > 0:
+        if H[i, j] == H[i - 1, j - 1] + W[i - 1, j - 1]:
+            pairs.append((i - 1, j - 1))
+            i -= 1
+            j -= 1
+        elif H[i, j] == H[i - 1, j] + g:
+            i -= 1
+        else:
+            j -= 1
+    pairs.reverse()
+    return Alignment(float(H[n, m]), tuple(pairs), (0, n), (0, m))
+
+
+def local_score(a: str, b: str, model: SubstitutionModel | None = None) -> float:
+    """Smith–Waterman score, row-vectorized (score only)."""
+    model = model or unit_dna()
+    W = _pair_matrix(a, b, model)
+    g = model.gap
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        return 0.0
+    js = np.arange(m + 1)
+    prev = np.zeros(m + 1)
+    best = 0.0
+    for i in range(1, n + 1):
+        V = np.empty(m + 1)
+        V[0] = 0.0
+        np.maximum(prev[:-1] + W[i - 1], prev[1:] + g, out=V[1:])
+        np.maximum(V, 0.0, out=V)
+        t = V - g * js
+        np.maximum.accumulate(t, out=t)
+        prev = t + g * js
+        np.maximum(prev, 0.0, out=prev)
+        best = max(best, float(prev.max()))
+    return best
+
+
+def local_align(a: str, b: str, model: SubstitutionModel | None = None) -> Alignment:
+    """Smith–Waterman with traceback; returns the best local alignment."""
+    model = model or unit_dna()
+    W = _pair_matrix(a, b, model)
+    g = model.gap
+    n, m = len(a), len(b)
+    H = np.zeros((n + 1, m + 1))
+    js = np.arange(m + 1)
+    for i in range(1, n + 1):
+        V = np.empty(m + 1)
+        V[0] = 0.0
+        np.maximum(H[i - 1, :-1] + W[i - 1], H[i - 1, 1:] + g, out=V[1:])
+        np.maximum(V, 0.0, out=V)
+        t = V - g * js
+        np.maximum.accumulate(t, out=t)
+        H[i] = np.maximum(t + g * js, 0.0)
+    end = np.unravel_index(int(np.argmax(H)), H.shape)
+    i, j = int(end[0]), int(end[1])
+    score = float(H[i, j])
+    pairs: list[tuple[int, int]] = []
+    ei, ej = i, j
+    while i > 0 and j > 0 and H[i, j] > 0:
+        if H[i, j] == H[i - 1, j - 1] + W[i - 1, j - 1]:
+            pairs.append((i - 1, j - 1))
+            i -= 1
+            j -= 1
+        elif H[i, j] == H[i - 1, j] + g:
+            i -= 1
+        else:
+            j -= 1
+    pairs.reverse()
+    return Alignment(score, tuple(pairs), (i, ei), (j, ej))
+
+
+def overlap_score(a: str, b: str, model: SubstitutionModel | None = None) -> tuple[float, int, int]:
+    """Best suffix(a)–prefix(b) overlap alignment.
+
+    Free leading gaps in ``a`` and free trailing gaps in ``b``: start
+    anywhere in ``a``, must start at b[0]; end at a[-1], anywhere in
+    ``b``.  Returns (score, a_start, b_end) — the overlap aligns
+    a[a_start:] with b[:b_end].  This is the assembler's overlap
+    detector.
+    """
+    model = model or unit_dna()
+    W = _pair_matrix(a, b, model)
+    g = model.gap
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        return 0.0, n, 0
+    js = np.arange(m + 1)
+    # Free start in a: first column is 0 for every i.
+    H = np.empty((n + 1, m + 1))
+    H[0] = js * g
+    for i in range(1, n + 1):
+        V = np.empty(m + 1)
+        V[0] = 0.0
+        np.maximum(H[i - 1, :-1] + W[i - 1], H[i - 1, 1:] + g, out=V[1:])
+        t = V - g * js
+        np.maximum.accumulate(t, out=t)
+        H[i] = t + g * js
+    b_end = int(np.argmax(H[n]))
+    score = float(H[n, b_end])
+    # Recover a_start by walking back (score-only callers ignore it).
+    i, j = n, b_end
+    while j > 0:
+        if i > 0 and H[i, j] == H[i - 1, j - 1] + W[i - 1, j - 1]:
+            i -= 1
+            j -= 1
+        elif i > 0 and H[i, j] == H[i - 1, j] + g:
+            i -= 1
+        else:
+            j -= 1
+    return score, i, b_end
+
+
+def banded_global_score(
+    a: str, b: str, band: int, model: SubstitutionModel | None = None
+) -> float:
+    """Needleman–Wunsch restricted to |i - j| ≤ band.
+
+    Exact when the optimal path stays inside the band (always true if
+    band ≥ |len(a) - len(b)| + number of indels); a cheap surrogate
+    otherwise.  Scalar implementation — the band is narrow by design.
+    """
+    model = model or unit_dna()
+    if band < abs(len(a) - len(b)):
+        raise ValueError("band too narrow to connect the corners")
+    W = _pair_matrix(a, b, model)
+    g = model.gap
+    n, m = len(a), len(b)
+    prev = {j: j * g for j in range(0, min(m, band) + 1)}
+    for i in range(1, n + 1):
+        lo = max(0, i - band)
+        hi = min(m, i + band)
+        cur: dict[int, float] = {}
+        for j in range(lo, hi + 1):
+            best = _NEG
+            if j == 0:
+                best = i * g
+            if j - 1 in prev:
+                best = max(best, prev[j - 1] + W[i - 1, j - 1])
+            if j in prev:
+                best = max(best, prev[j] + g)
+            if j - 1 in cur:
+                best = max(best, cur[j - 1] + g)
+            cur[j] = best
+        prev = cur
+    return float(prev[m])

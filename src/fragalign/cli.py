@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m fragalign <command>``.
+
+Commands
+--------
+``demo``      — the paper's worked example through every solver.
+``pipeline``  — the genome → contigs → CSR → inference pipeline.
+``hardness``  — the Theorem-2 gadget on a random cubic graph.
+``bench-dp``  — a quick DP throughput/parallelism check on this host.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fragalign",
+        description=(
+            "Aligning two fragmented sequences — consensus sequence "
+            "reconstruction (Veeramachaneni, Berman, Miller; IPPS 2002)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="solve the paper's Fig. 2 example")
+    demo.add_argument(
+        "--solver",
+        choices=["all", "exact", "csr_improve", "baseline4", "greedy"],
+        default="all",
+    )
+
+    pipe = sub.add_parser("pipeline", help="run the genome pipeline")
+    pipe.add_argument("--seed", type=int, default=2026)
+    pipe.add_argument("--blocks", type=int, default=8)
+    pipe.add_argument("--h-contigs", type=int, default=3)
+    pipe.add_argument("--m-contigs", type=int, default=4)
+    pipe.add_argument("--sub-rate", type=float, default=0.06)
+    pipe.add_argument(
+        "--discovery", choices=["truth", "alignment"], default="truth"
+    )
+    pipe.add_argument(
+        "--solver",
+        choices=["csr_improve", "baseline4", "greedy"],
+        default="csr_improve",
+    )
+
+    hard = sub.add_parser("hardness", help="run the Theorem-2 gadget")
+    hard.add_argument("--nodes", type=int, default=10)
+    hard.add_argument("--seed", type=int, default=7)
+
+    bench = sub.add_parser("bench-dp", help="quick DP throughput check")
+    bench.add_argument("--length", type=int, default=800)
+    bench.add_argument("--workers", type=int, default=4)
+
+    solve = sub.add_parser("solve", help="solve a JSON instance file")
+    solve.add_argument("path", help="instance JSON (see fragalign.core.io)")
+    solve.add_argument(
+        "--solver",
+        choices=["csr_improve", "baseline4", "greedy", "exact"],
+        default="csr_improve",
+    )
+    solve.add_argument(
+        "--render", action="store_true", help="print the aligned layout"
+    )
+    return parser
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from fragalign.core import (
+        baseline4,
+        csr_improve,
+        exact_csr,
+        greedy_csr,
+        paper_example,
+    )
+    from fragalign.genome.report import format_report
+
+    inst = paper_example()
+    print(inst.describe())
+    runners = {
+        "exact": lambda: f"exact: score={exact_csr(inst).score:g}",
+        "csr_improve": lambda: csr_improve(inst).summary(),
+        "baseline4": lambda: baseline4(inst).summary(),
+        "greedy": lambda: greedy_csr(inst).summary(),
+    }
+    chosen = runners if args.solver == "all" else {args.solver: runners[args.solver]}
+    for line in (fn() for fn in chosen.values()):
+        print(" ", line)
+    if args.solver in ("all", "csr_improve"):
+        print(format_report(csr_improve(inst)))
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    from fragalign.genome import PipelineConfig, run_pipeline
+    from fragalign.genome.report import format_report
+
+    cfg = PipelineConfig(
+        n_blocks=args.blocks,
+        n_h_contigs=args.h_contigs,
+        n_m_contigs=args.m_contigs,
+        sub_rate=args.sub_rate,
+        discovery=args.discovery,
+        solver=args.solver,
+    )
+    result = run_pipeline(cfg, rng=args.seed)
+    print(result.instance.describe())
+    print(result.solution.summary())
+    print(format_report(result.solution))
+    print(f"accuracy: {result.report.summary()}")
+    return 0
+
+
+def _cmd_hardness(args: argparse.Namespace) -> int:
+    from fragalign.reductions import (
+        build_gadget,
+        exact_csop,
+        exact_mis,
+        independent_set_to_solution,
+        random_cubic_graph,
+    )
+
+    graph = random_cubic_graph(args.nodes, rng=args.seed)
+    gadget = build_gadget(graph)
+    W = exact_mis(gadget.graph)
+    U = independent_set_to_solution(gadget, W)
+    U_opt = exact_csop(gadget.csop, max_pairs=40)
+    print(f"nodes={args.nodes} |MIS|={len(W)} |U|={len(U)}")
+    print(f"5n+|W|={gadget.expected_size(len(W))} CSoP-opt={len(U_opt)}")
+    return 0 if len(U_opt) == gadget.expected_size(len(W)) else 1
+
+
+def _cmd_bench_dp(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from fragalign.align import global_score, nw_score_wavefront
+    from fragalign.genome.dna import random_dna
+    from fragalign.util.timing import time_call
+
+    gen = np.random.default_rng(0)
+    a, b = random_dna(args.length, gen), random_dna(args.length, gen)
+    t_vec, score = time_call(global_score, a, b, repeat=1)
+    t_par, score2 = time_call(
+        nw_score_wavefront,
+        a,
+        b,
+        repeat=1,
+        block=max(128, args.length // args.workers),
+        executor="processes",
+        workers=args.workers,
+    )
+    assert abs(score - score2) < 1e-6
+    cells = args.length * args.length
+    print(f"vectorized: {t_vec:.3f}s ({cells / t_vec / 1e6:.1f} Mcells/s)")
+    print(f"processes x{args.workers}: {t_par:.3f}s")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from fragalign.core import baseline4, csr_improve, exact_csr, greedy_csr
+    from fragalign.core.bounds import certified_ratio
+    from fragalign.core.io import load
+    from fragalign.core.render import render_alignment
+
+    instance = load(args.path)
+    print(instance.describe())
+    if args.solver == "exact":
+        res = exact_csr(instance)
+        print(f"exact: score={res.score:g} ({res.pairs_evaluated} pairs searched)")
+        if args.render:
+            print(render_alignment(instance, res.arr_h, res.arr_m))
+        return 0
+    solver = {
+        "csr_improve": csr_improve,
+        "baseline4": baseline4,
+        "greedy": greedy_csr,
+    }[args.solver]
+    sol = solver(instance)
+    print(sol.summary())
+    print(f"certified within {certified_ratio(sol):.3f}× of optimal")
+    if args.render:
+        print(render_alignment(instance, sol.arr_h, sol.arr_m))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "demo": _cmd_demo,
+        "pipeline": _cmd_pipeline,
+        "hardness": _cmd_hardness,
+        "bench-dp": _cmd_bench_dp,
+        "solve": _cmd_solve,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

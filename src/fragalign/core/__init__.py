@@ -1,0 +1,165 @@
+"""The paper's contribution: the CSR problem and its algorithms."""
+
+from fragalign.core.baseline import (
+    baseline4,
+    concat_m_instance,
+    transposed_concat_instance,
+)
+from fragalign.core.border_improve import border_improve, matching_2approx
+from fragalign.core.bounds import certified_ratio, matching_bound, row_max_bound
+from fragalign.core.conjecture import (
+    Arrangement,
+    all_arrangements,
+    explicit_padding,
+    identity_arrangement,
+    padded_column_score,
+    realize,
+    score_pair,
+    score_sequences,
+)
+from fragalign.core.consistency import (
+    check_consistent,
+    find_inconsistency,
+    layout,
+    layout_score,
+)
+from fragalign.core.csr_improve import csr_improve
+from fragalign.core.exact import (
+    ExactResult,
+    derive_matches,
+    exact_csr,
+    state_from_arrangements,
+)
+from fragalign.core.fragments import CSRInstance, Fragment, other_species, paper_example
+from fragalign.core.full_improve import full_improve
+from fragalign.core.generators import (
+    PlantedInstance,
+    border_chain_instance,
+    full_csr_instance,
+    planted_instance,
+    random_instance,
+    ucsr_instance,
+)
+from fragalign.core.greedy import greedy_csr
+from fragalign.core.io import (
+    dumps,
+    instance_from_dict,
+    instance_to_dict,
+    load,
+    loads,
+    save,
+)
+from fragalign.core.improve import (
+    I1Attempt,
+    I2Attempt,
+    I3Attempt,
+    ImproveStats,
+    candidate_zones,
+    i1_attempts,
+    i2_attempts,
+    i3_attempts,
+    run_improvement,
+    tpa_repack,
+)
+from fragalign.core.match_score import MatchScorer
+from fragalign.core.matches import Match, islands, solution_graph
+from fragalign.core.one_csr import (
+    one_csr_profits,
+    solve_one_csr,
+    solve_one_csr_exact,
+)
+from fragalign.core.scaling import (
+    iteration_bound,
+    match_count_bound,
+    scaling_threshold,
+)
+from fragalign.core.render import render_alignment
+from fragalign.core.scoring import Scorer
+from fragalign.core.sites import Site, full_site
+from fragalign.core.solution import CSRSolution
+from fragalign.core.state import PrepareResult, SolutionState
+from fragalign.core.symbols import (
+    PAD,
+    format_word,
+    reverse_symbol,
+    reverse_word,
+    word_from_names,
+)
+
+__all__ = [
+    "baseline4",
+    "concat_m_instance",
+    "transposed_concat_instance",
+    "border_improve",
+    "matching_2approx",
+    "certified_ratio",
+    "matching_bound",
+    "row_max_bound",
+    "dumps",
+    "instance_from_dict",
+    "instance_to_dict",
+    "load",
+    "loads",
+    "save",
+    "render_alignment",
+    "Arrangement",
+    "all_arrangements",
+    "explicit_padding",
+    "identity_arrangement",
+    "padded_column_score",
+    "realize",
+    "score_pair",
+    "score_sequences",
+    "check_consistent",
+    "find_inconsistency",
+    "layout",
+    "layout_score",
+    "csr_improve",
+    "ExactResult",
+    "derive_matches",
+    "exact_csr",
+    "state_from_arrangements",
+    "CSRInstance",
+    "Fragment",
+    "other_species",
+    "paper_example",
+    "full_improve",
+    "PlantedInstance",
+    "border_chain_instance",
+    "full_csr_instance",
+    "planted_instance",
+    "random_instance",
+    "ucsr_instance",
+    "greedy_csr",
+    "I1Attempt",
+    "I2Attempt",
+    "I3Attempt",
+    "ImproveStats",
+    "candidate_zones",
+    "i1_attempts",
+    "i2_attempts",
+    "i3_attempts",
+    "run_improvement",
+    "tpa_repack",
+    "MatchScorer",
+    "Match",
+    "islands",
+    "solution_graph",
+    "one_csr_profits",
+    "solve_one_csr",
+    "solve_one_csr_exact",
+    "iteration_bound",
+    "match_count_bound",
+    "scaling_threshold",
+    "Scorer",
+    "Site",
+    "full_site",
+    "CSRSolution",
+    "PrepareResult",
+    "SolutionState",
+    "PAD",
+    "format_word",
+    "reverse_symbol",
+    "reverse_word",
+    "word_from_names",
+]

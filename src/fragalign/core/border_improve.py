@@ -1,0 +1,84 @@
+"""Border CSR algorithms: Lemma 9's 2-approximation and Border_Improve.
+
+* :func:`matching_2approx` — Lemma 9: the optimum of a Border-CSR
+  instance induces a degree-≤2 bipartite solution graph, which splits
+  into two matchings; the better one is a plain maximum-weight
+  bipartite matching on full-site match scores.  We solve that
+  matching exactly (scipy's ``linear_sum_assignment``) for a clean
+  ratio-2 guarantee.
+* :func:`border_improve` — Theorem 5: iterative improvement with the
+  border-match methods I2 (plain sites, no zones — §4.3's variant) and
+  I3 (2-island re-wiring).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from fragalign.core.fragments import CSRInstance
+from fragalign.core.improve import i2_attempts, i3_attempts, run_improvement
+from fragalign.core.match_score import MatchScorer
+from fragalign.core.scaling import iteration_bound, scaling_threshold
+from fragalign.core.sites import Site, full_site
+from fragalign.core.solution import CSRSolution
+from fragalign.core.state import SolutionState
+
+__all__ = ["matching_2approx", "border_improve"]
+
+
+def matching_2approx(instance: CSRInstance) -> CSRSolution:
+    """Lemma 9: maximum-weight matching on full-full match scores."""
+    ms = MatchScorer(instance)
+    nh, nm = instance.n_h, instance.n_m
+    R = np.zeros((nh, nm))
+    for i, f in enumerate(instance.h_fragments):
+        for j, g in enumerate(instance.m_fragments):
+            score, _rev = ms.ms_full(full_site(f), full_site(g))
+            R[i, j] = max(score, 0.0)
+    rows, cols = linear_sum_assignment(R, maximize=True)
+    state = SolutionState(instance, ms)
+    for i, j in zip(rows, cols):
+        if R[i, j] > 0:
+            state.add_full(("H", int(i)), Site("M", int(j), 0, len(instance.m_fragments[int(j)])))
+    return CSRSolution.from_state(state, "matching_2approx")
+
+
+def border_improve(
+    instance: CSRInstance,
+    threshold: float = 1e-9,
+    eps: float | None = None,
+    baseline_score: float | None = None,
+    validate: bool = False,
+) -> CSRSolution:
+    """Theorem 5's Border_Improve (methods I2 and I3, site-only zones)."""
+    ms = MatchScorer(instance)
+    state = SolutionState(instance, ms)
+    max_accepts = 10_000
+    if eps is not None:
+        if baseline_score is None:
+            from fragalign.core.baseline import baseline4
+
+            baseline_score = baseline4(instance).score
+        threshold = max(threshold, scaling_threshold(instance, baseline_score, eps))
+        max_accepts = iteration_bound(baseline_score, threshold)
+    stats = run_improvement(
+        state,
+        [
+            lambda s: i2_attempts(s, zoned=False),
+            lambda s: i3_attempts(s),
+        ],
+        threshold=threshold,
+        max_accepts=max_accepts,
+        validate=validate,
+    )
+    return CSRSolution.from_state(
+        state,
+        "border_improve",
+        {
+            "passes": stats.passes,
+            "attempts": stats.attempts,
+            "accepted": stats.accepted,
+            "threshold": threshold,
+        },
+    )

@@ -1,0 +1,76 @@
+"""Combinatorial upper bounds on the CSR optimum.
+
+The exact solver caps out around 4–5 fragments per side; beyond that
+the benches still need something to compare algorithms against.  Any
+conjecture pair's score is a sum of σ over aligned region-occurrence
+pairs in which every occurrence participates at most once — i.e. a
+matching in the bipartite occurrence graph.  Hence:
+
+* :func:`matching_bound` — the max-weight bipartite matching over
+  occurrence pairs weighted max(σ(a,b), σ(a,bᴿ), 0): a true upper
+  bound on OPT (ignores ordering constraints only);
+* :func:`row_max_bound` — Σ per H-occurrence of its best positive
+  partner score: looser, O(|σ|), useful as a sanity cap.
+
+``certified_ratio(solution)`` = bound / score ≥ OPT / score: a sound
+certificate that the solution is within that factor of optimal, at any
+instance size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from fragalign.core.fragments import CSRInstance
+from fragalign.core.solution import CSRSolution
+
+__all__ = ["matching_bound", "row_max_bound", "certified_ratio"]
+
+
+def _occurrence_symbols(instance: CSRInstance, species: str) -> list[int]:
+    out: list[int] = []
+    for frag in instance.fragments(species):
+        out.extend(frag.regions)
+    return out
+
+
+def matching_bound(instance: CSRInstance) -> float:
+    """Max-weight bipartite matching over region occurrences ≥ OPT.
+
+    Every aligned column of any conjecture pair consumes one H and one
+    M occurrence, so the multiset of aligned pairs is a matching; the
+    bound drops only the order/orientation consistency constraints.
+    """
+    h_occ = _occurrence_symbols(instance, "H")
+    m_occ = _occurrence_symbols(instance, "M")
+    if not h_occ or not m_occ:
+        return 0.0
+    scorer = instance.scorer
+    W = np.zeros((len(h_occ), len(m_occ)))
+    for i, a in enumerate(h_occ):
+        for j, b in enumerate(m_occ):
+            W[i, j] = max(scorer.get(a, b), scorer.get(a, -b), 0.0)
+    rows, cols = linear_sum_assignment(W, maximize=True)
+    return float(W[rows, cols].sum())
+
+
+def row_max_bound(instance: CSRInstance) -> float:
+    """Σ over H occurrences of the best positive partner score ≥ OPT."""
+    m_occ = _occurrence_symbols(instance, "M")
+    scorer = instance.scorer
+    total = 0.0
+    for a in _occurrence_symbols(instance, "H"):
+        best = 0.0
+        for b in m_occ:
+            best = max(best, scorer.get(a, b), scorer.get(a, -b))
+        total += best
+    return total
+
+
+def certified_ratio(solution: CSRSolution) -> float:
+    """A sound upper bound on OPT / solution.score (∞ for score 0)."""
+    bound = matching_bound(solution.state.instance)
+    if solution.score <= 0:
+        return float("inf") if bound > 0 else 1.0
+    return max(1.0, bound / solution.score)

@@ -1,0 +1,163 @@
+"""Conjecture sequences and the Score function (§2.1, Definition 1).
+
+An :class:`Arrangement` fixes stage 2 and 3 of Definition 1 for one
+species: an orientation per fragment and a global order.  Stage 1 (the
+padding) is always chosen optimally, which — because ⊥ scores 0 — is
+the max-weight chain DP of :mod:`fragalign.align.chain`.  So
+
+    score_pair(instance, arr_h, arr_m)
+        = max over paddings of Score(h, m)   per the paper.
+
+:func:`explicit_padding` materializes the padding, producing two
+equal-length words over Σ̃ ∪ {⊥} whose column score equals the DP value
+(the Definition-1 ⟷ DP round-trip is a standing test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations, product
+from typing import Iterator, Sequence
+
+from fragalign.align.chain import chain_score, chain_score_with_pairs
+from fragalign.core.fragments import CSRInstance, Species
+from fragalign.core.scoring import Scorer
+from fragalign.core.symbols import PAD, Word, reverse_word
+from fragalign.util.errors import InstanceError
+
+__all__ = [
+    "Arrangement",
+    "identity_arrangement",
+    "all_arrangements",
+    "realize",
+    "score_sequences",
+    "score_pair",
+    "explicit_padding",
+    "padded_column_score",
+]
+
+
+@dataclass(frozen=True)
+class Arrangement:
+    """An order + orientation of one species' fragments.
+
+    ``order`` is a tuple of (fid, reversed) covering every fragment of
+    the species exactly once.
+    """
+
+    species: Species
+    order: tuple[tuple[int, bool], ...]
+
+    def validate(self, instance: CSRInstance) -> None:
+        fids = sorted(f for f, _ in self.order)
+        expect = list(range(len(instance.fragments(self.species))))
+        if fids != expect:
+            raise InstanceError(
+                f"arrangement must use every {self.species}-fragment exactly once"
+            )
+
+    def mirrored(self) -> "Arrangement":
+        """The globally-reversed arrangement (reverse order, flip all)."""
+        return Arrangement(
+            self.species, tuple((fid, not rev) for fid, rev in reversed(self.order))
+        )
+
+
+def identity_arrangement(instance: CSRInstance, species: Species) -> Arrangement:
+    return Arrangement(
+        species, tuple((i, False) for i in range(len(instance.fragments(species))))
+    )
+
+
+def all_arrangements(
+    instance: CSRInstance, species: Species, *, dedup_mirror: bool = False
+) -> Iterator[Arrangement]:
+    """Every (permutation × orientation) arrangement of one species.
+
+    With ``dedup_mirror=True`` only one representative per
+    {A, A.mirrored()} pair is produced — Score is invariant under
+    mirroring *both* species, so the exact solver deduplicates one side.
+    """
+    n = len(instance.fragments(species))
+    for perm in permutations(range(n)):
+        for flips in product((False, True), repeat=n):
+            arr = Arrangement(species, tuple(zip(perm, flips)))
+            if dedup_mirror:
+                mirror = arr.mirrored()
+                if mirror.order < arr.order:
+                    continue
+            yield arr
+
+
+def realize(instance: CSRInstance, arrangement: Arrangement) -> Word:
+    """Concatenate the oriented fragments into one word over Σ̃."""
+    arrangement.validate(instance)
+    out: list[int] = []
+    for fid, rev in arrangement.order:
+        regions = instance.fragment(arrangement.species, fid).regions
+        out.extend(reverse_word(regions) if rev else regions)
+    return tuple(out)
+
+
+def score_sequences(scorer: Scorer, h_word: Sequence[int], m_word: Sequence[int]) -> float:
+    """Optimal-padding Score of two realized conjecture words."""
+    if not h_word or not m_word:
+        return 0.0
+    return chain_score(scorer.weight_matrix(h_word, m_word))
+
+
+def score_pair(
+    instance: CSRInstance, arr_h: Arrangement, arr_m: Arrangement
+) -> float:
+    """Score of a conjecture pair with optimal padding."""
+    if arr_h.species != "H" or arr_m.species != "M":
+        raise InstanceError("score_pair expects an H and an M arrangement")
+    return score_sequences(
+        instance.scorer, realize(instance, arr_h), realize(instance, arr_m)
+    )
+
+
+def explicit_padding(
+    scorer: Scorer, h_word: Sequence[int], m_word: Sequence[int]
+) -> tuple[Word, Word]:
+    """Materialize an optimal padding as two equal-length padded words.
+
+    Unmatched symbols are placed in columns against ⊥, so the padded
+    column score equals the chain score exactly.
+    """
+    W = scorer.weight_matrix(h_word, m_word)
+    _, pairs = chain_score_with_pairs(W)
+    ph: list[int] = []
+    pm: list[int] = []
+    hi = mi = 0
+    for i, j in pairs:
+        while hi < i:
+            ph.append(h_word[hi])
+            pm.append(PAD)
+            hi += 1
+        while mi < j:
+            ph.append(PAD)
+            pm.append(m_word[mi])
+            mi += 1
+        ph.append(h_word[hi])
+        pm.append(m_word[mi])
+        hi += 1
+        mi += 1
+    while hi < len(h_word):
+        ph.append(h_word[hi])
+        pm.append(PAD)
+        hi += 1
+    while mi < len(m_word):
+        ph.append(PAD)
+        pm.append(m_word[mi])
+        mi += 1
+    return tuple(ph), tuple(pm)
+
+
+def padded_column_score(
+    scorer: Scorer, h_padded: Sequence[int], m_padded: Sequence[int]
+) -> float:
+    """The paper's Score: column-wise σ sum; 0 if lengths differ."""
+    if len(h_padded) != len(m_padded):
+        return 0.0
+    return float(sum(scorer.get(a, b) for a, b in zip(h_padded, m_padded)))

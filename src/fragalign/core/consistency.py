@@ -1,0 +1,196 @@
+"""Consistency of match sets (Definition 2) via constructive layout.
+
+A match set is *consistent* iff some conjecture pair produces it.  For
+the structured states the algorithms maintain (1-islands / 2-islands)
+we prove consistency constructively: :func:`layout` emits an explicit
+arrangement pair whose optimally-padded Score is at least the state's
+score (Remark 1; the layout can only gain from incidental cross-island
+pairs, never lose).
+
+:func:`check_consistent` combines the structural invariants with the
+layout round-trip; :func:`find_inconsistency` explains cheap structural
+violations for arbitrary match collections (the Fig. 3 patterns).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from fragalign.core.conjecture import Arrangement, score_pair
+from fragalign.core.matches import FragKey, Match, islands
+from fragalign.core.sites import Site
+from fragalign.core.state import SolutionState
+from fragalign.util.errors import InconsistentMatchSetError
+
+__all__ = ["layout", "layout_score", "check_consistent", "find_inconsistency"]
+
+
+def _host_blocks(
+    state: SolutionState, host: FragKey, host_rev: bool, skip_mid: Optional[int]
+) -> list[tuple[int, bool]]:
+    """Order/orient the partners plugged into ``host``.
+
+    Partners are emitted in the order their sites appear along the
+    *oriented* host; a partner aligned reversed relative to the host
+    flips with it.  ``skip_mid`` omits the 2-island border match.
+    """
+    match_by_id = dict(state.match_items())
+    entries = [
+        (site, mid)
+        for site, mid in state.sites_on(host)
+        if mid != skip_mid
+    ]
+    if host_rev:
+        entries.reverse()
+    out: list[tuple[int, bool]] = []
+    for _site, mid in entries:
+        match = match_by_id[mid]
+        partner = match.partner_key(host)
+        out.append((partner[1], match.rev ^ host_rev))
+    return out
+
+
+def layout(state: SolutionState) -> tuple[Arrangement, Arrangement]:
+    """Arrangement pair realizing the state's match set (Remark 1)."""
+    inst = state.instance
+    match_by_id = dict(state.match_items())
+    h_order: list[tuple[int, bool]] = []
+    m_order: list[tuple[int, bool]] = []
+    placed_h: set[int] = set()
+    placed_m: set[int] = set()
+
+    def emit(species: str, fid: int, rev: bool) -> None:
+        if species == "H":
+            if fid not in placed_h:
+                h_order.append((fid, rev))
+                placed_h.add(fid)
+        else:
+            if fid not in placed_m:
+                m_order.append((fid, rev))
+                placed_m.add(fid)
+
+    for island in state.islands():
+        multiples = [k for k in island if state.is_multiple(k)]
+        if len(multiples) == 0:
+            # Two simple fragments joined by one full-full match.
+            (match,) = [
+                m
+                for m in match_by_id.values()
+                if m.h_site.key in island and m.m_site.key in island
+            ]
+            emit("H", match.h_site.fid, False)
+            emit("M", match.m_site.fid, match.rev)
+        elif len(multiples) == 1:
+            host = multiples[0]
+            for partner_fid, rev in _host_blocks(state, host, False, None):
+                emit("M" if host[0] == "H" else "H", partner_fid, rev)
+            emit(host[0], host[1], False)
+        else:
+            # 2-island: orient the H host with its junction to the
+            # right and the M host with its junction to the left; each
+            # host's plugged partners fill the other species' row on
+            # the far side of the junction.
+            h_host = next(k for k in multiples if k[0] == "H")
+            m_host = next(k for k in multiples if k[0] == "M")
+            border_mid = state.border_match_of(h_host)
+            if border_mid is None or border_mid != state.border_match_of(m_host):
+                raise InconsistentMatchSetError(
+                    f"2-island {multiples} without a shared border match"
+                )
+            border = match_by_id[border_mid]
+            h_len = len(inst.fragment(*h_host))
+            m_len = len(inst.fragment(*m_host))
+            h_end = border.h_site.touched_end(h_len)
+            m_end = border.m_site.touched_end(m_len)
+            rev_f = h_end == "L"
+            rev_g = m_end == "R"
+            # m-row: partners of the H host, then the M host.
+            for partner_fid, rev in _host_blocks(state, h_host, rev_f, border_mid):
+                emit("M", partner_fid, rev)
+            emit("M", m_host[1], rev_g)
+            # h-row: the H host, then partners of the M host.
+            emit("H", h_host[1], rev_f)
+            for partner_fid, rev in _host_blocks(state, m_host, rev_g, border_mid):
+                emit("H", partner_fid, rev)
+
+    # Unmatched fragments go at the end in native orientation.
+    for fid in range(inst.n_h):
+        emit("H", fid, False)
+    for fid in range(inst.n_m):
+        emit("M", fid, False)
+    return (
+        Arrangement("H", tuple(h_order)),
+        Arrangement("M", tuple(m_order)),
+    )
+
+
+def layout_score(state: SolutionState) -> float:
+    """Score of the constructive layout (≥ state.score())."""
+    arr_h, arr_m = layout(state)
+    return score_pair(state.instance, arr_h, arr_m)
+
+
+def check_consistent(state: SolutionState, tol: float = 1e-9) -> None:
+    """Raise unless the state is structurally sound *and* its layout
+    realizes at least the claimed score."""
+    state.check()
+    realized = layout_score(state)
+    if realized + tol < state.score():
+        raise InconsistentMatchSetError(
+            f"layout realizes {realized}, state claims {state.score()}"
+        )
+
+
+def find_inconsistency(matches: Iterable[Match]) -> Optional[str]:
+    """Cheap structural screen for arbitrary match collections.
+
+    Detects the Fig. 3 patterns between any two fragments h, m:
+
+    * *orientation conflict* — one match supports the current relative
+      orientation while another demands a reversal;
+    * *order violation* — two direct (or two reversed) matches whose
+      sites appear in opposite orders along h and m;
+    * *site overlap* — two matches claim overlapping territory.
+
+    Returns a description of the first violation found, or None.  This
+    is a necessary-condition screen, not a full consistency decision
+    (which :func:`check_consistent` performs for structured states).
+    """
+    by_pair: dict[tuple[FragKey, FragKey], list[Match]] = {}
+    all_matches = list(matches)
+    for m in all_matches:
+        by_pair.setdefault((m.h_site.key, m.m_site.key), []).append(m)
+    # Overlaps on any single fragment
+    by_frag: dict[FragKey, list[Site]] = {}
+    for m in all_matches:
+        for site in (m.h_site, m.m_site):
+            by_frag.setdefault(site.key, []).append(site)
+    for key, sites in by_frag.items():
+        sites.sort(key=lambda s: (s.start, s.end))
+        for a, b in zip(sites, sites[1:]):
+            if a.overlaps(b):
+                return f"overlapping sites {a} and {b} on fragment {key}"
+    for (hk, mk), group in by_pair.items():
+        if len(group) < 2:
+            continue
+        orientations = {m.rev for m in group}
+        if len(orientations) > 1:
+            return (
+                f"orientation conflict between fragments {hk} and {mk}: "
+                "one match supports the given orientation, another "
+                "requires a reversal (Fig. 3, first example)"
+            )
+        (rev,) = orientations
+        ordered = sorted(group, key=lambda m: m.h_site.start)
+        for a, b in zip(ordered, ordered[1:]):
+            if rev:
+                good = b.m_site.end <= a.m_site.start
+            else:
+                good = a.m_site.end <= b.m_site.start
+            if not good:
+                return (
+                    f"order violation between fragments {hk} and {mk}: "
+                    "aligned regions appear in different orders "
+                    "(Fig. 3, second example)"
+                )
+    return None

@@ -1,0 +1,85 @@
+"""CSR_Improve — Theorem 6's (3+ε)-approximation for general CSR.
+
+The full method set of §4.4: I1 (plug-in with TPA zones), I2 with
+zones (border sites as I1-style targets, Fig. 15) and I3 (2-island
+re-wiring).  Optionally seeds from the Corollary-1 baseline — the
+analysis starts from the empty set, but any start point only helps a
+local-search argument, and seeding makes large instances cheaper.
+"""
+
+from __future__ import annotations
+
+from fragalign.core.fragments import CSRInstance
+from fragalign.core.improve import (
+    i1_attempts,
+    i2_attempts,
+    i3_attempts,
+    run_improvement,
+)
+from fragalign.core.match_score import MatchScorer
+from fragalign.core.scaling import iteration_bound, scaling_threshold
+from fragalign.core.solution import CSRSolution
+from fragalign.core.state import SolutionState
+
+__all__ = ["csr_improve"]
+
+
+def csr_improve(
+    instance: CSRInstance,
+    threshold: float = 1e-9,
+    eps: float | None = None,
+    baseline_score: float | None = None,
+    seed: str = "empty",
+    max_zones: int = 8,
+    validate: bool = False,
+    policy: str = "first",
+) -> CSRSolution:
+    """Run CSR_Improve.
+
+    ``seed``: "empty" (paper) or "baseline" (start from the factor-4
+    solution's matches).  ``eps`` enables the §4.1 scaling threshold.
+    ``policy``: "first" (paper) or "best" improvement per pass.
+    """
+    ms = MatchScorer(instance)
+    state = SolutionState(instance, ms)
+    if seed == "baseline":
+        from fragalign.core.baseline import baseline4
+
+        base = baseline4(instance)
+        if baseline_score is None:
+            baseline_score = base.score
+        for match in base.state.matches():
+            state.add(match)
+    elif seed != "empty":
+        raise ValueError(f"unknown seed {seed!r}")
+    max_accepts = 10_000
+    if eps is not None:
+        if baseline_score is None:
+            from fragalign.core.baseline import baseline4
+
+            baseline_score = baseline4(instance).score
+        threshold = max(threshold, scaling_threshold(instance, baseline_score, eps))
+        max_accepts = iteration_bound(baseline_score, threshold)
+    stats = run_improvement(
+        state,
+        [
+            lambda s: i1_attempts(s, max_zones=max_zones),
+            lambda s: i2_attempts(s, zoned=True),
+            lambda s: i3_attempts(s),
+        ],
+        threshold=threshold,
+        max_accepts=max_accepts,
+        validate=validate,
+        policy=policy,
+    )
+    return CSRSolution.from_state(
+        state,
+        "csr_improve",
+        {
+            "passes": stats.passes,
+            "attempts": stats.attempts,
+            "accepted": stats.accepted,
+            "seed": seed,
+            "threshold": threshold,
+        },
+    )

@@ -1,0 +1,245 @@
+"""Exact CSR solving by arrangement enumeration (small instances).
+
+CSR is MAX-SNP hard (Theorem 2), so the exact solver is exponential by
+necessity: it enumerates (permutation × orientation) arrangements of
+both species and scores each pair with the optimal-padding DP.  The
+mirror symmetry Score(h, m) = Score(hᴿ, mᴿ) halves the H-side
+enumeration.  Used as the oracle in every approximation-ratio test and
+benchmark.
+
+Also here: :func:`derive_matches` — Definition 2 made executable: the
+match set a conjecture pair produces, with the paper's guarantee
+Score(S) = Score(h, m) (a standing test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import factorial
+
+from fragalign.align.chain import chain_score_with_pairs
+from fragalign.core.conjecture import Arrangement, all_arrangements, realize
+from fragalign.core.fragments import CSRInstance
+from fragalign.core.match_score import MatchScorer
+from fragalign.core.matches import Match
+from fragalign.core.sites import Site
+from fragalign.core.state import SolutionState
+from fragalign.util.errors import InconsistentMatchSetError, SolverError
+
+__all__ = ["ExactResult", "exact_csr", "derive_matches", "state_from_arrangements"]
+
+
+@dataclass(frozen=True)
+class ExactResult:
+    score: float
+    arr_h: Arrangement
+    arr_m: Arrangement
+    pairs_evaluated: int
+
+
+def _search_size(instance: CSRInstance) -> int:
+    # Mirroring (reverse order, flip all orientations) is a fixed-point
+    # free involution on arrangements, so deduplication halves exactly.
+    nh, nm = instance.n_h, instance.n_m
+    h_count = (factorial(nh) * 2**nh) // 2
+    m_count = factorial(nm) * 2**nm
+    return max(1, h_count) * m_count
+
+
+def exact_csr(instance: CSRInstance, max_pairs: int = 3_000_000) -> ExactResult:
+    """Optimal conjecture pair by exhaustive search.
+
+    Raises :class:`SolverError` when the arrangement space exceeds
+    ``max_pairs`` — the caller should be using an approximation
+    algorithm at that size (that is the paper's whole point).
+    """
+    size = _search_size(instance)
+    if size > max_pairs:
+        raise SolverError(
+            f"exact search space {size} exceeds max_pairs={max_pairs}"
+        )
+    scorer = instance.scorer
+    m_words = [
+        (arr, realize(instance, arr))
+        for arr in all_arrangements(instance, "M")
+    ]
+    best_score = -1.0
+    best: tuple[Arrangement, Arrangement] | None = None
+    evaluated = 0
+    from fragalign.align.chain import chain_score
+
+    for arr_h in all_arrangements(instance, "H", dedup_mirror=True):
+        h_word = realize(instance, arr_h)
+        for arr_m, m_word in m_words:
+            evaluated += 1
+            s = chain_score(scorer.weight_matrix(h_word, m_word))
+            if s > best_score:
+                best_score = s
+                best = (arr_h, arr_m)
+    assert best is not None
+    return ExactResult(best_score, best[0], best[1], evaluated)
+
+
+def _position_map(
+    instance: CSRInstance, arrangement: Arrangement
+) -> list[tuple[int, bool, int]]:
+    """Per concatenated position: (fid, reversed, local position).
+
+    Local positions are in the fragment's *native* coordinates, so a
+    reversed occurrence maps position p of the realized word back to
+    ``len - 1 - p_within``.
+    """
+    out: list[tuple[int, bool, int]] = []
+    for fid, rev in arrangement.order:
+        n = len(instance.fragment(arrangement.species, fid))
+        for p in range(n):
+            local = n - 1 - p if rev else p
+            out.append((fid, rev, local))
+    return out
+
+
+def _occupancy(instance: CSRInstance, arrangement: Arrangement) -> list[int]:
+    """Per realized-word position: index of the fragment occurrence."""
+    out: list[int] = []
+    for slot, (fid, _rev) in enumerate(arrangement.order):
+        out.extend([slot] * len(instance.fragment(arrangement.species, fid)))
+    return out
+
+
+def derive_matches(
+    instance: CSRInstance,
+    arr_h: Arrangement,
+    arr_m: Arrangement,
+    scorer: MatchScorer | None = None,
+) -> list[Match]:
+    """The match set produced by a conjecture pair (Definition 2).
+
+    The optimally-padded pair is materialized as explicit columns, cut
+    after the last symbol of every fragment occurrence (the "split w at
+    ends of sᵢ's and tⱼ's" step), and each resulting window becomes a
+    match whose sites span *all* symbols falling in the window — so
+    unmatched flanks count toward site extents and the full/border
+    classification of Fig. 6 comes out right.  Zero-score windows are
+    omitted, as in the paper's figures.  The total match score equals
+    the pair's Score — Remark 1, enforced by tests.
+    """
+    ms = scorer or MatchScorer(instance)
+    h_word = realize(instance, arr_h)
+    m_word = realize(instance, arr_m)
+    W = instance.scorer.weight_matrix(h_word, m_word)
+    total, chain = chain_score_with_pairs(W)
+    h_map = _position_map(instance, arr_h)
+    m_map = _position_map(instance, arr_m)
+    h_occ = _occupancy(instance, arr_h)
+    m_occ = _occupancy(instance, arr_m)
+
+    # Explicit columns: (h position | None, m position | None).
+    cols: list[tuple[int | None, int | None]] = []
+    hi = mi = 0
+    for i, j in chain:
+        while hi < i:
+            cols.append((hi, None))
+            hi += 1
+        while mi < j:
+            cols.append((None, mi))
+            mi += 1
+        cols.append((i, j))
+        hi, mi = i + 1, j + 1
+    while hi < len(h_word):
+        cols.append((hi, None))
+        hi += 1
+    while mi < len(m_word):
+        cols.append((None, mi))
+        mi += 1
+
+    # Cut after every column holding the last symbol of an occurrence.
+    cuts: list[int] = []
+    for c, (ih, im) in enumerate(cols):
+        if ih is not None and (ih + 1 == len(h_word) or h_occ[ih + 1] != h_occ[ih]):
+            cuts.append(c)
+        elif im is not None and (im + 1 == len(m_word) or m_occ[im + 1] != m_occ[im]):
+            cuts.append(c)
+    cuts = sorted(set(cuts))
+
+    matches: list[Match] = []
+    start = 0
+    boundaries = cuts if cuts and cuts[-1] == len(cols) - 1 else cuts + [len(cols) - 1]
+    for cut in boundaries:
+        window = cols[start : cut + 1]
+        start = cut + 1
+        h_positions = [ih for ih, _ in window if ih is not None]
+        m_positions = [im for _, im in window if im is not None]
+        if not h_positions or not m_positions:
+            continue
+        h_fid, h_rev, _ = h_map[h_positions[0]]
+        m_fid, m_rev, _ = m_map[m_positions[0]]
+        h_locals = [h_map[i][2] for i in h_positions]
+        m_locals = [m_map[j][2] for j in m_positions]
+        h_site = Site("H", h_fid, min(h_locals), max(h_locals) + 1)
+        m_site = Site("M", m_fid, min(m_locals), max(m_locals) + 1)
+        rev = h_rev ^ m_rev
+        score = ms.p_score(h_site, m_site, rev)
+        if score <= 0:
+            continue
+        h_len = len(instance.fragment("H", h_fid))
+        m_len = len(instance.fragment("M", m_fid))
+        kind = (
+            "full"
+            if h_site.kind(h_len) == "full" or m_site.kind(m_len) == "full"
+            else "border"
+        )
+        matches.append(Match(h_site, m_site, rev, kind, score))
+    # Sanity: Remark 1's equality.
+    got = sum(m.score for m in matches)
+    if abs(got - total) > 1e-6:
+        raise SolverError(
+            f"derive_matches lost score: chain {total}, matches {got}"
+        )
+    return matches
+
+
+def state_from_arrangements(
+    instance: CSRInstance,
+    arr_h: Arrangement,
+    arr_m: Arrangement,
+    scorer: MatchScorer | None = None,
+) -> SolutionState:
+    """Solution state holding the matches a conjecture pair derives.
+
+    Definition-2 sets are more general than the 1-island/2-island
+    structure the improvement algorithms maintain: islands can be
+    chains of border matches, a fragment can carry two border matches
+    (one per end), and a terminal border match may carry the
+    orientation opposite to the 2-island rule.  Since this function
+    builds *seed* states for the improvement engine, it greedily keeps
+    the highest-scoring structurally-valid subset: at most one border
+    match per fragment, forced border orientations (re-scored, dropped
+    at 0).  The seed may therefore score less than the arrangement
+    pair — the engine recovers the rest.
+    """
+    ms = scorer or MatchScorer(instance)
+    state = SolutionState(instance, ms)
+    derived = sorted(
+        derive_matches(instance, arr_h, arr_m, ms),
+        key=lambda m: -m.score,
+    )
+    for match in derived:
+        if match.score <= 0:
+            continue
+        if match.kind == "border":
+            if (
+                state.border_match_of(match.h_site.key) is not None
+                or state.border_match_of(match.m_site.key) is not None
+            ):
+                continue
+            forced = ms.border_orientation(match.h_site, match.m_site)
+            if forced != match.rev:
+                score = ms.p_score(match.h_site, match.m_site, forced)
+                if score <= 0:
+                    continue
+                match = Match(match.h_site, match.m_site, forced, "border", score)
+        try:
+            state.add(match)
+        except InconsistentMatchSetError:
+            continue  # overlaps a better match already kept
+    return state

@@ -1,0 +1,168 @@
+"""Fragments and CSR problem instances (§2.1).
+
+A :class:`Fragment` is an ordered word of conserved-region symbols from
+one species' contig.  A :class:`CSRInstance` bundles the two fragment
+sets H and M and the score function σ; it is the input type of every
+solver in :mod:`fragalign.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from fragalign.core.scoring import Scorer
+from fragalign.core.symbols import Word, format_word, validate_word, word_from_names
+from fragalign.util.errors import InstanceError
+
+__all__ = ["Species", "Fragment", "CSRInstance", "paper_example"]
+
+Species = str  # "H" | "M"
+
+SPECIES = ("H", "M")
+
+
+def other_species(species: Species) -> Species:
+    if species == "H":
+        return "M"
+    if species == "M":
+        return "H"
+    raise InstanceError(f"unknown species {species!r}")
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One contig: an ordered word of signed region symbols.
+
+    ``fid`` is the index of the fragment within its species' list; the
+    (species, fid) pair identifies a fragment throughout the library.
+    """
+
+    species: Species
+    fid: int
+    regions: Word
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.species not in SPECIES:
+            raise InstanceError(f"species must be 'H' or 'M', got {self.species!r}")
+        object.__setattr__(self, "regions", validate_word(self.regions))
+        if len(self.regions) == 0:
+            raise InstanceError("fragments must contain at least one region")
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    def label(self) -> str:
+        return self.name or f"{self.species.lower()}{self.fid + 1}"
+
+
+@dataclass(frozen=True)
+class CSRInstance:
+    """A CSR problem: fragment sets H, M and the score function σ."""
+
+    h_fragments: tuple[Fragment, ...]
+    m_fragments: tuple[Fragment, ...]
+    scorer: Scorer
+    region_names: dict[int, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for expect, frags in (("H", self.h_fragments), ("M", self.m_fragments)):
+            for i, f in enumerate(frags):
+                if f.species != expect or f.fid != i:
+                    raise InstanceError(
+                        f"fragment {f.label()} mis-indexed: expected ({expect}, {i}),"
+                        f" got ({f.species}, {f.fid})"
+                    )
+        if not self.h_fragments or not self.m_fragments:
+            raise InstanceError("both species need at least one fragment")
+
+    # -- construction helpers -----------------------------------------
+    @staticmethod
+    def build(
+        h_words: Sequence[Sequence[int]],
+        m_words: Sequence[Sequence[int]],
+        scores: Mapping[tuple[int, int], float] | Scorer,
+        region_names: dict[int, str] | None = None,
+    ) -> "CSRInstance":
+        scorer = scores if isinstance(scores, Scorer) else Scorer(scores)
+        h = tuple(
+            Fragment("H", i, tuple(w)) for i, w in enumerate(h_words)
+        )
+        m = tuple(
+            Fragment("M", i, tuple(w)) for i, w in enumerate(m_words)
+        )
+        return CSRInstance(h, m, scorer, region_names or {})
+
+    @staticmethod
+    def from_names(
+        h_named: Sequence[Sequence[str]],
+        m_named: Sequence[Sequence[str]],
+        named_scores: Mapping[tuple[str, str], float],
+    ) -> "CSRInstance":
+        """Build from region *names*; ``"x'"`` denotes xᴿ in scores."""
+        table: dict[str, int] = {}
+        h_words = [word_from_names(w, table) for w in h_named]
+        m_words = [word_from_names(w, table) for w in m_named]
+        scorer = Scorer()
+        for (na, nb), v in named_scores.items():
+            (a,) = word_from_names([na], table)
+            (b,) = word_from_names([nb], table)
+            scorer.set(a, b, v)
+        names = {v: k for k, v in table.items()}
+        return CSRInstance.build(h_words, m_words, scorer, names)
+
+    # -- access --------------------------------------------------------
+    def fragments(self, species: Species) -> tuple[Fragment, ...]:
+        if species == "H":
+            return self.h_fragments
+        if species == "M":
+            return self.m_fragments
+        raise InstanceError(f"unknown species {species!r}")
+
+    def fragment(self, species: Species, fid: int) -> Fragment:
+        return self.fragments(species)[fid]
+
+    def all_fragments(self) -> Iterable[Fragment]:
+        yield from self.h_fragments
+        yield from self.m_fragments
+
+    # -- statistics -----------------------------------------------------
+    @property
+    def n_h(self) -> int:
+        return len(self.h_fragments)
+
+    @property
+    def n_m(self) -> int:
+        return len(self.m_fragments)
+
+    def total_regions(self, species: Species) -> int:
+        return sum(len(f) for f in self.fragments(species))
+
+    def describe(self) -> str:
+        lines = [f"CSR instance: |H|={self.n_h}, |M|={self.n_m}, |σ|={len(self.scorer)}"]
+        for f in self.all_fragments():
+            lines.append(f"  {f.label()}: {format_word(f.regions, self.region_names)}")
+        return "\n".join(lines)
+
+
+def paper_example() -> CSRInstance:
+    """The running example of §1 (Figs. 2, 4, 5).
+
+    Contigs h1=⟨a,b,c⟩, h2=⟨d⟩, m1=⟨s,t⟩, m2=⟨u,v⟩ with σ(a,s)=4,
+    σ(a,t)=1, σ(b,tᴿ)=3, σ(c,u)=5, σ(d,t)=σ(d,vᴿ)=2.  The optimal
+    solution deletes b and t, reverses h2 and places it after h1,
+    scoring σ(a,s)+σ(c,u)+σ(dᴿ,v) = 4+5+2 = 11.
+    """
+    return CSRInstance.from_names(
+        h_named=[["a", "b", "c"], ["d"]],
+        m_named=[["s", "t"], ["u", "v"]],
+        named_scores={
+            ("a", "s"): 4.0,
+            ("a", "t"): 1.0,
+            ("b", "t'"): 3.0,
+            ("c", "u"): 5.0,
+            ("d", "t"): 2.0,
+            ("d", "v'"): 2.0,
+        },
+    )

@@ -1,0 +1,61 @@
+"""Full_Improve — Theorem 4's (3+ε)-approximation for Full CSR.
+
+One improvement method (I1: plug a fragment into a target site, TPA
+the zone leftovers), first-improvement until no positive gain.  Only
+full matches are ever created, so islands stay 1-islands.
+"""
+
+from __future__ import annotations
+
+from fragalign.core.fragments import CSRInstance
+from fragalign.core.improve import i1_attempts, run_improvement
+from fragalign.core.match_score import MatchScorer
+from fragalign.core.scaling import iteration_bound, scaling_threshold
+from fragalign.core.solution import CSRSolution
+from fragalign.core.state import SolutionState
+
+__all__ = ["full_improve"]
+
+
+def full_improve(
+    instance: CSRInstance,
+    threshold: float = 1e-9,
+    eps: float | None = None,
+    baseline_score: float | None = None,
+    max_zones: int = 8,
+    validate: bool = False,
+) -> CSRSolution:
+    """Run Full_Improve from the empty solution.
+
+    ``eps`` switches on the §4.1 scaling rule: the acceptance threshold
+    becomes ε·X/k² with X = ``baseline_score`` (computed by the
+    Corollary-1 baseline when not supplied), bounding iterations
+    polynomially at the cost of the (3+ε) ratio.
+    """
+    ms = MatchScorer(instance)
+    state = SolutionState(instance, ms)
+    max_accepts = 10_000
+    if eps is not None:
+        if baseline_score is None:
+            from fragalign.core.baseline import baseline4
+
+            baseline_score = baseline4(instance).score
+        threshold = max(threshold, scaling_threshold(instance, baseline_score, eps))
+        max_accepts = iteration_bound(baseline_score, threshold)
+    stats = run_improvement(
+        state,
+        [lambda s: i1_attempts(s, max_zones=max_zones)],
+        threshold=threshold,
+        max_accepts=max_accepts,
+        validate=validate,
+    )
+    return CSRSolution.from_state(
+        state,
+        "full_improve",
+        {
+            "passes": stats.passes,
+            "attempts": stats.attempts,
+            "accepted": stats.accepted,
+            "threshold": threshold,
+        },
+    )

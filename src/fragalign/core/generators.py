@@ -1,0 +1,248 @@
+"""Random and structured CSR instance generators.
+
+Benchmarks and property tests draw from several families:
+
+* :func:`random_instance` — unstructured noise: random fragments and a
+  random sparse σ.  Exercises robustness, not biology.
+* :func:`planted_instance` — a ground-truth ancestor order of
+  conserved blocks, cut into fragments per species with orientation
+  flips; σ rewards recovering the planted correspondence.  The planted
+  score is a known lower bound on OPT, so large instances (beyond the
+  exact solver) still support ratio *lower-bound* measurements.
+* :func:`full_csr_instance` — every H fragment is a single region, so
+  every match is a full match: exact Full-CSR oracle territory
+  (Theorem 4 benches).
+* :func:`border_chain_instance` — staggered two-region fragments whose
+  optimum is a chain of border matches: Border-CSR territory (Lemma 9
+  / Theorem 5 benches).
+* :func:`ucsr_instance` — the UCSR restriction of §3.1: σ(a, b) = 0
+  for a ≠ b and every letter occurs exactly once per species.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from fragalign.core.fragments import CSRInstance
+from fragalign.core.scoring import Scorer
+from fragalign.util.errors import InstanceError
+from fragalign.util.rng import RngLike, as_generator
+
+__all__ = [
+    "random_instance",
+    "planted_instance",
+    "PlantedInstance",
+    "full_csr_instance",
+    "border_chain_instance",
+    "ucsr_instance",
+]
+
+
+def random_instance(
+    n_h: int = 3,
+    n_m: int = 3,
+    len_lo: int = 1,
+    len_hi: int = 4,
+    score_density: float = 1.0,
+    score_hi: float = 10.0,
+    rng: RngLike = None,
+) -> CSRInstance:
+    """Random fragments with a sparse random σ.
+
+    Every region occurrence gets a globally-unique id; σ assigns each
+    (h-region, m-region) pair a positive score with probability
+    ``score_density / (#h regions)`` and a random orientation, so the
+    expected number of positive pairs per m-region is ``score_density``.
+    """
+    gen = as_generator(rng)
+    next_id = 1
+
+    def make_words(count: int) -> list[tuple[int, ...]]:
+        nonlocal next_id
+        words = []
+        for _ in range(count):
+            length = int(gen.integers(len_lo, len_hi + 1))
+            words.append(tuple(range(next_id, next_id + length)))
+            next_id += length
+        return words
+
+    h_words = make_words(n_h)
+    m_words = make_words(n_m)
+    h_regions = [r for w in h_words for r in w]
+    m_regions = [r for w in m_words for r in w]
+    scorer = Scorer()
+    p = min(1.0, score_density / max(1, len(h_regions)))
+    for a in h_regions:
+        for b in m_regions:
+            if gen.random() < p:
+                sign = -1 if gen.random() < 0.5 else 1
+                scorer.set(a, sign * b, float(gen.uniform(1.0, score_hi)))
+    return CSRInstance.build(h_words, m_words, scorer)
+
+
+@dataclass(frozen=True)
+class PlantedInstance:
+    """An instance with a known high-scoring planted solution."""
+
+    instance: CSRInstance
+    planted_score: float
+    n_blocks: int
+
+
+def planted_instance(
+    n_blocks: int = 8,
+    n_h: int = 3,
+    n_m: int = 3,
+    block_score: float = 5.0,
+    inversion_prob: float = 0.3,
+    decoy_pairs: int = 4,
+    decoy_score: float = 1.0,
+    rng: RngLike = None,
+) -> PlantedInstance:
+    """Two species sharing ``n_blocks`` conserved blocks.
+
+    The H side carries blocks 1..n in ancestral order, cut into ``n_h``
+    fragments.  The M side carries the same blocks (each with its own
+    occurrence id), some individually inverted, cut into ``n_m``
+    fragments.  σ scores each block against its orthologue with
+    ``block_score`` (orientation-aware), plus a few low-score decoys.
+    The planted solution — identity order on both sides — scores
+    ``n_blocks * block_score``, a lower bound on OPT.
+    """
+    if n_blocks < max(n_h, n_m):
+        raise InstanceError("need at least one block per fragment")
+    gen = as_generator(rng)
+    h_ids = list(range(1, n_blocks + 1))
+    m_ids = list(range(n_blocks + 1, 2 * n_blocks + 1))
+    inverted = [gen.random() < inversion_prob for _ in range(n_blocks)]
+    m_signed = [-m if inv else m for m, inv in zip(m_ids, inverted)]
+
+    def cut(seq: list[int], pieces: int) -> list[tuple[int, ...]]:
+        cuts = sorted(gen.choice(np.arange(1, len(seq)), size=pieces - 1, replace=False)) if pieces > 1 else []
+        out = []
+        prev = 0
+        for c in list(cuts) + [len(seq)]:
+            out.append(tuple(seq[prev:int(c)]))
+            prev = int(c)
+        return [w for w in out if w]
+
+    h_words = cut(h_ids, n_h)
+    m_words = cut(m_signed, n_m)
+    scorer = Scorer()
+    for h, m, inv in zip(h_ids, m_ids, inverted):
+        scorer.set(h, -m if inv else m, block_score)
+    for _ in range(decoy_pairs):
+        a = int(gen.choice(h_ids))
+        b = int(gen.choice(m_ids))
+        sign = -1 if gen.random() < 0.5 else 1
+        if scorer.get(a, sign * b) == 0.0:
+            scorer.set(a, sign * b, decoy_score)
+    inst = CSRInstance.build(h_words, m_words, scorer)
+    return PlantedInstance(inst, n_blocks * block_score, n_blocks)
+
+
+def full_csr_instance(
+    n_h: int = 5,
+    n_m: int = 2,
+    m_len: int = 4,
+    score_density: float = 2.0,
+    score_hi: float = 10.0,
+    rng: RngLike = None,
+) -> CSRInstance:
+    """Full-CSR family: single-region H fragments ⇒ only full matches."""
+    gen = as_generator(rng)
+    h_words = [(i + 1,) for i in range(n_h)]
+    base = n_h + 1
+    m_words = []
+    for j in range(n_m):
+        m_words.append(tuple(range(base, base + m_len)))
+        base += m_len
+    scorer = Scorer()
+    m_regions = [r for w in m_words for r in w]
+    p = min(1.0, score_density / max(1, n_h))
+    for a in range(1, n_h + 1):
+        for b in m_regions:
+            if gen.random() < p:
+                sign = -1 if gen.random() < 0.5 else 1
+                scorer.set(a, sign * b, float(gen.uniform(1.0, score_hi)))
+    return CSRInstance.build(h_words, m_words, scorer)
+
+
+def border_chain_instance(
+    k: int = 3,
+    w: float = 5.0,
+    jitter: float = 0.0,
+    rng: RngLike = None,
+) -> CSRInstance:
+    """Staggered chain whose optimum uses border matches only.
+
+    H_i = ⟨a_i, b_i⟩ and M_i = ⟨c_i, d_i⟩ with σ(b_i, c_i) = w and
+    σ(a_{i+1}, d_i) = w: laying the fragments out alternately pairs
+    each fragment's ends with two different partners (suffix↔prefix
+    border matches), collecting all 2k−1 scores.
+    """
+    gen = as_generator(rng)
+    h_words = []
+    m_words = []
+    nid = 1
+    ab = []
+    cd = []
+    for _ in range(k):
+        ab.append((nid, nid + 1))
+        h_words.append((nid, nid + 1))
+        nid += 2
+    for _ in range(k):
+        cd.append((nid, nid + 1))
+        m_words.append((nid, nid + 1))
+        nid += 2
+    scorer = Scorer()
+    for i in range(k):
+        b_i = ab[i][1]
+        c_i = cd[i][0]
+        scorer.set(b_i, c_i, w + (float(gen.uniform(-jitter, jitter)) if jitter else 0.0))
+    for i in range(k - 1):
+        a_next = ab[i + 1][0]
+        d_i = cd[i][1]
+        scorer.set(a_next, d_i, w + (float(gen.uniform(-jitter, jitter)) if jitter else 0.0))
+    return CSRInstance.build(h_words, m_words, scorer)
+
+
+def ucsr_instance(
+    n_letters: int = 8,
+    n_h: int = 3,
+    n_m: int = 3,
+    score_hi: float = 10.0,
+    rev_prob: float = 0.3,
+    rng: RngLike = None,
+) -> CSRInstance:
+    """UCSR restriction (§3.1): σ(a, b) = 0 for a ≠ b, each letter once
+    per species (M occurrences may be reversed)."""
+    if n_letters < max(n_h, n_m):
+        raise InstanceError("need at least one letter per fragment")
+    gen = as_generator(rng)
+    letters = list(range(1, n_letters + 1))
+    h_perm = list(gen.permutation(letters))
+    m_perm = list(gen.permutation(letters))
+    m_signed = [-x if gen.random() < rev_prob else x for x in m_perm]
+
+    def cut(seq: list[int], pieces: int) -> list[tuple[int, ...]]:
+        if pieces <= 1:
+            return [tuple(seq)]
+        cuts = sorted(
+            gen.choice(np.arange(1, len(seq)), size=pieces - 1, replace=False)
+        )
+        out = []
+        prev = 0
+        for c in list(cuts) + [len(seq)]:
+            out.append(tuple(seq[prev:int(c)]))
+            prev = int(c)
+        return [w for w in out if w]
+
+    h_words = cut([int(x) for x in h_perm], n_h)
+    m_words = cut([int(x) for x in m_signed], n_m)
+    scorer = Scorer()
+    for a in letters:
+        scorer.set(a, a, float(gen.uniform(1.0, score_hi)))
+    return CSRInstance.build(h_words, m_words, scorer)

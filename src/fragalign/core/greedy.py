@@ -1,0 +1,55 @@
+"""Greedy CSR heuristic — the foil the paper argues against.
+
+Repeatedly takes the single highest-MS placement of a free fragment
+into a free interval of the opposite species.  Simple, fast, and — as
+the MAX-SNP hardness discussion predicts — foolable: benches pit it
+against the approximation algorithms on adversarial families.
+"""
+
+from __future__ import annotations
+
+from fragalign.core.fragments import CSRInstance
+from fragalign.core.match_score import MatchScorer
+from fragalign.core.sites import Site
+from fragalign.core.solution import CSRSolution
+from fragalign.core.state import SolutionState
+
+__all__ = ["greedy_csr"]
+
+
+def greedy_csr(instance: CSRInstance) -> CSRSolution:
+    ms = MatchScorer(instance)
+    state = SolutionState(instance, ms)
+    used: set[tuple[str, int]] = set()  # fragments already plugged
+    steps = 0
+    while True:
+        best: tuple[float, tuple[str, int], Site] | None = None
+        for species, other in (("H", "M"), ("M", "H")):
+            for frag in instance.fragments(species):
+                key = (species, frag.fid)
+                if key in used or state.n_matches_on(key) > 0:
+                    continue
+                own = Site(species, frag.fid, 0, len(frag))
+                for host in instance.fragments(other):
+                    host_key = (other, host.fid)
+                    if host_key in used:
+                        continue
+                    for free in state.free_intervals(host_key):
+                        for d in range(free.start, free.end):
+                            for e in range(d + 1, free.end + 1):
+                                site = Site(other, host.fid, d, e)
+                                if species == "H":
+                                    score, _rev = ms.ms_full(own, site)
+                                else:
+                                    score, _rev = ms.ms_full(site, own)
+                                if score > 0 and (
+                                    best is None or score > best[0]
+                                ):
+                                    best = (score, key, site)
+        if best is None:
+            break
+        _score, key, site = best
+        state.add_full(key, site)
+        used.add(key)
+        steps += 1
+    return CSRSolution.from_state(state, "greedy", {"steps": steps})

@@ -1,0 +1,480 @@
+"""The iterative-improvement engine (§4.1) and methods I1, I2, I3.
+
+The engine repeatedly enumerates *improvement attempts*, applies each
+one transactionally (snapshot → mutate → measure gain → commit or roll
+back), and stops when a full pass yields no gain above the acceptance
+threshold (0 for the textbook algorithm; the scaling threshold of
+§4.1 / :mod:`fragalign.core.scaling` for the polynomial-time variant).
+
+Attempts mirror the paper exactly:
+
+* **I1(f, ḡ, g̃)** (§4.2, Fig. 9) — plug fragment ``f`` into target
+  site ḡ of a zone g̃, re-packing the zone leftovers and any hole the
+  preparation tore open with TPA.
+* **I2(f̄₁⊆f̄₂, ḡ₁⊆ḡ₂)** (§4.3/§4.4, Fig. 15) — create a border match
+  between border sites, TPA-re-packing both zones' leftovers and holes.
+* **I3** (Fig. 13) — re-wire a 2-island: break its border match and
+  form two new border matches to outside fragments.
+
+The combined I1+I2/I3 attempts of Fig. 16 are an artifact of the
+*analysis* (they cap how often one match can be charged); operationally
+the plain attempts already explore those states, so they are not
+separate code paths.
+
+TPA re-packing uses the ISP substrate: every free sub-interval of the
+zones is an ISP interval, every opposite-species fragment an index,
+profit = MS − Cb (Lemma 2's profit function).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Protocol, Sequence
+
+from fragalign.core.fragments import CSRInstance, other_species
+from fragalign.core.sites import Site, full_site
+from fragalign.core.state import SolutionState
+from fragalign.isp.instance import ISPInstance, ISPItem
+from fragalign.isp.tpa import tpa
+from fragalign.util.errors import InconsistentMatchSetError
+
+__all__ = [
+    "tpa_repack",
+    "I1Attempt",
+    "I2Attempt",
+    "I3Attempt",
+    "i1_attempts",
+    "i2_attempts",
+    "i3_attempts",
+    "ImproveStats",
+    "run_improvement",
+    "candidate_zones",
+]
+
+
+# ---------------------------------------------------------------------------
+# TPA re-packing (the paper's TPA(B, S))
+# ---------------------------------------------------------------------------
+
+
+def _clip_to_free(state: SolutionState, zones: Sequence[Site]) -> list[Site]:
+    """Intersect zones with currently-free territory and merge them."""
+    by_frag: dict[tuple[str, int], list[tuple[int, int]]] = {}
+    for z in zones:
+        for free in state.free_intervals(z.key):
+            inter = z.intersect(free)
+            if inter is not None:
+                by_frag.setdefault(z.key, []).append((inter.start, inter.end))
+    merged: list[Site] = []
+    for key, spans in by_frag.items():
+        spans.sort()
+        cur_s, cur_e = spans[0]
+        for s, e in spans[1:]:
+            if s <= cur_e:
+                cur_e = max(cur_e, e)
+            else:
+                merged.append(Site(key[0], key[1], cur_s, cur_e))
+                cur_s, cur_e = s, e
+        merged.append(Site(key[0], key[1], cur_s, cur_e))
+    return merged
+
+
+def tpa_repack(
+    state: SolutionState, zones: Sequence[Site], candidate_species: str
+) -> int:
+    """Run TPA(B, S): pack candidate fragments into free zone territory.
+
+    ``zones`` must lie on fragments of the species opposite to
+    ``candidate_species``.  Selected candidates are detached from their
+    current matches (their profit already paid for that: MS − Cb) and
+    plugged in as full matches.  Returns the number of matches made.
+    """
+    zones = _clip_to_free(state, zones)
+    if not zones:
+        return 0
+    host_species = other_species(candidate_species)
+    for z in zones:
+        if z.species != host_species:
+            raise InconsistentMatchSetError(
+                f"zone {z} is not on the {host_species} side"
+            )
+    inst = state.instance
+    ms = state.ms
+    # Pack every fragment's coordinates into a private range so
+    # intervals on different fragments never collide in ISP space.
+    offsets: dict[tuple[str, int], int] = {}
+    next_off = 0
+    items: list[ISPItem] = []
+    candidates = inst.fragments(candidate_species)
+    cb = {
+        (candidate_species, x.fid): state.contribution((candidate_species, x.fid))
+        for x in candidates
+    }
+    for z in zones:
+        off = offsets.get(z.key)
+        if off is None:
+            off = next_off
+            offsets[z.key] = off
+            next_off += len(inst.fragment(*z.key)) + 1
+        for d in range(z.start, z.end):
+            for e in range(d + 1, z.end + 1):
+                site = Site(z.species, z.fid, d, e)
+                for x in candidates:
+                    xkey = (candidate_species, x.fid)
+                    own = full_site(x)
+                    if candidate_species == "H":
+                        score, _rev = ms.ms_full(own, site)
+                    else:
+                        score, _rev = ms.ms_full(site, own)
+                    profit = score - cb[xkey]
+                    if profit > 0:
+                        items.append(
+                            ISPItem(
+                                index=x.fid,
+                                start=off + d,
+                                end=off + e,
+                                profit=profit,
+                            )
+                        )
+    if not items:
+        return 0
+    chosen = tpa(ISPInstance.build(items))
+    rev_offsets = {v: k for k, v in offsets.items()}
+    made = 0
+    for item in chosen:
+        # Recover the fragment whose range the interval lives in.
+        base = max(o for o in rev_offsets if o <= item.start)
+        key = rev_offsets[base]
+        site = Site(key[0], key[1], item.start - base, item.end - base)
+        xkey = (candidate_species, item.index)
+        state.detach_fragment(xkey)
+        state.add_full(xkey, site)
+        made += 1
+    return made
+
+
+# ---------------------------------------------------------------------------
+# Attempts
+# ---------------------------------------------------------------------------
+
+
+class Attempt(Protocol):
+    def run(self, state: SolutionState) -> None: ...
+
+
+@dataclass(frozen=True)
+class I1Attempt:
+    """Plug fragment ``f_key`` into ``target`` ⊆ ``zone`` (Fig. 9)."""
+
+    f_key: tuple[str, int]
+    target: Site
+    zone: Site
+
+    def run(self, state: SolutionState) -> None:
+        inst = state.instance
+        f_frag = inst.fragment(*self.f_key)
+        state.prepare(full_site(f_frag))
+        prep = state.prepare(self.zone)
+        if not prep.ok:
+            raise InconsistentMatchSetError("I1 zone is hidden")
+        state.add_full(self.f_key, self.target)
+        leftovers = self.zone.minus(self.target)
+        if leftovers:
+            tpa_repack(state, leftovers, candidate_species=self.f_key[0])
+        if prep.holes:
+            # The zone's fragment was simple and got detached: refill
+            # the hole it left with fragments of the zone's species.
+            tpa_repack(state, prep.holes, candidate_species=self.zone.species)
+
+
+@dataclass(frozen=True)
+class I2Attempt:
+    """Border match (h_site, m_site) with zones (Figs. 13, 15)."""
+
+    h_site: Site
+    h_zone: Site
+    m_site: Site
+    m_zone: Site
+
+    def run(self, state: SolutionState) -> None:
+        prep_h = state.prepare(self.h_zone)
+        if not prep_h.ok:
+            raise InconsistentMatchSetError("I2 H-zone is hidden")
+        prep_m = state.prepare(self.m_zone)
+        if not prep_m.ok:
+            raise InconsistentMatchSetError("I2 M-zone is hidden")
+        state.add_border(self.h_site, self.m_site)
+        m_side = list(self.m_zone.minus(self.m_site)) + prep_h.holes
+        if m_side:
+            tpa_repack(state, m_side, candidate_species="H")
+        h_side = list(self.h_zone.minus(self.h_site)) + prep_m.holes
+        if h_side:
+            tpa_repack(state, h_side, candidate_species="M")
+
+
+@dataclass(frozen=True)
+class I3Attempt:
+    """Re-wire a 2-island: new matches (h1, m2) and (h2, m1) (Fig. 13)."""
+
+    h1: Site  # border site on the island's H fragment
+    m1: Site  # border site on the island's M fragment
+    h2: Site  # border site on another H fragment
+    m2: Site  # border site on another M fragment
+
+    def run(self, state: SolutionState) -> None:
+        for zone in (self.h1, self.m1, self.h2, self.m2):
+            prep = state.prepare(zone)
+            if not prep.ok:
+                raise InconsistentMatchSetError("I3 site is hidden")
+            if prep.holes:
+                tpa_repack(
+                    state,
+                    prep.holes,
+                    candidate_species=zone.species,
+                )
+        state.add_border(self.h1, self.m2)
+        state.add_border(self.h2, self.m1)
+
+
+# ---------------------------------------------------------------------------
+# Attempt generators
+# ---------------------------------------------------------------------------
+
+
+def candidate_zones(
+    state: SolutionState, target: Site, max_zones: int = 8
+) -> list[Site]:
+    """Zones g̃ ⊇ ḡ worth trying: endpoints snap to the boundaries of
+    currently-matched sites (preparation truncates at those), plus the
+    minimal (target itself) and maximal (whole fragment) zones."""
+    key = target.key
+    frag_len = len(state.instance.fragment(*key))
+    cuts = {0, frag_len, target.start, target.end}
+    for site, _mid in state.sites_on(key):
+        cuts.add(site.start)
+        cuts.add(site.end)
+    starts = sorted(c for c in cuts if c <= target.start)
+    ends = sorted(c for c in cuts if c >= target.end)
+    zones = []
+    seen = set()
+    for a in starts:
+        for b in ends:
+            if (a, b) in seen:
+                continue
+            seen.add((a, b))
+            zones.append(Site(key[0], key[1], a, b))
+    zones.sort(key=lambda z: (len(z), z.start))
+    if len(zones) > max_zones:
+        zones = zones[: max_zones - 1] + [zones[-1]]
+    return zones
+
+
+def _border_sites(frag_len: int, species: str, fid: int) -> list[Site]:
+    out = []
+    for j in range(1, frag_len):
+        out.append(Site(species, fid, 0, j))  # prefixes
+    for i in range(1, frag_len):
+        out.append(Site(species, fid, i, frag_len))  # suffixes
+    return out
+
+
+def i1_attempts(
+    state: SolutionState, max_zones: int = 8
+) -> Iterator[I1Attempt]:
+    """All plug-in attempts with positive prospective MS."""
+    inst = state.instance
+    ms = state.ms
+    for host in inst.all_fragments():
+        host_key = (host.species, host.fid)
+        f_species = other_species(host.species)
+        frag_len = len(host)
+        for d in range(frag_len):
+            for e in range(d + 1, frag_len + 1):
+                target = Site(host.species, host.fid, d, e)
+                if state.hidden(target):
+                    continue
+                zones = candidate_zones(state, target, max_zones)
+                for f in inst.fragments(f_species):
+                    f_key = (f_species, f.fid)
+                    own = full_site(f)
+                    if f_species == "H":
+                        score, _rev = ms.ms_full(own, target)
+                    else:
+                        score, _rev = ms.ms_full(target, own)
+                    if score <= 0:
+                        continue
+                    # Skip the exact no-op: f already plugged there.
+                    skip = False
+                    for _mid, m in state.matches_on(f_key):
+                        if m.kind != "full":
+                            continue
+                        if host_key not in (m.h_site.key, m.m_site.key):
+                            continue
+                        if m.site_on(host_key) == target and m.site_on(f_key) == own:
+                            skip = True
+                            break
+                    if skip:
+                        continue
+                    for zone in zones:
+                        yield I1Attempt(f_key, target, zone)
+
+
+def i2_attempts(
+    state: SolutionState, zoned: bool = True, max_zones: int = 3
+) -> Iterator[I2Attempt]:
+    """All border-match attempts (zones optional: §4.3 vs §4.4)."""
+    inst = state.instance
+    ms = state.ms
+    for f in inst.h_fragments:
+        hs = _border_sites(len(f), "H", f.fid)
+        for g in inst.m_fragments:
+            mss = _border_sites(len(g), "M", g.fid)
+            for h_site in hs:
+                for m_site in mss:
+                    score, _rev = ms.ms_border(h_site, m_site)
+                    if score <= 0:
+                        continue
+                    existing = False
+                    for _mid, m in state.matches_on(("H", f.fid)):
+                        if (
+                            m.kind == "border"
+                            and m.h_site == h_site
+                            and m.m_site == m_site
+                        ):
+                            existing = True
+                            break
+                    if existing:
+                        continue
+                    if zoned:
+                        hz = candidate_zones(state, h_site, max_zones)
+                        mz = candidate_zones(state, m_site, max_zones)
+                    else:
+                        hz = [h_site]
+                        mz = [m_site]
+                    for zh in hz:
+                        for zm in mz:
+                            yield I2Attempt(h_site, zh, m_site, zm)
+
+
+def i3_attempts(
+    state: SolutionState, top_k: int = 3
+) -> Iterator[I3Attempt]:
+    """Re-wiring attempts for every current 2-island."""
+    inst = state.instance
+    ms = state.ms
+    border_matches = [m for m in state.matches() if m.kind == "border"]
+    for bm in border_matches:
+        f_key = bm.h_site.key
+        g_key = bm.m_site.key
+        f_len = len(inst.fragment(*f_key))
+        g_len = len(inst.fragment(*g_key))
+        f_sites = _border_sites(f_len, "H", f_key[1])
+        g_sites = _border_sites(g_len, "M", g_key[1])
+        for h1 in f_sites:
+            # Best outside M partners for h1.
+            m2_cands: list[tuple[float, Site]] = []
+            for g2 in inst.m_fragments:
+                if g2.fid == g_key[1]:
+                    continue
+                for m2 in _border_sites(len(g2), "M", g2.fid):
+                    s, _ = ms.ms_border(h1, m2)
+                    if s > 0:
+                        m2_cands.append((s, m2))
+            m2_cands.sort(key=lambda t: -t[0])
+            for m1 in g_sites:
+                h2_cands: list[tuple[float, Site]] = []
+                for f2 in inst.h_fragments:
+                    if f2.fid == f_key[1]:
+                        continue
+                    for h2 in _border_sites(len(f2), "H", f2.fid):
+                        s, _ = ms.ms_border(h2, m1)
+                        if s > 0:
+                            h2_cands.append((s, h2))
+                h2_cands.sort(key=lambda t: -t[0])
+                for _s2, m2 in m2_cands[:top_k]:
+                    for _s3, h2 in h2_cands[:top_k]:
+                        yield I3Attempt(h1, m1, h2, m2)
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ImproveStats:
+    attempts: int = 0
+    accepted: int = 0
+    passes: int = 0
+    aborted: int = 0
+    final_score: float = 0.0
+    history: list[float] = field(default_factory=list)
+
+
+GeneratorFn = Callable[[SolutionState], Iterator[Attempt]]
+
+
+def run_improvement(
+    state: SolutionState,
+    generators: Sequence[GeneratorFn],
+    threshold: float = 1e-9,
+    max_accepts: int = 10_000,
+    validate: bool = False,
+    policy: str = "first",
+) -> ImproveStats:
+    """Local search until no attempt gains > threshold.
+
+    ``policy="first"`` (the paper's "until none exists" loop) commits
+    the first positive-gain attempt and restarts the pass — the
+    enumeration is stale once the state mutates.  ``policy="best"``
+    evaluates the whole pass and commits the single largest gain —
+    fewer, larger steps, at quadratically more evaluation work (the
+    ablation bench compares them).  ``validate=True`` checks the full
+    state invariants after each acceptance — slow, for tests.
+    """
+    if policy not in ("first", "best"):
+        raise ValueError(f"unknown policy {policy!r}")
+    stats = ImproveStats()
+    improved = True
+    while improved and stats.accepted < max_accepts:
+        improved = False
+        stats.passes += 1
+        best_gain = threshold
+        best_attempt: Attempt | None = None
+        for gen in generators:
+            for attempt in gen(state):
+                stats.attempts += 1
+                snap = state.snapshot()
+                before = state.score()
+                try:
+                    attempt.run(state)
+                except InconsistentMatchSetError:
+                    stats.aborted += 1
+                    state.restore(snap)
+                    continue
+                gain = state.score() - before
+                if policy == "first":
+                    if gain > threshold:
+                        stats.accepted += 1
+                        stats.history.append(state.score())
+                        if validate:
+                            state.check()
+                        improved = True
+                        break
+                    state.restore(snap)
+                else:
+                    if gain > best_gain:
+                        best_gain = gain
+                        best_attempt = attempt
+                    state.restore(snap)
+            if improved:
+                break
+        if policy == "best" and best_attempt is not None:
+            best_attempt.run(state)
+            stats.accepted += 1
+            stats.history.append(state.score())
+            if validate:
+                state.check()
+            improved = True
+    stats.final_score = state.score()
+    return stats

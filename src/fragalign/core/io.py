@@ -1,0 +1,65 @@
+"""Instance serialization: CSR instances as JSON documents.
+
+Exchange format so instances can be saved, shared, and fed to the CLI
+(``python -m fragalign solve instance.json``).  Schema::
+
+    {
+      "h_fragments": [[1, 2, 3], [4]],
+      "m_fragments": [[5, 6], [7, 8]],
+      "scores": [[1, 5, 4.0], [2, -6, 3.0], ...],   # [a, b, σ(a,b)]
+      "region_names": {"1": "a", ...}               # optional
+    }
+
+Reversed symbols are negative integers, as everywhere in the library.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from fragalign.core.fragments import CSRInstance
+from fragalign.core.scoring import Scorer
+from fragalign.util.errors import InstanceError
+
+__all__ = ["instance_to_dict", "instance_from_dict", "dumps", "loads", "save", "load"]
+
+
+def instance_to_dict(instance: CSRInstance) -> dict[str, Any]:
+    return {
+        "h_fragments": [list(f.regions) for f in instance.h_fragments],
+        "m_fragments": [list(f.regions) for f in instance.m_fragments],
+        "scores": [[a, b, v] for a, b, v in instance.scorer.pairs()],
+        "region_names": {str(k): v for k, v in instance.region_names.items()},
+    }
+
+
+def instance_from_dict(doc: dict[str, Any]) -> CSRInstance:
+    try:
+        h_words = [tuple(int(x) for x in w) for w in doc["h_fragments"]]
+        m_words = [tuple(int(x) for x in w) for w in doc["m_fragments"]]
+        scorer = Scorer()
+        for a, b, v in doc.get("scores", []):
+            scorer.set(int(a), int(b), float(v))
+        names = {int(k): str(v) for k, v in doc.get("region_names", {}).items()}
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InstanceError(f"malformed instance document: {exc}") from exc
+    return CSRInstance.build(h_words, m_words, scorer, names)
+
+
+def dumps(instance: CSRInstance, indent: int | None = 2) -> str:
+    return json.dumps(instance_to_dict(instance), indent=indent)
+
+
+def loads(text: str) -> CSRInstance:
+    return instance_from_dict(json.loads(text))
+
+
+def save(instance: CSRInstance, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps(instance))
+
+
+def load(path: str) -> CSRInstance:
+    with open(path, "r", encoding="utf-8") as fh:
+        return loads(fh.read())

@@ -1,0 +1,128 @@
+"""Match scores MS(h̄, m̄) — Definition 4 and Figs. 7–8.
+
+* ``P_score(h̄, m̄)`` — optimal score over all paddings of the two
+  sites: the max-weight chain DP on the σ weight matrix.
+* One site full (Fig. 7): the plugged fragment may be flipped freely,
+  so MS = max(P(h̄, m̄), P(h̄, m̄ᴿ)).
+* Both sites border (Fig. 8): a border match joins one end of each
+  fragment; the realizable relative orientation is forced by *which*
+  ends meet — equal ends (L/L or R/R) require flipping one fragment
+  (reversed content), opposite ends (L/R or R/L) align directly.  The
+  scan of Fig. 8 is unreadable, and the paper notes its algorithms do
+  not depend on MS's exact definition; this geometric rule is our
+  documented substitution (DESIGN.md §5).
+
+All scores are cached per (site, site, orientation) — MS is consulted
+millions of times by the improvement enumeration.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from fragalign.align.chain import chain_score
+from fragalign.core.fragments import CSRInstance
+from fragalign.core.sites import Site
+from fragalign.core.symbols import reverse_word
+from fragalign.util.errors import InstanceError
+
+__all__ = ["MatchScorer"]
+
+End = Literal["L", "R"]
+
+
+class MatchScorer:
+    """Caching MS evaluator bound to one instance.
+
+    Builds the full σ weight matrix per (H fragment, M fragment,
+    orientation) once; every site-pair score is then a chain DP on a
+    submatrix view.
+    """
+
+    def __init__(self, instance: CSRInstance):
+        self.instance = instance
+        self._matrices: dict[tuple[int, int, bool], np.ndarray] = {}
+        self._pcache: dict[tuple, float] = {}
+
+    # -- internals -----------------------------------------------------
+    def _matrix(self, h_fid: int, m_fid: int, rev: bool) -> np.ndarray:
+        key = (h_fid, m_fid, rev)
+        W = self._matrices.get(key)
+        if W is None:
+            h_word = self.instance.fragment("H", h_fid).regions
+            m_word = self.instance.fragment("M", m_fid).regions
+            if rev:
+                m_word = reverse_word(m_word)
+            W = self.instance.scorer.weight_matrix(h_word, m_word)
+            self._matrices[key] = W
+        return W
+
+    def _check_sides(self, h_site: Site, m_site: Site) -> None:
+        if h_site.species != "H" or m_site.species != "M":
+            raise InstanceError("MS expects (H site, M site)")
+
+    def p_score(self, h_site: Site, m_site: Site, rev: bool) -> float:
+        """P_score of the two sites, m-content reversed iff ``rev``."""
+        self._check_sides(h_site, m_site)
+        key = (h_site.fid, h_site.start, h_site.end, m_site.fid, m_site.start, m_site.end, rev)
+        cached = self._pcache.get(key)
+        if cached is not None:
+            return cached
+        W = self._matrix(h_site.fid, m_site.fid, rev)
+        m_len = W.shape[1]
+        if rev:
+            cols = slice(m_len - m_site.end, m_len - m_site.start)
+        else:
+            cols = slice(m_site.start, m_site.end)
+        value = chain_score(W[h_site.start : h_site.end, cols])
+        self._pcache[key] = value
+        return value
+
+    # -- public MS -------------------------------------------------------
+    def ms_full(self, h_site: Site, m_site: Site) -> tuple[float, bool]:
+        """MS when at least one site is full: free orientation.
+
+        Returns (score, rev) with the maximizing orientation.
+        """
+        fwd = self.p_score(h_site, m_site, rev=False)
+        bwd = self.p_score(h_site, m_site, rev=True)
+        return (fwd, False) if fwd >= bwd else (bwd, True)
+
+    def border_orientation(self, h_site: Site, m_site: Site) -> bool:
+        """The forced relative orientation of a border-border match."""
+        h_len = len(self.instance.fragment("H", h_site.fid))
+        m_len = len(self.instance.fragment("M", m_site.fid))
+        h_end = h_site.touched_end(h_len)
+        m_end = m_site.touched_end(m_len)
+        if h_end is None or m_end is None:
+            raise InstanceError("border MS needs two border sites")
+        return h_end == m_end
+
+    def ms_border(self, h_site: Site, m_site: Site) -> tuple[float, bool]:
+        """MS for a border-border match (both sites proper borders)."""
+        rev = self.border_orientation(h_site, m_site)
+        return self.p_score(h_site, m_site, rev), rev
+
+    def ms(self, h_site: Site, m_site: Site) -> tuple[float, bool, str]:
+        """Dispatch on site kinds; returns (score, rev, match kind)."""
+        self._check_sides(h_site, m_site)
+        h_len = len(self.instance.fragment("H", h_site.fid))
+        m_len = len(self.instance.fragment("M", m_site.fid))
+        h_kind = h_site.kind(h_len)
+        m_kind = m_site.kind(m_len)
+        if h_kind == "full" or m_kind == "full":
+            score, rev = self.ms_full(h_site, m_site)
+            return score, rev, "full"
+        if h_kind == "border" and m_kind == "border":
+            score, rev = self.ms_border(h_site, m_site)
+            return score, rev, "border"
+        # Inner-inner / inner-border pairs never arise in solutions
+        # (Definition 3's remark); score them as unconstrained pairs so
+        # exploratory callers still get a number.
+        score, rev = self.ms_full(h_site, m_site)
+        return score, rev, "full"
+
+    def cache_stats(self) -> dict[str, int]:
+        return {"matrices": len(self._matrices), "p_scores": len(self._pcache)}

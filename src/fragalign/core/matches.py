@@ -1,0 +1,134 @@
+"""Matches, match sets, the solution graph and islands (§2.2, §4.1).
+
+A :class:`Match` pairs an H site with an M site plus the relative
+orientation of the aligned content.  Match *kind* follows Fig. 6: a
+match involving at least one full site is a **full match**; a match
+between two proper border sites is a **border match**.
+
+The *solution graph* of a match set is the bipartite graph on fragments
+with an edge per matched fragment pair; its connected components are
+the paper's **islands**.  A fragment is **simple** if it participates
+in at most one match and its own site in that match is full (it is
+"plugged in" somewhere); otherwise it is **multiple** (it hosts sites
+or shares a border match).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Literal
+
+from fragalign.core.fragments import CSRInstance
+from fragalign.core.sites import Site
+from fragalign.util.errors import InstanceError
+
+__all__ = ["Match", "MatchKind", "solution_graph", "islands", "island_of"]
+
+MatchKind = Literal["full", "border"]
+
+FragKey = tuple[str, int]  # (species, fid)
+
+
+@dataclass(frozen=True)
+class Match:
+    """One match: (h site, m site, relative orientation, kind, score).
+
+    ``rev`` is True when the m-site content is aligned against the
+    h-site content in reversed orientation.
+    """
+
+    h_site: Site
+    m_site: Site
+    rev: bool
+    kind: MatchKind
+    score: float
+
+    def __post_init__(self) -> None:
+        if self.h_site.species != "H" or self.m_site.species != "M":
+            raise InstanceError("a match pairs an H site with an M site")
+
+    def site_on(self, key: FragKey) -> Site:
+        if self.h_site.key == key:
+            return self.h_site
+        if self.m_site.key == key:
+            return self.m_site
+        raise InstanceError(f"match {self} does not touch fragment {key}")
+
+    def partner_key(self, key: FragKey) -> FragKey:
+        if self.h_site.key == key:
+            return self.m_site.key
+        if self.m_site.key == key:
+            return self.h_site.key
+        raise InstanceError(f"match {self} does not touch fragment {key}")
+
+    def keys(self) -> tuple[FragKey, FragKey]:
+        return (self.h_site.key, self.m_site.key)
+
+    def validate_against(self, instance: CSRInstance) -> None:
+        """Structural checks: site bounds, kind consistent with sites."""
+        h_len = len(instance.fragment("H", self.h_site.fid))
+        m_len = len(instance.fragment("M", self.m_site.fid))
+        if self.h_site.end > h_len or self.m_site.end > m_len:
+            raise InstanceError(f"match {self} exceeds fragment bounds")
+        h_kind = self.h_site.kind(h_len)
+        m_kind = self.m_site.kind(m_len)
+        if self.kind == "full":
+            if h_kind != "full" and m_kind != "full":
+                raise InstanceError(f"full match {self} has no full site")
+        elif self.kind == "border":
+            if h_kind != "border" or m_kind != "border":
+                raise InstanceError(f"border match {self} needs two border sites")
+        else:
+            raise InstanceError(f"unknown match kind {self.kind!r}")
+
+    def __repr__(self) -> str:
+        arrow = "↔R" if self.rev else "↔"
+        return f"Match({self.h_site}{arrow}{self.m_site}, {self.kind}, {self.score:g})"
+
+
+def solution_graph(matches: Iterable[Match]) -> dict[FragKey, set[FragKey]]:
+    """Adjacency of the bipartite solution graph (fragments as nodes)."""
+    adj: dict[FragKey, set[FragKey]] = defaultdict(set)
+    for m in matches:
+        hk, mk = m.keys()
+        adj[hk].add(mk)
+        adj[mk].add(hk)
+    return dict(adj)
+
+
+def islands(matches: Iterable[Match]) -> list[set[FragKey]]:
+    """Connected components of the solution graph."""
+    adj = solution_graph(matches)
+    seen: set[FragKey] = set()
+    comps: list[set[FragKey]] = []
+    for node in adj:
+        if node in seen:
+            continue
+        comp: set[FragKey] = set()
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            if cur in comp:
+                continue
+            comp.add(cur)
+            stack.extend(adj[cur] - comp)
+        seen |= comp
+        comps.append(comp)
+    return comps
+
+
+def island_of(matches: Iterable[Match], key: FragKey) -> set[FragKey]:
+    """The island containing ``key`` (singleton if unmatched)."""
+    adj = solution_graph(matches)
+    if key not in adj:
+        return {key}
+    comp: set[FragKey] = set()
+    stack = [key]
+    while stack:
+        cur = stack.pop()
+        if cur in comp:
+            continue
+        comp.add(cur)
+        stack.extend(adj[cur] - comp)
+    return comp

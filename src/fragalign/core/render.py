@@ -1,0 +1,103 @@
+"""ASCII rendering of conjecture pairs — Figs. 4/5 as text.
+
+``render_alignment`` lays out the two conjecture words column by
+column under the optimal padding, with fragment boundaries marked and
+aligned pairs connected, e.g. for the paper's optimum::
+
+    H: [ a  b  c | dᴿ ]
+        |     |    |
+    M: [ s  t | u  v ]
+
+Used by the examples and the CLI; also handy in tests as a
+human-checkable artifact.
+"""
+
+from __future__ import annotations
+
+from fragalign.align.chain import chain_score_with_pairs
+from fragalign.core.conjecture import Arrangement, realize
+from fragalign.core.fragments import CSRInstance
+
+__all__ = ["render_alignment"]
+
+
+def _symbol_names(instance: CSRInstance, word: tuple[int, ...]) -> list[str]:
+    names = instance.region_names
+    out = []
+    for sym in word:
+        base = names.get(abs(sym), f"r{abs(sym)}")
+        out.append(base + ("ᴿ" if sym < 0 else ""))
+    return out
+
+
+def _boundaries(instance: CSRInstance, arrangement: Arrangement) -> set[int]:
+    """Word positions where a new fragment starts (excluding 0)."""
+    cuts: set[int] = set()
+    pos = 0
+    for fid, _rev in arrangement.order:
+        pos += len(instance.fragment(arrangement.species, fid))
+        cuts.add(pos)
+    cuts.discard(0)
+    cuts.discard(pos)  # no separator after the final fragment
+    return cuts
+
+
+def render_alignment(
+    instance: CSRInstance, arr_h: Arrangement, arr_m: Arrangement
+) -> str:
+    """Three-line rendering: H word, connector line, M word."""
+    h_word = realize(instance, arr_h)
+    m_word = realize(instance, arr_m)
+    _score, chain = chain_score_with_pairs(
+        instance.scorer.weight_matrix(h_word, m_word)
+    )
+    matched_h = {i: j for i, j in chain}
+    h_names = _symbol_names(instance, h_word)
+    m_names = _symbol_names(instance, m_word)
+    h_cuts = _boundaries(instance, arr_h)
+    m_cuts = _boundaries(instance, arr_m)
+
+    # Column layout: interleave unmatched symbols, pair matched ones.
+    # Fragment boundaries get their own columns so the three lines stay
+    # vertically aligned.
+    columns: list[tuple[str, str, str]] = []  # (h, link, m)
+    hi = mi = 0
+    pending_h_cut = pending_m_cut = False
+
+    while hi < len(h_word) or mi < len(m_word):
+        if hi in h_cuts and not pending_h_cut:
+            h_cuts.discard(hi)
+            pending_h_cut = True
+        if mi in m_cuts and not pending_m_cut:
+            m_cuts.discard(mi)
+            pending_m_cut = True
+        if pending_h_cut or pending_m_cut:
+            columns.append(
+                ("|" if pending_h_cut else "", "", "|" if pending_m_cut else "")
+            )
+            pending_h_cut = pending_m_cut = False
+        if hi < len(h_word) and matched_h.get(hi) == mi:
+            columns.append((h_names[hi], "|", m_names[mi]))
+            hi += 1
+            mi += 1
+        elif hi < len(h_word) and (hi not in matched_h or mi >= len(m_word)):
+            columns.append((h_names[hi], "", ""))
+            hi += 1
+        else:
+            columns.append(("", "", m_names[mi]))
+            mi += 1
+
+    widths = [max(len(h), len(m), len(link), 1) for h, link, m in columns]
+
+    def row(select) -> str:
+        return " ".join(
+            select(col).ljust(w) for col, w in zip(columns, widths)
+        ).rstrip()
+
+    return "\n".join(
+        [
+            "H: [ " + row(lambda c: c[0]) + " ]",
+            "     " + row(lambda c: c[1]),
+            "M: [ " + row(lambda c: c[2]) + " ]",
+        ]
+    )

@@ -1,0 +1,99 @@
+"""Region score functions σ : Σ̃ × Σ̃ → ℝ (§2.1).
+
+The reversal axiom σ(a, b) = σ(aᴿ, bᴿ) is enforced structurally: pairs
+are stored under a canonical key whose first element is positive, so
+both orientations of a pair always read the same value.  ⊥ (``PAD``)
+scores 0 against everything, per the paper's extension of σ.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from fragalign.core.symbols import PAD, Region, Word, reverse_word
+from fragalign.util.errors import InstanceError
+
+__all__ = ["Scorer"]
+
+
+def _canonical(a: Region, b: Region) -> tuple[Region, Region]:
+    return (a, b) if a > 0 else (-a, -b)
+
+
+class Scorer:
+    """A sparse σ over signed-region symbols.
+
+    Unspecified pairs score 0 (they can always be realized by padding,
+    so 0 is the natural default).  Values may be any float; algorithms
+    only ever *choose* pairs with positive σ, but negative entries are
+    legal and exercise the DP's skip logic.
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self, pairs: Mapping[tuple[Region, Region], float] | None = None):
+        self._table: dict[tuple[Region, Region], float] = {}
+        if pairs:
+            for (a, b), value in pairs.items():
+                self.set(a, b, value)
+
+    # -- mutation -----------------------------------------------------
+    def set(self, a: Region, b: Region, value: float) -> None:
+        if a == PAD or b == PAD:
+            raise InstanceError("σ(⊥, ·) is fixed at 0 and cannot be set")
+        key = _canonical(a, b)
+        if value == 0.0:
+            self._table.pop(key, None)
+        else:
+            self._table[key] = float(value)
+
+    # -- queries ------------------------------------------------------
+    def get(self, a: Region, b: Region) -> float:
+        """σ(a, b); 0 for unspecified pairs and any pair involving ⊥."""
+        if a == PAD or b == PAD:
+            return 0.0
+        return self._table.get(_canonical(a, b), 0.0)
+
+    def pairs(self) -> Iterable[tuple[Region, Region, float]]:
+        """Iterate canonical (a, b, σ) triples with σ ≠ 0."""
+        for (a, b), v in sorted(self._table.items()):
+            yield a, b, v
+
+    def max_abs(self) -> float:
+        return max((abs(v) for v in self._table.values()), default=0.0)
+
+    def positive_total(self) -> float:
+        """Sum of positive σ values — a crude upper bound on any score
+        when no region symbol repeats (used for sanity checks)."""
+        return sum(v for v in self._table.values() if v > 0)
+
+    # -- matrices -----------------------------------------------------
+    def weight_matrix(self, left: Sequence[Region], right: Sequence[Region]) -> np.ndarray:
+        """W[i, j] = σ(left[i], right[j])."""
+        W = np.zeros((len(left), len(right)))
+        for i, a in enumerate(left):
+            for j, b in enumerate(right):
+                if a != PAD and b != PAD:
+                    key = (a, b) if a > 0 else (-a, -b)
+                    v = self._table.get(key)
+                    if v is not None:
+                        W[i, j] = v
+        return W
+
+    def weight_matrix_reversed(self, left: Sequence[Region], right: Sequence[Region]) -> np.ndarray:
+        """W for left vs rightᴿ — convenience for orientation probes."""
+        return self.weight_matrix(left, reverse_word(right))
+
+    # -- dunder -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Scorer({len(self._table)} pairs)"
+
+    def copy(self) -> "Scorer":
+        s = Scorer()
+        s._table = dict(self._table)
+        return s

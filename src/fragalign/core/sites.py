@@ -1,0 +1,139 @@
+"""Sites — contiguous subfragments f(i, j) — and their taxonomy.
+
+Definition 3 classifies the sites of a fragment of length n (written
+here with 0-based half-open coordinates):
+
+* full:   [0, n)
+* border: [0, j) or [i, n) proper (touches exactly one end)
+* inner:  everything else
+
+Definition 5's containment / adjacency / hidden predicates also live
+here; they drive site preparation in the improvement algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from fragalign.core.fragments import CSRInstance, Fragment, Species
+from fragalign.core.symbols import Word
+from fragalign.util.errors import InstanceError
+
+__all__ = ["Site", "SiteKind", "full_site"]
+
+SiteKind = Literal["full", "border", "inner"]
+
+
+@dataclass(frozen=True, order=True)
+class Site:
+    """The site fragment(start, end), 0-based half-open."""
+
+    species: Species
+    fid: int
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.start < self.end):
+            raise InstanceError(
+                f"invalid site [{self.start}, {self.end}) — need 0 <= start < end"
+            )
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    # -- identity ------------------------------------------------------
+    @property
+    def key(self) -> tuple[Species, int]:
+        return (self.species, self.fid)
+
+    def same_fragment(self, other: "Site") -> bool:
+        return self.key == other.key
+
+    # -- classification (Definition 3) ----------------------------------
+    def kind(self, fragment_len: int) -> SiteKind:
+        if self.end > fragment_len:
+            raise InstanceError("site exceeds fragment length")
+        touches_left = self.start == 0
+        touches_right = self.end == fragment_len
+        if touches_left and touches_right:
+            return "full"
+        if touches_left or touches_right:
+            return "border"
+        return "inner"
+
+    def touched_end(self, fragment_len: int) -> Literal["L", "R"] | None:
+        """Which single end a border site touches; None for full/inner."""
+        kind = self.kind(fragment_len)
+        if kind != "border":
+            return None
+        return "L" if self.start == 0 else "R"
+
+    # -- relations (Definition 5) ----------------------------------------
+    def contains(self, other: "Site") -> bool:
+        """other ⊆ self on the same fragment."""
+        return (
+            self.same_fragment(other)
+            and self.start <= other.start
+            and other.end <= self.end
+        )
+
+    def adjacent(self, other: "Site") -> bool:
+        """The two sites abut with no gap."""
+        return self.same_fragment(other) and (
+            self.end == other.start or other.end == self.start
+        )
+
+    def overlaps(self, other: "Site") -> bool:
+        return (
+            self.same_fragment(other)
+            and self.start < other.end
+            and other.start < self.end
+        )
+
+    def hidden_by(self, other: "Site") -> bool:
+        """Strict two-sided containment: other.start < start ≤ end < other.end."""
+        return (
+            self.same_fragment(other)
+            and other.start < self.start
+            and self.end < other.end
+        )
+
+    # -- arithmetic -------------------------------------------------------
+    def minus(self, other: "Site") -> list["Site"]:
+        """Set difference self − other as 0, 1 or 2 sites."""
+        if not self.overlaps(other):
+            return [self]
+        out = []
+        if self.start < other.start:
+            out.append(Site(self.species, self.fid, self.start, other.start))
+        if other.end < self.end:
+            out.append(Site(self.species, self.fid, other.end, self.end))
+        return out
+
+    def intersect(self, other: "Site") -> "Site | None":
+        if not self.overlaps(other):
+            return None
+        return Site(
+            self.species,
+            self.fid,
+            max(self.start, other.start),
+            min(self.end, other.end),
+        )
+
+    # -- content ------------------------------------------------------------
+    def content(self, instance: CSRInstance) -> Word:
+        frag = instance.fragment(self.species, self.fid)
+        return frag.regions[self.start : self.end]
+
+    def fragment(self, instance: CSRInstance) -> Fragment:
+        return instance.fragment(self.species, self.fid)
+
+    def __repr__(self) -> str:
+        return f"{self.species}{self.fid}({self.start},{self.end})"
+
+
+def full_site(fragment: Fragment) -> Site:
+    """The full site of a fragment."""
+    return Site(fragment.species, fragment.fid, 0, len(fragment))

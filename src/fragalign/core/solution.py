@@ -1,0 +1,50 @@
+"""Uniform solver result type.
+
+Every CSR algorithm in the library returns a :class:`CSRSolution`:
+the solution state (consistent match set), the explicit conjecture
+pair realizing it, and the *realized* Score of that pair — the honest
+number the paper's objective assigns.  ``realized ≥ state.score()``
+always (the layout can pick up incidental cross-island pairs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from fragalign.core.conjecture import Arrangement, score_pair
+from fragalign.core.state import SolutionState
+
+__all__ = ["CSRSolution"]
+
+
+@dataclass
+class CSRSolution:
+    state: SolutionState
+    arr_h: Arrangement
+    arr_m: Arrangement
+    score: float
+    algorithm: str
+    stats: dict = field(default_factory=dict)
+
+    @staticmethod
+    def from_state(
+        state: SolutionState, algorithm: str, stats: dict | None = None
+    ) -> "CSRSolution":
+        from fragalign.core.consistency import layout
+
+        arr_h, arr_m = layout(state)
+        realized = score_pair(state.instance, arr_h, arr_m)
+        return CSRSolution(
+            state=state,
+            arr_h=arr_h,
+            arr_m=arr_m,
+            score=realized,
+            algorithm=algorithm,
+            stats=dict(stats or {}),
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.algorithm}: score={self.score:g} "
+            f"({len(self.state)} matches, {len(self.state.islands())} islands)"
+        )

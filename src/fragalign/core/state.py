@@ -1,0 +1,339 @@
+"""Mutable solution state for the improvement algorithms (§4).
+
+A :class:`SolutionState` holds a consistent match set with the
+structural invariant the paper's algorithms maintain: every island is a
+**1-island** (at most one multiple fragment) or a **2-island** (exactly
+two multiple fragments, one per species, sharing one border match).
+
+The state supports the paper's primitive operations:
+
+* adding/removing matches;
+* *restricting* a hosted match to a sub-site (used by preparation);
+* **preparing** a site (§4.2, extended in §4.3 to break 2-islands),
+  returning the holes torn open so the caller can re-pack them with
+  TPA;
+* contribution ``Cb``, hidden-site tests, free intervals;
+* O(size) snapshot/restore so improvement attempts are transactional.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from fragalign.core.fragments import CSRInstance
+from fragalign.core.match_score import MatchScorer
+from fragalign.core.matches import FragKey, Match, islands
+from fragalign.core.sites import Site, full_site
+from fragalign.util.errors import InconsistentMatchSetError
+
+__all__ = ["SolutionState", "PrepareResult"]
+
+
+@dataclass
+class PrepareResult:
+    """Outcome of preparing a site.
+
+    ``ok`` is False when the site is hidden on a multiple fragment (the
+    improvement attempt cannot proceed).  ``holes`` lists sites freed on
+    *other* fragments (where a detached simple fragment used to be
+    plugged) — the paper re-packs these with TPA (I1 step 4, I2 steps
+    3–4).
+    """
+
+    ok: bool
+    holes: list[Site] = field(default_factory=list)
+    detached: list[FragKey] = field(default_factory=list)
+
+
+class SolutionState:
+    """A consistent match set with 1-island/2-island structure."""
+
+    def __init__(self, instance: CSRInstance, scorer: MatchScorer | None = None):
+        self.instance = instance
+        self.ms = scorer or MatchScorer(instance)
+        self._matches: dict[int, Match] = {}
+        self._by_frag: dict[FragKey, set[int]] = defaultdict(set)
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    def matches(self) -> list[Match]:
+        return list(self._matches.values())
+
+    def match_items(self) -> list[tuple[int, Match]]:
+        return list(self._matches.items())
+
+    def __len__(self) -> int:
+        return len(self._matches)
+
+    def score(self) -> float:
+        return float(sum(m.score for m in self._matches.values()))
+
+    def contribution(self, key: FragKey) -> float:
+        """Cb(f, S): total score of matches involving fragment ``key``."""
+        return float(
+            sum(self._matches[mid].score for mid in self._by_frag.get(key, ()))
+        )
+
+    def matches_on(self, key: FragKey) -> list[tuple[int, Match]]:
+        return [(mid, self._matches[mid]) for mid in sorted(self._by_frag.get(key, ()))]
+
+    def sites_on(self, key: FragKey) -> list[tuple[Site, int]]:
+        """Matched sites on a fragment, sorted by start."""
+        out = [
+            (self._matches[mid].site_on(key), mid)
+            for mid in self._by_frag.get(key, ())
+        ]
+        out.sort(key=lambda t: (t[0].start, t[0].end))
+        return out
+
+    def n_matches_on(self, key: FragKey) -> int:
+        return len(self._by_frag.get(key, ()))
+
+    def is_multiple(self, key: FragKey) -> bool:
+        """Multiple = hosts sites or shares a border match (see
+        matches.py docstring for the exact convention)."""
+        mids = self._by_frag.get(key, ())
+        if len(mids) >= 2:
+            return True
+        if len(mids) == 0:
+            return False
+        (mid,) = mids
+        m = self._matches[mid]
+        own = m.site_on(key)
+        frag_len = len(self.instance.fragment(*key))
+        return own.kind(frag_len) != "full"
+
+    def is_simple(self, key: FragKey) -> bool:
+        return not self.is_multiple(key)
+
+    def border_match_of(self, key: FragKey) -> Optional[int]:
+        """The id of the (unique) border match on ``key``, if any."""
+        for mid in self._by_frag.get(key, ()):
+            if self._matches[mid].kind == "border":
+                return mid
+        return None
+
+    def hidden(self, site: Site) -> bool:
+        """Is ``site`` hidden by the current solution (Def. 5)?"""
+        for other, _mid in self.sites_on(site.key):
+            if site.hidden_by(other):
+                return True
+        return False
+
+    def free_intervals(self, key: FragKey) -> list[Site]:
+        """Maximal unmatched intervals of a fragment."""
+        frag_len = len(self.instance.fragment(*key))
+        out: list[Site] = []
+        cursor = 0
+        for site, _mid in self.sites_on(key):
+            if site.start > cursor:
+                out.append(Site(key[0], key[1], cursor, site.start))
+            cursor = max(cursor, site.end)
+        if cursor < frag_len:
+            out.append(Site(key[0], key[1], cursor, frag_len))
+        return out
+
+    def islands(self) -> list[set[FragKey]]:
+        return islands(self._matches.values())
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, match: Match) -> int:
+        """Insert a match; rejects overlaps with existing sites."""
+        match.validate_against(self.instance)
+        for site in (match.h_site, match.m_site):
+            for existing, _mid in self.sites_on(site.key):
+                if site.overlaps(existing):
+                    raise InconsistentMatchSetError(
+                        f"site {site} overlaps existing matched site {existing}"
+                    )
+        mid = self._next_id
+        self._next_id += 1
+        self._matches[mid] = match
+        self._by_frag[match.h_site.key].add(mid)
+        self._by_frag[match.m_site.key].add(mid)
+        return mid
+
+    def add_full(self, plugged: FragKey, host_site: Site) -> int:
+        """Plug fragment ``plugged`` (as a full site) into ``host_site``.
+
+        The two keys must be from opposite species; orientation is
+        chosen to maximize MS (Fig. 7).
+        """
+        frag = self.instance.fragment(*plugged)
+        own = full_site(frag)
+        if plugged[0] == "H":
+            h_site, m_site = own, host_site
+        else:
+            h_site, m_site = host_site, own
+        score, rev = self.ms.ms_full(h_site, m_site)
+        return self.add(Match(h_site, m_site, rev, "full", score))
+
+    def add_border(self, h_site: Site, m_site: Site) -> int:
+        """Create a border-border match (orientation forced by ends)."""
+        score, rev = self.ms.ms_border(h_site, m_site)
+        return self.add(Match(h_site, m_site, rev, "border", score))
+
+    def remove(self, mid: int) -> Match:
+        match = self._matches.pop(mid)
+        self._by_frag[match.h_site.key].discard(mid)
+        self._by_frag[match.m_site.key].discard(mid)
+        return match
+
+    def detach_fragment(self, key: FragKey) -> list[Site]:
+        """Remove all matches touching ``key``; return partner holes."""
+        holes = []
+        for mid in list(self._by_frag.get(key, ())):
+            match = self.remove(mid)
+            holes.append(match.site_on(match.partner_key(key)))
+        return holes
+
+    def restrict(self, mid: int, key: FragKey, new_site: Optional[Site]) -> None:
+        """Shrink the hosted side of full match ``mid`` on fragment
+        ``key`` to ``new_site`` (None removes the match).
+
+        The partner keeps its full site; the score and orientation are
+        recomputed for the reduced site.
+        """
+        match = self._matches[mid]
+        if match.kind != "full":
+            raise InconsistentMatchSetError("only full matches can be restricted")
+        if new_site is None:
+            self.remove(mid)
+            return
+        if key == match.h_site.key:
+            h_site, m_site = new_site, match.m_site
+        else:
+            h_site, m_site = match.h_site, new_site
+        score, rev = self.ms.ms_full(h_site, m_site)
+        self.remove(mid)
+        self.add(Match(h_site, m_site, rev, "full", score))
+
+    # ------------------------------------------------------------------
+    # preparation (§4.2, §4.3)
+    # ------------------------------------------------------------------
+    def prepare(self, site: Site) -> PrepareResult:
+        """Make ``site`` available for a new match.
+
+        * simple fragment → detach it entirely, reporting the hole
+          where it used to be plugged;
+        * multiple fragment → impossible if the site is hidden;
+          otherwise break the fragment's 2-island border match (if
+          any), then truncate every hosted match overlapping the site
+          (partners whose sites vanish are detached).
+        """
+        key = site.key
+        result = PrepareResult(ok=True)
+        if not self._by_frag.get(key):
+            return result
+        if self.is_simple(key):
+            result.holes.extend(self.detach_fragment(key))
+            result.detached.append(key)
+            return result
+        # Multiple fragment: break a 2-island first (§4.3).
+        border_mid = self.border_match_of(key)
+        if border_mid is not None:
+            self.remove(border_mid)
+        if self.hidden(site):
+            result.ok = False
+            return result
+        for own_site, mid in self.sites_on(key):
+            if not own_site.overlaps(site):
+                continue
+            parts = own_site.minus(site)
+            if not parts:
+                match = self._matches[mid]
+                partner = match.partner_key(key)
+                self.remove(mid)
+                result.detached.append(partner)
+            else:
+                # ``site`` is not hidden, so at most one piece remains.
+                self.restrict(mid, key, parts[0])
+        return result
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+    def snapshot(self) -> tuple:
+        return (
+            dict(self._matches),
+            {k: set(v) for k, v in self._by_frag.items() if v},
+            self._next_id,
+        )
+
+    def restore(self, snap: tuple) -> None:
+        matches, by_frag, next_id = snap
+        self._matches = dict(matches)
+        self._by_frag = defaultdict(set, {k: set(v) for k, v in by_frag.items()})
+        self._next_id = next_id
+
+    def copy(self) -> "SolutionState":
+        clone = SolutionState(self.instance, self.ms)
+        clone.restore(self.snapshot())
+        return clone
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    def check(self) -> None:
+        """Raise if any structural invariant is violated."""
+        for mid, match in self._matches.items():
+            match.validate_against(self.instance)
+            # Score/orientation must agree with the scorer.
+            if match.kind == "border":
+                expect_rev = self.ms.border_orientation(match.h_site, match.m_site)
+                if match.rev != expect_rev:
+                    raise InconsistentMatchSetError(
+                        f"border match {match} has the impossible orientation"
+                    )
+                expect = self.ms.p_score(match.h_site, match.m_site, match.rev)
+            else:
+                expect = self.ms.p_score(match.h_site, match.m_site, match.rev)
+            if abs(expect - match.score) > 1e-9:
+                raise InconsistentMatchSetError(
+                    f"match {match} score drifted (expected {expect})"
+                )
+        for key, mids in self._by_frag.items():
+            sites = sorted(
+                (self._matches[mid].site_on(key) for mid in mids),
+                key=lambda s: s.start,
+            )
+            for a, b in zip(sites, sites[1:]):
+                if a.overlaps(b):
+                    raise InconsistentMatchSetError(
+                        f"overlapping matched sites {a}, {b} on {key}"
+                    )
+            n_border = sum(
+                1 for mid in mids if self._matches[mid].kind == "border"
+            )
+            if n_border > 1:
+                raise InconsistentMatchSetError(
+                    f"fragment {key} has {n_border} border matches"
+                )
+        for island in self.islands():
+            multiples = [k for k in island if self.is_multiple(k)]
+            if len(multiples) > 2:
+                raise InconsistentMatchSetError(
+                    f"island {island} has {len(multiples)} multiple fragments"
+                )
+            if len(multiples) == 2:
+                a, b = multiples
+                if a[0] == b[0]:
+                    raise InconsistentMatchSetError(
+                        f"2-island multiples {a}, {b} are same-species"
+                    )
+                shared = [
+                    mid
+                    for mid in self._by_frag[a]
+                    if mid in self._by_frag[b]
+                    and self._matches[mid].kind == "border"
+                ]
+                if len(shared) != 1:
+                    raise InconsistentMatchSetError(
+                        f"2-island {a},{b} lacks its single border match"
+                    )

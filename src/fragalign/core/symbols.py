@@ -1,0 +1,89 @@
+"""The duplicated alphabet Σ̃ = Σ ∪ Σᴿ and its reversal algebra (§2.1).
+
+A *region* occurrence is a nonzero signed integer: ``+k`` is region k in
+normal orientation, ``-k`` is its reversal kᴿ.  The padding symbol ⊥ is
+``PAD = 0`` (it is its own reversal and scores 0 with everything).
+
+The paper's axioms, all enforced/tested here:
+
+* Σ ∩ Σᴿ = ∅                      (positive vs negative ints)
+* aᴿᴿ = a                          (double negation)
+* (uv)ᴿ = vᴿ uᴿ                    (:func:`reverse_word`)
+* σ(a, b) = σ(aᴿ, bᴿ)              (canonicalization in ``scoring``)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from fragalign.util.errors import InstanceError
+
+__all__ = [
+    "PAD",
+    "Region",
+    "Word",
+    "reverse_symbol",
+    "reverse_word",
+    "validate_word",
+    "word_from_names",
+    "format_word",
+]
+
+PAD = 0
+
+Region = int
+Word = tuple[int, ...]
+
+
+def reverse_symbol(a: Region) -> Region:
+    """aᴿ.  PAD is self-reverse."""
+    return -a
+
+
+def reverse_word(word: Sequence[Region]) -> Word:
+    """(a₁ … aₙ)ᴿ = aₙᴿ … a₁ᴿ."""
+    return tuple(-a for a in reversed(word))
+
+
+def validate_word(word: Sequence[Region]) -> Word:
+    """Check a word contains region symbols only (no ⊥) and tuple-ify."""
+    w = tuple(int(a) for a in word)
+    if any(a == PAD for a in w):
+        raise InstanceError("fragment words may not contain the padding symbol")
+    return w
+
+
+def word_from_names(
+    names: Iterable[str], table: dict[str, int]
+) -> Word:
+    """Build a word from human-readable names.
+
+    A trailing ``'``/``^R``/``R`` suffix marks reversal, e.g.
+    ``["a", "t'"]`` with table {"a": 1, "t": 2} gives ``(1, -2)``.
+    New names are assigned the next free id and recorded in ``table``.
+    """
+    word = []
+    for raw in names:
+        name = raw
+        rev = False
+        for suffix in ("^R", "'", "R"):
+            if len(name) > 1 and name.endswith(suffix):
+                name = name[: -len(suffix)]
+                rev = True
+                break
+        if name not in table:
+            table[name] = len(table) + 1
+        rid = table[name]
+        word.append(-rid if rev else rid)
+    return tuple(word)
+
+
+def format_word(word: Sequence[Region], names: dict[int, str] | None = None) -> str:
+    """Human-readable rendering, e.g. ``⟨a, bᴿ, c⟩``."""
+    parts = []
+    for a in word:
+        base = names.get(abs(a)) if names else None
+        if base is None:
+            base = f"r{abs(a)}"
+        parts.append(base + ("ᴿ" if a < 0 else ""))
+    return "⟨" + ", ".join(parts) + "⟩"

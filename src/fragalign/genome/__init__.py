@@ -1,0 +1,74 @@
+"""Genome/contig simulation substrate and the Fig.-1 inference pipeline."""
+
+from fragalign.genome.assembly import exact_overlap, greedy_assemble
+from fragalign.genome.conserved import (
+    RegionHit,
+    build_csr_instance,
+    find_conserved_regions,
+)
+from fragalign.genome.dna import gc_content, mutate, random_dna, reverse_complement
+from fragalign.genome.evolution import (
+    Ancestor,
+    PlacedBlock,
+    SpeciesGenome,
+    evolve,
+    make_ancestor,
+)
+from fragalign.genome.metrics import OrientOrderReport, evaluate_solution
+from fragalign.genome.pipeline import (
+    PipelineConfig,
+    PipelineResult,
+    run_pipeline,
+    truth_hits,
+)
+from fragalign.genome.report import Inference, format_report, infer_relations
+from fragalign.genome.scaffold import (
+    MatePair,
+    Scaffold,
+    ScaffoldLink,
+    build_scaffolds,
+    sample_mate_pairs,
+    scaffold_order_accuracy,
+)
+from fragalign.genome.shotgun import (
+    Contig,
+    Read,
+    fragment_into_contigs,
+    sample_reads,
+)
+
+__all__ = [
+    "exact_overlap",
+    "greedy_assemble",
+    "RegionHit",
+    "build_csr_instance",
+    "find_conserved_regions",
+    "gc_content",
+    "mutate",
+    "random_dna",
+    "reverse_complement",
+    "Ancestor",
+    "PlacedBlock",
+    "SpeciesGenome",
+    "evolve",
+    "make_ancestor",
+    "OrientOrderReport",
+    "evaluate_solution",
+    "PipelineConfig",
+    "PipelineResult",
+    "run_pipeline",
+    "truth_hits",
+    "Contig",
+    "Read",
+    "fragment_into_contigs",
+    "sample_reads",
+    "Inference",
+    "format_report",
+    "infer_relations",
+    "MatePair",
+    "Scaffold",
+    "ScaffoldLink",
+    "build_scaffolds",
+    "sample_mate_pairs",
+    "scaffold_order_accuracy",
+]

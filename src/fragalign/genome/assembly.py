@@ -1,0 +1,101 @@
+"""Greedy overlap-layout assembly (the paper's shotgun phase).
+
+A deliberately classical assembler: index read prefixes by k-mer,
+repeatedly merge the pair with the longest exact suffix–prefix overlap
+(≥ ``min_overlap``), normalizing read strands greedily.  It is a
+substrate, not a contribution — enough to turn error-free (or lightly
+erroneous) simulated reads into contigs so the full pipeline
+genome → reads → contigs → CSR instance is exercised end to end.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from fragalign.genome.dna import reverse_complement
+from fragalign.genome.shotgun import Read
+from fragalign.util.errors import InstanceError
+
+__all__ = ["greedy_assemble", "exact_overlap"]
+
+
+def exact_overlap(a: str, b: str, min_overlap: int) -> int:
+    """Length of the longest suffix of ``a`` equal to a prefix of ``b``
+    (0 when shorter than ``min_overlap``)."""
+    max_olap = min(len(a), len(b))
+    for olap in range(max_olap, min_overlap - 1, -1):
+        if a[-olap:] == b[:olap]:
+            return olap
+    return 0
+
+
+def _dedupe_contained(seqs: list[str]) -> list[str]:
+    """Drop sequences contained in another (or its reverse complement)."""
+    seqs = sorted(set(seqs), key=len, reverse=True)
+    kept: list[str] = []
+    for s in seqs:
+        rc = reverse_complement(s)
+        if any(s in k or rc in k for k in kept):
+            continue
+        kept.append(s)
+    return kept
+
+
+def greedy_assemble(
+    reads: list[Read],
+    min_overlap: int = 20,
+    k: int = 16,
+    max_rounds: int | None = None,
+) -> list[str]:
+    """Assemble reads into contigs by greedy exact-overlap merging.
+
+    Both strands are considered: each merge may reverse-complement a
+    sequence to fit.  k-mer seeding keeps candidate pairs near-linear
+    for realistic coverage.
+    """
+    if min_overlap < 4:
+        raise InstanceError("min_overlap too small to be meaningful")
+    k = min(k, min_overlap)
+    seqs = _dedupe_contained([r.sequence for r in reads])
+    rounds = 0
+    while len(seqs) > 1:
+        rounds += 1
+        if max_rounds is not None and rounds > max_rounds:
+            break
+        # Index: k-mer at prefix of each sequence (both strands).
+        prefix_index: dict[str, list[tuple[int, bool]]] = defaultdict(list)
+        oriented: list[tuple[str, str]] = []  # (fwd, rc)
+        for idx, s in enumerate(seqs):
+            rc = reverse_complement(s)
+            oriented.append((s, rc))
+            prefix_index[s[:k]].append((idx, False))
+            prefix_index[rc[:k]].append((idx, True))
+        best: tuple[int, int, bool, int, bool] | None = None
+        # (overlap, i, i_rev, j, j_rev): suffix of i-oriented onto
+        # prefix of j-oriented.
+        for i, (fwd, rc) in enumerate(oriented):
+            for i_rev, s in ((False, fwd), (True, rc)):
+                if len(s) < k:
+                    continue
+                # candidate js whose prefix k-mer occurs in s
+                seen: set[tuple[int, bool]] = set()
+                for pos in range(0, len(s) - k + 1):
+                    kmer = s[pos : pos + k]
+                    for j, j_rev in prefix_index.get(kmer, ()):
+                        if j == i or (j, j_rev) in seen:
+                            continue
+                        seen.add((j, j_rev))
+                        t = oriented[j][1] if j_rev else oriented[j][0]
+                        olap = exact_overlap(s, t, min_overlap)
+                        if olap and (best is None or olap > best[0]):
+                            best = (olap, i, i_rev, j, j_rev)
+        if best is None:
+            break
+        olap, i, i_rev, j, j_rev = best
+        s = oriented[i][1] if i_rev else oriented[i][0]
+        t = oriented[j][1] if j_rev else oriented[j][0]
+        merged = s + t[olap:]
+        keep = [x for idx, x in enumerate(seqs) if idx not in (i, j)]
+        keep.append(merged)
+        seqs = _dedupe_contained(keep)
+    return sorted(seqs, key=len, reverse=True)

@@ -1,0 +1,69 @@
+"""DNA sequence primitives for the genome simulator.
+
+The paper's data — contig banks from two related species — is
+simulated from an ancestor (DESIGN.md §5); this module provides the
+sequence-level operations: random genomes, reverse complement, and the
+point-substitution / indel mutation processes used to diverge species.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from fragalign.util.rng import RngLike, as_generator
+
+__all__ = ["random_dna", "reverse_complement", "mutate", "gc_content"]
+
+_BASES = np.array(list("ACGT"))
+_COMP = {"A": "T", "T": "A", "C": "G", "G": "C", "N": "N"}
+
+
+def random_dna(length: int, rng: RngLike = None, gc: float = 0.5) -> str:
+    """Random DNA with the given GC fraction."""
+    gen = as_generator(rng)
+    p_gc = gc / 2.0
+    p_at = (1.0 - gc) / 2.0
+    return "".join(
+        gen.choice(_BASES, size=length, p=[p_at, p_gc, p_gc, p_at])
+    )
+
+
+def reverse_complement(seq: str) -> str:
+    """The reverse complement (the paper's hᴿ at nucleotide level)."""
+    return "".join(_COMP.get(c, "N") for c in reversed(seq.upper()))
+
+
+def mutate(
+    seq: str,
+    sub_rate: float = 0.0,
+    indel_rate: float = 0.0,
+    rng: RngLike = None,
+) -> str:
+    """Apply per-base substitutions and single-base indels.
+
+    Substitutions draw uniformly from the three alternative bases;
+    indels insert a random base before, or delete, the current base
+    with equal probability.
+    """
+    gen = as_generator(rng)
+    out: list[str] = []
+    for c in seq:
+        if indel_rate > 0 and gen.random() < indel_rate:
+            if gen.random() < 0.5:
+                out.append(str(gen.choice(_BASES)))
+                out.append(c)
+            # else: deletion — drop the base
+            continue
+        if sub_rate > 0 and gen.random() < sub_rate:
+            alternatives = [b for b in "ACGT" if b != c]
+            out.append(str(gen.choice(alternatives)))
+        else:
+            out.append(c)
+    return "".join(out)
+
+
+def gc_content(seq: str) -> float:
+    if not seq:
+        return 0.0
+    gc = sum(1 for c in seq.upper() if c in "GC")
+    return gc / len(seq)

@@ -1,0 +1,142 @@
+"""Shotgun sequencing and contig models (§1's assembly phase).
+
+Two entry points:
+
+* :func:`sample_reads` — random reads at a target coverage with a
+  per-base error rate, for the greedy assembler
+  (:mod:`fragalign.genome.assembly`);
+* :func:`fragment_into_contigs` — the *incomplete sequencing* model
+  the paper's introduction describes: the genome is covered by contigs
+  separated by unsequenced holes, with the order and orientation of
+  the contigs then deliberately forgotten (that is the problem input).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from fragalign.genome.dna import mutate, reverse_complement
+from fragalign.genome.evolution import PlacedBlock, SpeciesGenome
+from fragalign.util.errors import InstanceError
+from fragalign.util.rng import RngLike, as_generator
+
+__all__ = ["Read", "Contig", "sample_reads", "fragment_into_contigs"]
+
+
+@dataclass(frozen=True)
+class Read:
+    """One shotgun read with its (ground-truth) origin."""
+
+    sequence: str
+    start: int
+    reversed: bool
+
+
+@dataclass(frozen=True)
+class Contig:
+    """A contig with ground truth: source interval, orientation, and
+    the conserved blocks it (partially) contains."""
+
+    name: str
+    sequence: str
+    true_start: int
+    true_end: int
+    true_reversed: bool
+    blocks: tuple[PlacedBlock, ...]  # block coords relative to contig
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+def sample_reads(
+    genome: str,
+    read_len: int = 100,
+    coverage: float = 5.0,
+    error_rate: float = 0.0,
+    rng: RngLike = None,
+    both_strands: bool = True,
+) -> list[Read]:
+    """Uniform shotgun reads at the requested coverage."""
+    if read_len > len(genome):
+        raise InstanceError("read length exceeds genome length")
+    gen = as_generator(rng)
+    n_reads = int(coverage * len(genome) / read_len)
+    reads: list[Read] = []
+    for _ in range(n_reads):
+        start = int(gen.integers(0, len(genome) - read_len + 1))
+        seq = genome[start : start + read_len]
+        if error_rate > 0:
+            seq = mutate(seq, sub_rate=error_rate, rng=gen)
+        rev = both_strands and gen.random() < 0.5
+        if rev:
+            seq = reverse_complement(seq)
+        reads.append(Read(sequence=seq, start=start, reversed=rev))
+    return reads
+
+
+def fragment_into_contigs(
+    species: SpeciesGenome,
+    n_contigs: int = 4,
+    hole_fraction: float = 0.1,
+    flip_prob: float = 0.5,
+    shuffle: bool = True,
+    rng: RngLike = None,
+    name_prefix: str = "c",
+) -> list[Contig]:
+    """Cut a genome into contigs with unsequenced holes between them,
+    then forget order/orientation (flip and shuffle).
+
+    Ground truth (source interval, strand, contained blocks) rides
+    along on each contig for the evaluation metrics.
+    """
+    genome = species.sequence
+    L = len(genome)
+    if n_contigs < 1 or n_contigs > L:
+        raise InstanceError("bad contig count")
+    gen = as_generator(rng)
+    hole = int(hole_fraction * L / max(1, n_contigs))
+    # Cut points: n_contigs segments of roughly equal length.
+    bounds = [round(i * L / n_contigs) for i in range(n_contigs + 1)]
+    contigs: list[Contig] = []
+    for idx in range(n_contigs):
+        s = bounds[idx] + (hole // 2 if idx > 0 else 0)
+        e = bounds[idx + 1] - (hole // 2 if idx + 1 < n_contigs else 0)
+        if e - s < 1:
+            continue
+        seq = genome[s:e]
+        rev = gen.random() < flip_prob
+        inner_blocks = []
+        for b in species.blocks:
+            # Keep blocks mostly inside the contig (the paper's model
+            # has no partial regions — trim strays at the boundary).
+            bs, be = max(b.start, s), min(b.end, e)
+            if be - bs < max(20, (b.end - b.start) // 2):
+                continue
+            if rev:
+                cs = e - be
+                ce = e - bs
+                brev = not b.reversed
+            else:
+                cs = bs - s
+                ce = be - s
+                brev = b.reversed
+            inner_blocks.append(
+                PlacedBlock(block_id=b.block_id, start=cs, end=ce, reversed=brev)
+            )
+        if rev:
+            seq = reverse_complement(seq)
+        inner_blocks.sort(key=lambda b: b.start)
+        contigs.append(
+            Contig(
+                name=f"{name_prefix}{idx}",
+                sequence=seq,
+                true_start=s,
+                true_end=e,
+                true_reversed=rev,
+                blocks=tuple(inner_blocks),
+            )
+        )
+    if shuffle and len(contigs) > 1:
+        perm = [int(x) for x in as_generator(rng).permutation(len(contigs))]
+        contigs = [contigs[i] for i in perm]
+    return contigs

@@ -1,0 +1,25 @@
+"""Interval Selection Problem substrate (paper §3.4)."""
+
+from fragalign.isp.exact import exact_isp, exact_isp_distinct
+from fragalign.isp.greedy import greedy_isp
+from fragalign.isp.instance import (
+    ISPInstance,
+    ISPItem,
+    clustered_instance,
+    random_instance,
+    staircase_instance,
+)
+from fragalign.isp.tpa import tpa, tpa_select
+
+__all__ = [
+    "exact_isp",
+    "exact_isp_distinct",
+    "greedy_isp",
+    "ISPInstance",
+    "ISPItem",
+    "clustered_instance",
+    "random_instance",
+    "staircase_instance",
+    "tpa",
+    "tpa_select",
+]

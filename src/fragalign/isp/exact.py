@@ -1,0 +1,100 @@
+"""Exact ISP solvers (small instances) — the oracle for ratio tests.
+
+Two regimes:
+
+* all indices distinct → classic weighted interval scheduling DP,
+  O(n log n), exact at any size;
+* general instances → depth-first branch and bound over items sorted
+  by start, pruning with suffix-profit upper bounds.  Exponential in
+  the worst case; intended for the ≤ ~30-item instances the tests and
+  ratio benchmarks use.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from fragalign.isp.instance import ISPInstance, ISPItem
+from fragalign.util.errors import SolverError
+
+__all__ = ["exact_isp", "exact_isp_distinct"]
+
+
+def exact_isp_distinct(instance: ISPInstance) -> tuple[float, list[ISPItem]]:
+    """Weighted interval scheduling; requires pairwise-distinct indices."""
+    items = sorted(instance.items, key=lambda it: it.end)
+    indices = [it.index for it in items]
+    if len(set(indices)) != len(indices):
+        raise SolverError("exact_isp_distinct needs distinct indices")
+    n = len(items)
+    ends = [it.end for it in items]
+    # pred[i]: number of items ending at or before items[i].start
+    dp = [0.0] * (n + 1)
+    take: list[bool] = [False] * n
+    pred = [bisect_right(ends, it.start) for it in items]
+    for i in range(1, n + 1):
+        skip = dp[i - 1]
+        grab = items[i - 1].profit + dp[pred[i - 1]]
+        if grab > skip:
+            dp[i] = grab
+            take[i - 1] = True
+        else:
+            dp[i] = skip
+    chosen: list[ISPItem] = []
+    i = n
+    while i > 0:
+        if take[i - 1]:
+            chosen.append(items[i - 1])
+            i = pred[i - 1]
+        else:
+            i -= 1
+    chosen.reverse()
+    return dp[n], chosen
+
+
+def exact_isp(
+    instance: ISPInstance, max_items: int = 40
+) -> tuple[float, list[ISPItem]]:
+    """Exact optimum via branch and bound.
+
+    Items are processed in start order; the state is (next item,
+    selection end time, used indices).  The bound is the total profit
+    of items not yet considered — loose but cheap, and adequate at
+    oracle sizes.  ``max_items`` guards against accidental misuse on
+    large instances.
+    """
+    items = sorted(instance.items, key=lambda it: (it.start, it.end))
+    n = len(items)
+    if n > max_items:
+        raise SolverError(
+            f"exact_isp is for small instances (n={n} > max_items={max_items})"
+        )
+    indices = [it.index for it in items]
+    if len(set(indices)) == n:
+        return exact_isp_distinct(instance)
+    suffix = [0.0] * (n + 1)
+    for i in range(n - 1, -1, -1):
+        suffix[i] = suffix[i + 1] + items[i].profit
+
+    best_profit = 0.0
+    best_set: list[ISPItem] = []
+    current: list[ISPItem] = []
+
+    def dfs(i: int, free_from: int, used: frozenset[int], profit: float) -> None:
+        nonlocal best_profit, best_set
+        if profit > best_profit:
+            best_profit = profit
+            best_set = list(current)
+        if i >= n or profit + suffix[i] <= best_profit:
+            return
+        item = items[i]
+        # Branch 1: take item i (if feasible).
+        if item.start >= free_from and item.index not in used:
+            current.append(item)
+            dfs(i + 1, item.end, used | {item.index}, profit + item.profit)
+            current.pop()
+        # Branch 2: skip item i.
+        dfs(i + 1, free_from, used, profit)
+
+    dfs(0, -(10**18), frozenset(), 0.0)
+    return best_profit, best_set

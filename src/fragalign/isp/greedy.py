@@ -1,0 +1,29 @@
+"""Profit-greedy ISP baseline.
+
+The "existing heuristic" foil: repeatedly take the most profitable
+remaining item compatible with the selection.  No worst-case guarantee
+(the staircase family drives its ratio to k); benchmarked against TPA
+to illustrate the paper's argument for principled approximation.
+"""
+
+from __future__ import annotations
+
+from fragalign.isp.instance import ISPInstance, ISPItem
+
+__all__ = ["greedy_isp"]
+
+
+def greedy_isp(instance: ISPInstance) -> tuple[float, list[ISPItem]]:
+    chosen: list[ISPItem] = []
+    used_idx: set[int] = set()
+    for item in sorted(
+        instance.items, key=lambda it: (-it.profit, it.start, it.end, it.index)
+    ):
+        if item.index in used_idx:
+            continue
+        if any(item.overlaps(c) for c in chosen):
+            continue
+        chosen.append(item)
+        used_idx.add(item.index)
+    chosen.sort(key=lambda it: it.start)
+    return instance.total_profit(chosen), chosen

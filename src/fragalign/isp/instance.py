@@ -1,0 +1,154 @@
+"""Interval Selection Problem (ISP) instances.
+
+The paper (§3.4) reduces 1-CSR to ISP: given a set A of integer
+intervals and a profit function p(k, I) ≥ 0, select at most one
+interval per index k so that selected intervals are pairwise disjoint
+and total profit is maximal.  Here an instance is a flat list of
+*items* (index, interval, profit); an index may carry many candidate
+intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from fragalign.util.errors import InstanceError
+from fragalign.util.rng import RngLike, as_generator
+
+__all__ = [
+    "ISPItem",
+    "ISPInstance",
+    "random_instance",
+    "staircase_instance",
+    "clustered_instance",
+]
+
+
+@dataclass(frozen=True, order=True)
+class ISPItem:
+    """One selectable (index, interval, profit) triple.
+
+    Intervals are half-open ``[start, end)`` over the integers; two
+    items conflict if their intervals overlap or their indices match.
+    """
+
+    index: int
+    start: int
+    end: int
+    profit: float
+
+    def __post_init__(self) -> None:
+        if self.start >= self.end:
+            raise InstanceError(f"empty interval [{self.start}, {self.end})")
+        if self.profit < 0:
+            raise InstanceError("ISP profits must be non-negative")
+
+    def overlaps(self, other: "ISPItem") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def conflicts(self, other: "ISPItem") -> bool:
+        return self.index == other.index or self.overlaps(other)
+
+
+@dataclass(frozen=True)
+class ISPInstance:
+    """An immutable bag of :class:`ISPItem` plus convenience queries."""
+
+    items: tuple[ISPItem, ...]
+
+    @staticmethod
+    def build(items: Iterable[ISPItem]) -> "ISPInstance":
+        return ISPInstance(tuple(items))
+
+    @property
+    def indices(self) -> set[int]:
+        return {it.index for it in self.items}
+
+    def total_profit(self, chosen: Sequence[ISPItem]) -> float:
+        return float(sum(it.profit for it in chosen))
+
+    def is_feasible(self, chosen: Sequence[ISPItem]) -> bool:
+        """Pairwise-disjoint intervals and at most one item per index."""
+        seen_idx: set[int] = set()
+        ordered = sorted(chosen, key=lambda it: it.start)
+        prev_end = None
+        for it in ordered:
+            if it.index in seen_idx:
+                return False
+            seen_idx.add(it.index)
+            if prev_end is not None and it.start < prev_end:
+                return False
+            prev_end = it.end
+        return True
+
+
+def random_instance(
+    n_items: int,
+    n_indices: int,
+    horizon: int = 100,
+    max_len: int = 20,
+    max_profit: float = 10.0,
+    rng: RngLike = None,
+) -> ISPInstance:
+    """Uniform random items: the bread-and-butter test distribution."""
+    gen = as_generator(rng)
+    items = []
+    for _ in range(n_items):
+        start = int(gen.integers(0, max(1, horizon - 1)))
+        length = int(gen.integers(1, max_len + 1))
+        end = min(horizon, start + length)
+        if end <= start:
+            end = start + 1
+        items.append(
+            ISPItem(
+                index=int(gen.integers(0, n_indices)),
+                start=start,
+                end=end,
+                profit=float(gen.uniform(0.0, max_profit)),
+            )
+        )
+    return ISPInstance.build(items)
+
+
+def staircase_instance(k: int, eps: float = 0.01) -> ISPInstance:
+    """Greedy's nightmare: one long interval barely out-earns each of
+    the ``k`` disjoint unit intervals it blocks.
+
+    Profit-greedy takes the long interval (profit 1+eps) while the
+    optimum takes the k unit intervals (profit k); TPA recovers ≥ k/2.
+    Used by the benches as the "heuristics can be fooled" exhibit the
+    paper's introduction argues from.
+    """
+    if k < 1:
+        raise InstanceError("need k >= 1 steps")
+    items = [ISPItem(index=0, start=0, end=k, profit=1.0 + eps)]
+    for i in range(k):
+        items.append(ISPItem(index=i + 1, start=i, end=i + 1, profit=1.0))
+    return ISPInstance.build(items)
+
+
+def clustered_instance(
+    n_clusters: int,
+    items_per_cluster: int,
+    n_indices: int,
+    rng: RngLike = None,
+) -> ISPInstance:
+    """Items piled into narrow time windows: stresses conflict handling
+    (many overlaps, repeated indices) rather than packing geometry."""
+    gen = as_generator(rng)
+    items = []
+    for c in range(n_clusters):
+        base = c * 10
+        for _ in range(items_per_cluster):
+            start = base + int(gen.integers(0, 4))
+            end = start + 1 + int(gen.integers(0, 5))
+            items.append(
+                ISPItem(
+                    index=int(gen.integers(0, n_indices)),
+                    start=start,
+                    end=end,
+                    profit=float(gen.uniform(0.5, 5.0)),
+                )
+            )
+    return ISPInstance.build(items)

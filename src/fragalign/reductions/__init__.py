@@ -1,0 +1,61 @@
+"""The paper's reductions, executable (§3)."""
+
+from fragalign.reductions.csop import (
+    CSoPInstance,
+    exact_csop,
+    greedy_csop,
+    normalize_solution,
+    solution_from_full_pairs,
+)
+from fragalign.reductions.dirac import nonadjacent_ordering
+from fragalign.reductions.hardness import (
+    HardnessGadget,
+    build_gadget,
+    csop_solution_to_arrangements,
+    gadget_to_csr_instance,
+    independent_set_to_solution,
+    solution_to_independent_set,
+)
+from fragalign.reductions.mis3 import (
+    check_cubic,
+    exact_mis,
+    greedy_mis,
+    random_cubic_graph,
+)
+from fragalign.reductions.to_one_csr import (
+    BlueYellow,
+    blue_yellow_split,
+    combine_one_csr,
+)
+from fragalign.reductions.to_ucsr import (
+    UCSRGadget,
+    backward_score,
+    csr_to_ucsr,
+    forward_score,
+)
+
+__all__ = [
+    "CSoPInstance",
+    "exact_csop",
+    "greedy_csop",
+    "normalize_solution",
+    "solution_from_full_pairs",
+    "nonadjacent_ordering",
+    "HardnessGadget",
+    "build_gadget",
+    "csop_solution_to_arrangements",
+    "gadget_to_csr_instance",
+    "independent_set_to_solution",
+    "solution_to_independent_set",
+    "check_cubic",
+    "exact_mis",
+    "greedy_mis",
+    "random_cubic_graph",
+    "BlueYellow",
+    "blue_yellow_split",
+    "combine_one_csr",
+    "UCSRGadget",
+    "backward_score",
+    "csr_to_ucsr",
+    "forward_score",
+]

@@ -1,0 +1,194 @@
+"""CSoP — consistent subsets of integer pairs (§3.2).
+
+An instance is a partition of [1, 2n] into n pairs {i(k), j(k)},
+i(k) < j(k).  A solution is U ⊆ [1, 2n] such that whenever *both*
+elements of a pair are in U, **no other element strictly between them
+is in U** (the scanned paper reads "l ∈ U" here, but the surrounding
+proof — inserting an element can only be blocked by a fully-taken pair
+spanning it — and the UCSR semantics of matching a₍ᵢ₎a₍ⱼ₎ against
+a₁…a₂ₙ with everything between *deleted* both force "l ∉ U"; we note
+this OCR repair in DESIGN.md).  The goal is to maximize |U|.
+
+Structure used by the exact solver: fix F, the set of pairs taken
+fully.  Validity forces the F-spans to be pairwise disjoint (a span
+containing another pair's endpoint is a violation either way), and a
+pair outside F contributes one element iff one of its endpoints avoids
+every open F-span.  So the optimum is a search over disjoint-span pair
+subsets — n pairs, not 2n elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from fragalign.util.errors import InstanceError, SolverError
+
+__all__ = [
+    "CSoPInstance",
+    "normalize_solution",
+    "solution_from_full_pairs",
+    "exact_csop",
+    "greedy_csop",
+]
+
+
+@dataclass(frozen=True)
+class CSoPInstance:
+    """Pairs (1-based, i < j) partitioning [1, 2n]."""
+
+    pairs: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        elems = sorted(x for p in self.pairs for x in p)
+        n2 = 2 * len(self.pairs)
+        if elems != list(range(1, n2 + 1)):
+            raise InstanceError("pairs must partition [1, 2n]")
+        for i, j in self.pairs:
+            if not i < j:
+                raise InstanceError(f"pair ({i}, {j}) must be increasing")
+
+    @property
+    def n(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def universe(self) -> range:
+        return range(1, 2 * self.n + 1)
+
+    def pair_of(self) -> dict[int, tuple[int, int]]:
+        out: dict[int, tuple[int, int]] = {}
+        for p in self.pairs:
+            out[p[0]] = p
+            out[p[1]] = p
+        return out
+
+    def full_pairs(self, U: Iterable[int]) -> list[tuple[int, int]]:
+        s = set(U)
+        return [p for p in self.pairs if p[0] in s and p[1] in s]
+
+    def is_valid(self, U: Iterable[int]) -> bool:
+        """No fully-taken pair may span another selected element."""
+        s = set(U)
+        if not s.issubset(set(self.universe)):
+            return False
+        for i, j in self.full_pairs(s):
+            if any(l in s for l in range(i + 1, j)):
+                return False
+        return True
+
+    def is_normal(self, U: Iterable[int]) -> bool:
+        s = set(U)
+        return all(p[0] in s or p[1] in s for p in self.pairs)
+
+
+def normalize_solution(instance: CSoPInstance, U: set[int]) -> set[int]:
+    """The proof's exchange argument: an equal-size valid solution that
+    intersects every pair.
+
+    If U misses pair {i, j}, inserting i can only be blocked by a
+    fully-taken pair (i', j') spanning i; swapping i' out for i keeps
+    the size, breaks that pair's fullness, and strictly decreases the
+    number of untouched pairs.
+    """
+    if not instance.is_valid(U):
+        raise SolverError("normalize_solution needs a valid solution")
+    U = set(U)
+
+    def blocked_by(x: int) -> tuple[int, int] | None:
+        for a, b in instance.full_pairs(U):
+            if a < x < b:
+                return (a, b)
+        return None
+
+    progress = True
+    while progress:
+        progress = False
+        for i, j in instance.pairs:
+            if i in U or j in U:
+                continue
+            offender = blocked_by(i)
+            if offender is None:
+                U.add(i)
+            else:
+                U.discard(offender[0])
+                U.add(i)
+            progress = True
+            if not instance.is_valid(U):  # pragma: no cover - safety net
+                raise SolverError("normalization produced invalid solution")
+    return U
+
+
+def solution_from_full_pairs(
+    instance: CSoPInstance, F: Iterable[tuple[int, int]]
+) -> set[int]:
+    """Best solution whose fully-taken pairs are exactly the
+    disjoint-span set F: all F elements plus one free endpoint of every
+    other pair whenever one avoids the open F-spans."""
+    F = list(F)
+    for idx, (i, j) in enumerate(F):
+        for a, b in F[idx + 1 :]:
+            if not (b < i or j < a):
+                raise SolverError("full-pair spans must be disjoint")
+    U: set[int] = set()
+    for i, j in F:
+        U.add(i)
+        U.add(j)
+    spans = sorted(F)
+
+    def inside_some_span(x: int) -> bool:
+        return any(i < x < j for i, j in spans)
+
+    fset = set(F)
+    for p in instance.pairs:
+        if p in fset:
+            continue
+        if not inside_some_span(p[0]):
+            U.add(p[0])
+        elif not inside_some_span(p[1]):
+            U.add(p[1])
+    return U
+
+
+def exact_csop(instance: CSoPInstance, max_pairs: int = 20) -> set[int]:
+    """Exact optimum by branch and bound over fully-taken pair sets."""
+    if instance.n > max_pairs:
+        raise SolverError(
+            f"exact_csop is exponential; n={instance.n} > {max_pairs}"
+        )
+    pairs = sorted(instance.pairs)
+    best = solution_from_full_pairs(instance, [])
+
+    def dfs(idx: int, F: list[tuple[int, int]]) -> None:
+        nonlocal best
+        U = solution_from_full_pairs(instance, F)
+        if len(U) > len(best):
+            best = U
+        if idx >= len(pairs):
+            return
+        # Every remaining pair can add at most one element beyond the
+        # one-per-pair baseline already counted in U.
+        if len(U) + (len(pairs) - idx) <= len(best):
+            return
+        p = pairs[idx]
+        if all(b < p[0] or p[1] < a for a, b in F):
+            dfs(idx + 1, F + [p])
+        dfs(idx + 1, F)
+
+    dfs(0, [])
+    assert instance.is_valid(best)
+    return best
+
+
+def greedy_csop(instance: CSoPInstance) -> set[int]:
+    """Greedy: take pairs fully, shortest span first, if disjoint and
+    profitable."""
+    F: list[tuple[int, int]] = []
+    best = solution_from_full_pairs(instance, F)
+    for p in sorted(instance.pairs, key=lambda q: q[1] - q[0]):
+        if all(b < p[0] or p[1] < a for a, b in F):
+            trial = solution_from_full_pairs(instance, F + [p])
+            if len(trial) > len(best):
+                F.append(p)
+                best = trial
+    return best

@@ -1,0 +1,182 @@
+"""Theorem 2's approximation-preserving reduction: 3-MIS → CSoP → UCSR.
+
+Given a 3-regular graph on N nodes (numbered so that consecutive nodes
+are never adjacent — :mod:`fragalign.reductions.dirac`), build:
+
+* M = a₁ … a₅ₙ (one 5-element block per node: the *node pair*
+  {5i−4, 5i} and three *edge slots* 5i−3, 5i−2, 5i−1);
+* H_nodes = {(5i−4, 5i)}, H_edges = {(5i−b, 5j−c)} for each edge
+  {i, j} with slot positions b, c given by the adjacency matrix.
+
+An independent set W maps to a CSoP solution of size 5·(N/2) + |W| and
+back; both directions are implemented and verified by tests/benches
+(the empirical content of the MAX-SNP hardness claim).
+
+The same pairs become a genuine UCSR/CSR instance
+(:func:`gadget_to_csr_instance`), closing the loop to the paper's
+alignment problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from fragalign.core.conjecture import Arrangement
+from fragalign.core.fragments import CSRInstance
+from fragalign.core.scoring import Scorer
+from fragalign.reductions.csop import CSoPInstance, normalize_solution
+from fragalign.reductions.dirac import nonadjacent_ordering
+from fragalign.reductions.mis3 import check_cubic
+from fragalign.util.errors import ReductionError
+
+__all__ = [
+    "HardnessGadget",
+    "build_gadget",
+    "independent_set_to_solution",
+    "solution_to_independent_set",
+    "gadget_to_csr_instance",
+    "csop_solution_to_arrangements",
+]
+
+
+@dataclass(frozen=True)
+class HardnessGadget:
+    """The Theorem-2 construction for one input graph."""
+
+    graph: nx.Graph  # relabeled to 1..N in the non-adjacent ordering
+    order: tuple[int, ...]  # original node label at each position
+    adjacency: dict[int, tuple[int, int, int]]  # A[i] = sorted neighbours
+    csop: CSoPInstance
+    node_pairs: tuple[tuple[int, int], ...]
+    edge_pairs: dict[frozenset[int], tuple[int, int]]
+
+    @property
+    def n_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def expected_size(self, independent_set_size: int) -> int:
+        """|U| = 5n + |W| with n = N/2 (the paper's accounting)."""
+        return 5 * (self.n_nodes // 2) + independent_set_size
+
+
+def build_gadget(graph: nx.Graph) -> HardnessGadget:
+    check_cubic(graph)
+    order = nonadjacent_ordering(graph)
+    relabel = {old: i + 1 for i, old in enumerate(order)}
+    g = nx.relabel_nodes(graph, relabel)
+    N = g.number_of_nodes()
+    adjacency = {i: tuple(sorted(g.neighbors(i))) for i in g.nodes}
+    for i in range(1, N):
+        if g.has_edge(i, i + 1):
+            raise ReductionError("ordering failed: consecutive adjacency")
+
+    node_pairs = tuple((5 * i - 4, 5 * i) for i in range(1, N + 1))
+    edge_pairs: dict[frozenset[int], tuple[int, int]] = {}
+    for i, j in g.edges:
+        i, j = min(i, j), max(i, j)
+        b = adjacency[i].index(j) + 1
+        c = adjacency[j].index(i) + 1
+        edge_pairs[frozenset((i, j))] = (5 * i - b, 5 * j - c)
+    csop = CSoPInstance(tuple(sorted(node_pairs + tuple(edge_pairs.values()))))
+    return HardnessGadget(
+        graph=g,
+        order=tuple(order),
+        adjacency=adjacency,
+        csop=csop,
+        node_pairs=node_pairs,
+        edge_pairs=edge_pairs,
+    )
+
+
+def independent_set_to_solution(gadget: HardnessGadget, W: set[int]) -> set[int]:
+    """Forward map: independent set (relabeled node ids) → CSoP solution
+    of size 5n + |W|."""
+    g = gadget.graph
+    for u in W:
+        for v in W:
+            if u != v and g.has_edge(u, v):
+                raise ReductionError("W is not independent")
+    U: set[int] = set()
+    for i in g.nodes:
+        U.add(5 * i)  # one element of every node pair
+    for i in W:
+        U.add(5 * i - 4)  # complete the node pairs of W
+    for edge, (ei, ej) in gadget.edge_pairs.items():
+        i, j = sorted(edge)
+        # Pick the slot of an endpoint NOT in W, so the full node pairs
+        # of W keep their spans free of selected elements.
+        if i in W:
+            U.add(ej)
+        else:
+            U.add(ei)
+    if not gadget.csop.is_valid(U):  # pragma: no cover - correctness net
+        raise ReductionError("forward map produced an invalid solution")
+    return U
+
+
+def solution_to_independent_set(
+    gadget: HardnessGadget, U: set[int]
+) -> tuple[set[int], set[int]]:
+    """Backward map: CSoP solution → (independent set W, normal U').
+
+    |U'| = 5n + |W| and |U'| ≥ |U|, so approximating CSoP approximates
+    3-MIS — the approximation-preserving direction.
+    """
+    U_norm = normalize_solution(gadget.csop, set(U))
+    W = {
+        i
+        for i in gadget.graph.nodes
+        if 5 * i - 4 in U_norm and 5 * i in U_norm
+    }
+    for u in W:
+        for v in W:
+            if u != v and gadget.graph.has_edge(u, v):
+                raise ReductionError(
+                    "backward map found a non-independent W: invalid input?"
+                )
+    return W, U_norm
+
+
+def gadget_to_csr_instance(gadget: HardnessGadget) -> CSRInstance:
+    """The CSoP pairs as an actual UCSR/CSR instance.
+
+    M is the single fragment a₁…a₅ₙ; each pair becomes a two-region H
+    fragment; σ(x, x) = 1.  CSoP solutions correspond to conjecture
+    pairs of equal score (see :func:`csop_solution_to_arrangements`).
+    """
+    N5 = 2 * gadget.csop.n
+    m_word = tuple(range(1, N5 + 1))
+    h_words = [tuple(p) for p in gadget.csop.pairs]
+    scorer = Scorer()
+    for x in m_word:
+        scorer.set(x, x, 1.0)
+    return CSRInstance.build(h_words, [m_word], scorer)
+
+
+def csop_solution_to_arrangements(
+    gadget: HardnessGadget, U: set[int]
+) -> tuple[Arrangement, Arrangement]:
+    """Arrangements of the UCSR instance realizing Score = |U|.
+
+    Fragments are ordered by the position of their first selected
+    element (fragments with nothing selected go last); the chain DP
+    then recovers every selected element: full pairs sit adjacent with
+    an empty span (validity!), single selections interleave freely.
+    """
+    if not gadget.csop.is_valid(U):
+        raise ReductionError("need a valid CSoP solution")
+    keyed = []
+    unused = []
+    for fid, pair in enumerate(gadget.csop.pairs):
+        sel = [x for x in pair if x in U]
+        if sel:
+            keyed.append((min(sel), fid))
+        else:
+            unused.append(fid)
+    keyed.sort()
+    order = tuple((fid, False) for _k, fid in keyed) + tuple(
+        (fid, False) for fid in unused
+    )
+    return Arrangement("H", order), Arrangement("M", ((0, False),))

@@ -1,0 +1,94 @@
+"""3-regular maximum independent set (3-MIS) substrate.
+
+Theorem 2 reduces 3-MIS — MAX-SNP hard per Berman–Karpinski — to CSoP.
+This module supplies the graph side: random 3-regular graphs, an exact
+branch-and-bound MIS solver (small instances) and a greedy baseline.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from fragalign.util.errors import ReductionError, SolverError
+from fragalign.util.rng import RngLike, as_generator
+
+__all__ = ["random_cubic_graph", "exact_mis", "greedy_mis", "check_cubic"]
+
+
+def check_cubic(graph: nx.Graph) -> None:
+    if any(d != 3 for _n, d in graph.degree()):
+        raise ReductionError("graph must be 3-regular")
+
+
+def random_cubic_graph(n_nodes: int, rng: RngLike = None) -> nx.Graph:
+    """A random 3-regular simple graph on ``n_nodes`` (must be even ≥ 4)."""
+    if n_nodes % 2 or n_nodes < 4:
+        raise ReductionError("3-regular graphs need an even node count >= 4")
+    gen = as_generator(rng)
+    seed = int(gen.integers(0, 2**31 - 1))
+    g = nx.random_regular_graph(3, n_nodes, seed=seed)
+    return nx.convert_node_labels_to_integers(g)
+
+
+def exact_mis(graph: nx.Graph, max_nodes: int = 40) -> set[int]:
+    """Exact maximum independent set by branch and bound.
+
+    Branches on a maximum-degree vertex (in/out), with the classic
+    simplifications: isolated vertices are always taken and degree-1
+    vertices are taken greedily (safe for MIS).
+    """
+    if graph.number_of_nodes() > max_nodes:
+        raise SolverError(f"exact_mis limited to {max_nodes} nodes")
+    g = graph.copy()
+    best: set[int] = set()
+
+    def solve(g: nx.Graph, chosen: set[int]) -> None:
+        nonlocal best
+        g = g.copy()
+        chosen = set(chosen)
+        # Simplifications.
+        changed = True
+        while changed:
+            changed = False
+            for v in list(g.nodes):
+                if v not in g:
+                    continue  # removed earlier in this sweep
+                d = g.degree(v)
+                if d == 0:
+                    chosen.add(v)
+                    g.remove_node(v)
+                    changed = True
+                elif d == 1:
+                    u = next(iter(g.neighbors(v)))
+                    chosen.add(v)
+                    g.remove_nodes_from([v, u])
+                    changed = True
+        if g.number_of_nodes() == 0:
+            if len(chosen) > len(best):
+                best = chosen
+            return
+        if len(chosen) + g.number_of_nodes() <= len(best):
+            return  # even taking everything cannot win
+        v = max(g.nodes, key=g.degree)
+        # Branch 1: take v.
+        g1 = g.copy()
+        g1.remove_nodes_from([v] + list(g.neighbors(v)))
+        solve(g1, chosen | {v})
+        # Branch 2: skip v.
+        g2 = g.copy()
+        g2.remove_node(v)
+        solve(g2, chosen)
+
+    solve(g, set())
+    return best
+
+
+def greedy_mis(graph: nx.Graph) -> set[int]:
+    """Minimum-degree greedy independent set."""
+    g = graph.copy()
+    out: set[int] = set()
+    while g.number_of_nodes():
+        v = min(g.nodes, key=g.degree)
+        out.add(v)
+        g.remove_nodes_from([v] + list(g.neighbors(v)))
+    return out

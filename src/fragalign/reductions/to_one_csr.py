@@ -1,0 +1,141 @@
+"""Theorem 3: reducing CSR to 1-CSR at a factor-2 cost.
+
+Two artifacts:
+
+* :func:`combine_one_csr` — the algorithm A′: run any 1-CSR solver on
+  (H, M′) and (M, H′) (primes = concatenations) and keep the better
+  result, mapped back to original arrangements.  (The TPA-backed
+  specialization lives in :func:`fragalign.core.baseline.baseline4`.)
+* :func:`blue_yellow_split` — the proof's tag-colouring: every aligned
+  pair of an optimal solution is painted blue (first M-partner of its
+  H fragment) and/or yellow (first H-partner of its M fragment); blue
+  pairs assemble into an (H, M′) solution and yellow into an (M, H′)
+  one, witnessing inequality (2):
+
+      Opt(H, M′) + Opt(M, H′) ≥ Opt(H, M).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from fragalign.align.chain import chain_score_with_pairs
+from fragalign.core.baseline import concat_m_instance, transposed_concat_instance
+from fragalign.core.conjecture import (
+    Arrangement,
+    identity_arrangement,
+    realize,
+    score_pair,
+)
+from fragalign.core.fragments import CSRInstance
+from fragalign.core.solution import CSRSolution
+
+__all__ = ["combine_one_csr", "blue_yellow_split", "BlueYellow"]
+
+OneCSRSolver = Callable[[CSRInstance], CSRSolution]
+
+
+def _unconcat(moving: "Arrangement", frozen: "Arrangement") -> tuple:
+    """Map a 1-CSR solution back to the original instance.
+
+    The frozen side is the single concatenated fragment; if the solver
+    reversed it, mirror the moving side instead (Score is invariant
+    under mirroring both conjectures), so the frozen side can stay in
+    its given order.
+    """
+    if frozen.order[0][1]:
+        moving = moving.mirrored()
+    return moving
+
+
+def combine_one_csr(
+    instance: CSRInstance, solver: OneCSRSolver
+) -> CSRSolution:
+    """Theorem 3's A′ with a pluggable 1-CSR solver."""
+    sol_hm = solver(concat_m_instance(instance))
+    arr_h1 = Arrangement("H", _unconcat(sol_hm.arr_h, sol_hm.arr_m).order)
+    arr_m1 = identity_arrangement(instance, "M")
+    score1 = score_pair(instance, arr_h1, arr_m1)
+
+    sol_mh = solver(transposed_concat_instance(instance))
+    arr_h2 = identity_arrangement(instance, "H")
+    arr_m2 = Arrangement("M", _unconcat(sol_mh.arr_h, sol_mh.arr_m).order)
+    score2 = score_pair(instance, arr_h2, arr_m2)
+
+    from fragalign.core.exact import state_from_arrangements
+
+    if score1 >= score2:
+        arr_h, arr_m, score = arr_h1, arr_m1, score1
+    else:
+        arr_h, arr_m, score = arr_h2, arr_m2, score2
+    return CSRSolution(
+        state=state_from_arrangements(instance, arr_h, arr_m),
+        arr_h=arr_h,
+        arr_m=arr_m,
+        score=score,
+        algorithm="combine_one_csr",
+        stats={"score_hm": score1, "score_mh": score2},
+    )
+
+
+@dataclass(frozen=True)
+class BlueYellow:
+    """The colouring of one conjecture pair's aligned pairs."""
+
+    total: float
+    blue: float
+    yellow: float
+    double: float  # score counted in both colours
+
+    @property
+    def covers(self) -> bool:
+        """Every pair painted at least once (the Lemma's key step)."""
+        return self.blue + self.yellow + 1e-9 >= self.total
+
+
+def blue_yellow_split(
+    instance: CSRInstance, arr_h: Arrangement, arr_m: Arrangement
+) -> BlueYellow:
+    """Colour the optimal chain of (arr_h, arr_m) per Theorem 3's proof.
+
+    A pair with tags (j, j′) — the H and M fragment occurrences it
+    connects — is blue if j′ is the *first* M-partner of j, yellow if
+    j is the first H-partner of j′.  The proof shows every pair gets a
+    colour; the blue total is achievable in (H, M′) and the yellow
+    total in (M, H′).
+    """
+    h_word = realize(instance, arr_h)
+    m_word = realize(instance, arr_m)
+    total, chain = chain_score_with_pairs(
+        instance.scorer.weight_matrix(h_word, m_word)
+    )
+
+    def occupant(arrangement: Arrangement, species: str) -> list[int]:
+        out = []
+        for slot, (fid, _rev) in enumerate(arrangement.order):
+            out.extend([slot] * len(instance.fragment(species, fid)))
+        return out
+
+    h_occ = occupant(arr_h, "H")
+    m_occ = occupant(arr_m, "M")
+    first_m_partner: dict[int, int] = {}
+    first_h_partner: dict[int, int] = {}
+    for i, j in chain:  # chain is ordered, so "first" = first seen
+        hj, mj = h_occ[i], m_occ[j]
+        first_m_partner.setdefault(hj, mj)
+        first_h_partner.setdefault(mj, hj)
+
+    blue = yellow = double = 0.0
+    for i, j in chain:
+        hj, mj = h_occ[i], m_occ[j]
+        w = instance.scorer.get(h_word[i], m_word[j])
+        is_blue = first_m_partner[hj] == mj
+        is_yellow = first_h_partner[mj] == hj
+        if is_blue:
+            blue += w
+        if is_yellow:
+            yellow += w
+        if is_blue and is_yellow:
+            double += w
+    return BlueYellow(total=total, blue=blue, yellow=yellow, double=double)

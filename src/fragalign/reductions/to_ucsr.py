@@ -1,0 +1,157 @@
+"""Lemma 1 / Theorem 1: the CSR → UCSR gadget φ₀ and back-map φ₁.
+
+Construction (§3.1), implemented literally:
+
+1. every region *occurrence* becomes a fresh letter a_i (i = 1..K), so
+   each letter occurs exactly once in H ∪ M and never reversed;
+2. p = ⌈1/ε⌉, s = 2pK;
+3. each a_i is replaced by the word xᵢ = wⁱ₁ … wⁱ_s with
+   wⁱ_l = uⁱ_l vⁱ_l          (a_i from H)
+   wⁱ_l = uⁱ_l (vⁱ_{s+1−l})ᴿ (a_i from M)
+   where uⁱ_l = aⁱ₁,l … aⁱ_K,l and vⁱ_l = bⁱ₁,l … bⁱ_K,l;
+4. letters are identified symmetrically (aⁱⱼ,l ≡ aʲᵢ,l, bⁱⱼ,l ≡ bʲᵢ,l)
+   and scored σ′(aⁱⱼ,l) = σ(a_i, a_j)/s, σ′(bⁱⱼ,l) = σ(a_i, a_jᴿ)/s.
+
+Because fragments correspond one-to-one, φ₁ acts as the identity on
+arrangements; the Lemma's guarantees become two pointwise-testable
+score inequalities (see :func:`forward_score`):
+
+* property 2:  Score_φ₀(X)(arr) ≥ Score_X(arr)   (the )(c, d) words);
+* property 3:  Score_X(arr) ≥ (1−ε) · Score_φ₀(X)(arr).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from fragalign.core.conjecture import Arrangement, score_pair
+from fragalign.core.fragments import CSRInstance
+from fragalign.core.scoring import Scorer
+from fragalign.core.symbols import reverse_word
+from fragalign.util.errors import ReductionError
+
+__all__ = ["UCSRGadget", "csr_to_ucsr", "forward_score", "backward_score"]
+
+
+@dataclass(frozen=True)
+class UCSRGadget:
+    original: CSRInstance
+    ucsr: CSRInstance
+    eps: float
+    K: int  # number of occurrence letters
+    s: int  # replication depth (2pK)
+
+    def word_length_per_occurrence(self) -> int:
+        return 2 * self.K * self.s
+
+
+def _occurrences(instance: CSRInstance) -> list[tuple[str, int, int, int]]:
+    """All region occurrences: (species, fid, pos, signed symbol)."""
+    out = []
+    for frag in instance.all_fragments():
+        for pos, sym in enumerate(frag.regions):
+            out.append((frag.species, frag.fid, pos, sym))
+    return out
+
+
+def csr_to_ucsr(instance: CSRInstance, eps: float = 0.5) -> UCSRGadget:
+    """φ₀: build the UCSR instance.
+
+    Word lengths grow as 4pK² per occurrence (K = total occurrences),
+    so this is for small instances — exactly the regime the Lemma's
+    *theoretical* ratio transfer addresses; the tests measure both
+    properties numerically.
+    """
+    if not (0 < eps <= 1):
+        raise ReductionError("need 0 < eps <= 1")
+    occs = _occurrences(instance)
+    K = len(occs)
+    p = ceil(1.0 / eps)
+    s = 2 * p * K
+    species_of = {idx + 1: occ[0] for idx, occ in enumerate(occs)}
+    symbol_of = {idx + 1: occ[3] for idx, occ in enumerate(occs)}
+
+    # Letter ids: A(i, j, l) and B(i, j, l) with (i, j) unordered.
+    pair_index: dict[tuple[int, int], int] = {}
+    for i in range(1, K + 1):
+        for j in range(i, K + 1):
+            pair_index[(i, j)] = len(pair_index)
+    P = len(pair_index)
+
+    def a_letter(i: int, j: int, l: int) -> int:
+        key = (min(i, j), max(i, j))
+        return 1 + pair_index[key] * s + (l - 1)
+
+    def b_letter(i: int, j: int, l: int) -> int:
+        key = (min(i, j), max(i, j))
+        return 1 + P * s + pair_index[key] * s + (l - 1)
+
+    def u_word(i: int, l: int) -> tuple[int, ...]:
+        return tuple(a_letter(i, j, l) for j in range(1, K + 1))
+
+    def v_word(i: int, l: int) -> tuple[int, ...]:
+        return tuple(b_letter(i, j, l) for j in range(1, K + 1))
+
+    def x_word(i: int) -> tuple[int, ...]:
+        parts: list[int] = []
+        in_h = species_of[i] == "H"
+        for l in range(1, s + 1):
+            parts.extend(u_word(i, l))
+            if in_h:
+                parts.extend(v_word(i, l))
+            else:
+                parts.extend(reverse_word(v_word(i, s + 1 - l)))
+        return tuple(parts)
+
+    # Rebuild fragments with occurrences replaced by x-words (reversed
+    # occurrences get the reversed word, preserving orientation).
+    occ_index: dict[tuple[str, int, int], int] = {
+        (sp, fid, pos): idx + 1 for idx, (sp, fid, pos, _s) in enumerate(occs)
+    }
+
+    def rebuild(species: str) -> list[tuple[int, ...]]:
+        words = []
+        for frag in instance.fragments(species):
+            parts: list[int] = []
+            for pos, sym in enumerate(frag.regions):
+                i = occ_index[(species, frag.fid, pos)]
+                w = x_word(i)
+                parts.extend(w if sym > 0 else reverse_word(w))
+            words.append(tuple(parts))
+        return words
+
+    scorer = Scorer()
+    for i in range(1, K + 1):
+        for j in range(1, K + 1):
+            if species_of[i] != "H" or species_of[j] != "M":
+                continue
+            sh, sm = symbol_of[i], symbol_of[j]
+            direct = instance.scorer.get(sh, sm)
+            flipped = instance.scorer.get(sh, -sm)
+            for l in range(1, s + 1):
+                if direct != 0:
+                    A = a_letter(i, j, l)
+                    scorer.set(A, A, direct / s)
+                if flipped != 0:
+                    B = b_letter(i, j, l)
+                    scorer.set(B, B, flipped / s)
+
+    ucsr = CSRInstance.build(rebuild("H"), rebuild("M"), scorer)
+    return UCSRGadget(original=instance, ucsr=ucsr, eps=eps, K=K, s=s)
+
+
+def forward_score(
+    gadget: UCSRGadget, arr_h: Arrangement, arr_m: Arrangement
+) -> float:
+    """Score of the same arrangement pair in the UCSR instance
+    (fragments correspond one-to-one, so arrangements carry over)."""
+    return score_pair(gadget.ucsr, arr_h, arr_m)
+
+
+def backward_score(
+    gadget: UCSRGadget, arr_h: Arrangement, arr_m: Arrangement
+) -> float:
+    """φ₁ evaluated on arrangements: the original-instance score of the
+    same arrangement pair (Lemma 1 guarantees ≥ (1−ε)·forward)."""
+    return score_pair(gadget.original, arr_h, arr_m)

@@ -1,0 +1,24 @@
+"""Shared utilities: RNG plumbing, timing, error hierarchy."""
+
+from fragalign.util.errors import (
+    FragalignError,
+    InconsistentMatchSetError,
+    InstanceError,
+    ReductionError,
+    SolverError,
+)
+from fragalign.util.rng import RngLike, as_generator, spawn
+from fragalign.util.timing import Stopwatch, time_call
+
+__all__ = [
+    "FragalignError",
+    "InconsistentMatchSetError",
+    "InstanceError",
+    "ReductionError",
+    "SolverError",
+    "RngLike",
+    "as_generator",
+    "spawn",
+    "Stopwatch",
+    "time_call",
+]

@@ -1,0 +1,34 @@
+"""Exception hierarchy for fragalign.
+
+Keeping a single root exception lets callers distinguish library errors
+from programming errors (``ValueError``/``TypeError`` are still raised
+for plain bad arguments at API boundaries).
+"""
+
+from __future__ import annotations
+
+
+class FragalignError(Exception):
+    """Root of all fragalign-specific errors."""
+
+
+class InstanceError(FragalignError):
+    """An instance (CSR, ISP, graph, ...) violates its invariants."""
+
+
+class InconsistentMatchSetError(FragalignError):
+    """A match set is not realizable by any conjecture pair.
+
+    Raised by the consistency validator and by the solution-state layer
+    when an operation would create an unrealizable configuration.
+    """
+
+
+class SolverError(FragalignError):
+    """A solver could not produce a solution (bad configuration, size
+    limits for exact solvers, ...)."""
+
+
+class ReductionError(FragalignError):
+    """A reduction gadget was handed input outside its preconditions
+    (e.g. a non-3-regular graph for the Theorem 2 construction)."""

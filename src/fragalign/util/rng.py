@@ -1,0 +1,42 @@
+"""Seeded random-number plumbing.
+
+Every stochastic entry point in fragalign accepts ``rng`` (a
+:class:`numpy.random.Generator`), an integer seed, or ``None``.  This
+module centralizes the coercion so experiments are reproducible from a
+single integer and tests can share fixtures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def as_generator(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    ``None`` yields a freshly seeded generator, an ``int`` seeds a new
+    generator deterministically, and an existing generator is returned
+    unchanged (so callers can thread one generator through a pipeline).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    if isinstance(rng, np.random.Generator):
+        return rng
+    raise TypeError(f"cannot interpret {rng!r} as a random generator")
+
+
+def spawn(rng: RngLike, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``.
+
+    Used when fanning work out to worker processes so each worker gets
+    a decorrelated stream while the whole run stays reproducible.
+    """
+    gen = as_generator(rng)
+    seeds = gen.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,49 @@
+"""Small timing helpers used by benchmarks and examples.
+
+pytest-benchmark drives the official numbers; these helpers exist for
+examples and for quick scaling studies inside benchmark fixtures
+(strong-scaling sweeps need manual timing across pool sizes).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch: ``with sw.measure(): ...`` adds a lap."""
+
+    laps: list[float] = field(default_factory=list)
+
+    @contextmanager
+    def measure(self) -> Iterator[None]:
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.laps.append(time.perf_counter() - t0)
+
+    @property
+    def total(self) -> float:
+        return sum(self.laps)
+
+    @property
+    def best(self) -> float:
+        if not self.laps:
+            raise ValueError("no laps recorded")
+        return min(self.laps)
+
+
+def time_call(fn: Callable, *args, repeat: int = 3, **kwargs) -> tuple[float, object]:
+    """Run ``fn`` ``repeat`` times; return (best wall time, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeat)):
+        t0 = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - t0)
+    return best, result

@@ -1,0 +1,9 @@
+"""``repro`` — distribution façade for :mod:`fragalign`.
+
+The library's import name is ``fragalign``; this module re-exports the
+public API so ``import repro`` works as the task scaffold expects.
+"""
+
+from fragalign import __version__, align, core, isp, util
+
+__all__ = ["align", "core", "isp", "util", "__version__"]

@@ -1,0 +1,92 @@
+"""Gotoh affine gaps and Hirschberg linear-space alignment."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from fragalign.align.affine import (
+    affine_global_score,
+    affine_global_score_reference,
+)
+from fragalign.align.hirschberg import hirschberg_align
+from fragalign.align.pairwise import global_align, global_score
+from fragalign.align.scoring_matrices import unit_dna
+from fragalign.genome.dna import random_dna
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=18)
+dna1 = st.text(alphabet="ACGT", min_size=1, max_size=30)
+
+
+class TestAffine:
+    @given(dna, dna)
+    def test_vectorized_equals_reference(self, a, b):
+        got = affine_global_score(a, b)
+        expect = affine_global_score_reference(a, b)
+        assert got == pytest.approx(expect, abs=1e-6)
+
+    @given(dna1, dna1)
+    def test_equals_linear_when_open_equals_extend(self, a, b):
+        model = unit_dna(gap=-2.0)
+        affine = affine_global_score(a, b, model, open_=-2.0, extend=-2.0)
+        linear = global_score(a, b, model)
+        assert affine == pytest.approx(linear, abs=1e-6)
+
+    def test_long_gap_cheaper_than_linear(self):
+        a = "ACGTACGTACGT"
+        b = "ACGT" + "ACGT"  # middle chunk deleted
+        model = unit_dna(gap=-2.0)
+        linear = global_score(a, b, model)
+        affine = affine_global_score(a, b, model, open_=-3.0, extend=-0.5)
+        # One 4-gap: affine pays 3 + 3·0.5 = 4.5 < linear 8.
+        assert affine > linear
+
+    def test_identical_sequences(self):
+        s = "ACGTACGT"
+        assert affine_global_score(s, s) == pytest.approx(len(s))
+
+    def test_empty_cases(self):
+        assert affine_global_score("", "") == 0.0
+        assert affine_global_score("A", "") == pytest.approx(-4.0)
+        assert affine_global_score("", "AAA") == pytest.approx(-4.0 - 2.0)
+
+    @given(dna1, dna1)
+    def test_symmetry(self, a, b):
+        assert affine_global_score(a, b) == pytest.approx(
+            affine_global_score(b, a), abs=1e-6
+        )
+
+
+class TestHirschberg:
+    @given(dna1, dna1)
+    def test_score_matches_quadratic(self, a, b):
+        aln = hirschberg_align(a, b)
+        assert aln.score == pytest.approx(global_score(a, b), abs=1e-9)
+
+    @given(dna1, dna1)
+    def test_pairs_are_a_valid_alignment(self, a, b):
+        aln = hirschberg_align(a, b)
+        for (i1, j1), (i2, j2) in zip(aln.pairs, aln.pairs[1:]):
+            assert i1 < i2 and j1 < j2
+        for i, j in aln.pairs:
+            assert 0 <= i < len(a) and 0 <= j < len(b)
+
+    @given(dna1, dna1)
+    @settings(max_examples=15)
+    def test_pairs_realize_optimal_score(self, a, b):
+        """Summing σ over the pairs plus gap costs = the DP optimum."""
+        model = unit_dna()
+        aln = hirschberg_align(a, b, model)
+        pair_score = sum(model.score(a[i], b[j]) for i, j in aln.pairs)
+        gaps = (len(a) - len(aln.pairs)) + (len(b) - len(aln.pairs))
+        assert pair_score + gaps * model.gap == pytest.approx(
+            aln.score, abs=1e-9
+        )
+
+    def test_long_sequences(self, rng):
+        a = random_dna(800, rng)
+        b = random_dna(700, rng)
+        aln = hirschberg_align(a, b)
+        quad = global_align(a[:0] + a, b)  # same inputs, quadratic DP
+        assert aln.score == pytest.approx(quad.score, abs=1e-9)

@@ -1,0 +1,97 @@
+"""Chain DP: vectorized kernel ≡ reference, traceback validity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from fragalign.align.chain import (
+    chain_pairs_scores,
+    chain_score,
+    chain_score_reference,
+    chain_score_with_pairs,
+    chain_table,
+)
+
+matrices = arrays(
+    dtype=float,
+    shape=st.tuples(st.integers(0, 8), st.integers(0, 8)),
+    elements=st.floats(-5, 5, allow_nan=False, width=32),
+)
+
+
+def test_empty_matrix_scores_zero():
+    assert chain_score(np.zeros((0, 5))) == 0.0
+    assert chain_score(np.zeros((5, 0))) == 0.0
+    assert chain_score_reference(np.zeros((0, 0))) == 0.0
+
+
+def test_single_cell():
+    assert chain_score(np.array([[3.0]])) == 3.0
+    assert chain_score(np.array([[-3.0]])) == 0.0  # skipping is free
+
+
+def test_known_small_case():
+    W = np.array([[1.0, 5.0], [4.0, 1.0]])
+    # Either take the 5 alone or 1+1; the anti-diagonal 5+4 is not a chain.
+    assert chain_score(W) == 5.0
+
+
+def test_crossing_pairs_rejected():
+    # Only increasing chains allowed: both 10s cross, so one is chosen.
+    W = np.array([[0.0, 10.0], [10.0, 0.0]])
+    assert chain_score(W) == 10.0
+
+
+@given(matrices)
+def test_vectorized_equals_reference(W):
+    assert chain_score(W) == pytest.approx(chain_score_reference(W), abs=1e-9)
+
+
+@given(matrices)
+def test_score_nonnegative_and_bounded(W):
+    s = chain_score(W)
+    assert s >= 0.0
+    positive_sum = float(np.where(W > 0, W, 0).sum())
+    assert s <= positive_sum + 1e-9
+
+
+@given(matrices)
+def test_traceback_chain_is_valid_and_scores(W):
+    s, pairs = chain_score_with_pairs(W)
+    assert s == pytest.approx(chain_score(W), abs=1e-9)
+    # strictly increasing in both coordinates
+    for (i1, j1), (i2, j2) in zip(pairs, pairs[1:]):
+        assert i1 < i2 and j1 < j2
+    assert sum(W[i, j] for i, j in pairs) == pytest.approx(s, abs=1e-9)
+
+
+@given(matrices)
+def test_table_monotone(W):
+    C = chain_table(W)
+    assert (np.diff(C, axis=0) >= -1e-12).all()
+    assert (np.diff(C, axis=1) >= -1e-12).all()
+
+
+@given(matrices)
+def test_adding_rows_never_hurts(W):
+    if W.shape[0] == 0:
+        return
+    assert chain_score(W) >= chain_score(W[:-1]) - 1e-9
+
+
+def test_chain_pairs_scores_builder():
+    W = chain_pairs_scores("ab", "abc", lambda a, b: 1.0 if a == b else 0.0)
+    assert W.shape == (2, 3)
+    assert W[0, 0] == 1.0 and W[1, 1] == 1.0 and W[0, 1] == 0.0
+    assert chain_score(W) == 2.0
+
+
+def test_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        chain_score(np.zeros(3))
+    with pytest.raises(ValueError):
+        chain_score_reference(np.zeros((2, 2, 2)))

@@ -1,0 +1,138 @@
+"""Pairwise nucleotide alignment kernels vs. references and properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from fragalign.align.pairwise import (
+    banded_global_score,
+    global_align,
+    global_score,
+    global_score_reference,
+    local_align,
+    local_score,
+    overlap_score,
+)
+from fragalign.align.scoring_matrices import (
+    encode,
+    transition_transversion,
+    unit_dna,
+)
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=24)
+dna1 = st.text(alphabet="ACGT", min_size=1, max_size=24)
+
+
+def test_encode_roundtrip():
+    codes = encode("ACGTN")
+    assert list(codes) == [0, 1, 2, 3, 4]
+    assert list(encode("acxg")) == [0, 1, 4, 2]
+
+
+def test_substitution_model_validation():
+    import numpy as np
+
+    from fragalign.align.scoring_matrices import SubstitutionModel
+
+    with pytest.raises(ValueError):
+        SubstitutionModel(matrix=np.zeros((4, 4)), gap=-1)
+    bad = np.zeros((5, 5))
+    bad[0, 1] = 1.0
+    with pytest.raises(ValueError):
+        SubstitutionModel(matrix=bad, gap=-1)
+
+
+def test_transition_vs_transversion_scores():
+    m = transition_transversion()
+    assert m.score("A", "G") > m.score("A", "C")  # transition beats transversion
+    assert m.score("A", "A") > m.score("A", "G")
+
+
+def test_global_identical_sequences():
+    s = "ACGTACGT"
+    assert global_score(s, s) == len(s)
+
+
+def test_global_empty():
+    model = unit_dna()
+    assert global_score("", "ACG") == 3 * model.gap
+    assert global_score("ACG", "") == 3 * model.gap
+
+
+def test_known_alignment():
+    # classic: GATTACA vs GCATGCU-like sanity on DNA
+    s = global_score("GATTACA", "GATGACA")
+    assert s == 5.0  # 6 matches, 1 mismatch with unit scores: 6 - 1
+
+
+@given(dna, dna)
+def test_global_vectorized_equals_reference(a, b):
+    assert global_score(a, b) == pytest.approx(
+        global_score_reference(a, b), abs=1e-9
+    )
+
+
+@given(dna, dna)
+def test_global_symmetry(a, b):
+    assert global_score(a, b) == pytest.approx(global_score(b, a), abs=1e-9)
+
+
+@given(dna1, dna1)
+def test_global_align_traceback_consistent(a, b):
+    aln = global_align(a, b)
+    assert aln.score == pytest.approx(global_score(a, b), abs=1e-9)
+    for (i1, j1), (i2, j2) in zip(aln.pairs, aln.pairs[1:]):
+        assert i1 < i2 and j1 < j2
+
+
+@given(dna1, dna1)
+def test_local_at_least_global_tail(a, b):
+    # Local can always do at least 0 and at least any exact shared char.
+    s = local_score(a, b)
+    assert s >= 0.0
+    if set(a) & set(b):
+        assert s >= 1.0
+
+
+@given(dna1, dna1)
+def test_local_align_window_scores(a, b):
+    aln = local_align(a, b)
+    assert aln.score == pytest.approx(local_score(a, b), abs=1e-9)
+    (ai, aj) = aln.a_interval
+    (bi, bj) = aln.b_interval
+    if aln.pairs:
+        # Re-aligning the windows globally recovers at least the score.
+        assert global_score(a[ai:aj], b[bi:bj]) >= aln.score - 1e-9
+
+
+def test_local_finds_planted_motif(rng):
+    from fragalign.genome.dna import random_dna
+
+    motif = "ACGTGTACCAGT"
+    a = random_dna(60, rng) + motif + random_dna(60, rng)
+    b = random_dna(40, rng) + motif + random_dna(50, rng)
+    assert local_score(a, b) >= len(motif) - 2
+
+
+def test_overlap_score_detects_overlap():
+    a = "TTTTTACGTACGT"
+    b = "ACGTACGTCCCC"
+    score, a_start, b_end = overlap_score(a, b)
+    assert score >= 8.0
+    assert a[a_start:] .startswith("ACGT")
+    assert b[:b_end].endswith("ACGT")
+
+
+@given(dna1, dna1)
+def test_banded_equals_global_with_wide_band(a, b):
+    band = max(len(a), len(b))
+    assert banded_global_score(a, b, band) == pytest.approx(
+        global_score(a, b), abs=1e-9
+    )
+
+
+def test_banded_rejects_too_narrow():
+    with pytest.raises(ValueError):
+        banded_global_score("AAAA", "A", band=1)

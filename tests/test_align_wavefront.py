@@ -1,0 +1,66 @@
+"""Wavefront-blocked DP must equal the straight kernel for every
+executor, kernel and block size — the schedule is not allowed to change
+the answer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from fragalign.align.pairwise import global_score
+from fragalign.align.scoring_matrices import transition_transversion
+from fragalign.align.wavefront import nw_score_wavefront
+from fragalign.genome.dna import random_dna
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=40)
+
+
+@given(dna, dna, st.integers(1, 17))
+def test_serial_blocked_equals_plain(a, b, block):
+    assert nw_score_wavefront(a, b, block=block) == pytest.approx(
+        global_score(a, b), abs=1e-9
+    )
+
+
+@given(dna, dna)
+@settings(max_examples=10)
+def test_python_kernel_equals_numpy_kernel(a, b):
+    got_py = nw_score_wavefront(a, b, block=7, kernel="python")
+    got_np = nw_score_wavefront(a, b, block=7, kernel="numpy")
+    assert got_py == pytest.approx(got_np, abs=1e-9)
+
+
+def test_threads_executor_equals_serial(rng):
+    a = random_dna(300, rng)
+    b = random_dna(280, rng)
+    expect = global_score(a, b)
+    got = nw_score_wavefront(a, b, block=64, executor="threads", workers=4)
+    assert got == pytest.approx(expect, abs=1e-9)
+
+
+def test_processes_executor_equals_serial(rng):
+    a = random_dna(400, rng)
+    b = random_dna(380, rng)
+    expect = global_score(a, b)
+    got = nw_score_wavefront(a, b, block=128, executor="processes", workers=2)
+    assert got == pytest.approx(expect, abs=1e-9)
+
+
+def test_custom_model_supported(rng):
+    model = transition_transversion()
+    a = random_dna(120, rng)
+    b = random_dna(100, rng)
+    assert nw_score_wavefront(a, b, model, block=33) == pytest.approx(
+        global_score(a, b, model), abs=1e-9
+    )
+
+
+def test_empty_sequences():
+    assert nw_score_wavefront("", "ACG") == -3.0
+    assert nw_score_wavefront("ACG", "") == -3.0
+
+
+def test_bad_block_size():
+    with pytest.raises(ValueError):
+        nw_score_wavefront("A", "A", block=0)

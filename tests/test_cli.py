@@ -1,0 +1,57 @@
+"""CLI smoke tests (every subcommand exercised in-process)."""
+
+from __future__ import annotations
+
+import pytest
+
+from fragalign.cli import build_parser, main
+
+
+def test_demo_all(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "csr_improve" in out and "score=11" in out
+
+
+def test_demo_single_solver(capsys):
+    assert main(["demo", "--solver", "greedy"]) == 0
+    out = capsys.readouterr().out
+    assert "greedy" in out
+
+
+def test_pipeline(capsys):
+    assert (
+        main(
+            [
+                "pipeline",
+                "--seed",
+                "3",
+                "--blocks",
+                "5",
+                "--h-contigs",
+                "2",
+                "--m-contigs",
+                "2",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "accuracy" in out
+
+
+def test_hardness(capsys):
+    assert main(["hardness", "--nodes", "8", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "CSoP-opt" in out
+
+
+def test_bench_dp(capsys):
+    assert main(["bench-dp", "--length", "200", "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Mcells/s" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

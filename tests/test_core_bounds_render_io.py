@@ -1,0 +1,133 @@
+"""Upper bounds, ASCII rendering, and JSON serialization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from fragalign.core import (
+    Arrangement,
+    csr_improve,
+    exact_csr,
+    paper_example,
+    random_instance,
+)
+from fragalign.core.bounds import certified_ratio, matching_bound, row_max_bound
+from fragalign.core.io import dumps, instance_from_dict, instance_to_dict, load, loads, save
+from fragalign.core.render import render_alignment
+from fragalign.util.errors import InstanceError
+
+seeds = st.integers(0, 10_000)
+
+
+class TestBounds:
+    @given(seeds)
+    @settings(max_examples=15)
+    def test_matching_bound_dominates_opt(self, seed):
+        inst = random_instance(n_h=2, n_m=2, rng=seed)
+        opt = exact_csr(inst).score
+        assert matching_bound(inst) + 1e-9 >= opt
+
+    @given(seeds)
+    @settings(max_examples=15)
+    def test_row_max_dominates_matching(self, seed):
+        inst = random_instance(n_h=2, n_m=2, rng=seed)
+        assert row_max_bound(inst) + 1e-9 >= matching_bound(inst)
+
+    def test_paper_example_bound(self, paper_instance):
+        # Occurrence matching can collect a(4) + b(3) + c(5) + d(2) = 14.
+        assert matching_bound(paper_instance) == pytest.approx(14.0)
+        assert row_max_bound(paper_instance) == pytest.approx(14.0)
+
+    def test_certified_ratio(self, paper_instance):
+        sol = csr_improve(paper_instance)
+        ratio = certified_ratio(sol)
+        assert ratio >= 1.0
+        assert ratio == pytest.approx(14.0 / 11.0)
+
+    @given(seeds)
+    @settings(max_examples=10)
+    def test_certificate_is_sound(self, seed):
+        inst = random_instance(n_h=2, n_m=2, rng=seed)
+        sol = csr_improve(inst)
+        opt = exact_csr(inst).score
+        if sol.score > 0:
+            assert certified_ratio(sol) + 1e-9 >= opt / sol.score
+
+
+class TestRender:
+    def test_paper_layout(self, paper_instance):
+        arr_h = Arrangement("H", ((0, False), (1, True)))
+        arr_m = Arrangement("M", ((0, False), (1, False)))
+        text = render_alignment(paper_instance, arr_h, arr_m)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("H: [")
+        assert lines[2].startswith("M: [")
+        for name in ("a", "b", "c", "dᴿ"):
+            assert name in lines[0]
+        for name in ("s", "t", "u", "v"):
+            assert name in lines[2]
+        assert "|" in lines[1]  # at least one aligned pair drawn
+        assert "| " in lines[0]  # fragment boundary marked
+
+    @given(seeds)
+    @settings(max_examples=10)
+    def test_render_never_crashes_and_shows_all_symbols(self, seed):
+        inst = random_instance(n_h=2, n_m=2, rng=seed)
+        res = exact_csr(inst)
+        text = render_alignment(inst, res.arr_h, res.arr_m)
+        n_h = inst.total_regions("H")
+        n_m = inst.total_regions("M")
+        assert text.splitlines()[0].count("r") >= min(n_h, 1)
+        assert text.splitlines()[2].count("r") >= min(n_m, 1)
+
+
+class TestIO:
+    def test_round_trip_paper(self, paper_instance):
+        doc = instance_to_dict(paper_instance)
+        back = instance_from_dict(doc)
+        assert back.h_fragments == paper_instance.h_fragments
+        assert back.m_fragments == paper_instance.m_fragments
+        assert exact_csr(back).score == pytest.approx(11.0)
+        assert back.region_names == paper_instance.region_names
+
+    @given(seeds)
+    @settings(max_examples=15)
+    def test_round_trip_preserves_scores(self, seed):
+        inst = random_instance(n_h=2, n_m=2, rng=seed)
+        back = loads(dumps(inst))
+        assert sorted(back.scorer.pairs()) == sorted(inst.scorer.pairs())
+
+    def test_file_round_trip(self, tmp_path, paper_instance):
+        path = tmp_path / "inst.json"
+        save(paper_instance, str(path))
+        back = load(str(path))
+        assert back.n_h == 2 and back.n_m == 2
+
+    def test_malformed_document(self):
+        with pytest.raises(InstanceError):
+            instance_from_dict({"h_fragments": "nope"})
+        with pytest.raises(InstanceError):
+            instance_from_dict({})
+
+
+class TestCLISolve:
+    def test_solve_command(self, tmp_path, capsys, paper_instance):
+        from fragalign.cli import main
+
+        path = tmp_path / "paper.json"
+        save(paper_instance, str(path))
+        assert main(["solve", str(path), "--render"]) == 0
+        out = capsys.readouterr().out
+        assert "certified within" in out
+        assert "H: [" in out
+
+    def test_solve_exact(self, tmp_path, capsys, paper_instance):
+        from fragalign.cli import main
+
+        path = tmp_path / "paper.json"
+        save(paper_instance, str(path))
+        assert main(["solve", str(path), "--solver", "exact"]) == 0
+        assert "score=11" in capsys.readouterr().out

@@ -1,0 +1,104 @@
+"""Arrangements, Score, and the Definition-1 padding round-trip."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from fragalign.core.conjecture import (
+    Arrangement,
+    all_arrangements,
+    explicit_padding,
+    identity_arrangement,
+    padded_column_score,
+    realize,
+    score_pair,
+    score_sequences,
+)
+from fragalign.core.generators import random_instance
+from fragalign.core.symbols import PAD, reverse_word
+from fragalign.util.errors import InstanceError
+
+
+def test_realize_identity(paper_instance):
+    arr = identity_arrangement(paper_instance, "H")
+    assert realize(paper_instance, arr) == (1, 2, 3, 4)  # a b c | d
+
+
+def test_realize_reversed(paper_instance):
+    arr = Arrangement("H", ((1, True), (0, False)))
+    # h2ᴿ = ⟨dᴿ⟩ then h1 = ⟨a, b, c⟩
+    assert realize(paper_instance, arr) == (-4, 1, 2, 3)
+
+
+def test_arrangement_validation(paper_instance):
+    with pytest.raises(InstanceError):
+        realize(paper_instance, Arrangement("H", ((0, False),)))
+    with pytest.raises(InstanceError):
+        realize(paper_instance, Arrangement("H", ((0, False), (0, True))))
+
+
+def test_all_arrangements_counts(paper_instance):
+    full = list(all_arrangements(paper_instance, "H"))
+    assert len(full) == 8  # 2! * 2^2
+    dedup = list(all_arrangements(paper_instance, "H", dedup_mirror=True))
+    assert len(dedup) == 4  # halved exactly
+
+
+def test_mirror_is_involution(paper_instance):
+    for arr in all_arrangements(paper_instance, "H"):
+        assert arr.mirrored().mirrored() == arr
+
+
+def test_paper_optimal_arrangement_scores_11(paper_instance):
+    # h1 then h2ᴿ over m1 m2: the layout of Fig. 4.
+    arr_h = Arrangement("H", ((0, False), (1, True)))
+    arr_m = Arrangement("M", ((0, False), (1, False)))
+    assert score_pair(paper_instance, arr_h, arr_m) == pytest.approx(11.0)
+
+
+def test_score_pair_species_check(paper_instance):
+    arr_h = identity_arrangement(paper_instance, "H")
+    with pytest.raises(InstanceError):
+        score_pair(paper_instance, arr_h, arr_h)
+
+
+@given(st.integers(0, 10_000))
+def test_mirror_invariance_of_score(seed):
+    inst = random_instance(n_h=2, n_m=2, rng=seed)
+    arr_h = identity_arrangement(inst, "H")
+    arr_m = identity_arrangement(inst, "M")
+    direct = score_pair(inst, arr_h, arr_m)
+    mirrored = score_pair(inst, arr_h.mirrored(), arr_m.mirrored())
+    assert direct == pytest.approx(mirrored)
+
+
+@given(st.integers(0, 10_000))
+def test_explicit_padding_realizes_chain_score(seed):
+    inst = random_instance(n_h=2, n_m=2, rng=seed)
+    h_word = realize(inst, identity_arrangement(inst, "H"))
+    m_word = realize(inst, identity_arrangement(inst, "M"))
+    expect = score_sequences(inst.scorer, h_word, m_word)
+    ph, pm = explicit_padding(inst.scorer, h_word, m_word)
+    assert len(ph) == len(pm)
+    assert padded_column_score(inst.scorer, ph, pm) == pytest.approx(expect)
+    # stripping pads recovers the originals
+    assert tuple(x for x in ph if x != PAD) == h_word
+    assert tuple(x for x in pm if x != PAD) == m_word
+
+
+@given(st.integers(0, 10_000))
+def test_score_reversal_invariance_of_sequences(seed):
+    inst = random_instance(n_h=2, n_m=2, rng=seed)
+    h_word = realize(inst, identity_arrangement(inst, "H"))
+    m_word = realize(inst, identity_arrangement(inst, "M"))
+    s1 = score_sequences(inst.scorer, h_word, m_word)
+    s2 = score_sequences(
+        inst.scorer, reverse_word(h_word), reverse_word(m_word)
+    )
+    assert s1 == pytest.approx(s2)
+
+
+def test_padded_column_score_length_mismatch(paper_instance):
+    assert padded_column_score(paper_instance.scorer, (1,), (1, 2)) == 0.0

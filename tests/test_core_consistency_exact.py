@@ -1,0 +1,159 @@
+"""Layout generation (Remark 1), consistency screens (Fig. 3), the
+exact solver and Definition-2 match derivation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from fragalign.core.conjecture import Arrangement, identity_arrangement, score_pair
+from fragalign.core.consistency import (
+    check_consistent,
+    find_inconsistency,
+    layout,
+    layout_score,
+)
+from fragalign.core.exact import derive_matches, exact_csr, state_from_arrangements
+from fragalign.core.fragments import CSRInstance
+from fragalign.core.generators import planted_instance, random_instance
+from fragalign.core.match_score import MatchScorer
+from fragalign.core.matches import Match
+from fragalign.core.sites import Site
+from fragalign.core.state import SolutionState
+from fragalign.util.errors import SolverError
+
+
+class TestExact:
+    def test_paper_example_is_11(self, paper_instance):
+        res = exact_csr(paper_instance)
+        assert res.score == pytest.approx(11.0)
+
+    def test_search_size_guard(self):
+        inst = random_instance(n_h=6, n_m=6, rng=0)
+        with pytest.raises(SolverError):
+            exact_csr(inst, max_pairs=100)
+
+    @given(st.integers(0, 3_000))
+    @settings(max_examples=15)
+    def test_exact_at_least_any_arrangement(self, seed):
+        inst = random_instance(n_h=2, n_m=2, rng=seed)
+        res = exact_csr(inst)
+        arr_h = identity_arrangement(inst, "H")
+        arr_m = identity_arrangement(inst, "M")
+        assert res.score + 1e-9 >= score_pair(inst, arr_h, arr_m)
+
+    def test_planted_lower_bound(self):
+        p = planted_instance(n_blocks=5, n_h=2, n_m=2, rng=3)
+        res = exact_csr(p.instance)
+        assert res.score + 1e-9 >= p.planted_score
+
+
+class TestDeriveMatches:
+    @given(st.integers(0, 3_000))
+    @settings(max_examples=15)
+    def test_remark1_score_equality(self, seed):
+        inst = random_instance(n_h=2, n_m=3, rng=seed)
+        arr_h = identity_arrangement(inst, "H")
+        arr_m = identity_arrangement(inst, "M")
+        matches = derive_matches(inst, arr_h, arr_m)
+        total = sum(m.score for m in matches)
+        assert total == pytest.approx(score_pair(inst, arr_h, arr_m))
+
+    def test_paper_fig5_matches(self, paper_instance):
+        # Fig. 5: ω1=(h1(1,2), m1(1,2)), ω2=(h1(3,3), m2(1,1)),
+        # ω3=(h2ᴿ(1,1), m2(2,2)) — in our 0-based coords below.
+        arr_h = Arrangement("H", ((0, False), (1, True)))
+        arr_m = Arrangement("M", ((0, False), (1, False)))
+        matches = derive_matches(paper_instance, arr_h, arr_m)
+        got = {
+            (m.h_site.fid, m.h_site.start, m.h_site.end,
+             m.m_site.fid, m.m_site.start, m.m_site.end, m.score)
+            for m in matches
+        }
+        assert (0, 0, 2, 0, 0, 2, 4.0) in got  # ω1 = (h1(1,2), m1(1,2))
+        assert (0, 2, 3, 1, 0, 1, 5.0) in got  # ω2 = (h1(3,3), m2(1,1))
+        assert (1, 0, 1, 1, 1, 2, 2.0) in got  # ω3 = (h2ᴿ(1,1), m2(2,2))
+        assert len(matches) == 3
+        assert sum(m.score for m in matches) == pytest.approx(11.0)
+
+    @given(st.integers(0, 3_000))
+    @settings(max_examples=15)
+    def test_seeded_state_is_consistent(self, seed):
+        inst = random_instance(n_h=2, n_m=2, rng=seed)
+        res = exact_csr(inst)
+        state = state_from_arrangements(inst, res.arr_h, res.arr_m)
+        # The layout must realize at least the state's score.
+        assert layout_score(state) + 1e-9 >= state.score()
+
+
+class TestLayout:
+    def test_layout_covers_all_fragments(self, paper_instance):
+        state = SolutionState(paper_instance, MatchScorer(paper_instance))
+        arr_h, arr_m = layout(state)
+        assert len(arr_h.order) == paper_instance.n_h
+        assert len(arr_m.order) == paper_instance.n_m
+
+    def test_layout_realizes_two_island(self):
+        inst = CSRInstance.build(
+            [(1, 2), (7,)],
+            [(3, 4), (8,)],
+            {(2, 3): 5.0, (1, 8): 2.0, (7, 4): 2.0},
+        )
+        state = SolutionState(inst, MatchScorer(inst))
+        state.add_border(Site("H", 0, 1, 2), Site("M", 0, 0, 1))
+        state.add_full(("M", 1), Site("H", 0, 0, 1))
+        state.add_full(("H", 1), Site("M", 0, 1, 2))
+        check_consistent(state)
+        assert layout_score(state) == pytest.approx(9.0)
+
+    def test_layout_two_island_all_end_geometries(self):
+        # Border matches at every end combination must lay out.
+        for h_cut, m_cut in (((1, 2), (0, 1)), ((0, 1), (1, 2))):
+            inst = CSRInstance.build(
+                [(1, 2)],
+                [(3, 4)],
+                {
+                    (2, 3): 5.0,
+                    (1, 4): 5.0,
+                    (2, -4): 5.0,
+                    (1, -3): 5.0,
+                },
+            )
+            state = SolutionState(inst, MatchScorer(inst))
+            state.add_border(
+                Site("H", 0, *h_cut), Site("M", 0, *m_cut)
+            )
+            assert layout_score(state) + 1e-9 >= state.score()
+
+
+class TestFig3Screens:
+    def test_orientation_conflict_detected(self):
+        m1 = Match(Site("H", 0, 0, 1), Site("M", 0, 0, 1), False, "full", 1.0)
+        m2 = Match(Site("H", 0, 2, 3), Site("M", 0, 2, 3), True, "full", 1.0)
+        msg = find_inconsistency([m1, m2])
+        assert msg and "orientation conflict" in msg
+
+    def test_order_violation_detected(self):
+        m1 = Match(Site("H", 0, 0, 1), Site("M", 0, 2, 3), False, "full", 1.0)
+        m2 = Match(Site("H", 0, 2, 3), Site("M", 0, 0, 1), False, "full", 1.0)
+        msg = find_inconsistency([m1, m2])
+        assert msg and "order violation" in msg
+
+    def test_reversed_pairs_order(self):
+        # With rev=True the m-sites must DEcrease along h — valid case.
+        m1 = Match(Site("H", 0, 0, 1), Site("M", 0, 2, 3), True, "full", 1.0)
+        m2 = Match(Site("H", 0, 2, 3), Site("M", 0, 0, 1), True, "full", 1.0)
+        assert find_inconsistency([m1, m2]) is None
+
+    def test_overlap_detected(self):
+        m1 = Match(Site("H", 0, 0, 2), Site("M", 0, 0, 2), False, "full", 1.0)
+        m2 = Match(Site("H", 1, 0, 1), Site("M", 0, 1, 3), False, "full", 1.0)
+        msg = find_inconsistency([m1, m2])
+        assert msg and "overlap" in msg
+
+    def test_consistent_set_passes(self, paper_instance):
+        arr_h = Arrangement("H", ((0, False), (1, True)))
+        arr_m = Arrangement("M", ((0, False), (1, False)))
+        matches = derive_matches(paper_instance, arr_h, arr_m)
+        assert find_inconsistency(matches) is None

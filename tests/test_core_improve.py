@@ -1,0 +1,158 @@
+"""Improvement engine mechanics: TPA re-packing, attempts, transactions."""
+
+from __future__ import annotations
+
+import pytest
+
+from fragalign.core.fragments import CSRInstance
+from fragalign.core.improve import (
+    I1Attempt,
+    I2Attempt,
+    candidate_zones,
+    i1_attempts,
+    i2_attempts,
+    i3_attempts,
+    run_improvement,
+    tpa_repack,
+)
+from fragalign.core.match_score import MatchScorer
+from fragalign.core.sites import Site
+from fragalign.core.state import SolutionState
+from fragalign.util.errors import InconsistentMatchSetError
+
+
+@pytest.fixture
+def inst() -> CSRInstance:
+    # H0=⟨1,2⟩ H1=⟨3⟩ H2=⟨4⟩ ; M0=⟨5,6,7,8⟩ M1=⟨9⟩
+    return CSRInstance.build(
+        [(1, 2), (3,), (4,)],
+        [(5, 6, 7, 8), (9,)],
+        {
+            (1, 5): 2.0,
+            (2, 6): 2.0,
+            (3, 7): 3.0,
+            (4, 8): 4.0,
+            (3, 9): 1.0,
+        },
+    )
+
+
+@pytest.fixture
+def state(inst) -> SolutionState:
+    return SolutionState(inst, MatchScorer(inst))
+
+
+class TestTpaRepack:
+    def test_packs_free_zone(self, state):
+        made = tpa_repack(state, [Site("M", 0, 0, 4)], candidate_species="H")
+        assert made >= 2
+        assert state.score() >= 7.0  # at least H0 (4) + one of H1/H2
+
+    def test_profit_accounts_for_existing_contribution(self, state):
+        # H1 is already earning 3 on M0; repacking M1 (worth only 1)
+        # must not steal it.
+        state.add_full(("H", 1), Site("M", 0, 2, 3))
+        made = tpa_repack(state, [Site("M", 1, 0, 1)], candidate_species="H")
+        assert made == 0
+        assert state.contribution(("H", 1)) == pytest.approx(3.0)
+
+    def test_zone_species_enforced(self, state):
+        with pytest.raises(InconsistentMatchSetError):
+            tpa_repack(state, [Site("M", 0, 0, 2)], candidate_species="M")
+
+    def test_clips_to_free_territory(self, state):
+        state.add_full(("H", 0), Site("M", 0, 0, 2))
+        # Zone covers the occupied part; only [2,4) is really free.
+        made = tpa_repack(state, [Site("M", 0, 0, 4)], candidate_species="H")
+        assert made >= 1
+        state.check()
+
+    def test_empty_zone_list(self, state):
+        assert tpa_repack(state, [], candidate_species="H") == 0
+
+
+class TestAttempts:
+    def test_i1_plugs_fragment(self, state):
+        attempt = I1Attempt(("H", 0), Site("M", 0, 0, 2), Site("M", 0, 0, 2))
+        attempt.run(state)
+        assert state.score() == pytest.approx(4.0)
+        state.check()
+
+    def test_i1_with_zone_repack(self, state):
+        # Occupy [0,3) with H0 (scores 4 via 1,2; site covers 5,6,7).
+        state.add_full(("H", 0), Site("M", 0, 0, 3))
+        # Plug H1 into [2,3): zone [0,4) truncates H0's match to [0,2).
+        attempt = I1Attempt(("H", 1), Site("M", 0, 2, 3), Site("M", 0, 0, 4))
+        before = state.score()
+        attempt.run(state)
+        assert state.score() >= before  # 4 + 3 + 4 achievable
+        state.check()
+
+    def test_i1_gain_rollback_in_engine(self, state):
+        state.add_full(("H", 1), Site("M", 0, 2, 3))
+        # A pointless move must be rolled back by the engine.
+        stats = run_improvement(
+            state,
+            [lambda s: iter([I1Attempt(("H", 1), Site("M", 1, 0, 1), Site("M", 1, 0, 1))])],
+        )
+        assert state.score() == pytest.approx(3.0)
+        assert stats.accepted == 0
+
+    def test_i2_creates_border_match(self):
+        inst = CSRInstance.build(
+            [(1, 2)], [(3, 4)], {(2, 3): 5.0}
+        )
+        state = SolutionState(inst, MatchScorer(inst))
+        attempt = I2Attempt(
+            Site("H", 0, 1, 2),
+            Site("H", 0, 1, 2),
+            Site("M", 0, 0, 1),
+            Site("M", 0, 0, 1),
+        )
+        attempt.run(state)
+        assert state.score() == pytest.approx(5.0)
+        state.check()
+
+
+class TestGenerators:
+    def test_candidate_zones_contains_target_and_fragment(self, state):
+        target = Site("M", 0, 1, 2)
+        zones = candidate_zones(state, target)
+        assert target in zones
+        assert Site("M", 0, 0, 4) in zones
+        for z in zones:
+            assert z.contains(target)
+
+    def test_i1_enumeration_nonempty(self, state):
+        attempts = list(i1_attempts(state))
+        assert attempts
+        # every attempt's zone contains its target
+        for a in attempts[:50]:
+            assert a.zone.contains(a.target)
+
+    def test_i2_enumeration_filters_nonpositive(self, state):
+        # No border-compatible scores here except on M0 ends.
+        for a in i2_attempts(state, zoned=False):
+            assert a.h_site.kind(
+                len(state.instance.fragment(*a.h_site.key))
+            ) == "border"
+
+    def test_i3_requires_two_island(self, state):
+        assert list(i3_attempts(state)) == []
+
+
+class TestEngine:
+    def test_reaches_local_optimum(self, state):
+        stats = run_improvement(state, [i1_attempts], validate=True)
+        assert stats.accepted >= 2
+        # All four scored regions of M0 can be collected: 2+2+3+4 = 11.
+        assert state.score() == pytest.approx(11.0)
+
+    def test_threshold_blocks_small_gains(self, state):
+        stats = run_improvement(state, [i1_attempts], threshold=100.0)
+        assert stats.accepted == 0
+        assert state.score() == 0.0
+
+    def test_max_accepts_respected(self, state):
+        stats = run_improvement(state, [i1_attempts], max_accepts=1)
+        assert stats.accepted == 1

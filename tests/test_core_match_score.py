@@ -1,0 +1,111 @@
+"""MS — Definition 4, Figs. 7 and 8."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from fragalign.core.fragments import CSRInstance
+from fragalign.core.generators import random_instance
+from fragalign.core.match_score import MatchScorer
+from fragalign.core.sites import Site
+from fragalign.util.errors import InstanceError
+
+
+@pytest.fixture
+def ms(paper_instance) -> MatchScorer:
+    return MatchScorer(paper_instance)
+
+
+class TestPScore:
+    def test_basic(self, paper_instance, ms):
+        # h1 = ⟨a,b,c⟩ vs m1 = ⟨s,t⟩: σ(a,s)=4, σ(a,t)=1.
+        h = Site("H", 0, 0, 3)
+        m = Site("M", 0, 0, 2)
+        assert ms.p_score(h, m, rev=False) == pytest.approx(4.0)
+
+    def test_reversed_orientation(self, ms):
+        # σ(b, tᴿ) = 3: aligning h1(1,2) against m1ᴿ sees t reversed.
+        h = Site("H", 0, 1, 2)
+        m = Site("M", 0, 1, 2)
+        assert ms.p_score(h, m, rev=True) == pytest.approx(3.0)
+        assert ms.p_score(h, m, rev=False) == pytest.approx(0.0)
+
+    def test_sides_enforced(self, ms):
+        with pytest.raises(InstanceError):
+            ms.p_score(Site("M", 0, 0, 1), Site("M", 0, 0, 1), False)
+
+    def test_cache_stats(self, ms):
+        h = Site("H", 0, 0, 3)
+        m = Site("M", 0, 0, 2)
+        ms.p_score(h, m, False)
+        ms.p_score(h, m, False)
+        stats = ms.cache_stats()
+        assert stats["p_scores"] >= 1
+
+
+class TestMSFull:
+    def test_picks_best_orientation(self, ms):
+        # h2 = ⟨d⟩ vs full m2 = ⟨u,v⟩: σ(d, vᴿ) = 2 needs rev.
+        score, rev = ms.ms_full(Site("H", 1, 0, 1), Site("M", 1, 0, 2))
+        assert score == pytest.approx(2.0)
+        assert rev is True
+
+    def test_fig7_inner_vs_full(self, ms):
+        # inner site of h1 (just b) against full m1: σ(b, tᴿ)=3 via rev.
+        score, rev, kind = ms.ms(Site("H", 0, 1, 2), Site("M", 0, 0, 2))
+        assert kind == "full"
+        assert score == pytest.approx(3.0)
+        assert rev is True
+
+
+class TestMSBorder:
+    @pytest.fixture
+    def chain_inst(self) -> CSRInstance:
+        # H0=⟨1,2⟩, M0=⟨3,4⟩ with σ(2,3)=5 (suffix↔prefix).
+        return CSRInstance.build([(1, 2)], [(3, 4)], {(2, 3): 5.0})
+
+    def test_opposite_ends_direct(self, chain_inst):
+        ms = MatchScorer(chain_inst)
+        h = Site("H", 0, 1, 2)  # suffix (R)
+        m = Site("M", 0, 0, 1)  # prefix (L)
+        score, rev = ms.ms_border(h, m)
+        assert rev is False
+        assert score == pytest.approx(5.0)
+
+    def test_equal_ends_forced_reversal(self, chain_inst):
+        ms = MatchScorer(chain_inst)
+        h = Site("H", 0, 1, 2)  # suffix (R)
+        m = Site("M", 0, 1, 2)  # suffix (R) → reversed content
+        score, rev = ms.ms_border(h, m)
+        assert rev is True
+        assert score == pytest.approx(0.0)  # σ(2, 4ᴿ) unset
+
+    def test_border_requires_border_sites(self, chain_inst):
+        ms = MatchScorer(chain_inst)
+        with pytest.raises(InstanceError):
+            ms.ms_border(Site("H", 0, 0, 2), Site("M", 0, 0, 1))
+
+
+class TestProperties:
+    @given(st.integers(0, 5_000))
+    def test_ms_full_monotone_in_site_extension(self, seed):
+        inst = random_instance(n_h=2, n_m=2, len_lo=2, len_hi=4, rng=seed)
+        ms = MatchScorer(inst)
+        m_len = len(inst.fragment("M", 0))
+        h_full = Site("H", 0, 0, len(inst.fragment("H", 0)))
+        prev = 0.0
+        for e in range(1, m_len + 1):
+            score, _rev = ms.ms_full(h_full, Site("M", 0, 0, e))
+            assert score >= prev - 1e-9  # padding is free
+            prev = score
+
+    @given(st.integers(0, 5_000))
+    def test_ms_nonnegative(self, seed):
+        inst = random_instance(rng=seed)
+        ms = MatchScorer(inst)
+        h = Site("H", 0, 0, len(inst.fragment("H", 0)))
+        m = Site("M", 0, 0, len(inst.fragment("M", 0)))
+        score, _rev, _kind = ms.ms(h, m)
+        assert score >= 0.0

@@ -1,0 +1,64 @@
+"""Exact 1-CSR and the true ratio-2 CSR combinator it enables."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from fragalign.core.exact import exact_csr
+from fragalign.core.generators import random_instance
+from fragalign.core.one_csr import solve_one_csr, solve_one_csr_exact
+from fragalign.reductions.to_one_csr import combine_one_csr
+from fragalign.util.errors import SolverError
+
+seeds = st.integers(0, 10_000)
+
+
+@given(seeds)
+@settings(max_examples=10)
+def test_exact_one_csr_matches_exhaustive(seed):
+    inst = random_instance(n_h=3, n_m=1, len_lo=1, len_hi=3, rng=seed)
+    try:
+        sol = solve_one_csr_exact(inst, max_items=40)
+    except SolverError:
+        return  # too many items for the oracle — legal refusal
+    opt = exact_csr(inst).score
+    assert sol.score == pytest.approx(opt, abs=1e-6)
+
+
+@given(seeds)
+@settings(max_examples=10)
+def test_exact_dominates_tpa(seed):
+    inst = random_instance(n_h=3, n_m=1, len_lo=1, len_hi=3, rng=seed)
+    try:
+        exact_sol = solve_one_csr_exact(inst, max_items=40)
+    except SolverError:
+        return
+    tpa_sol = solve_one_csr(inst)
+    assert exact_sol.score + 1e-9 >= tpa_sol.score
+
+
+@given(seeds)
+@settings(max_examples=8)
+def test_true_ratio_two_combinator(seed):
+    """Theorem 3 with r = 1: A′(exact 1-CSR) is a 2-approximation."""
+    inst = random_instance(n_h=2, n_m=2, len_lo=1, len_hi=2, rng=seed)
+
+    def solver(sub):
+        return solve_one_csr_exact(sub, max_items=60)
+
+    try:
+        sol = combine_one_csr(inst, solver)
+    except SolverError:
+        return
+    opt = exact_csr(inst).score
+    assert 2.0 * sol.score + 1e-6 >= opt
+
+
+def test_item_guard():
+    inst = random_instance(
+        n_h=5, n_m=1, len_lo=4, len_hi=6, score_density=8.0, rng=0
+    )
+    with pytest.raises(SolverError):
+        solve_one_csr_exact(inst, max_items=2)

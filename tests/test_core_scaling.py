@@ -1,0 +1,46 @@
+"""The §4.1 scaling rule as an acceptance threshold."""
+
+from __future__ import annotations
+
+import pytest
+
+from fragalign.core.baseline import baseline4
+from fragalign.core.csr_improve import csr_improve
+from fragalign.core.exact import exact_csr
+from fragalign.core.generators import random_instance
+from fragalign.core.scaling import (
+    iteration_bound,
+    match_count_bound,
+    scaling_threshold,
+)
+
+
+def test_match_count_bound(paper_instance):
+    assert match_count_bound(paper_instance) == 4  # min(4, 4) regions
+
+
+def test_threshold_formula(paper_instance):
+    u = scaling_threshold(paper_instance, baseline_score=8.0, eps=0.1)
+    assert u == pytest.approx(0.1 * 8.0 / 16.0)
+    assert scaling_threshold(paper_instance, 0.0) == 0.0
+
+
+def test_iteration_bound():
+    assert iteration_bound(8.0, 0.05) == 640
+    assert iteration_bound(8.0, 0.0) == 10_000  # fallback
+
+
+def test_scaled_run_still_within_ratio(paper_instance):
+    sol = csr_improve(paper_instance, eps=0.1)
+    opt = exact_csr(paper_instance).score
+    # (3 + ε) guarantee with ε = 0.1-ish slack.
+    assert (3.0 + 0.2) * sol.score + 1e-6 >= opt
+
+
+def test_scaled_run_accepts_fewer_or_equal_improvements():
+    inst = random_instance(n_h=3, n_m=2, rng=9)
+    plain = csr_improve(inst)
+    base = baseline4(inst).score
+    scaled = csr_improve(inst, eps=0.5, baseline_score=base)
+    assert scaled.stats["accepted"] <= plain.stats["accepted"] + 1
+    assert scaled.stats["threshold"] >= plain.stats["threshold"]

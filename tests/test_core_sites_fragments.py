@@ -1,0 +1,129 @@
+"""Sites (Definition 3/5) and fragments/instances."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from fragalign.core.fragments import CSRInstance, Fragment, other_species
+from fragalign.core.sites import Site, full_site
+from fragalign.util.errors import InstanceError
+
+
+def site(start: int, end: int) -> Site:
+    return Site("H", 0, start, end)
+
+
+class TestSiteClassification:
+    def test_full_border_inner(self):
+        n = 5
+        assert site(0, 5).kind(n) == "full"
+        assert site(0, 3).kind(n) == "border"
+        assert site(2, 5).kind(n) == "border"
+        assert site(1, 4).kind(n) == "inner"
+
+    def test_touched_end(self):
+        n = 4
+        assert site(0, 2).touched_end(n) == "L"
+        assert site(2, 4).touched_end(n) == "R"
+        assert site(0, 4).touched_end(n) is None
+        assert site(1, 3).touched_end(n) is None
+
+    def test_bad_sites(self):
+        with pytest.raises(InstanceError):
+            Site("H", 0, 3, 3)
+        with pytest.raises(InstanceError):
+            Site("H", 0, -1, 2)
+        with pytest.raises(InstanceError):
+            site(0, 9).kind(5)
+
+
+bounds = st.tuples(st.integers(0, 9), st.integers(1, 10)).filter(
+    lambda t: t[0] < t[1]
+)
+
+
+class TestSiteRelations:
+    @given(bounds, bounds)
+    def test_hidden_is_strict_containment(self, a, b):
+        s1, s2 = site(*a), site(*b)
+        expect = b[0] < a[0] and a[1] < b[1]
+        assert s1.hidden_by(s2) == expect
+
+    @given(bounds, bounds)
+    def test_overlap_symmetry(self, a, b):
+        assert site(*a).overlaps(site(*b)) == site(*b).overlaps(site(*a))
+
+    @given(bounds, bounds)
+    def test_minus_covers_exactly(self, a, b):
+        s1, s2 = site(*a), site(*b)
+        pieces = s1.minus(s2)
+        covered = set()
+        for p in pieces:
+            covered |= set(range(p.start, p.end))
+        expect = set(range(a[0], a[1])) - set(range(b[0], b[1]))
+        assert covered == expect
+
+    @given(bounds, bounds)
+    def test_intersect(self, a, b):
+        inter = site(*a).intersect(site(*b))
+        expect = set(range(a[0], a[1])) & set(range(b[0], b[1]))
+        if inter is None:
+            assert not expect
+        else:
+            assert set(range(inter.start, inter.end)) == expect
+
+    def test_relations_need_same_fragment(self):
+        other = Site("M", 0, 0, 3)
+        assert not site(0, 3).overlaps(other)
+        assert not site(0, 3).contains(other)
+
+    def test_adjacent(self):
+        assert site(0, 2).adjacent(site(2, 4))
+        assert not site(0, 2).adjacent(site(3, 4))
+
+
+class TestFragments:
+    def test_fragment_validation(self):
+        with pytest.raises(InstanceError):
+            Fragment("X", 0, (1,))
+        with pytest.raises(InstanceError):
+            Fragment("H", 0, ())
+        with pytest.raises(InstanceError):
+            Fragment("H", 0, (1, 0))
+
+    def test_other_species(self):
+        assert other_species("H") == "M"
+        assert other_species("M") == "H"
+        with pytest.raises(InstanceError):
+            other_species("Q")
+
+    def test_instance_indexing_enforced(self):
+        with pytest.raises(InstanceError):
+            CSRInstance(
+                (Fragment("H", 1, (1,)),),
+                (Fragment("M", 0, (2,)),),
+                __import__(
+                    "fragalign.core.scoring", fromlist=["Scorer"]
+                ).Scorer(),
+            )
+
+    def test_paper_example_shape(self, paper_instance):
+        assert paper_instance.n_h == 2
+        assert paper_instance.n_m == 2
+        assert paper_instance.total_regions("H") == 4
+        assert paper_instance.total_regions("M") == 4
+        assert "h1" in paper_instance.describe()
+
+    def test_full_site(self, paper_instance):
+        f = paper_instance.fragment("H", 0)
+        s = full_site(f)
+        assert (s.start, s.end) == (0, 3)
+        assert s.content(paper_instance) == f.regions
+
+    def test_from_names_reversed_scores(self, paper_instance):
+        # σ(b, tᴿ) = 3 must be retrievable both ways.
+        scorer = paper_instance.scorer
+        table_entries = list(scorer.pairs())
+        assert any(abs(v - 3.0) < 1e-9 for _a, _b, v in table_entries)

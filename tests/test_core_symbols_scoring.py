@@ -1,0 +1,104 @@
+"""Reversal algebra (§2.1 axioms) and σ canonicalization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from fragalign.core.scoring import Scorer
+from fragalign.core.symbols import (
+    PAD,
+    format_word,
+    reverse_symbol,
+    reverse_word,
+    validate_word,
+    word_from_names,
+)
+from fragalign.util.errors import InstanceError
+
+symbols = st.integers(-20, 20).filter(lambda x: x != 0)
+words = st.lists(symbols, min_size=0, max_size=12).map(tuple)
+
+
+class TestReversal:
+    @given(symbols)
+    def test_reverse_symbol_involution(self, a):
+        assert reverse_symbol(reverse_symbol(a)) == a
+
+    @given(symbols)
+    def test_sigma_and_sigma_r_disjoint(self, a):
+        assert reverse_symbol(a) != a  # Σ ∩ Σᴿ = ∅
+
+    @given(words)
+    def test_reverse_word_involution(self, w):
+        assert reverse_word(reverse_word(w)) == w
+
+    @given(words, words)
+    def test_antihomomorphism(self, u, v):
+        assert reverse_word(u + v) == reverse_word(v) + reverse_word(u)
+
+    def test_pad_is_self_reverse(self):
+        assert reverse_symbol(PAD) == PAD
+
+
+class TestWordHelpers:
+    def test_validate_rejects_pad(self):
+        with pytest.raises(InstanceError):
+            validate_word((1, 0, 2))
+
+    def test_word_from_names_reversal_suffixes(self):
+        table: dict[str, int] = {}
+        w = word_from_names(["a", "b'", "a"], table)
+        assert w == (1, -2, 1)
+
+    def test_format_word(self):
+        s = format_word((1, -2), {1: "a", 2: "b"})
+        assert "a" in s and "ᴿ" in s
+
+
+class TestScorer:
+    @given(symbols, symbols, st.floats(-10, 10, allow_nan=False, width=32))
+    def test_reversal_invariance(self, a, b, v):
+        s = Scorer()
+        s.set(a, b, v)
+        assert s.get(a, b) == pytest.approx(v)
+        assert s.get(-a, -b) == pytest.approx(v)  # σ(a,b) = σ(aᴿ,bᴿ)
+
+    @given(symbols, symbols)
+    def test_pad_scores_zero(self, a, b):
+        s = Scorer({(a, b): 5.0})
+        assert s.get(a, PAD) == 0.0
+        assert s.get(PAD, b) == 0.0
+
+    def test_setting_pad_rejected(self):
+        s = Scorer()
+        with pytest.raises(InstanceError):
+            s.set(PAD, 1, 1.0)
+
+    def test_default_zero_and_unset(self):
+        s = Scorer({(1, 2): 3.0})
+        assert s.get(1, 3) == 0.0
+        s.set(1, 2, 0.0)  # zero deletes
+        assert len(s) == 0
+
+    def test_weight_matrix(self):
+        s = Scorer({(1, 10): 2.0, (2, -10): 3.0})
+        W = s.weight_matrix((1, 2), (10,))
+        assert W.shape == (2, 1)
+        assert W[0, 0] == 2.0
+        assert W[1, 0] == 0.0
+        Wr = s.weight_matrix_reversed((1, 2), (10,))
+        assert Wr[1, 0] == 3.0  # 2 vs 10ᴿ
+
+    def test_copy_independent(self):
+        s = Scorer({(1, 2): 1.0})
+        c = s.copy()
+        c.set(1, 2, 9.0)
+        assert s.get(1, 2) == 1.0
+
+    def test_positive_total_and_max_abs(self):
+        s = Scorer({(1, 2): 3.0, (1, 3): -2.0})
+        assert s.positive_total() == 3.0
+        assert s.max_abs() == 3.0
+        assert len(list(s.pairs())) == 2

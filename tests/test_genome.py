@@ -1,0 +1,221 @@
+"""Genome substrate: DNA ops, evolution, shotgun, assembly, discovery,
+and the end-to-end pipeline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from fragalign.genome.assembly import exact_overlap, greedy_assemble
+from fragalign.genome.conserved import find_conserved_regions
+from fragalign.genome.dna import (
+    gc_content,
+    mutate,
+    random_dna,
+    reverse_complement,
+)
+from fragalign.genome.evolution import evolve, make_ancestor
+from fragalign.genome.metrics import evaluate_solution
+from fragalign.genome.pipeline import PipelineConfig, run_pipeline, truth_hits
+from fragalign.genome.shotgun import fragment_into_contigs, sample_reads
+
+dna_text = st.text(alphabet="ACGT", min_size=0, max_size=50)
+
+
+class TestDNA:
+    @given(dna_text)
+    def test_revcomp_involution(self, s):
+        assert reverse_complement(reverse_complement(s)) == s
+
+    @given(dna_text, dna_text)
+    def test_revcomp_antihomomorphism(self, a, b):
+        assert reverse_complement(a + b) == reverse_complement(
+            b
+        ) + reverse_complement(a)
+
+    def test_random_dna_length_and_alphabet(self, rng):
+        s = random_dna(500, rng)
+        assert len(s) == 500
+        assert set(s) <= set("ACGT")
+
+    def test_gc_bias(self, rng):
+        high = random_dna(4000, rng, gc=0.8)
+        low = random_dna(4000, rng, gc=0.2)
+        assert gc_content(high) > 0.7 > 0.3 > gc_content(low)
+
+    def test_mutation_rate(self, rng):
+        s = random_dna(3000, rng)
+        m = mutate(s, sub_rate=0.2, rng=rng)
+        assert len(m) == len(s)
+        diffs = sum(1 for a, b in zip(s, m) if a != b)
+        assert 0.1 < diffs / len(s) < 0.3
+
+    def test_indels_change_length(self, rng):
+        s = random_dna(1000, rng)
+        m = mutate(s, indel_rate=0.1, rng=rng)
+        assert m != s
+
+
+class TestEvolution:
+    def test_ancestor_shape(self, rng):
+        anc = make_ancestor(n_blocks=5, block_len=100, rng=rng)
+        assert anc.n_blocks == 5
+        assert all(len(b) == 100 for b in anc.blocks)
+
+    def test_evolve_keeps_blocks_alignable(self, rng):
+        from fragalign.align.pairwise import local_score
+
+        anc = make_ancestor(n_blocks=3, block_len=150, rng=rng)
+        sp = evolve(anc, sub_rate=0.05, rng=rng)
+        assert len(sp.blocks) == 3
+        for placed in sp.blocks:
+            found = sp.sequence[placed.start : placed.end]
+            orig = anc.blocks[placed.block_id]
+            if placed.reversed:
+                found = reverse_complement(found)
+            assert local_score(orig, found) > 0.5 * len(orig)
+
+    def test_loss_and_shuffle(self, rng):
+        anc = make_ancestor(n_blocks=10, block_len=60, rng=rng)
+        sp = evolve(anc, loss_prob=0.4, shuffle=True, rng=rng)
+        assert len(sp.blocks) < 10
+
+
+class TestShotgun:
+    def test_read_coverage(self, rng):
+        g = random_dna(1000, rng)
+        reads = sample_reads(g, read_len=50, coverage=6.0, rng=rng)
+        assert len(reads) == 120
+        assert all(len(r.sequence) == 50 for r in reads)
+
+    def test_contigs_cover_and_annotate(self, rng):
+        anc = make_ancestor(n_blocks=6, block_len=100, spacer_len=50, rng=rng)
+        sp = evolve(anc, rng=rng)
+        contigs = fragment_into_contigs(sp, n_contigs=3, rng=rng)
+        assert len(contigs) == 3
+        total_blocks = sum(len(c.blocks) for c in contigs)
+        assert total_blocks >= 4  # most blocks survive the cuts
+        for c in contigs:
+            for b in c.blocks:
+                assert 0 <= b.start < b.end <= len(c.sequence)
+
+
+class TestAssembly:
+    def test_exact_overlap(self):
+        assert exact_overlap("AAACGT", "CGTTTT", 3) == 3
+        assert exact_overlap("AAACGT", "GGGTTT", 3) == 0
+        assert exact_overlap("AAA", "AAA", 3) == 3
+
+    def test_reconstructs_genome_from_clean_reads(self, rng):
+        g = random_dna(600, rng)
+        reads = sample_reads(g, read_len=100, coverage=10, rng=rng)
+        contigs = greedy_assemble(reads, min_overlap=30)
+        best = contigs[0]
+        assert (
+            best in g
+            or reverse_complement(best) in g
+            or len(best) >= 0.8 * len(g)
+        )
+
+    def test_min_overlap_guard(self):
+        from fragalign.util.errors import InstanceError
+
+        with pytest.raises(InstanceError):
+            greedy_assemble([], min_overlap=1)
+
+
+class TestConservedDiscovery:
+    def test_finds_planted_homology(self, rng):
+        anc = make_ancestor(n_blocks=3, block_len=120, spacer_len=60, rng=rng)
+        a = evolve(anc, sub_rate=0.02, rng=rng)
+        b = evolve(anc, sub_rate=0.02, inversion_prob=0.5, rng=rng)
+        ca = fragment_into_contigs(a, n_contigs=1, flip_prob=0, shuffle=False, rng=rng)
+        cb = fragment_into_contigs(b, n_contigs=1, flip_prob=0, shuffle=False, rng=rng)
+        hits = find_conserved_regions(ca, cb, min_score=40)
+        assert len(hits) >= 3
+
+
+class TestPipeline:
+    @settings(max_examples=3)
+    @given(st.integers(0, 100))
+    def test_truth_pipeline_accuracy(self, seed):
+        # No block inversions: every contig pair has a consistent
+        # relative orientation, so the inference must be near-perfect.
+        cfg = PipelineConfig(
+            n_blocks=6,
+            block_len=120,
+            n_h_contigs=2,
+            n_m_contigs=3,
+            inversion_prob=0.0,
+            discovery="truth",
+        )
+        res = run_pipeline(cfg, rng=seed)
+        assert res.solution.score > 0
+        if res.report.n_orientation_checks:
+            assert res.report.orientation_accuracy >= 0.9
+
+    def test_inverted_blocks_cap_accuracy(self):
+        # With within-contig inversions the data itself is inconsistent
+        # (the paper's Fig. 3, first pattern): some alignments MUST be
+        # discarded, so orientation accuracy may legitimately drop —
+        # but the solver must still be consistent and score-optimal.
+        cfg = PipelineConfig(
+            n_blocks=6,
+            block_len=120,
+            n_h_contigs=2,
+            n_m_contigs=3,
+            inversion_prob=0.3,
+            discovery="truth",
+        )
+        res = run_pipeline(cfg, rng=7)
+        from fragalign.core import exact_csr
+
+        assert res.solution.score == pytest.approx(
+            exact_csr(res.instance).score
+        )
+        assert 0.0 <= res.report.orientation_accuracy <= 1.0
+
+    def test_alignment_pipeline_runs(self):
+        cfg = PipelineConfig(
+            n_blocks=4,
+            block_len=100,
+            spacer_len=50,
+            n_h_contigs=2,
+            n_m_contigs=2,
+            discovery="alignment",
+        )
+        res = run_pipeline(cfg, rng=0)
+        assert res.instance.n_h == 2
+        assert res.report is not None
+
+    def test_solver_variants(self):
+        cfg = PipelineConfig(
+            n_blocks=5, block_len=80, n_h_contigs=2, n_m_contigs=2,
+            solver="baseline4",
+        )
+        res = run_pipeline(cfg, rng=1)
+        assert res.solution.algorithm == "baseline4"
+        cfg2 = PipelineConfig(
+            n_blocks=5, block_len=80, n_h_contigs=2, n_m_contigs=2,
+            solver="greedy",
+        )
+        assert run_pipeline(cfg2, rng=1).solution.algorithm == "greedy"
+
+    def test_bad_config_rejected(self):
+        from fragalign.util.errors import InstanceError
+
+        with pytest.raises(InstanceError):
+            run_pipeline(PipelineConfig(discovery="nope"), rng=0)
+        with pytest.raises(InstanceError):
+            run_pipeline(PipelineConfig(solver="nope"), rng=0)
+
+    def test_metrics_report_fields(self):
+        res = run_pipeline(
+            PipelineConfig(n_blocks=5, block_len=80, n_h_contigs=2, n_m_contigs=2),
+            rng=3,
+        )
+        rep = evaluate_solution(res.solution, res.h_contigs, res.m_contigs)
+        assert 0.0 <= rep.orientation_accuracy <= 1.0
+        assert 0.0 <= rep.order_accuracy <= 1.0
+        assert "orientation" in rep.summary()

@@ -1,0 +1,120 @@
+"""Scaffolding substrate and the Fig.-1 inference report."""
+
+from __future__ import annotations
+
+import pytest
+
+from fragalign.core import csr_improve, paper_example
+from fragalign.genome.dna import random_dna, reverse_complement
+from fragalign.genome.evolution import evolve, make_ancestor
+from fragalign.genome.report import format_report, infer_relations
+from fragalign.genome.scaffold import (
+    build_scaffolds,
+    sample_mate_pairs,
+    scaffold_order_accuracy,
+)
+from fragalign.genome.shotgun import fragment_into_contigs
+from fragalign.util.errors import InstanceError
+from fragalign.util.rng import as_generator
+
+
+def _contigs(seed: int, n: int, flip_prob: float = 0.5):
+    gen = as_generator(seed)
+    anc = make_ancestor(n_blocks=4, block_len=150, spacer_len=100, rng=gen)
+    sp = evolve(anc, sub_rate=0.0, rng=gen)
+    contigs = fragment_into_contigs(
+        sp, n_contigs=n, flip_prob=flip_prob, shuffle=False, rng=gen
+    )
+    return sp, contigs
+
+
+class TestMatePairs:
+    def test_pair_geometry(self, rng):
+        g = random_dna(2000, rng)
+        mates = sample_mate_pairs(g, 50, insert_len=500, read_len=60, rng=rng)
+        assert len(mates) == 50
+        for m in mates:
+            assert len(m.left) == 60 and len(m.right) == 60
+            # Left read is a forward-strand substring, right is
+            # reverse-complemented.
+            assert m.left in g
+            assert reverse_complement(m.right) in g
+
+    def test_insert_too_long(self, rng):
+        with pytest.raises(InstanceError):
+            sample_mate_pairs("ACGT" * 10, 5, insert_len=100, rng=rng)
+
+
+class TestScaffolding:
+    def test_links_recover_adjacency(self):
+        sp, contigs = _contigs(seed=5, n=4)
+        gen = as_generator(99)
+        mates = sample_mate_pairs(
+            sp.sequence, 600, insert_len=400, insert_std=20, read_len=50,
+            rng=gen,
+        )
+        scaffolds, links = build_scaffolds(contigs, mates, min_support=2)
+        assert links, "mate pairs spanning contig gaps must produce links"
+        # Links connect genuinely adjacent contigs in the right order.
+        for link in links:
+            assert (
+                contigs[link.a].true_start < contigs[link.b].true_start
+            )
+        acc = scaffold_order_accuracy(scaffolds, contigs)
+        assert acc >= 0.9
+
+    def test_orientation_flags_match_truth(self):
+        sp, contigs = _contigs(seed=7, n=3, flip_prob=1.0)
+        gen = as_generator(3)
+        mates = sample_mate_pairs(
+            sp.sequence, 500, insert_len=400, insert_std=20, read_len=50,
+            rng=gen,
+        )
+        _scaffolds, links = build_scaffolds(contigs, mates, min_support=2)
+        for link in links:
+            assert link.a_flipped == contigs[link.a].true_reversed
+            assert link.b_flipped == contigs[link.b].true_reversed
+
+    def test_gap_estimates_reasonable(self):
+        sp, contigs = _contigs(seed=11, n=3, flip_prob=0.0)
+        gen = as_generator(4)
+        mates = sample_mate_pairs(
+            sp.sequence, 800, insert_len=500, insert_std=10, read_len=50,
+            rng=gen,
+        )
+        _sc, links = build_scaffolds(contigs, mates, min_support=3)
+        for link in links:
+            true_gap = contigs[link.b].true_start - contigs[link.a].true_end
+            assert abs(link.gap - true_gap) < 150  # insert-size noise
+
+    def test_no_mates_no_links(self):
+        _sp, contigs = _contigs(seed=13, n=2)
+        scaffolds, links = build_scaffolds(contigs, [], min_support=1)
+        assert links == []
+        assert len(scaffolds) == len(contigs)  # singletons
+
+
+class TestReport:
+    def test_paper_example_report(self):
+        sol = csr_improve(paper_example())
+        text = format_report(sol)
+        assert "island" in text
+        assert "precedes" in text
+        assert "no distances" in text
+
+    def test_relations_are_same_island(self):
+        sol = csr_improve(paper_example())
+        islands = sol.state.islands()
+        for rel in infer_relations(sol):
+            island = islands[rel.island]
+            assert (rel.species, rel.first) in island
+            assert (rel.species, rel.second) in island
+
+    def test_empty_solution_report(self):
+        from fragalign.core import CSRInstance, MatchScorer, SolutionState
+        from fragalign.core.solution import CSRSolution
+
+        inst = CSRInstance.build([(1,)], [(2,)], {})
+        state = SolutionState(inst, MatchScorer(inst))
+        sol = CSRSolution.from_state(state, "empty")
+        assert "no islands" in format_report(sol)

@@ -1,0 +1,157 @@
+"""ISP substrate: instances, exact solvers, greedy, and TPA.
+
+The headline property (Berman–DasGupta): TPA's selection is feasible
+and earns at least half the optimum — tested against the exact solver
+on random instances via hypothesis.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from fragalign.isp.exact import exact_isp, exact_isp_distinct
+from fragalign.isp.greedy import greedy_isp
+from fragalign.isp.instance import (
+    ISPInstance,
+    ISPItem,
+    clustered_instance,
+    random_instance,
+    staircase_instance,
+)
+from fragalign.isp.tpa import tpa, tpa_select
+from fragalign.util.errors import InstanceError, SolverError
+
+items_strategy = st.lists(
+    st.builds(
+        ISPItem,
+        index=st.integers(0, 5),
+        start=st.integers(0, 20),
+        end=st.integers(21, 30),
+        profit=st.floats(0, 10, allow_nan=False, width=32),
+    ),
+    min_size=0,
+    max_size=12,
+)
+
+compact_items = st.lists(
+    st.tuples(
+        st.integers(0, 4),  # index
+        st.integers(0, 12),  # start
+        st.integers(1, 6),  # length
+        st.floats(0.0, 9.0, allow_nan=False, width=32),
+    ),
+    min_size=0,
+    max_size=14,
+).map(
+    lambda raw: ISPInstance.build(
+        ISPItem(index=i, start=s, end=s + l, profit=p) for i, s, l, p in raw
+    )
+)
+
+
+class TestInstance:
+    def test_item_validation(self):
+        with pytest.raises(InstanceError):
+            ISPItem(index=0, start=5, end=5, profit=1.0)
+        with pytest.raises(InstanceError):
+            ISPItem(index=0, start=0, end=1, profit=-1.0)
+
+    def test_conflicts(self):
+        a = ISPItem(0, 0, 5, 1.0)
+        b = ISPItem(1, 5, 8, 1.0)
+        c = ISPItem(0, 6, 9, 1.0)
+        assert not a.overlaps(b)
+        assert not a.conflicts(b)
+        assert a.conflicts(c)  # same index
+        assert b.conflicts(c)  # overlap
+
+    def test_feasibility_check(self):
+        inst = random_instance(10, 4, rng=0)
+        assert inst.is_feasible([])
+        a = ISPItem(0, 0, 5, 1.0)
+        b = ISPItem(0, 10, 12, 1.0)
+        assert not ISPInstance.build([a, b]).is_feasible([a, b])  # same idx
+
+    def test_generators_produce_valid_instances(self):
+        for inst in (
+            random_instance(25, 6, rng=1),
+            clustered_instance(4, 5, 6, rng=2),
+            staircase_instance(7),
+        ):
+            assert len(inst.items) > 0
+
+
+class TestExact:
+    def test_distinct_requires_distinct(self):
+        a = ISPItem(0, 0, 2, 1.0)
+        b = ISPItem(0, 3, 4, 1.0)
+        with pytest.raises(SolverError):
+            exact_isp_distinct(ISPInstance.build([a, b]))
+
+    def test_distinct_simple(self):
+        items = [
+            ISPItem(0, 0, 3, 2.0),
+            ISPItem(1, 2, 5, 3.0),
+            ISPItem(2, 4, 7, 2.0),
+        ]
+        score, chosen = exact_isp_distinct(ISPInstance.build(items))
+        assert score == 4.0  # first + third
+        assert len(chosen) == 2
+
+    def test_size_guard(self):
+        inst = random_instance(50, 10, rng=3)
+        with pytest.raises(SolverError):
+            exact_isp(inst, max_items=10)
+
+    @given(compact_items)
+    def test_exact_output_feasible_and_dominates_greedy(self, inst):
+        opt, chosen = exact_isp(inst)
+        assert inst.is_feasible(chosen)
+        assert opt == pytest.approx(inst.total_profit(chosen))
+        g, gchosen = greedy_isp(inst)
+        assert inst.is_feasible(gchosen)
+        assert opt >= g - 1e-9
+
+
+class TestTPA:
+    @given(compact_items)
+    def test_fast_equals_naive(self, inst):
+        fast = tpa(inst, fast=True)
+        slow = tpa(inst, fast=False)
+        assert [(i.index, i.start, i.end) for i in fast] == [
+            (i.index, i.start, i.end) for i in slow
+        ]
+
+    @given(compact_items)
+    def test_selection_feasible(self, inst):
+        assert inst.is_feasible(tpa(inst))
+
+    @given(compact_items)
+    def test_ratio_two(self, inst):
+        opt, _ = exact_isp(inst)
+        got, _ = tpa_select(inst)
+        assert 2.0 * got + 1e-6 >= opt
+
+    @settings(max_examples=10)
+    @given(st.integers(2, 40), st.integers(1, 8), st.integers(0, 10_000))
+    def test_ratio_two_random_family(self, n_items, n_idx, seed):
+        inst = random_instance(n_items, n_idx, rng=seed)
+        if len(inst.items) > 25:
+            inst = ISPInstance.build(inst.items[:25])
+        opt, _ = exact_isp(inst)
+        got, _ = tpa_select(inst)
+        assert 2.0 * got + 1e-6 >= opt
+
+    def test_staircase_beats_greedy(self):
+        inst = staircase_instance(12)
+        tpa_score, _ = tpa_select(inst)
+        greedy_score, _ = greedy_isp(inst)
+        opt, _ = exact_isp(inst)
+        assert opt == pytest.approx(12.0)
+        assert tpa_score >= opt / 2
+        assert greedy_score == pytest.approx(1.01)
+
+    def test_empty_instance(self):
+        assert tpa(ISPInstance.build([])) == []

@@ -1,0 +1,182 @@
+"""Cross-cutting coverage: baseline internals, generators, util, and
+integration paths connecting the reductions to the core solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from fragalign.core import (
+    CSRInstance,
+    baseline4,
+    border_chain_instance,
+    concat_m_instance,
+    csr_improve,
+    exact_csr,
+    full_csr_instance,
+    planted_instance,
+    random_instance,
+    score_pair,
+    solve_one_csr,
+    transposed_concat_instance,
+    ucsr_instance,
+)
+from fragalign.core.conjecture import identity_arrangement
+from fragalign.reductions import build_gadget, gadget_to_csr_instance, random_cubic_graph
+from fragalign.util.errors import InstanceError
+from fragalign.util.rng import as_generator, spawn
+from fragalign.util.timing import Stopwatch, time_call
+
+seeds = st.integers(0, 10_000)
+
+
+class TestBaselineInternals:
+    def test_concat_preserves_region_multiset(self, paper_instance):
+        cm = concat_m_instance(paper_instance)
+        assert cm.n_m == 1
+        all_regions = tuple(
+            r for f in paper_instance.m_fragments for r in f.regions
+        )
+        assert cm.m_fragments[0].regions == all_regions
+
+    def test_transpose_preserves_scores(self, paper_instance):
+        tc = transposed_concat_instance(paper_instance)
+        # σ′(b, a) = σ(a, b) for every stored pair.
+        for a, b, v in paper_instance.scorer.pairs():
+            assert tc.scorer.get(b, a) == pytest.approx(v)
+
+    @given(seeds)
+    @settings(max_examples=10)
+    def test_concat_score_is_a_csr_score(self, seed):
+        # A conjecture of (H, M') is a conjecture of (H, M), so the
+        # concat optimum never exceeds the CSR optimum.
+        inst = random_instance(n_h=2, n_m=2, rng=seed)
+        assert (
+            exact_csr(concat_m_instance(inst)).score
+            <= exact_csr(inst).score + 1e-9
+        )
+
+    @given(seeds)
+    @settings(max_examples=10)
+    def test_baseline_score_is_realizable(self, seed):
+        inst = random_instance(n_h=2, n_m=2, rng=seed)
+        sol = baseline4(inst)
+        assert score_pair(inst, sol.arr_h, sol.arr_m) == pytest.approx(
+            sol.score
+        )
+
+
+class TestGenerators:
+    @given(seeds)
+    @settings(max_examples=10)
+    def test_full_instance_h_singletons(self, seed):
+        inst = full_csr_instance(rng=seed)
+        assert all(len(f) == 1 for f in inst.h_fragments)
+
+    @given(seeds)
+    @settings(max_examples=10)
+    def test_ucsr_each_letter_once_per_species(self, seed):
+        inst = ucsr_instance(n_letters=8, rng=seed)
+        for species in ("H", "M"):
+            occ = [
+                abs(r)
+                for f in inst.fragments(species)
+                for r in f.regions
+            ]
+            assert sorted(occ) == list(range(1, 9))
+        # σ is diagonal (UCSR restriction).
+        for a, b, _v in inst.scorer.pairs():
+            assert abs(a) == abs(b)
+
+    @given(seeds)
+    @settings(max_examples=10)
+    def test_planted_score_achievable(self, seed):
+        p = planted_instance(n_blocks=5, n_h=2, n_m=2, rng=seed)
+        assert exact_csr(p.instance).score + 1e-9 >= p.planted_score
+
+    def test_border_chain_expected_optimum(self):
+        inst = border_chain_instance(k=3, w=5.0)
+        # 2k−1 = 5 scored junctions of weight 5.
+        assert exact_csr(inst).score == pytest.approx(25.0)
+
+    def test_generator_validation(self):
+        with pytest.raises(InstanceError):
+            planted_instance(n_blocks=2, n_h=3, n_m=1)
+        with pytest.raises(InstanceError):
+            ucsr_instance(n_letters=2, n_h=3)
+
+
+class TestUtil:
+    def test_rng_coercion(self):
+        gen = as_generator(5)
+        assert isinstance(gen, np.random.Generator)
+        assert as_generator(gen) is gen
+        with pytest.raises(TypeError):
+            as_generator("nope")
+
+    def test_rng_determinism(self):
+        a = as_generator(42).integers(0, 1000, 5)
+        b = as_generator(42).integers(0, 1000, 5)
+        assert list(a) == list(b)
+
+    def test_spawn_decorrelates(self):
+        kids = spawn(7, 3)
+        draws = [int(k.integers(0, 10**9)) for k in kids]
+        assert len(set(draws)) == 3
+
+    def test_stopwatch(self):
+        sw = Stopwatch()
+        with sw.measure():
+            pass
+        with sw.measure():
+            pass
+        assert len(sw.laps) == 2
+        assert sw.total >= sw.best >= 0.0
+        with pytest.raises(ValueError):
+            Stopwatch().best  # noqa: B018
+
+    def test_time_call(self):
+        t, result = time_call(lambda x: x + 1, 41, repeat=2)
+        assert result == 42 and t >= 0.0
+
+
+class TestIntegration:
+    def test_hardness_instance_through_one_csr(self):
+        """The Theorem-2 UCSR instance is a 1-CSR instance; the TPA
+        solver must earn at least half its optimum (= 5n + MIS)."""
+        from fragalign.reductions import exact_csop
+
+        g = random_cubic_graph(8, rng=4)
+        gadget = build_gadget(g)
+        inst = gadget_to_csr_instance(gadget)
+        opt = len(exact_csop(gadget.csop, max_pairs=30))
+        sol = solve_one_csr(inst)
+        assert 2.0 * sol.score + 1e-6 >= opt
+
+    def test_identity_score_invariant_under_io_roundtrip(self):
+        from fragalign.core import loads, dumps
+
+        inst = random_instance(n_h=2, n_m=2, rng=3)
+        back = loads(dumps(inst))
+        ah, am = (
+            identity_arrangement(inst, "H"),
+            identity_arrangement(inst, "M"),
+        )
+        assert score_pair(inst, ah, am) == pytest.approx(
+            score_pair(back, ah, am)
+        )
+
+    def test_improvement_from_ucsr_instance(self):
+        inst = ucsr_instance(n_letters=6, n_h=2, n_m=2, rng=9)
+        sol = csr_improve(inst, validate=True)
+        opt = exact_csr(inst).score
+        assert 3.0 * sol.score + 1e-6 >= opt
+
+    def test_instance_describe_roundtrip_names(self):
+        inst = CSRInstance.from_names(
+            [["x", "y"]], [["z"]], {("x", "z"): 1.0}
+        )
+        text = inst.describe()
+        assert "x" in text and "z" in text

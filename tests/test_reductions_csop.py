@@ -1,0 +1,111 @@
+"""CSoP: validity, normalization, exact vs brute force."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from fragalign.reductions.csop import (
+    CSoPInstance,
+    exact_csop,
+    greedy_csop,
+    normalize_solution,
+    solution_from_full_pairs,
+)
+from fragalign.util.errors import InstanceError, SolverError
+from fragalign.util.rng import as_generator
+
+
+def random_csop(n_pairs: int, seed: int) -> CSoPInstance:
+    gen = as_generator(seed)
+    elems = [int(x) for x in gen.permutation(range(1, 2 * n_pairs + 1))]
+    pairs = []
+    for k in range(n_pairs):
+        a, b = elems[2 * k], elems[2 * k + 1]
+        pairs.append((min(a, b), max(a, b)))
+    return CSoPInstance(tuple(sorted(pairs)))
+
+
+def brute_force_csop(instance: CSoPInstance) -> set[int]:
+    universe = list(instance.universe)
+    best: set[int] = set()
+    for r in range(len(universe), 0, -1):
+        if r <= len(best):
+            break
+        for combo in combinations(universe, r):
+            if instance.is_valid(combo):
+                return set(combo)
+    return best
+
+
+class TestInstance:
+    def test_partition_enforced(self):
+        with pytest.raises(InstanceError):
+            CSoPInstance(((1, 2), (2, 3)))
+        with pytest.raises(InstanceError):
+            CSoPInstance(((2, 1), (3, 4)))
+
+    def test_validity(self):
+        inst = CSoPInstance(((1, 4), (2, 3)))
+        assert inst.is_valid({1, 4})  # full pair, span empty of others
+        assert not inst.is_valid({1, 2, 4})  # 2 inside span of (1,4)
+        assert inst.is_valid({1, 2, 3})  # (2,3) full, span empty
+
+    def test_normal(self):
+        inst = CSoPInstance(((1, 4), (2, 3)))
+        assert inst.is_normal({1, 2})
+        assert not inst.is_normal({1})
+
+
+class TestSolvers:
+    @settings(max_examples=20)
+    @given(st.integers(2, 5), st.integers(0, 10_000))
+    def test_exact_matches_brute_force(self, n_pairs, seed):
+        inst = random_csop(n_pairs, seed)
+        got = exact_csop(inst)
+        expect = brute_force_csop(inst)
+        assert inst.is_valid(got)
+        assert len(got) == len(expect)
+
+    @settings(max_examples=20)
+    @given(st.integers(2, 8), st.integers(0, 10_000))
+    def test_greedy_valid_and_at_least_n(self, n_pairs, seed):
+        inst = random_csop(n_pairs, seed)
+        got = greedy_csop(inst)
+        assert inst.is_valid(got)
+        assert len(got) >= n_pairs  # one element per pair is always free
+
+    def test_exact_size_guard(self):
+        inst = random_csop(25, 0)
+        with pytest.raises(SolverError):
+            exact_csop(inst, max_pairs=10)
+
+    def test_solution_from_full_pairs_disjointness_guard(self):
+        inst = CSoPInstance(((1, 4), (2, 3)))
+        with pytest.raises(SolverError):
+            solution_from_full_pairs(inst, [(1, 4), (2, 3)])
+
+
+class TestNormalization:
+    @settings(max_examples=20)
+    @given(st.integers(2, 6), st.integers(0, 10_000))
+    def test_normalization_preserves_size_and_validity(self, n_pairs, seed):
+        inst = random_csop(n_pairs, seed)
+        # Start from a valid but possibly non-normal solution.
+        U = exact_csop(inst)
+        # Drop elements to de-normalize.
+        U_small = set(list(sorted(U))[: max(1, len(U) // 2)])
+        if not inst.is_valid(U_small):
+            return
+        norm = normalize_solution(inst, U_small)
+        assert inst.is_valid(norm)
+        assert inst.is_normal(norm)
+        assert len(norm) >= len(U_small)
+
+    def test_rejects_invalid_input(self):
+        inst = CSoPInstance(((1, 4), (2, 3)))
+        with pytest.raises(SolverError):
+            normalize_solution(inst, {1, 2, 4})

@@ -1,0 +1,123 @@
+"""Theorem 2's gadget: 3-MIS ↔ CSoP ↔ UCSR, sizes and round-trips."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from fragalign.core.conjecture import score_pair
+from fragalign.reductions.csop import exact_csop
+from fragalign.reductions.dirac import nonadjacent_ordering
+from fragalign.reductions.hardness import (
+    build_gadget,
+    csop_solution_to_arrangements,
+    gadget_to_csr_instance,
+    independent_set_to_solution,
+    solution_to_independent_set,
+)
+from fragalign.reductions.mis3 import (
+    exact_mis,
+    greedy_mis,
+    random_cubic_graph,
+)
+from fragalign.util.errors import ReductionError
+
+
+class TestMIS:
+    @settings(max_examples=10)
+    @given(st.sampled_from([8, 10, 12]), st.integers(0, 1000))
+    def test_exact_mis_is_independent_and_maximal(self, n, seed):
+        g = random_cubic_graph(n, rng=seed)
+        W = exact_mis(g)
+        for u in W:
+            for v in W:
+                assert u == v or not g.has_edge(u, v)
+        greedy = greedy_mis(g)
+        assert len(W) >= len(greedy)
+
+    def test_petersen(self):
+        g = nx.petersen_graph()
+        assert len(exact_mis(g)) == 4
+
+    def test_cubic_validation(self):
+        with pytest.raises(ReductionError):
+            random_cubic_graph(5)
+
+
+class TestDirac:
+    @settings(max_examples=10)
+    @given(st.sampled_from([8, 10, 14]), st.integers(0, 1000))
+    def test_ordering_has_no_adjacent_consecutive(self, n, seed):
+        g = random_cubic_graph(n, rng=seed)
+        order = nonadjacent_ordering(g)
+        assert sorted(order) == sorted(g.nodes)
+        for a, b in zip(order, order[1:]):
+            assert not g.has_edge(a, b)
+
+    def test_k4_has_no_ordering(self):
+        with pytest.raises(ReductionError):
+            nonadjacent_ordering(nx.complete_graph(4))
+
+    def test_small_graph_brute_force(self):
+        g = nx.cycle_graph(6)  # not cubic, but ordering still works
+        order = nonadjacent_ordering(g)
+        for a, b in zip(order, order[1:]):
+            assert not g.has_edge(a, b)
+
+
+class TestGadget:
+    @settings(max_examples=8)
+    @given(st.sampled_from([8, 10]), st.integers(0, 1000))
+    def test_forward_size_accounting(self, n, seed):
+        g = random_cubic_graph(n, rng=seed)
+        gad = build_gadget(g)
+        W = exact_mis(gad.graph)
+        U = independent_set_to_solution(gad, W)
+        assert gad.csop.is_valid(U)
+        assert len(U) == gad.expected_size(len(W))
+
+    @settings(max_examples=8)
+    @given(st.sampled_from([8, 10]), st.integers(0, 1000))
+    def test_backward_recovers_independent_set(self, n, seed):
+        g = random_cubic_graph(n, rng=seed)
+        gad = build_gadget(g)
+        W = exact_mis(gad.graph)
+        U = independent_set_to_solution(gad, W)
+        W2, U_norm = solution_to_independent_set(gad, U)
+        assert len(U_norm) == gad.expected_size(len(W2))
+        assert len(W2) >= len(W)  # cannot lose size through the trip
+
+    @settings(max_examples=4)
+    @given(st.integers(0, 200))
+    def test_csop_optimum_equals_5n_plus_mis(self, seed):
+        g = random_cubic_graph(8, rng=seed)
+        gad = build_gadget(g)
+        W = exact_mis(gad.graph)
+        U_opt = exact_csop(gad.csop, max_pairs=30)
+        assert len(U_opt) == gad.expected_size(len(W))
+
+    def test_forward_rejects_dependent_set(self):
+        g = random_cubic_graph(8, rng=1)
+        gad = build_gadget(g)
+        u, v = next(iter(gad.graph.edges))
+        with pytest.raises(ReductionError):
+            independent_set_to_solution(gad, {u, v})
+
+    def test_ucsr_instance_realizes_solution_score(self):
+        g = random_cubic_graph(8, rng=5)
+        gad = build_gadget(g)
+        W = exact_mis(gad.graph)
+        U = independent_set_to_solution(gad, W)
+        inst = gadget_to_csr_instance(gad)
+        arr_h, arr_m = csop_solution_to_arrangements(gad, U)
+        assert score_pair(inst, arr_h, arr_m) + 1e-9 >= len(U)
+
+    def test_gadget_pair_structure(self):
+        g = random_cubic_graph(8, rng=2)
+        gad = build_gadget(g)
+        N = gad.n_nodes
+        assert len(gad.node_pairs) == N
+        assert len(gad.edge_pairs) == 3 * N // 2
+        assert gad.csop.n == N + 3 * N // 2

@@ -1,0 +1,129 @@
+"""Theorem 3 (CSR → 1-CSR) and Lemma 1 (CSR → UCSR) transfer results."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from fragalign.core.baseline import (
+    concat_m_instance,
+    transposed_concat_instance,
+)
+from fragalign.core.conjecture import identity_arrangement, score_pair
+from fragalign.core.exact import exact_csr
+from fragalign.core.generators import random_instance
+from fragalign.core.one_csr import solve_one_csr
+from fragalign.reductions.to_one_csr import blue_yellow_split, combine_one_csr
+from fragalign.reductions.to_ucsr import (
+    backward_score,
+    csr_to_ucsr,
+    forward_score,
+)
+from fragalign.util.errors import ReductionError
+
+seeds = st.integers(0, 10_000)
+
+
+class TestTheorem3:
+    @given(seeds)
+    @settings(max_examples=10)
+    def test_inequality_2(self, seed):
+        """Opt(H, M′) + Opt(M, H′) ≥ Opt(H, M)."""
+        inst = random_instance(n_h=2, n_m=2, rng=seed)
+        opt = exact_csr(inst).score
+        opt_hm = exact_csr(concat_m_instance(inst)).score
+        opt_mh = exact_csr(transposed_concat_instance(inst)).score
+        assert opt_hm + opt_mh + 1e-9 >= opt
+
+    @given(seeds)
+    @settings(max_examples=10)
+    def test_colouring_covers_every_pair(self, seed):
+        inst = random_instance(n_h=2, n_m=2, rng=seed)
+        res = exact_csr(inst)
+        by = blue_yellow_split(inst, res.arr_h, res.arr_m)
+        assert by.covers
+        assert by.blue + by.yellow - by.double == pytest.approx(
+            by.total, abs=1e-9
+        )
+
+    @given(seeds)
+    @settings(max_examples=8)
+    def test_combinator_ratio_2r(self, seed):
+        # With the exact 1-CSR oracle as the solver (r = 1), A' must be
+        # within ratio 2 of the CSR optimum.
+        inst = random_instance(n_h=2, n_m=2, rng=seed)
+
+        def exact_one_csr_solver(one_inst):
+            from fragalign.core.exact import state_from_arrangements
+            from fragalign.core.solution import CSRSolution
+
+            res = exact_csr(one_inst)
+            return CSRSolution(
+                state=state_from_arrangements(one_inst, res.arr_h, res.arr_m),
+                arr_h=res.arr_h,
+                arr_m=res.arr_m,
+                score=res.score,
+                algorithm="exact",
+            )
+
+        sol = combine_one_csr(inst, exact_one_csr_solver)
+        opt = exact_csr(inst).score
+        assert 2.0 * sol.score + 1e-9 >= opt
+
+    @given(seeds)
+    @settings(max_examples=6)
+    def test_combinator_with_tpa_ratio_four(self, seed):
+        inst = random_instance(n_h=2, n_m=2, rng=seed)
+        sol = combine_one_csr(inst, solve_one_csr)
+        opt = exact_csr(inst).score
+        assert 4.0 * sol.score + 1e-9 >= opt
+
+
+class TestLemma1:
+    @given(seeds)
+    @settings(max_examples=6)
+    def test_forward_preserves_score(self, seed):
+        """Property 2: the UCSR instance realizes every original score."""
+        inst = random_instance(n_h=1, n_m=1, len_lo=1, len_hi=2, rng=seed)
+        gadget = csr_to_ucsr(inst, eps=0.5)
+        arr_h = identity_arrangement(inst, "H")
+        arr_m = identity_arrangement(inst, "M")
+        original = score_pair(inst, arr_h, arr_m)
+        assert forward_score(gadget, arr_h, arr_m) + 1e-9 >= original
+
+    @given(seeds)
+    @settings(max_examples=6)
+    def test_backward_loses_at_most_eps(self, seed):
+        """Property 3: mapping back keeps ≥ (1−ε) of the UCSR score."""
+        inst = random_instance(n_h=1, n_m=1, len_lo=1, len_hi=2, rng=seed)
+        eps = 0.5
+        gadget = csr_to_ucsr(inst, eps=eps)
+        arr_h = identity_arrangement(inst, "H")
+        arr_m = identity_arrangement(inst, "M")
+        fwd = forward_score(gadget, arr_h, arr_m)
+        bwd = backward_score(gadget, arr_h, arr_m)
+        assert bwd + 1e-9 >= (1.0 - eps) * fwd
+
+    def test_gadget_shape(self, paper_instance):
+        gadget = csr_to_ucsr(paper_instance, eps=1.0)
+        assert gadget.K == 8  # 8 region occurrences
+        assert gadget.s == 2 * 1 * 8
+        word_len = gadget.word_length_per_occurrence()
+        assert word_len == 2 * gadget.K * gadget.s
+        # each UCSR fragment is its original length times word_len
+        assert len(gadget.ucsr.fragment("H", 0)) == 3 * word_len
+
+    def test_eps_validation(self, paper_instance):
+        with pytest.raises(ReductionError):
+            csr_to_ucsr(paper_instance, eps=0.0)
+
+    def test_paper_example_round_trip(self, paper_instance):
+        from fragalign.core.conjecture import Arrangement
+
+        gadget = csr_to_ucsr(paper_instance, eps=1.0)
+        arr_h = Arrangement("H", ((0, False), (1, True)))
+        arr_m = Arrangement("M", ((0, False), (1, False)))
+        fwd = forward_score(gadget, arr_h, arr_m)
+        assert fwd + 1e-9 >= 11.0
+        assert backward_score(gadget, arr_h, arr_m) == pytest.approx(11.0)
