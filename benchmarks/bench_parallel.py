@@ -25,6 +25,7 @@ from fragalign.align import (
     global_score,
     nw_score_wavefront,
 )
+from fragalign.engine import AlignmentEngine
 from fragalign.genome.dna import random_dna
 from fragalign.util.timing import time_call
 
@@ -77,6 +78,29 @@ def test_vectorized_wavefront(benchmark, big_seqs):
     expect = global_score(a, b)
     got = benchmark(nw_score_wavefront, a, b, block=256)
     assert got == pytest.approx(expect)
+
+
+def test_engine_batch_backends(benchmark):
+    """Batch throughput per engine backend: the batch analogue of the
+    wavefront study — same scores, different schedules."""
+    gen = np.random.default_rng(9)
+    pairs = [(random_dna(192, gen), random_dna(192, gen)) for _ in range(96)]
+    rows = []
+    with AlignmentEngine(backend="numpy") as eng:
+        t_vec, expect = time_call(eng.score_many, pairs, repeat=1)
+    rows.append(("numpy", f"{t_vec:.2f}s", "1.00x"))
+    with AlignmentEngine(backend="parallel", workers=4) as eng:
+        # Warm with a full min_batch so the pool actually spins up here.
+        eng.score_many(pairs[: eng.backend.min_batch])
+        t_par, got = time_call(eng.score_many, pairs, repeat=1)
+        assert np.array_equal(got, expect)
+        rows.append(("parallel x4", f"{t_par:.2f}s", f"{t_vec / t_par:.2f}x"))
+        print_table(
+            "B-PAR engine batch backends",
+            ["backend", "time", "speedup vs numpy"],
+            rows,
+        )
+        benchmark.pedantic(eng.score_many, args=(pairs,), rounds=1, iterations=1)
 
 
 def test_interval_dp_strong_scaling(benchmark, rng):

@@ -10,17 +10,20 @@ Public API highlights:
 * :func:`fragalign.core.exact_csr` — exact oracle for small instances.
 * :mod:`fragalign.isp` — interval selection + the two-phase algorithm.
 * :mod:`fragalign.align` — alignment DP substrate (serial + parallel).
+* :class:`fragalign.engine.AlignmentEngine` — batched, multi-backend
+  alignment execution (``naive`` / ``numpy`` / ``parallel``).
 * :mod:`fragalign.reductions` — the paper's reductions, executable.
 * :mod:`fragalign.genome` — two-species contig simulation pipeline.
 """
 
-from fragalign import align, core, genome, isp, reductions, util
+from fragalign import align, core, engine, genome, isp, reductions, util
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "align",
     "core",
+    "engine",
     "genome",
     "isp",
     "reductions",

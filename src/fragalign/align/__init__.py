@@ -24,10 +24,14 @@ from fragalign.align.pairwise import (
     Alignment,
     banded_global_score,
     global_align,
+    global_align_batch,
     global_score,
     global_score_reference,
+    global_scores_batch,
     local_align,
     local_score,
+    local_score_reference,
+    local_scores_batch,
     overlap_score,
 )
 from fragalign.align.scoring_matrices import (
@@ -53,10 +57,14 @@ __all__ = [
     "Alignment",
     "banded_global_score",
     "global_align",
+    "global_align_batch",
     "global_score",
     "global_score_reference",
+    "global_scores_batch",
     "local_align",
     "local_score",
+    "local_score_reference",
+    "local_scores_batch",
     "overlap_score",
     "SubstitutionModel",
     "encode",

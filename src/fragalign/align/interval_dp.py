@@ -66,13 +66,27 @@ def all_interval_chain_scores(W: np.ndarray) -> np.ndarray:
 
     O(n·m²) total; equals the reference implementation exactly (test
     invariant).  ``S`` is (m+1)×(m+1), upper-triangular, with S[d, d]=0.
+
+    All left endpoints are advanced together: ``F[d]`` holds the DP
+    frontier for left endpoint ``d``, and extending every active
+    frontier to column ``e`` is one batched sweep (the same ops as
+    :func:`_scores_for_left_endpoints` per row, but m python-level
+    iterations total instead of m²/2).
     """
     W = np.asarray(W, dtype=float)
-    m = W.shape[1]
+    if W.ndim != 2:
+        raise ValueError("weight matrix must be 2-D (rows x columns)")
+    n, m = W.shape
     S = np.zeros((m + 1, m + 1))
     if W.size == 0:
         return S
-    S[:m, :] = _scores_for_left_endpoints(W, range(m))
+    F = np.zeros((m, n + 1))
+    for e in range(m):
+        A = F[: e + 1]
+        G = A[:, :-1] + W[:, e]
+        np.maximum.accumulate(G, axis=1, out=G)
+        np.maximum(A[:, 1:], G, out=A[:, 1:])
+        S[: e + 1, e + 1] = A[:, n]
     return S
 
 

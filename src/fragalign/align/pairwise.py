@@ -6,6 +6,11 @@ maximum of ``V[j] - g·j`` (then add ``g·j`` back), so each row is three
 NumPy elementwise ops plus one ``maximum.accumulate`` — the same trick
 the chain DP uses, generalized to penalized gaps.
 
+The ``*_batch`` kernels extend the row sweep across a whole batch of
+same-shape pairs: the DP frontier becomes a (batch, m+1) matrix and
+every row costs one set of NumPy ops for the *entire* batch, which is
+what makes ``AlignmentEngine.align_many`` fast.
+
 Scalar implementations with traceback are provided for callers that
 need the actual aligned pairs (conserved-region discovery, tests).
 """
@@ -13,6 +18,7 @@ need the actual aligned pairs (conserved-region discovery, tests).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -22,8 +28,12 @@ __all__ = [
     "Alignment",
     "global_score",
     "global_score_reference",
+    "global_scores_batch",
     "global_align",
+    "global_align_batch",
     "local_score",
+    "local_score_reference",
+    "local_scores_batch",
     "local_align",
     "overlap_score",
     "banded_global_score",
@@ -101,12 +111,9 @@ def global_score(a: str, b: str, model: SubstitutionModel | None = None) -> floa
     return float(prev[m])
 
 
-def global_align(a: str, b: str, model: SubstitutionModel | None = None) -> Alignment:
-    """Needleman–Wunsch with traceback (O(nm) memory)."""
-    model = model or unit_dna()
-    W = _pair_matrix(a, b, model)
-    g = model.gap
-    n, m = len(a), len(b)
+def _global_matrix(W: np.ndarray, g: float) -> np.ndarray:
+    """Full Needleman–Wunsch table, row-vectorized."""
+    n, m = W.shape
     H = np.empty((n + 1, m + 1))
     H[0] = np.arange(m + 1) * g
     js = np.arange(m + 1)
@@ -117,19 +124,153 @@ def global_align(a: str, b: str, model: SubstitutionModel | None = None) -> Alig
         t = V - g * js
         np.maximum.accumulate(t, out=t)
         H[i] = t + g * js
+    return H
+
+
+def _traceback_global(
+    H: np.ndarray, W: np.ndarray, g: float
+) -> tuple[tuple[int, int], ...]:
+    """Walk back from the corner, preferring diagonal, then up, then left.
+
+    ``ndarray.item`` reads are exact Python floats straight from the
+    buffer — the O(n+m) walk never pays for a bulk table conversion.
+    """
+    n, m = W.shape
     pairs: list[tuple[int, int]] = []
     i, j = n, m
     while i > 0 and j > 0:
-        if H[i, j] == H[i - 1, j - 1] + W[i - 1, j - 1]:
+        h = H.item(i, j)
+        if h == H.item(i - 1, j - 1) + W.item(i - 1, j - 1):
             pairs.append((i - 1, j - 1))
             i -= 1
             j -= 1
-        elif H[i, j] == H[i - 1, j] + g:
+        elif h == H.item(i - 1, j) + g:
             i -= 1
         else:
             j -= 1
     pairs.reverse()
-    return Alignment(float(H[n, m]), tuple(pairs), (0, n), (0, m))
+    return tuple(pairs)
+
+
+def global_align(a: str, b: str, model: SubstitutionModel | None = None) -> Alignment:
+    """Needleman–Wunsch with traceback (O(nm) memory)."""
+    model = model or unit_dna()
+    W = _pair_matrix(a, b, model)
+    n, m = len(a), len(b)
+    H = _global_matrix(W, model.gap)
+    pairs = _traceback_global(H, W, model.gap)
+    return Alignment(float(H[n, m]), pairs, (0, n), (0, m))
+
+
+def _as_codes(seq: str | np.ndarray) -> np.ndarray:
+    return seq if isinstance(seq, np.ndarray) else encode(seq)
+
+
+def _batch_tensor(
+    pairs: Sequence[tuple[str | np.ndarray, str | np.ndarray]],
+    model: SubstitutionModel,
+) -> np.ndarray:
+    """Stack a batch of same-length pairs into the W tensor (B, n, m)."""
+    A = np.stack([_as_codes(a) for a, _ in pairs])
+    B = np.stack([_as_codes(b) for _, b in pairs])
+    return model.matrix[A[:, :, None], B[:, None, :]]
+
+
+def _global_batch_rows(W: np.ndarray, g: float) -> np.ndarray:
+    """Batched NW row sweep; returns the final DP rows (B, m+1)."""
+    B, n, m = W.shape
+    js = np.arange(m + 1)
+    prev = np.tile(js * g, (B, 1)).astype(float)
+    for i in range(1, n + 1):
+        V = np.empty((B, m + 1))
+        V[:, 0] = i * g
+        np.maximum(prev[:, :-1] + W[:, i - 1, :], prev[:, 1:] + g, out=V[:, 1:])
+        t = V - g * js
+        np.maximum.accumulate(t, axis=1, out=t)
+        prev = t + g * js
+    return prev
+
+
+def _check_uniform(
+    pairs: Sequence[tuple[str | np.ndarray, str | np.ndarray]]
+) -> tuple[int, int]:
+    n, m = len(pairs[0][0]), len(pairs[0][1])
+    for a, b in pairs:
+        if len(a) != n or len(b) != m:
+            raise ValueError(
+                "batch kernels need uniform lengths; bucket by shape first "
+                "(AlignmentEngine does this automatically)"
+            )
+    return n, m
+
+
+def global_scores_batch(
+    pairs: Sequence[tuple[str | np.ndarray, str | np.ndarray]],
+    model: SubstitutionModel | None = None,
+    chunk: int = 64,
+) -> np.ndarray:
+    """Needleman–Wunsch scores for a batch of same-shape pairs.
+
+    Each pair is (a, b) as strings or pre-encoded uint8 codes; all
+    ``a`` must share one length and all ``b`` another.  Identical to
+    :func:`global_score` per pair (same elementwise float operations),
+    but one Python-level row loop serves the whole batch.  ``chunk``
+    bounds the (chunk, n, m) substitution tensor held in memory.
+    """
+    model = model or unit_dna()
+    if not pairs:
+        return np.zeros(0)
+    n, m = _check_uniform(pairs)
+    if n == 0 or m == 0:
+        return np.full(len(pairs), (n + m) * model.gap)
+    out = np.empty(len(pairs))
+    for lo in range(0, len(pairs), chunk):
+        W = _batch_tensor(pairs[lo : lo + chunk], model)
+        out[lo : lo + W.shape[0]] = _global_batch_rows(W, model.gap)[:, m]
+    return out
+
+
+def global_align_batch(
+    pairs: Sequence[tuple[str, str]],
+    model: SubstitutionModel | None = None,
+    chunk: int = 64,
+) -> list[Alignment]:
+    """Batched Needleman–Wunsch with traceback.
+
+    The DP tables for a chunk of same-shape pairs are filled together
+    (one row sweep across the chunk); tracebacks are then walked per
+    pair on the shared tensor.  Equals a loop of :func:`global_align`
+    exactly — same table values, same tie-breaking.
+    """
+    model = model or unit_dna()
+    if not pairs:
+        return []
+    n, m = _check_uniform(pairs)
+    g = model.gap
+    if n == 0 or m == 0:
+        return [
+            Alignment((n + m) * g, (), (0, n), (0, m)) for _ in pairs
+        ]
+    js = np.arange(m + 1)
+    out: list[Alignment] = []
+    for lo in range(0, len(pairs), chunk):
+        W = _batch_tensor(pairs[lo : lo + chunk], model)
+        B = W.shape[0]
+        H = np.empty((B, n + 1, m + 1))
+        H[:, 0, :] = js * g
+        for i in range(1, n + 1):
+            V = np.empty((B, m + 1))
+            V[:, 0] = i * g
+            np.maximum(
+                H[:, i - 1, :-1] + W[:, i - 1, :], H[:, i - 1, 1:] + g, out=V[:, 1:]
+            )
+            t = V - g * js
+            np.maximum.accumulate(t, axis=1, out=t)
+            H[:, i, :] = t + g * js
+        for k in range(B):
+            pairs_k = _traceback_global(H[k], W[k], g)
+            out.append(Alignment(float(H[k, n, m]), pairs_k, (0, n), (0, m)))
+    return out
 
 
 def local_score(a: str, b: str, model: SubstitutionModel | None = None) -> float:
@@ -154,6 +295,68 @@ def local_score(a: str, b: str, model: SubstitutionModel | None = None) -> float
         np.maximum(prev, 0.0, out=prev)
         best = max(best, float(prev.max()))
     return best
+
+
+def local_score_reference(a: str, b: str, model: SubstitutionModel | None = None) -> float:
+    """Scalar Smith–Waterman, the oracle for the vectorized kernels."""
+    model = model or unit_dna()
+    W = _pair_matrix(a, b, model)
+    g = model.gap
+    n, m = len(a), len(b)
+    prev = [0.0] * (m + 1)
+    best = 0.0
+    for i in range(1, n + 1):
+        cur = [0.0] * (m + 1)
+        for j in range(1, m + 1):
+            cur[j] = max(
+                0.0,
+                prev[j - 1] + W[i - 1, j - 1],
+                prev[j] + g,
+                cur[j - 1] + g,
+            )
+            if cur[j] > best:
+                best = cur[j]
+        prev = cur
+    return best
+
+
+def local_scores_batch(
+    pairs: Sequence[tuple[str | np.ndarray, str | np.ndarray]],
+    model: SubstitutionModel | None = None,
+    chunk: int = 64,
+) -> np.ndarray:
+    """Smith–Waterman scores for a batch of same-shape pairs.
+
+    The batched analogue of :func:`local_score`: one row sweep per DP
+    row serves the whole chunk, with the zero clamp and running best
+    applied batch-wide.
+    """
+    model = model or unit_dna()
+    if not pairs:
+        return np.zeros(0)
+    n, m = _check_uniform(pairs)
+    if n == 0 or m == 0:
+        return np.zeros(len(pairs))
+    js = np.arange(m + 1)
+    g = model.gap
+    out = np.empty(len(pairs))
+    for lo in range(0, len(pairs), chunk):
+        W = _batch_tensor(pairs[lo : lo + chunk], model)
+        B = W.shape[0]
+        prev = np.zeros((B, m + 1))
+        best = np.zeros(B)
+        for i in range(1, n + 1):
+            V = np.empty((B, m + 1))
+            V[:, 0] = 0.0
+            np.maximum(prev[:, :-1] + W[:, i - 1, :], prev[:, 1:] + g, out=V[:, 1:])
+            np.maximum(V, 0.0, out=V)
+            t = V - g * js
+            np.maximum.accumulate(t, axis=1, out=t)
+            prev = t + g * js
+            np.maximum(prev, 0.0, out=prev)
+            np.maximum(best, prev.max(axis=1), out=best)
+        out[lo : lo + B] = best
+    return out
 
 
 def local_align(a: str, b: str, model: SubstitutionModel | None = None) -> Alignment:

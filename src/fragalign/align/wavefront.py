@@ -99,12 +99,17 @@ def nw_score_wavefront(
     executor: ExecutorKind = "serial",
     workers: int | None = None,
     kernel: Kernel = "numpy",
+    pool: Executor | None = None,
 ) -> float:
     """Needleman–Wunsch score via blocked wavefront scheduling.
 
     Exact — identical to :func:`fragalign.align.pairwise.global_score`
     for every executor/kernel combination (a standing test invariant);
     only the schedule changes.
+
+    ``pool`` lets a caller lend an already-running executor (e.g. the
+    engine's persistent process pool) instead of paying pool start-up
+    per call; a lent pool is never shut down here.
     """
     model = model or unit_dna()
     if block < 1:
@@ -137,12 +142,13 @@ def nw_score_wavefront(
             left = rights[(p, q - 1)]
         return top, left
 
-    pool: Executor | None = None
+    owns_pool = pool is None
     try:
-        if executor == "threads":
-            pool = ThreadPoolExecutor(max_workers=workers)
-        elif executor == "processes":
-            pool = ProcessPoolExecutor(max_workers=workers)
+        if owns_pool:
+            if executor == "threads":
+                pool = ThreadPoolExecutor(max_workers=workers)
+            elif executor == "processes":
+                pool = ProcessPoolExecutor(max_workers=workers)
         for wave in range(P + Q - 1):
             tasks = []
             for p in range(max(0, wave - Q + 1), min(P, wave + 1)):
@@ -174,6 +180,6 @@ def nw_score_wavefront(
                 bottoms.pop((p - 1, q), None)
                 rights.pop((p, q - 1), None)
     finally:
-        if pool is not None:
+        if owns_pool and pool is not None:
             pool.shutdown()
     return float(bottoms[(P - 1, Q - 1)][-1])

@@ -6,6 +6,7 @@ Commands
 ``pipeline``  — the genome → contigs → CSR → inference pipeline.
 ``hardness``  — the Theorem-2 gadget on a random cubic graph.
 ``bench-dp``  — a quick DP throughput/parallelism check on this host.
+``engine``    — batch-align random pairs through a chosen backend.
 """
 
 from __future__ import annotations
@@ -48,6 +49,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["csr_improve", "baseline4", "greedy"],
         default="csr_improve",
     )
+    pipe.add_argument(
+        "--backend",
+        default="numpy",
+        help="alignment-engine backend for discovery/scoring",
+    )
 
     hard = sub.add_parser("hardness", help="run the Theorem-2 gadget")
     hard.add_argument("--nodes", type=int, default=10)
@@ -56,6 +62,20 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench-dp", help="quick DP throughput check")
     bench.add_argument("--length", type=int, default=800)
     bench.add_argument("--workers", type=int, default=4)
+
+    eng = sub.add_parser(
+        "engine", help="batch alignment through a selected backend"
+    )
+    eng.add_argument(
+        "--backend",
+        default="numpy",
+        help="registered engine backend (naive, numpy, parallel, ...)",
+    )
+    eng.add_argument("--batch", type=int, default=50, help="number of pairs")
+    eng.add_argument("--length", type=int, default=256, help="sequence length")
+    eng.add_argument("--mode", choices=["global", "local"], default="global")
+    eng.add_argument("--workers", type=int, default=None)
+    eng.add_argument("--seed", type=int, default=2026)
 
     solve = sub.add_parser("solve", help="solve a JSON instance file")
     solve.add_argument("path", help="instance JSON (see fragalign.core.io)")
@@ -107,6 +127,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         sub_rate=args.sub_rate,
         discovery=args.discovery,
         solver=args.solver,
+        backend=args.backend,
     )
     result = run_pipeline(cfg, rng=args.seed)
     print(result.instance.describe())
@@ -161,6 +182,42 @@ def _cmd_bench_dp(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_engine(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from fragalign.engine import AlignmentEngine, available_backends
+    from fragalign.genome.dna import random_dna
+    from fragalign.util.timing import time_call
+
+    gen = np.random.default_rng(args.seed)
+    pairs = [
+        (random_dna(args.length, gen), random_dna(args.length, gen))
+        for _ in range(args.batch)
+    ]
+    options = {} if args.workers is None else {"workers": args.workers}
+    try:
+        engine = AlignmentEngine(backend=args.backend, mode=args.mode, **options)
+    except TypeError:
+        print(
+            f"error: backend {args.backend!r} does not accept --workers",
+            file=sys.stderr,
+        )
+        return 2
+    with engine:
+        t, scores = time_call(engine.score_many, pairs, repeat=1)
+        cells = args.batch * args.length * args.length
+        print(
+            f"backend={engine.backend_name} mode={args.mode} "
+            f"batch={args.batch}x{args.length}"
+        )
+        print(
+            f"score_many: {t:.3f}s ({cells / max(t, 1e-9) / 1e6:.1f} Mcells/s), "
+            f"mean score {float(np.mean(scores)) if len(scores) else 0.0:.2f}"
+        )
+    print(f"registered backends: {', '.join(available_backends())}")
+    return 0
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     from fragalign.core import baseline4, csr_improve, exact_csr, greedy_csr
     from fragalign.core.bounds import certified_ratio
@@ -195,6 +252,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "pipeline": _cmd_pipeline,
         "hardness": _cmd_hardness,
         "bench-dp": _cmd_bench_dp,
+        "engine": _cmd_engine,
         "solve": _cmd_solve,
     }
     return handlers[args.command](args)

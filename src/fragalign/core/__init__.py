@@ -1,5 +1,15 @@
-"""The paper's contribution: the CSR problem and its algorithms."""
+"""The paper's contribution: the CSR problem and its algorithms.
 
+The batched alignment engine is re-exported here so CSR-level callers
+(pipelines, services) can pick an execution backend without importing
+the engine package directly.
+"""
+
+from fragalign.engine import (
+    AlignmentEngine,
+    available_backends,
+    register_backend,
+)
 from fragalign.core.baseline import (
     baseline4,
     concat_m_instance,
@@ -87,6 +97,9 @@ from fragalign.core.symbols import (
 )
 
 __all__ = [
+    "AlignmentEngine",
+    "available_backends",
+    "register_backend",
     "baseline4",
     "concat_m_instance",
     "transposed_concat_instance",

@@ -1,0 +1,62 @@
+"""fragalign.engine — the batched, vectorized alignment engine.
+
+A backend registry (``naive`` pure-Python, ``numpy`` vectorized,
+``parallel`` multiprocessing) behind a single :class:`AlignmentEngine`
+facade with ``align(a, b)`` / ``align_many(pairs)`` single and batch
+APIs plus memoized scoring-matrix and sequence preparation.
+
+Quick use::
+
+    from fragalign.engine import AlignmentEngine
+
+    eng = AlignmentEngine(backend="numpy")          # or "naive"/"parallel"
+    scores = eng.score_many([(a1, b1), (a2, b2)])   # batched row sweeps
+
+Adding a backend::
+
+    from fragalign.engine import AlignmentBackend, register_backend
+
+    class MyBackend(AlignmentBackend):
+        name = "mine"
+        def score(self, p, model, mode): ...
+        def align(self, p, model, mode): ...
+        # override score_many/align_many when you can beat a loop
+
+    register_backend("mine", MyBackend)
+    AlignmentEngine(backend="mine")
+
+All backends must agree on scores (and, for integer-valued models, on
+tracebacks) — the parity suite in ``tests/test_engine.py`` enforces
+this for the built-ins and is the template for testing new ones.
+"""
+
+from fragalign.engine.backends import (
+    AlignmentBackend,
+    NaiveBackend,
+    NumpyBackend,
+    PreparedPair,
+)
+from fragalign.engine.facade import AlignmentEngine, default_model
+from fragalign.engine.parallel import ParallelBackend
+from fragalign.engine.registry import (
+    available_backends,
+    get_backend,
+    register_backend,
+)
+
+register_backend("naive", NaiveBackend, overwrite=True)
+register_backend("numpy", NumpyBackend, overwrite=True)
+register_backend("parallel", ParallelBackend, overwrite=True)
+
+__all__ = [
+    "AlignmentEngine",
+    "AlignmentBackend",
+    "NaiveBackend",
+    "NumpyBackend",
+    "ParallelBackend",
+    "PreparedPair",
+    "available_backends",
+    "default_model",
+    "get_backend",
+    "register_backend",
+]

@@ -1,0 +1,194 @@
+"""Alignment backends: the naive per-cell foil and the NumPy kernels.
+
+A backend is an execution strategy for the same mathematical DP; all
+backends produce identical scores and (for integer-valued models)
+identical tracebacks, which the cross-backend parity tests pin down.
+``score_many``/``align_many`` receive *uniform-shape* batches — the
+:class:`fragalign.engine.AlignmentEngine` facade buckets mixed-length
+workloads by shape before dispatching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from fragalign.align.pairwise import (
+    Alignment,
+    global_align_batch,
+    global_score_reference,
+    global_scores_batch,
+    local_align,
+    local_score_reference,
+    local_scores_batch,
+)
+from fragalign.align.scoring_matrices import SubstitutionModel
+
+__all__ = ["PreparedPair", "AlignmentBackend", "NaiveBackend", "NumpyBackend"]
+
+MODES = ("global", "local")
+
+
+@dataclass(frozen=True)
+class PreparedPair:
+    """One alignment job after memoized preparation (encoded codes)."""
+
+    a: str
+    b: str
+    a_codes: np.ndarray
+    b_codes: np.ndarray
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return len(self.a_codes), len(self.b_codes)
+
+
+class AlignmentBackend:
+    """Base class: per-pair hooks plus looping batch defaults.
+
+    Subclasses must implement :meth:`score` and :meth:`align`; they
+    *should* override the batch methods when they can do better than a
+    Python loop (the whole point of the NumPy and parallel backends).
+    """
+
+    name = "?"
+
+    def score(self, p: PreparedPair, model: SubstitutionModel, mode: str) -> float:
+        raise NotImplementedError
+
+    def align(self, p: PreparedPair, model: SubstitutionModel, mode: str) -> Alignment:
+        raise NotImplementedError
+
+    def score_many(
+        self, batch: list[PreparedPair], model: SubstitutionModel, mode: str
+    ) -> np.ndarray:
+        return np.array([self.score(p, model, mode) for p in batch])
+
+    def align_many(
+        self, batch: list[PreparedPair], model: SubstitutionModel, mode: str
+    ) -> list[Alignment]:
+        return [self.align(p, model, mode) for p in batch]
+
+    def close(self) -> None:
+        """Release any held resources (process pools, device handles)."""
+
+
+def _check_mode(mode: str) -> None:
+    if mode not in MODES:
+        raise ValueError(f"unknown alignment mode {mode!r} (expected one of {MODES})")
+
+
+class NaiveBackend(AlignmentBackend):
+    """Transparent per-cell Python DP — the correctness oracle.
+
+    Every cell is a Python ``max`` over three moves; tracebacks prefer
+    diagonal, then up, then left, exactly like the NumPy kernels, so
+    the two backends agree alignment-for-alignment on integer models.
+    """
+
+    name = "naive"
+
+    @staticmethod
+    def _w_rows(p: PreparedPair, model: SubstitutionModel) -> list[list[float]]:
+        return model.pair_matrix(p.a_codes, p.b_codes).tolist()
+
+    def score(self, p: PreparedPair, model: SubstitutionModel, mode: str) -> float:
+        _check_mode(mode)
+        if mode == "local":
+            return local_score_reference(p.a, p.b, model)
+        return global_score_reference(p.a, p.b, model)
+
+    def align(self, p: PreparedPair, model: SubstitutionModel, mode: str) -> Alignment:
+        _check_mode(mode)
+        n, m = p.shape
+        g = model.gap
+        if n == 0 or m == 0:
+            score = 0.0 if mode == "local" else (n + m) * g
+            return Alignment(score, (), (0, n if mode == "global" else 0), (0, m if mode == "global" else 0))
+        W = self._w_rows(p, model)
+        if mode == "local":
+            H = [[0.0] * (m + 1) for _ in range(n + 1)]
+            best, bi, bj = 0.0, 0, 0
+            for i in range(1, n + 1):
+                w = W[i - 1]
+                hp, hc = H[i - 1], H[i]
+                for j in range(1, m + 1):
+                    v = max(0.0, hp[j - 1] + w[j - 1], hp[j] + g, hc[j - 1] + g)
+                    hc[j] = v
+                    if v > best:
+                        best, bi, bj = v, i, j
+            i, j = bi, bj
+            pairs: list[tuple[int, int]] = []
+            while i > 0 and j > 0 and H[i][j] > 0:
+                if H[i][j] == H[i - 1][j - 1] + W[i - 1][j - 1]:
+                    pairs.append((i - 1, j - 1))
+                    i -= 1
+                    j -= 1
+                elif H[i][j] == H[i - 1][j] + g:
+                    i -= 1
+                else:
+                    j -= 1
+            pairs.reverse()
+            return Alignment(best, tuple(pairs), (i, bi), (j, bj))
+        H = [[j * g for j in range(m + 1)]]
+        for i in range(1, n + 1):
+            row = [i * g] + [0.0] * m
+            prev, w = H[i - 1], W[i - 1]
+            for j in range(1, m + 1):
+                row[j] = max(prev[j - 1] + w[j - 1], prev[j] + g, row[j - 1] + g)
+            H.append(row)
+        i, j = n, m
+        pairs = []
+        while i > 0 and j > 0:
+            if H[i][j] == H[i - 1][j - 1] + W[i - 1][j - 1]:
+                pairs.append((i - 1, j - 1))
+                i -= 1
+                j -= 1
+            elif H[i][j] == H[i - 1][j] + g:
+                i -= 1
+            else:
+                j -= 1
+        pairs.reverse()
+        return Alignment(float(H[n][m]), tuple(pairs), (0, n), (0, m))
+
+
+class NumpyBackend(AlignmentBackend):
+    """Row-vectorized kernels; batches share one sweep per DP row.
+
+    ``chunk`` bounds how many pairs' substitution tensors are held in
+    memory at once during a batch sweep.
+    """
+
+    name = "numpy"
+
+    def __init__(self, chunk: int = 64) -> None:
+        self.chunk = chunk
+
+    def score(self, p: PreparedPair, model: SubstitutionModel, mode: str) -> float:
+        _check_mode(mode)
+        kernel = local_scores_batch if mode == "local" else global_scores_batch
+        return float(kernel([(p.a_codes, p.b_codes)], model, chunk=1)[0])
+
+    def align(self, p: PreparedPair, model: SubstitutionModel, mode: str) -> Alignment:
+        _check_mode(mode)
+        if mode == "local":
+            return local_align(p.a, p.b, model)
+        return global_align_batch([(p.a_codes, p.b_codes)], model, chunk=1)[0]
+
+    def score_many(
+        self, batch: list[PreparedPair], model: SubstitutionModel, mode: str
+    ) -> np.ndarray:
+        _check_mode(mode)
+        kernel = local_scores_batch if mode == "local" else global_scores_batch
+        return kernel([(p.a_codes, p.b_codes) for p in batch], model, chunk=self.chunk)
+
+    def align_many(
+        self, batch: list[PreparedPair], model: SubstitutionModel, mode: str
+    ) -> list[Alignment]:
+        _check_mode(mode)
+        if mode == "local":
+            return [local_align(p.a, p.b, model) for p in batch]
+        return global_align_batch(
+            [(p.a_codes, p.b_codes) for p in batch], model, chunk=self.chunk
+        )

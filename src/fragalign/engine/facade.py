@@ -1,0 +1,161 @@
+"""The :class:`AlignmentEngine` facade.
+
+One object, four verbs::
+
+    with AlignmentEngine(backend="numpy") as eng:
+        aln    = eng.align(a, b)          # full Alignment (traceback)
+        s      = eng.score(a, b)          # score only
+        alns   = eng.align_many(pairs)    # batch, bucketed by shape
+        scores = eng.score_many(pairs)    # batch, bucketed by shape
+
+The facade owns everything backends shouldn't care about: memoized
+sequence encoding (each distinct sequence is encoded once per engine),
+the memoized default scoring matrix, validation, and bucketing mixed
+-length batches into uniform-shape groups so backends only ever see
+batches their kernels can sweep in lockstep.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+from fragalign.align.pairwise import Alignment
+from fragalign.align.scoring_matrices import SubstitutionModel, encode, unit_dna
+from fragalign.engine.backends import MODES, AlignmentBackend, PreparedPair
+from fragalign.engine.registry import get_backend
+
+__all__ = ["AlignmentEngine", "default_model"]
+
+
+@lru_cache(maxsize=1)
+def default_model() -> SubstitutionModel:
+    """The engine's default scoring matrix, built (and validated) once."""
+    return unit_dna()
+
+
+class AlignmentEngine:
+    """Facade over the backend registry with batch APIs and memoized prep.
+
+    Parameters
+    ----------
+    backend:
+        A registered backend name (``naive``, ``numpy``, ``parallel``)
+        or an :class:`AlignmentBackend` instance.
+    model:
+        Substitution model; defaults to the memoized unit-cost model.
+    mode:
+        ``"global"`` (Needleman–Wunsch) or ``"local"`` (Smith–Waterman).
+    cache_size:
+        How many distinct sequences' encodings to memoize.
+    **backend_options:
+        Forwarded to the backend factory (e.g. ``workers=4`` for
+        ``parallel``, ``chunk=32`` for ``numpy``).
+    """
+
+    def __init__(
+        self,
+        backend: str | AlignmentBackend = "numpy",
+        model: SubstitutionModel | None = None,
+        mode: str = "global",
+        cache_size: int = 4096,
+        **backend_options,
+    ) -> None:
+        if mode not in MODES:
+            raise ValueError(f"unknown alignment mode {mode!r} (expected one of {MODES})")
+        self.model = model or default_model()
+        self.mode = mode
+        if isinstance(backend, AlignmentBackend):
+            if backend_options:
+                raise ValueError("backend options only apply when backend is a name")
+            self._backend = backend
+        else:
+            self._backend = get_backend(backend, **backend_options)
+        self._cache_size = cache_size
+        self._codes: dict[str, np.ndarray] = {}
+
+    @property
+    def backend(self) -> AlignmentBackend:
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        return self._backend.name
+
+    # -- preparation -------------------------------------------------
+
+    def _encode(self, seq: str) -> np.ndarray:
+        if self._cache_size <= 0:  # memoization disabled
+            return encode(seq)
+        codes = self._codes.get(seq)
+        if codes is None:
+            if len(self._codes) >= self._cache_size:
+                self._codes.pop(next(iter(self._codes)))
+            codes = encode(seq)
+            self._codes[seq] = codes
+        return codes
+
+    def prepare(self, a: str, b: str) -> PreparedPair:
+        """Encode one pair (memoized per distinct sequence)."""
+        return PreparedPair(a, b, self._encode(a), self._encode(b))
+
+    # -- single-pair API ---------------------------------------------
+
+    def score(self, a: str, b: str) -> float:
+        return self._backend.score(self.prepare(a, b), self.model, self.mode)
+
+    def align(self, a: str, b: str) -> Alignment:
+        return self._backend.align(self.prepare(a, b), self.model, self.mode)
+
+    # -- batch API ---------------------------------------------------
+
+    def _buckets(
+        self, preps: list[PreparedPair]
+    ) -> list[tuple[list[int], list[PreparedPair]]]:
+        by_shape: dict[tuple[int, int], list[int]] = defaultdict(list)
+        for k, p in enumerate(preps):
+            by_shape[p.shape].append(k)
+        return [([k for k in idxs], [preps[k] for k in idxs]) for idxs in by_shape.values()]
+
+    def score_many(self, pairs: Sequence[tuple[str, str]]) -> np.ndarray:
+        """Scores for every (a, b) pair, in input order.
+
+        Pairs are bucketed by shape; each uniform bucket goes to the
+        backend's batch kernel in one call.  Equals ``[self.score(a, b)
+        for a, b in pairs]`` (a standing test invariant).
+        """
+        preps = [self.prepare(a, b) for a, b in pairs]
+        out = np.empty(len(preps))
+        for idxs, bucket in self._buckets(preps):
+            out[idxs] = self._backend.score_many(bucket, self.model, self.mode)
+        return out
+
+    def align_many(self, pairs: Sequence[tuple[str, str]]) -> list[Alignment]:
+        """Full alignments for every pair, in input order (bucketed)."""
+        preps = [self.prepare(a, b) for a, b in pairs]
+        out: list[Alignment | None] = [None] * len(preps)
+        for idxs, bucket in self._buckets(preps):
+            for k, aln in zip(idxs, self._backend.align_many(bucket, self.model, self.mode)):
+                out[k] = aln
+        return out  # type: ignore[return-value]
+
+    # -- lifecycle ---------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend resources (worker pools)."""
+        self._backend.close()
+
+    def __enter__(self) -> "AlignmentEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"AlignmentEngine(backend={self.backend_name!r}, mode={self.mode!r}, "
+            f"cached_seqs={len(self._codes)})"
+        )

@@ -1,0 +1,135 @@
+"""Multiprocessing backend: NumPy batch kernels fanned over a pool.
+
+Uniform-shape batches are split into contiguous chunks, one task per
+chunk, executed by worker processes running the same vectorized
+kernels as the ``numpy`` backend — so results are bit-identical, only
+the schedule changes.  The pool is created lazily and kept alive for
+the backend's lifetime (``close()`` releases it), and single very long
+global alignments are routed through the blocked-wavefront DP on the
+same pool instead of being computed serially.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+import os
+
+import numpy as np
+
+from fragalign.align.pairwise import (
+    Alignment,
+    global_align_batch,
+    global_scores_batch,
+    local_align,
+    local_scores_batch,
+)
+from fragalign.align.scoring_matrices import SubstitutionModel
+from fragalign.align.wavefront import nw_score_wavefront
+from fragalign.engine.backends import (
+    AlignmentBackend,
+    NumpyBackend,
+    PreparedPair,
+    _check_mode,
+)
+
+__all__ = ["ParallelBackend"]
+
+
+def _score_chunk(args) -> np.ndarray:
+    codes, model, mode, chunk = args
+    kernel = local_scores_batch if mode == "local" else global_scores_batch
+    return kernel(codes, model, chunk=chunk)
+
+
+def _align_chunk(args) -> list[Alignment]:
+    payload, model, mode, chunk = args
+    if mode == "local":
+        return [local_align(a, b, model) for a, b in payload]
+    return global_align_batch(payload, model, chunk=chunk)
+
+
+class ParallelBackend(AlignmentBackend):
+    """Process-pool execution of the NumPy kernels.
+
+    ``workers`` defaults to the host's CPU count (capped at 8 — DP is
+    memory-bandwidth-bound well before that on most hosts);
+    ``min_batch`` is the batch size below which fan-out overhead beats
+    the win and work runs in-process; ``wavefront_min`` is the single
+    -pair length above which a global score uses the blocked wavefront
+    DP across the pool.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        chunk: int = 64,
+        min_batch: int = 16,
+        wavefront_min: int = 4096,
+    ) -> None:
+        self.workers = workers or min(8, os.cpu_count() or 2)
+        self.chunk = chunk
+        self.min_batch = min_batch
+        self.wavefront_min = wavefront_min
+        self._local = NumpyBackend(chunk=chunk)
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _chunks(self, count: int) -> list[tuple[int, int]]:
+        per = max(1, -(-count // self.workers))
+        return [(lo, min(lo + per, count)) for lo in range(0, count, per)]
+
+    def score(self, p: PreparedPair, model: SubstitutionModel, mode: str) -> float:
+        n, m = p.shape
+        if mode == "global" and min(n, m) >= self.wavefront_min:
+            block = max(256, n // self.workers)
+            return nw_score_wavefront(
+                p.a, p.b, model, block=block, pool=self._ensure_pool()
+            )
+        return self._local.score(p, model, mode)
+
+    def align(self, p: PreparedPair, model: SubstitutionModel, mode: str) -> Alignment:
+        return self._local.align(p, model, mode)
+
+    def score_many(
+        self, batch: list[PreparedPair], model: SubstitutionModel, mode: str
+    ) -> np.ndarray:
+        _check_mode(mode)
+        if len(batch) < self.min_batch:
+            return self._local.score_many(batch, model, mode)
+        codes = [(p.a_codes, p.b_codes) for p in batch]
+        tasks = [
+            (codes[lo:hi], model, mode, self.chunk)
+            for lo, hi in self._chunks(len(batch))
+        ]
+        parts = list(self._ensure_pool().map(_score_chunk, tasks))
+        return np.concatenate(parts)
+
+    def align_many(
+        self, batch: list[PreparedPair], model: SubstitutionModel, mode: str
+    ) -> list[Alignment]:
+        _check_mode(mode)
+        if len(batch) < self.min_batch:
+            return self._local.align_many(batch, model, mode)
+        if mode == "local":
+            payloads = [[(p.a, p.b) for p in batch[lo:hi]] for lo, hi in self._chunks(len(batch))]
+        else:
+            payloads = [
+                [(p.a_codes, p.b_codes) for p in batch[lo:hi]]
+                for lo, hi in self._chunks(len(batch))
+            ]
+        tasks = [(payload, model, mode, self.chunk) for payload in payloads]
+        out: list[Alignment] = []
+        for part in self._ensure_pool().map(_align_chunk, tasks):
+            out.extend(part)
+        return out

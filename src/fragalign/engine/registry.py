@@ -1,0 +1,49 @@
+"""Backend registry for the alignment engine.
+
+Backends are registered under a short name (``naive``, ``numpy``,
+``parallel``, …) with a factory; :func:`get_backend` instantiates one
+with backend-specific options.  Third-party code can plug in its own
+execution strategy (GPU kernels, a cluster client, an FFI library)
+with :func:`register_backend` and everything built on the engine —
+the CLI, the genome pipeline, the benchmarks — picks it up by name.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from fragalign.util.errors import SolverError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from fragalign.engine.backends import AlignmentBackend
+
+__all__ = ["register_backend", "get_backend", "available_backends"]
+
+_REGISTRY: dict[str, Callable[..., "AlignmentBackend"]] = {}
+
+
+def register_backend(
+    name: str,
+    factory: Callable[..., "AlignmentBackend"],
+    *,
+    overwrite: bool = False,
+) -> None:
+    """Register ``factory`` (called with the backend options) under ``name``."""
+    if not overwrite and name in _REGISTRY:
+        raise SolverError(f"backend {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def get_backend(name: str, **options) -> "AlignmentBackend":
+    """Instantiate the backend registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "none"
+        raise SolverError(f"unknown backend {name!r} (registered: {known})") from None
+    return factory(**options)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))

@@ -7,6 +7,10 @@ a contig are reduced to a best-scoring non-overlapping subset, because
 the paper's model assumes regions are "identical or completely
 distinct" — no partial overlap (§1).
 
+All candidate windows are collected first and scored in one
+``align_many`` batch through the alignment engine, so discovery can be
+pointed at any registered backend (vectorized, multiprocessing, …).
+
 The result feeds :func:`build_csr_instance`: regions become symbols,
 alignment scores become σ, and the contigs become CSR fragments.
 """
@@ -16,8 +20,8 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass
 
-from fragalign.align.pairwise import local_align
 from fragalign.align.scoring_matrices import SubstitutionModel, unit_dna
+from fragalign.engine import AlignmentEngine
 from fragalign.core.fragments import CSRInstance
 from fragalign.core.scoring import Scorer
 from fragalign.genome.dna import reverse_complement
@@ -81,10 +85,21 @@ def find_conserved_regions(
     min_score: float = 20.0,
     model: SubstitutionModel | None = None,
     pad: int = 25,
+    engine: AlignmentEngine | None = None,
 ) -> list[RegionHit]:
-    """All conserved region pairs above ``min_score``."""
-    model = model or unit_dna(match=1.0, mismatch=-1.0, gap=-2.0)
-    hits: list[RegionHit] = []
+    """All conserved region pairs above ``min_score``.
+
+    ``engine`` selects the execution backend for window scoring (must
+    be in ``local`` mode; its model takes precedence over ``model``).
+    By default a vectorized in-process engine is used.
+    """
+    if engine is None:
+        model = model or unit_dna(match=1.0, mismatch=-1.0, gap=-2.0)
+        engine = AlignmentEngine(backend="numpy", model=model, mode="local")
+    elif engine.mode != "local":
+        raise ValueError("conserved-region discovery needs a local-mode engine")
+    jobs: list[tuple[int, int, bool, int, int, int]] = []
+    windows: list[tuple[str, str]] = []
     for hi, hc in enumerate(h_contigs):
         for mi, mc in enumerate(m_contigs):
             for rev in (False, True):
@@ -96,29 +111,31 @@ def find_conserved_regions(
                     he = min(len(hc.sequence), he + pad)
                     ms = max(0, ms - pad)
                     me = min(len(m_seq), me + pad)
-                    aln = local_align(hc.sequence[hs:he], m_seq[ms:me], model)
-                    if aln.score < min_score or not aln.pairs:
-                        continue
-                    h0 = hs + aln.a_interval[0]
-                    h1 = hs + aln.a_interval[1]
-                    m0 = ms + aln.b_interval[0]
-                    m1 = ms + aln.b_interval[1]
-                    if rev:
-                        # Map back to plus-strand coordinates of m.
-                        L = len(mc.sequence)
-                        m0, m1 = L - m1, L - m0
-                    hits.append(
-                        RegionHit(
-                            h_contig=hi,
-                            h_start=h0,
-                            h_end=h1,
-                            m_contig=mi,
-                            m_start=m0,
-                            m_end=m1,
-                            reversed=rev,
-                            score=float(aln.score),
-                        )
-                    )
+                    jobs.append((hi, mi, rev, hs, ms, len(mc.sequence)))
+                    windows.append((hc.sequence[hs:he], m_seq[ms:me]))
+    hits: list[RegionHit] = []
+    for (hi, mi, rev, hs, ms, L), aln in zip(jobs, engine.align_many(windows)):
+        if aln.score < min_score or not aln.pairs:
+            continue
+        h0 = hs + aln.a_interval[0]
+        h1 = hs + aln.a_interval[1]
+        m0 = ms + aln.b_interval[0]
+        m1 = ms + aln.b_interval[1]
+        if rev:
+            # Map back to plus-strand coordinates of m.
+            m0, m1 = L - m1, L - m0
+        hits.append(
+            RegionHit(
+                h_contig=hi,
+                h_start=h0,
+                h_end=h1,
+                m_contig=mi,
+                m_start=m0,
+                m_end=m1,
+                reversed=rev,
+                score=float(aln.score),
+            )
+        )
     return hits
 
 

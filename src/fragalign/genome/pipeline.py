@@ -17,8 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from fragalign.align.pairwise import local_align
 from fragalign.align.scoring_matrices import SubstitutionModel, unit_dna
+from fragalign.engine import AlignmentEngine
 from fragalign.core.baseline import baseline4
 from fragalign.core.csr_improve import csr_improve
 from fragalign.core.fragments import CSRInstance
@@ -53,6 +53,7 @@ class PipelineConfig:
     discovery: str = "truth"  # "truth" | "alignment"
     solver: str = "csr_improve"  # "csr_improve" | "baseline4" | "greedy"
     min_score: float = 20.0
+    backend: str = "numpy"  # alignment-engine backend for discovery/scoring
 
 
 @dataclass
@@ -72,10 +73,20 @@ def truth_hits(
     h_contigs: list[Contig],
     m_contigs: list[Contig],
     model: SubstitutionModel | None = None,
+    engine: AlignmentEngine | None = None,
 ) -> list[RegionHit]:
-    """Region hits from ground-truth annotations, scored by alignment."""
-    model = model or unit_dna(match=1.0, mismatch=-1.0, gap=-2.0)
-    hits: list[RegionHit] = []
+    """Region hits from ground-truth annotations, scored by alignment.
+
+    All block-pair probes are scored in one engine batch; ``engine``
+    picks the execution backend (local mode; overrides ``model``).
+    """
+    if engine is None:
+        model = model or unit_dna(match=1.0, mismatch=-1.0, gap=-2.0)
+        engine = AlignmentEngine(backend="numpy", model=model, mode="local")
+    elif engine.mode != "local":
+        raise ValueError("truth_hits needs a local-mode engine")
+    jobs: list[tuple[int, object, int, object, bool]] = []
+    probes: list[tuple[str, str]] = []
     for hi, hc in enumerate(h_contigs):
         for hb in hc.blocks:
             h_seq = hc.sequence[hb.start : hb.end]
@@ -88,21 +99,24 @@ def truth_hits(
                     rev = hb.reversed ^ mb.reversed
                     m_seq = mc.sequence[mb.start : mb.end]
                     probe = reverse_complement(m_seq) if rev else m_seq
-                    aln = local_align(h_seq, probe, model)
-                    if aln.score <= 0:
-                        continue
-                    hits.append(
-                        RegionHit(
-                            h_contig=hi,
-                            h_start=hb.start,
-                            h_end=hb.end,
-                            m_contig=mi,
-                            m_start=mb.start,
-                            m_end=mb.end,
-                            reversed=rev,
-                            score=float(aln.score),
-                        )
-                    )
+                    jobs.append((hi, hb, mi, mb, rev))
+                    probes.append((h_seq, probe))
+    hits: list[RegionHit] = []
+    for (hi, hb, mi, mb, rev), score in zip(jobs, engine.score_many(probes)):
+        if score <= 0:
+            continue
+        hits.append(
+            RegionHit(
+                h_contig=hi,
+                h_start=hb.start,
+                h_end=hb.end,
+                m_contig=mi,
+                m_start=mb.start,
+                m_end=mb.end,
+                reversed=rev,
+                score=float(score),
+            )
+        )
     return hits
 
 
@@ -132,14 +146,16 @@ def run_pipeline(
     m_contigs = fragment_into_contigs(
         species_m, n_contigs=config.n_m_contigs, rng=gen, name_prefix="m"
     )
-    if config.discovery == "alignment":
-        hits = find_conserved_regions(
-            h_contigs, m_contigs, min_score=config.min_score
-        )
-    elif config.discovery == "truth":
-        hits = truth_hits(h_contigs, m_contigs)
-    else:
-        raise InstanceError(f"unknown discovery mode {config.discovery!r}")
+    model = unit_dna(match=1.0, mismatch=-1.0, gap=-2.0)
+    with AlignmentEngine(backend=config.backend, model=model, mode="local") as eng:
+        if config.discovery == "alignment":
+            hits = find_conserved_regions(
+                h_contigs, m_contigs, min_score=config.min_score, engine=eng
+            )
+        elif config.discovery == "truth":
+            hits = truth_hits(h_contigs, m_contigs, engine=eng)
+        else:
+            raise InstanceError(f"unknown discovery mode {config.discovery!r}")
     instance, selected = build_csr_instance(h_contigs, m_contigs, hits)
     if config.solver == "csr_improve":
         solution = csr_improve(instance)

@@ -14,14 +14,19 @@ greedily keep every item compatible with the current selection.
 
 The selection is feasible and its profit is at least half the optimum.
 Two implementations share phase 2: a quadratic transparent one and an
-O(n log n) one using a Fenwick tree over right endpoints for the
-overlap sums plus per-index ledgers for same-index sums; they are
-equal by construction (and by test).
+O(n log n) one using a Fenwick tree over *reversed* right-endpoint
+ranks, so the overlap sum Σ v(I) over stacked I with I.end > J.start
+is a single suffix query that adds exactly the conflicting stacked
+values — never a subtraction of near-equal totals, which would
+catastrophically cancel tiny values (e.g. a 2.22e-16 profit pushed
+after a 2.0 one would vanish from ``pushed_total - prefix``).  A
+per-index ledger supplies the same-index, non-overlapping sums; the
+two implementations are equal by construction (and by test).
 """
 
 from __future__ import annotations
 
-from bisect import bisect_right, insort
+from bisect import bisect_right
 
 import numpy as np
 
@@ -30,22 +35,29 @@ from fragalign.isp.instance import ISPInstance, ISPItem
 __all__ = ["tpa", "tpa_select"]
 
 
-class _Fenwick:
-    """Fenwick tree over compressed coordinates, prefix sums of floats."""
+class _SuffixFenwick:
+    """Fenwick tree answering suffix sums over compressed coordinates.
+
+    Values are stored at *reversed* positions so ``suffix(pos)`` — the
+    sum of values at positions [pos, size) — is an ordinary prefix
+    query.  Summing the wanted values directly (instead of subtracting
+    a prefix from a running total) keeps tiny summands exact.
+    """
 
     def __init__(self, size: int) -> None:
+        self._size = size
         self._tree = np.zeros(size + 1)
 
     def add(self, pos: int, value: float) -> None:
-        i = pos + 1
-        while i < len(self._tree):
+        i = self._size - pos  # 1-based rank in reversed order
+        while i <= self._size:
             self._tree[i] += value
             i += i & (-i)
 
-    def prefix(self, pos: int) -> float:
-        """Sum of values at positions [0, pos]."""
+    def suffix(self, pos: int) -> float:
+        """Sum of values at positions [pos, size)."""
         total = 0.0
-        i = pos + 1
+        i = self._size - pos
         while i > 0:
             total += self._tree[i]
             i -= i & (-i)
@@ -66,8 +78,7 @@ def _phase1_fast(items: list[ISPItem]) -> list[tuple[ISPItem, float]]:
     # Compress right endpoints for the Fenwick tree.
     ends = sorted({it.end for it in items})
     rank = {e: r for r, e in enumerate(ends)}
-    fen = _Fenwick(len(ends))
-    pushed_total = 0.0
+    fen = _SuffixFenwick(len(ends))
     # Per-index ledger: sorted ends + cumulative values, so the sum of
     # *non-overlapping* same-index stacked items (end <= start) is a
     # bisect plus one subtraction.  Overlapping same-index items are
@@ -77,9 +88,8 @@ def _phase1_fast(items: list[ISPItem]) -> list[tuple[ISPItem, float]]:
     stack: list[tuple[ISPItem, float]] = []
     for j in items:
         # Stacked I all have I.end <= j.end, so I overlaps j iff
-        # I.end > j.start.
-        pos = bisect_right(ends, j.start) - 1
-        overlap_sum = pushed_total - (fen.prefix(pos) if pos >= 0 else 0.0)
+        # I.end > j.start: a suffix query over end-ranks > j.start.
+        overlap_sum = fen.suffix(bisect_right(ends, j.start))
         le = ledger_ends.get(j.index)
         same_idx_sum = 0.0
         if le:
@@ -90,7 +100,6 @@ def _phase1_fast(items: list[ISPItem]) -> list[tuple[ISPItem, float]]:
         if value > 0:
             stack.append((j, value))
             fen.add(rank[j.end], value)
-            pushed_total += value
             if le is None:
                 ledger_ends[j.index] = [j.end]
                 ledger_cum[j.index] = [value]

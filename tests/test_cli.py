@@ -52,6 +52,41 @@ def test_bench_dp(capsys):
     assert "Mcells/s" in out
 
 
+def test_engine_numpy(capsys):
+    assert main(["engine", "--backend", "numpy", "--batch", "8", "--length", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "backend=numpy" in out and "Mcells/s" in out
+    assert "naive, numpy, parallel" in out
+
+
+def test_engine_naive_local(capsys):
+    assert (
+        main(
+            [
+                "engine",
+                "--backend",
+                "naive",
+                "--batch",
+                "2",
+                "--length",
+                "32",
+                "--mode",
+                "local",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "backend=naive mode=local" in out
+
+
+def test_engine_unknown_backend():
+    from fragalign.util.errors import SolverError
+
+    with pytest.raises(SolverError, match="unknown backend"):
+        main(["engine", "--backend", "gpu"])
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])

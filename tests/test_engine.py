@@ -1,0 +1,245 @@
+"""The alignment engine: backend registry, facade, cross-backend parity.
+
+The standing invariants:
+
+* every backend produces identical scores (exactly, for integer-valued
+  models) and identical tracebacks to the transparent ``naive`` DP;
+* ``align_many``/``score_many`` equal a Python loop of ``align``/
+  ``score`` — batching is an execution detail, never a semantic one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from fragalign.align.pairwise import global_scores_batch
+from fragalign.align.scoring_matrices import transition_transversion, unit_dna
+from fragalign.engine import (
+    AlignmentBackend,
+    AlignmentEngine,
+    NaiveBackend,
+    NumpyBackend,
+    available_backends,
+    default_model,
+    get_backend,
+    register_backend,
+)
+from fragalign.genome.dna import random_dna
+from fragalign.util.errors import SolverError
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=32)
+dna_pairs = st.lists(st.tuples(dna, dna), min_size=0, max_size=8)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"naive", "numpy", "parallel"} <= set(available_backends())
+
+    def test_unknown_backend(self):
+        with pytest.raises(SolverError, match="unknown backend"):
+            get_backend("no-such-backend")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(SolverError, match="already registered"):
+            register_backend("numpy", NumpyBackend)
+
+    def test_custom_backend_pluggable(self):
+        class Doubling(NumpyBackend):
+            name = "doubling"
+
+            def score(self, p, model, mode):
+                return 2.0 * super().score(p, model, mode)
+
+        register_backend("doubling", Doubling, overwrite=True)
+        try:
+            eng = AlignmentEngine(backend="doubling")
+            ref = AlignmentEngine(backend="numpy")
+            assert eng.score("ACGT", "ACGT") == 2.0 * ref.score("ACGT", "ACGT")
+        finally:
+            import fragalign.engine.registry as reg
+
+            reg._REGISTRY.pop("doubling", None)
+
+
+class TestFacade:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError, match="unknown alignment mode"):
+            AlignmentEngine(mode="overlap")
+
+    def test_backend_instance_accepted(self):
+        eng = AlignmentEngine(backend=NaiveBackend())
+        assert eng.backend_name == "naive"
+        with pytest.raises(ValueError, match="backend options"):
+            AlignmentEngine(backend=NaiveBackend(), workers=2)
+
+    def test_default_model_memoized(self):
+        assert default_model() is default_model()
+
+    def test_encoding_memoized_and_bounded(self):
+        eng = AlignmentEngine(cache_size=2)
+        p1 = eng.prepare("ACGT", "ACGT")
+        assert p1.a_codes is p1.b_codes  # same string, one cached encode
+        eng.prepare("TTTT", "GGGG")  # evicts the oldest entry
+        assert len(eng._codes) == 2
+
+    def test_cache_size_zero_disables_memoization(self):
+        eng = AlignmentEngine(cache_size=0)
+        assert eng.score("ACGT", "ACGT") == AlignmentEngine().score("ACGT", "ACGT")
+        assert len(eng._codes) == 0
+
+    def test_context_manager_closes(self):
+        closed = []
+
+        class Tracker(NaiveBackend):
+            def close(self):
+                closed.append(True)
+
+        with AlignmentEngine(backend=Tracker()) as eng:
+            eng.score("AC", "AG")
+        assert closed == [True]
+
+
+class TestCrossBackendParity:
+    @settings(deadline=None)
+    @given(dna_pairs)
+    def test_scores_naive_equals_numpy(self, pairs):
+        naive = AlignmentEngine(backend="naive")
+        vec = AlignmentEngine(backend="numpy")
+        assert np.array_equal(naive.score_many(pairs), vec.score_many(pairs))
+
+    @settings(deadline=None)
+    @given(dna_pairs)
+    def test_local_scores_naive_equals_numpy(self, pairs):
+        naive = AlignmentEngine(backend="naive", mode="local")
+        vec = AlignmentEngine(backend="numpy", mode="local")
+        assert np.array_equal(naive.score_many(pairs), vec.score_many(pairs))
+
+    @settings(deadline=None)
+    @given(dna_pairs)
+    def test_alignments_naive_equals_numpy(self, pairs):
+        # Integer-valued model: DP tables agree exactly, so identical
+        # tie-breaking gives identical tracebacks, not just scores.
+        naive = AlignmentEngine(backend="naive")
+        vec = AlignmentEngine(backend="numpy")
+        for x, y in zip(naive.align_many(pairs), vec.align_many(pairs)):
+            assert x.score == y.score
+            assert x.pairs == y.pairs
+            assert (x.a_interval, x.b_interval) == (y.a_interval, y.b_interval)
+
+    @settings(deadline=None, max_examples=25)
+    @given(dna_pairs)
+    def test_scores_parity_biological_model(self, pairs):
+        model = transition_transversion()
+        naive = AlignmentEngine(backend="naive", model=model)
+        vec = AlignmentEngine(backend="numpy", model=model)
+        assert np.allclose(
+            naive.score_many(pairs), vec.score_many(pairs), atol=1e-9
+        )
+
+    def test_parallel_matches_numpy(self):
+        gen = np.random.default_rng(5)
+        # Uniform lengths so the pool fan-out path actually runs.
+        pairs = [(random_dna(96, gen), random_dna(96, gen)) for _ in range(40)]
+        mixed = pairs + [(random_dna(31, gen), random_dna(17, gen)) for _ in range(4)]
+        for mode in ("global", "local"):
+            vec = AlignmentEngine(backend="numpy", mode=mode)
+            with AlignmentEngine(backend="parallel", mode=mode, workers=2) as par:
+                assert np.array_equal(
+                    par.score_many(mixed), vec.score_many(mixed)
+                )
+                for x, y in zip(par.align_many(mixed), vec.align_many(mixed)):
+                    assert x.score == y.score and x.pairs == y.pairs
+
+
+class TestBatchSemantics:
+    @settings(deadline=None)
+    @given(dna_pairs)
+    def test_align_many_equals_loop_of_align(self, pairs):
+        for backend in ("naive", "numpy"):
+            eng = AlignmentEngine(backend=backend)
+            batch = eng.align_many(pairs)
+            loop = [eng.align(a, b) for a, b in pairs]
+            assert [x.score for x in batch] == [x.score for x in loop]
+            assert [x.pairs for x in batch] == [x.pairs for x in loop]
+
+    @settings(deadline=None)
+    @given(dna_pairs)
+    def test_score_many_equals_loop_of_score(self, pairs):
+        for backend in ("naive", "numpy"):
+            for mode in ("global", "local"):
+                eng = AlignmentEngine(backend=backend, mode=mode)
+                batch = eng.score_many(pairs)
+                loop = np.array([eng.score(a, b) for a, b in pairs])
+                assert np.array_equal(batch, loop)
+
+    def test_batch_kernel_rejects_mixed_shapes(self):
+        with pytest.raises(ValueError, match="uniform lengths"):
+            global_scores_batch([("AC", "GT"), ("ACG", "GT")])
+
+    def test_engine_buckets_mixed_shapes(self):
+        eng = AlignmentEngine(backend="numpy")
+        pairs = [("ACGT", "ACGA"), ("AC", "A"), ("TTTT", "GGGG"), ("", "ACG")]
+        got = eng.score_many(pairs)
+        want = [eng.score(a, b) for a, b in pairs]
+        assert list(got) == want
+
+
+class TestConsumers:
+    def test_conserved_discovery_backend_invariant(self):
+        from fragalign.genome.conserved import find_conserved_regions
+        from fragalign.genome.evolution import evolve, make_ancestor
+        from fragalign.genome.shotgun import fragment_into_contigs
+
+        gen = np.random.default_rng(11)
+        anc = make_ancestor(n_blocks=3, block_len=120, spacer_len=60, rng=gen)
+        a = evolve(anc, sub_rate=0.02, rng=gen)
+        b = evolve(anc, sub_rate=0.02, rng=gen)
+        ca = fragment_into_contigs(a, n_contigs=1, flip_prob=0, shuffle=False, rng=gen)
+        cb = fragment_into_contigs(b, n_contigs=1, flip_prob=0, shuffle=False, rng=gen)
+        base = find_conserved_regions(ca, cb, min_score=40)
+        assert base  # the planted homology must be found
+        model = unit_dna(match=1.0, mismatch=-1.0, gap=-2.0)
+        for backend in ("naive", "numpy"):
+            eng = AlignmentEngine(backend=backend, model=model, mode="local")
+            assert find_conserved_regions(ca, cb, min_score=40, engine=eng) == base
+
+    def test_conserved_discovery_rejects_global_engine(self):
+        from fragalign.genome.conserved import find_conserved_regions
+
+        with pytest.raises(ValueError, match="local-mode"):
+            find_conserved_regions([], [], engine=AlignmentEngine(mode="global"))
+
+
+class TestBackendProtocol:
+    def test_base_class_defaults_loop(self):
+        calls = []
+
+        class Counting(AlignmentBackend):
+            name = "counting"
+
+            def score(self, p, model, mode):
+                calls.append(p.a)
+                return 0.0
+
+        eng = AlignmentEngine(backend=Counting())
+        out = eng.score_many([("A", "C"), ("G", "T")])
+        assert list(out) == [0.0, 0.0]
+        assert calls == ["A", "G"]
+
+    def test_unknown_mode_rejected_by_backends(self):
+        from fragalign.engine import ParallelBackend
+
+        p = AlignmentEngine().prepare("AC", "GT")
+        for backend in (NaiveBackend(), NumpyBackend()):
+            with pytest.raises(ValueError, match="unknown alignment mode"):
+                backend.score(p, unit_dna(), "overlap")
+        # The pool fan-out path must validate too (min_batch=0 forces it);
+        # the check fires before any worker process is spawned.
+        par = ParallelBackend(min_batch=0)
+        for method in (par.score_many, par.align_many):
+            with pytest.raises(ValueError, match="unknown alignment mode"):
+                method([p], unit_dna(), "overlap")
+        assert par._pool is None

@@ -20,7 +20,7 @@ from fragalign.isp.instance import (
     random_instance,
     staircase_instance,
 )
-from fragalign.isp.tpa import tpa, tpa_select
+from fragalign.isp.tpa import _phase1_fast, _phase1_naive, tpa, tpa_select
 from fragalign.util.errors import InstanceError, SolverError
 
 items_strategy = st.lists(
@@ -123,6 +123,28 @@ class TestTPA:
         assert [(i.index, i.start, i.end) for i in fast] == [
             (i.index, i.start, i.end) for i in slow
         ]
+
+    def test_fast_no_float_cancellation(self):
+        # Regression: the fast phase 1 used to compute overlap sums as
+        # ``pushed_total - prefix``, which cancels a 2.22e-16 value
+        # pushed after a 2.0 one, so the fast path pushed an item the
+        # naive path rejects (value exactly 0).  The suffix-query
+        # scheme sums the conflicting values directly.
+        eps = 2.220446049250313e-16
+        inst = ISPInstance.build(
+            [
+                ISPItem(index=0, start=1, end=2, profit=eps),
+                ISPItem(index=0, start=1, end=3, profit=eps),
+                ISPItem(index=1, start=0, end=1, profit=2.0),
+            ]
+        )
+        items = sorted(
+            inst.items, key=lambda it: (it.end, it.start, it.index, -it.profit)
+        )
+        fast_stack = _phase1_fast(items)
+        naive_stack = _phase1_naive(items)
+        assert [(i, v) for i, v in fast_stack] == [(i, v) for i, v in naive_stack]
+        assert tpa(inst, fast=True) == tpa(inst, fast=False)
 
     @given(compact_items)
     def test_selection_feasible(self, inst):
