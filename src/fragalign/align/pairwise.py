@@ -166,28 +166,55 @@ def _as_codes(seq: str | np.ndarray) -> np.ndarray:
     return seq if isinstance(seq, np.ndarray) else encode(seq)
 
 
+def _batch_codes(
+    pairs: Sequence[tuple[str | np.ndarray, str | np.ndarray]]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stack a batch of same-length pairs into code matrices (B, n), (B, m)."""
+    A = np.stack([_as_codes(a) for a, _ in pairs])
+    B = np.stack([_as_codes(b) for _, b in pairs])
+    return A, B
+
+
 def _batch_tensor(
     pairs: Sequence[tuple[str | np.ndarray, str | np.ndarray]],
     model: SubstitutionModel,
 ) -> np.ndarray:
     """Stack a batch of same-length pairs into the W tensor (B, n, m)."""
-    A = np.stack([_as_codes(a) for a, _ in pairs])
-    B = np.stack([_as_codes(b) for _, b in pairs])
+    A, B = _batch_codes(pairs)
     return model.matrix[A[:, :, None], B[:, None, :]]
 
 
-def _global_batch_rows(W: np.ndarray, g: float) -> np.ndarray:
-    """Batched NW row sweep; returns the final DP rows (B, m+1)."""
-    B, n, m = W.shape
-    js = np.arange(m + 1)
-    prev = np.tile(js * g, (B, 1)).astype(float)
+def _global_batch_rows(
+    A: np.ndarray, Bm: np.ndarray, matrix: np.ndarray, g: float
+) -> np.ndarray:
+    """Batched NW row sweep over code matrices; final DP rows (B, m+1).
+
+    Substitution scores are gathered one DP row at a time from ``P``
+    (the per-code substitution rows, a (5, B, m) tensor built once per
+    batch) instead of materializing the (B, n, m) pair tensor, and the
+    sweep reuses preallocated buffers; the working set per row is
+    O(B·m) regardless of n.  Elementwise operations (and so results)
+    are identical to the per-pair kernel.
+    """
+    B, n = A.shape
+    m = Bm.shape[1]
+    P = matrix[:, Bm]  # P[c, b, :] = scores of code c vs b's sequence
+    bidx = np.arange(B)
+    gjs = g * np.arange(m + 1)
+    prev = np.tile(gjs, (B, 1)).astype(float)
+    cur = np.empty((B, m + 1))
+    t1 = np.empty((B, m))
+    t2 = np.empty((B, m))
     for i in range(1, n + 1):
-        V = np.empty((B, m + 1))
-        V[:, 0] = i * g
-        np.maximum(prev[:, :-1] + W[:, i - 1, :], prev[:, 1:] + g, out=V[:, 1:])
-        t = V - g * js
-        np.maximum.accumulate(t, axis=1, out=t)
-        prev = t + g * js
+        W_row = P[A[:, i - 1], bidx]
+        np.add(prev[:, :-1], W_row, out=t1)
+        np.add(prev[:, 1:], g, out=t2)
+        cur[:, 0] = i * g
+        np.maximum(t1, t2, out=cur[:, 1:])
+        np.subtract(cur, gjs, out=cur)
+        np.maximum.accumulate(cur, axis=1, out=cur)
+        np.add(cur, gjs, out=cur)
+        prev, cur = cur, prev
     return prev
 
 
@@ -215,7 +242,7 @@ def global_scores_batch(
     ``a`` must share one length and all ``b`` another.  Identical to
     :func:`global_score` per pair (same elementwise float operations),
     but one Python-level row loop serves the whole batch.  ``chunk``
-    bounds the (chunk, n, m) substitution tensor held in memory.
+    bounds how many pairs sweep together (working set, cache locality).
     """
     model = model or unit_dna()
     if not pairs:
@@ -225,8 +252,10 @@ def global_scores_batch(
         return np.full(len(pairs), (n + m) * model.gap)
     out = np.empty(len(pairs))
     for lo in range(0, len(pairs), chunk):
-        W = _batch_tensor(pairs[lo : lo + chunk], model)
-        out[lo : lo + W.shape[0]] = _global_batch_rows(W, model.gap)[:, m]
+        A, B = _batch_codes(pairs[lo : lo + chunk])
+        out[lo : lo + A.shape[0]] = _global_batch_rows(
+            A, B, model.matrix, model.gap
+        )[:, m]
     return out
 
 
@@ -337,24 +366,32 @@ def local_scores_batch(
     n, m = _check_uniform(pairs)
     if n == 0 or m == 0:
         return np.zeros(len(pairs))
-    js = np.arange(m + 1)
     g = model.gap
+    gjs = g * np.arange(m + 1)
     out = np.empty(len(pairs))
     for lo in range(0, len(pairs), chunk):
-        W = _batch_tensor(pairs[lo : lo + chunk], model)
-        B = W.shape[0]
+        A, Bm = _batch_codes(pairs[lo : lo + chunk])
+        B = A.shape[0]
+        P = model.matrix[:, Bm]  # per-code substitution rows (5, B, m)
+        bidx = np.arange(B)
         prev = np.zeros((B, m + 1))
         best = np.zeros(B)
+        cur = np.empty((B, m + 1))
+        t1 = np.empty((B, m))
+        t2 = np.empty((B, m))
         for i in range(1, n + 1):
-            V = np.empty((B, m + 1))
-            V[:, 0] = 0.0
-            np.maximum(prev[:, :-1] + W[:, i - 1, :], prev[:, 1:] + g, out=V[:, 1:])
-            np.maximum(V, 0.0, out=V)
-            t = V - g * js
-            np.maximum.accumulate(t, axis=1, out=t)
-            prev = t + g * js
-            np.maximum(prev, 0.0, out=prev)
-            np.maximum(best, prev.max(axis=1), out=best)
+            W_row = P[A[:, i - 1], bidx]
+            np.add(prev[:, :-1], W_row, out=t1)
+            np.add(prev[:, 1:], g, out=t2)
+            cur[:, 0] = 0.0
+            np.maximum(t1, t2, out=cur[:, 1:])
+            np.maximum(cur, 0.0, out=cur)
+            np.subtract(cur, gjs, out=cur)
+            np.maximum.accumulate(cur, axis=1, out=cur)
+            np.add(cur, gjs, out=cur)
+            np.maximum(cur, 0.0, out=cur)
+            np.maximum(best, cur.max(axis=1), out=best)
+            prev, cur = cur, prev
         out[lo : lo + B] = best
     return out
 

@@ -7,6 +7,8 @@ Commands
 ``hardness``  — the Theorem-2 gadget on a random cubic graph.
 ``bench-dp``  — a quick DP throughput/parallelism check on this host.
 ``engine``    — batch-align random pairs through a chosen backend.
+``serve``     — run the JSON-lines alignment service (micro-batching).
+``client``    — drive a running service: load generation + stats.
 """
 
 from __future__ import annotations
@@ -76,6 +78,60 @@ def build_parser() -> argparse.ArgumentParser:
     eng.add_argument("--mode", choices=["global", "local"], default="global")
     eng.add_argument("--workers", type=int, default=None)
     eng.add_argument("--seed", type=int, default=2026)
+
+    srv = sub.add_parser(
+        "serve", help="run the micro-batching alignment service"
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--port", type=int, default=8765, help="0 binds an ephemeral port"
+    )
+    srv.add_argument("--backend", default="numpy")
+    srv.add_argument("--mode", choices=["global", "local"], default="global")
+    srv.add_argument(
+        "--max-batch", type=int, default=64, help="flush a batch at this size"
+    )
+    srv.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=2.0,
+        help="max milliseconds a request waits for its batch to fill",
+    )
+    srv.add_argument(
+        "--cache-size", type=int, default=4096, help="LRU result-cache entries (0 off)"
+    )
+    srv.add_argument(
+        "--port-file",
+        default=None,
+        help="write the bound port here once listening (for scripts/CI)",
+    )
+
+    cli = sub.add_parser(
+        "client", help="drive a running service (load generator + stats)"
+    )
+    cli.add_argument("--host", default="127.0.0.1")
+    cli.add_argument("--port", type=int, default=8765)
+    cli.add_argument("--requests", type=int, default=100)
+    cli.add_argument("--concurrency", type=int, default=16)
+    cli.add_argument("--length", type=int, default=128)
+    cli.add_argument(
+        "--dup-fraction",
+        type=float,
+        default=0.5,
+        help="fraction of requests repeating an earlier pair (cache food)",
+    )
+    cli.add_argument("--op", choices=["score", "align"], default="score")
+    cli.add_argument("--seed", type=int, default=2026)
+    cli.add_argument(
+        "--expect-cache-hits",
+        action="store_true",
+        help="exit nonzero unless the server reports cache hits (CI smoke)",
+    )
+    cli.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="ask the server to stop after the run",
+    )
 
     solve = sub.add_parser("solve", help="solve a JSON instance file")
     solve.add_argument("path", help="instance JSON (see fragalign.core.io)")
@@ -218,6 +274,69 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from fragalign.service import ServiceConfig, run_server
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        mode=args.mode,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay_ms / 1e3,
+        cache_size=args.cache_size,
+    )
+    return run_server(config, port_file=args.port_file)
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from fragalign.genome.dna import random_dna
+    from fragalign.service import AlignmentClient
+    from fragalign.util.timing import time_call
+
+    gen = np.random.default_rng(args.seed)
+    n_unique = max(1, round(args.requests * (1.0 - args.dup_fraction)))
+    unique = [
+        (random_dna(args.length, gen), random_dna(args.length, gen))
+        for _ in range(n_unique)
+    ]
+    # Repeats are drawn from the unique pool: the server should answer
+    # them from its result cache (or coalesce concurrent duplicates).
+    pairs = [unique[int(k)] for k in gen.integers(0, n_unique, args.requests)]
+    for k, pair in enumerate(unique[: args.requests]):
+        pairs[k] = pair  # every unique pair appears at least once
+
+    with AlignmentClient(args.host, args.port) as client:
+        run = client.score_many if args.op == "score" else client.align_many
+        t, results = time_call(run, pairs, args.concurrency, repeat=1)
+        stats = client.stats()
+        if args.shutdown:
+            client.shutdown()
+    rps = args.requests / max(t, 1e-9)
+    mean = float(
+        np.mean([r if args.op == "score" else r.score for r in results])
+    )
+    print(
+        f"{args.requests} {args.op} requests x{args.length} "
+        f"at concurrency {args.concurrency}: {t:.3f}s ({rps:.0f} req/s), "
+        f"mean score {mean:.2f}"
+    )
+    cache = stats["cache"]
+    batches = stats["batches"]
+    latency = stats["latency_ms"]
+    print(
+        f"server: {batches['dispatched']} batches (mean {batches['mean_size']}, "
+        f"coalesced {batches['coalesced']}), cache hit rate {cache['hit_rate']:.2f}, "
+        f"latency p50/p95 {latency['p50']:.2f}/{latency['p95']:.2f} ms"
+    )
+    if args.expect_cache_hits and cache["hits"] <= 0:
+        print("error: expected cache hits, server reports none", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     from fragalign.core import baseline4, csr_improve, exact_csr, greedy_csr
     from fragalign.core.bounds import certified_ratio
@@ -253,6 +372,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "hardness": _cmd_hardness,
         "bench-dp": _cmd_bench_dp,
         "engine": _cmd_engine,
+        "serve": _cmd_serve,
+        "client": _cmd_client,
         "solve": _cmd_solve,
     }
     return handlers[args.command](args)

@@ -1,14 +1,20 @@
 """The paper's contribution: the CSR problem and its algorithms.
 
-The batched alignment engine is re-exported here so CSR-level callers
-(pipelines, services) can pick an execution backend without importing
-the engine package directly.
+The batched alignment engine and the serving layer on top of it are
+re-exported here so CSR-level callers (pipelines, services) can pick
+an execution backend — or stand up / call a traffic-serving instance —
+without importing those packages directly.
 """
 
 from fragalign.engine import (
     AlignmentEngine,
     available_backends,
     register_backend,
+)
+from fragalign.service import (
+    AlignmentClient,
+    AlignmentService,
+    ServiceConfig,
 )
 from fragalign.core.baseline import (
     baseline4,
@@ -98,6 +104,9 @@ from fragalign.core.symbols import (
 
 __all__ = [
     "AlignmentEngine",
+    "AlignmentClient",
+    "AlignmentService",
+    "ServiceConfig",
     "available_backends",
     "register_backend",
     "baseline4",

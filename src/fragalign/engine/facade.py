@@ -27,6 +27,7 @@ from fragalign.align.pairwise import Alignment
 from fragalign.align.scoring_matrices import SubstitutionModel, encode, unit_dna
 from fragalign.engine.backends import MODES, AlignmentBackend, PreparedPair
 from fragalign.engine.registry import get_backend
+from fragalign.util.lru import LRUCache
 
 __all__ = ["AlignmentEngine", "default_model"]
 
@@ -50,7 +51,10 @@ class AlignmentEngine:
     mode:
         ``"global"`` (Needleman–Wunsch) or ``"local"`` (Smith–Waterman).
     cache_size:
-        How many distinct sequences' encodings to memoize.
+        How many distinct sequences' encodings to memoize (a bounded
+        LRU — ``<= 0`` disables memoization).  Bounded so a
+        long-running server scoring an open-ended stream of distinct
+        sequences holds steady-state memory.
     **backend_options:
         Forwarded to the backend factory (e.g. ``workers=4`` for
         ``parallel``, ``chunk=32`` for ``numpy``).
@@ -74,8 +78,7 @@ class AlignmentEngine:
             self._backend = backend
         else:
             self._backend = get_backend(backend, **backend_options)
-        self._cache_size = cache_size
-        self._codes: dict[str, np.ndarray] = {}
+        self._codes = LRUCache(cache_size)
 
     @property
     def backend(self) -> AlignmentBackend:
@@ -88,14 +91,10 @@ class AlignmentEngine:
     # -- preparation -------------------------------------------------
 
     def _encode(self, seq: str) -> np.ndarray:
-        if self._cache_size <= 0:  # memoization disabled
-            return encode(seq)
         codes = self._codes.get(seq)
         if codes is None:
-            if len(self._codes) >= self._cache_size:
-                self._codes.pop(next(iter(self._codes)))
             codes = encode(seq)
-            self._codes[seq] = codes
+            self._codes.put(seq, codes)
         return codes
 
     def prepare(self, a: str, b: str) -> PreparedPair:

@@ -52,11 +52,14 @@ def _kmers(seq: str, k: int) -> dict[str, list[int]]:
 
 
 def _diagonal_clusters(
-    h_seq: str, m_seq: str, k: int, min_seeds: int
+    index: dict[str, list[int]], m_seq: str, k: int, min_seeds: int
 ) -> list[tuple[int, int, int, int]]:
     """Cluster shared k-mers by diagonal; return merged windows
-    (h_start, h_end, m_start, m_end)."""
-    index = _kmers(h_seq, k)
+    (h_start, h_end, m_start, m_end).
+
+    ``index`` is the H contig's k-mer index from :func:`_kmers`, built
+    once per H contig and reused across every M contig and strand.
+    """
     by_diag: dict[int, list[tuple[int, int]]] = defaultdict(list)
     for j in range(len(m_seq) - k + 1):
         for i in index.get(m_seq[j : j + k], ()):
@@ -101,11 +104,12 @@ def find_conserved_regions(
     jobs: list[tuple[int, int, bool, int, int, int]] = []
     windows: list[tuple[str, str]] = []
     for hi, hc in enumerate(h_contigs):
+        h_index = _kmers(hc.sequence, k)
         for mi, mc in enumerate(m_contigs):
             for rev in (False, True):
                 m_seq = reverse_complement(mc.sequence) if rev else mc.sequence
                 for hs, he, ms, me in _diagonal_clusters(
-                    hc.sequence, m_seq, k, min_seeds
+                    h_index, m_seq, k, min_seeds
                 ):
                     hs = max(0, hs - pad)
                     he = min(len(hc.sequence), he + pad)

@@ -1,0 +1,161 @@
+"""The micro-batcher: coalesce concurrent requests into engine batches.
+
+Concurrent ``score``/``align`` submissions are queued for at most
+``max_delay`` seconds (or until ``max_batch`` jobs are waiting — the
+flush-by-size path), then dispatched as *one* ``score_many`` /
+``align_many`` call on the engine, whose batch kernels amortize the
+per-row Python sweep across the whole batch.  Results fan back out to
+the awaiting tasks through per-job futures.
+
+Identical in-flight jobs are deduplicated: N concurrent requests for
+the same ``(op, a, b)`` share one future and cost one backend slot
+(the ``coalesced`` stat counts the N-1 free riders).
+
+Engine calls are CPU-bound, so they run on a dedicated single worker
+thread: the event loop keeps accepting (and queueing) the *next* batch
+while the current one computes — exactly the overlap that makes
+micro-batching pay off under sustained load.  The single worker also
+serializes engine access, so the engine's memoized prep needs no lock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+from fragalign.engine.facade import AlignmentEngine
+
+__all__ = ["MicroBatcher"]
+
+Key = tuple  # (op, a, b)
+
+
+class MicroBatcher:
+    """Coalesce awaitable ``score``/``align`` jobs into batch calls.
+
+    Parameters
+    ----------
+    engine:
+        Any object with ``score_many(pairs)`` / ``align_many(pairs)``
+        (normally an :class:`AlignmentEngine`; tests substitute
+        counting wrappers).
+    max_batch:
+        Flush as soon as this many distinct jobs are queued.
+    max_delay:
+        Flush at most this many seconds after the first queued job;
+        ``<= 0`` flushes after every submission (per-request serving,
+        the foil the benchmark measures against).
+    stats:
+        Optional :class:`~fragalign.service.stats.ServiceStats` feeder.
+    """
+
+    def __init__(
+        self,
+        engine: AlignmentEngine,
+        max_batch: int = 64,
+        max_delay: float = 0.002,
+        stats=None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.engine = engine
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self._stats = stats
+        self._pending: dict[Key, asyncio.Future] = {}  # queued and in-flight
+        self._queue: list[Key] = []  # queued, not yet dispatched
+        self._timer: asyncio.TimerHandle | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="fragalign-batch"
+        )
+
+    # -- submission ---------------------------------------------------
+
+    async def submit(self, op: str, a: str, b: str) -> Any:
+        """Queue one job; await its batched result.
+
+        Returns a float for ``op="score"`` and an
+        :class:`~fragalign.align.pairwise.Alignment` for ``op="align"``.
+        """
+        if self._loop is None:
+            self._loop = asyncio.get_running_loop()
+        key = (op, a, b)
+        fut = self._pending.get(key)
+        if fut is not None:
+            # Identical job already queued or computing: share its future.
+            if self._stats is not None:
+                self._stats.observe_coalesced()
+            return await fut
+        fut = self._loop.create_future()
+        self._pending[key] = fut
+        self._queue.append(key)
+        if len(self._queue) >= self.max_batch or self.max_delay <= 0:
+            self.flush()
+        elif self._timer is None:
+            self._timer = self._loop.call_later(self.max_delay, self.flush)
+        return await fut
+
+    def flush(self) -> None:
+        """Dispatch everything queued right now as one batch."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._queue:
+            return
+        batch, self._queue = self._queue, []
+        assert self._loop is not None
+        self._loop.create_task(self._run_batch(batch))
+
+    # -- dispatch -----------------------------------------------------
+
+    async def _run_batch(self, keys: list[Key]) -> None:
+        if self._stats is not None:
+            self._stats.observe_batch(len(keys))
+        score_keys = [k for k in keys if k[0] == "score"]
+        align_keys = [k for k in keys if k[0] == "align"]
+        results: dict[Key, Any] = {}
+        try:
+            if score_keys:
+                scores = await self._loop.run_in_executor(
+                    self._executor,
+                    self.engine.score_many,
+                    [(a, b) for _, a, b in score_keys],
+                )
+                results.update(
+                    (k, float(s)) for k, s in zip(score_keys, scores)
+                )
+            if align_keys:
+                alns = await self._loop.run_in_executor(
+                    self._executor,
+                    self.engine.align_many,
+                    [(a, b) for _, a, b in align_keys],
+                )
+                results.update(zip(align_keys, alns))
+        except Exception as exc:
+            for key in keys:
+                fut = self._pending.pop(key, None)
+                if fut is not None and not fut.done():
+                    fut.set_exception(exc)
+            return
+        for key in keys:
+            fut = self._pending.pop(key, None)
+            if fut is not None and not fut.done():
+                fut.set_result(results[key])
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def drain(self) -> None:
+        """Flush and wait for every in-flight job (shutdown path)."""
+        self.flush()
+        pending = list(self._pending.values())
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+
+    def close(self) -> None:
+        """Release the worker thread (does not close the engine)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self._executor.shutdown(wait=True)

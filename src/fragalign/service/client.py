@@ -1,0 +1,214 @@
+"""Client library for the alignment service (async and sync).
+
+:class:`AsyncAlignmentClient` speaks the JSON-lines protocol over one
+connection and **pipelines**: many requests can be in flight at once,
+and a reader task routes each response back to its awaiting caller by
+``id``.  Firing requests concurrently from one client is exactly what
+lets the server's micro-batcher fill batches.
+
+:class:`AlignmentClient` is the blocking wrapper: it runs a private
+event loop on a background thread and exposes plain methods, plus
+``score_many``/``align_many`` batch helpers that fan out with a
+concurrency bound (the CLI load generator is built on these).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Sequence
+
+from fragalign.align.pairwise import Alignment
+from fragalign.service.protocol import (
+    MAX_LINE,
+    ServiceError,
+    alignment_from_dict,
+    decode_line,
+    encode_line,
+)
+
+__all__ = ["AsyncAlignmentClient", "AlignmentClient"]
+
+
+class AsyncAlignmentClient:
+    """One pipelined connection to a running alignment service."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._waiting: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._reader_task = asyncio.create_task(self._read_responses())
+
+    @classmethod
+    async def connect(cls, host: str = "127.0.0.1", port: int = 8765) -> "AsyncAlignmentClient":
+        reader, writer = await asyncio.open_connection(host, port, limit=MAX_LINE)
+        return cls(reader, writer)
+
+    # -- response routing ---------------------------------------------
+
+    async def _read_responses(self) -> None:
+        error: Exception = ConnectionError("connection closed by server")
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                obj = decode_line(line)
+                fut = self._waiting.pop(obj.get("id"), None)
+                if fut is not None and not fut.done():
+                    fut.set_result(obj)
+        except Exception as exc:  # feed the failure to every waiter
+            error = exc
+        for fut in self._waiting.values():
+            if not fut.done():
+                fut.set_exception(error)
+        self._waiting.clear()
+
+    async def _request(self, op: str, **fields: Any) -> dict:
+        rid = self._next_id
+        self._next_id += 1
+        fut = asyncio.get_running_loop().create_future()
+        self._waiting[rid] = fut
+        self._writer.write(encode_line({"id": rid, "op": op, **fields}))
+        await self._writer.drain()
+        response = await fut
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown service error"))
+        return response
+
+    # -- operations ---------------------------------------------------
+
+    async def score(self, a: str, b: str) -> float:
+        return float((await self._request("score", a=a, b=b))["result"])
+
+    async def score_detail(self, a: str, b: str) -> tuple[float, bool]:
+        """Score plus whether the server answered from its cache."""
+        response = await self._request("score", a=a, b=b)
+        return float(response["result"]), bool(response.get("cached"))
+
+    async def align(self, a: str, b: str) -> Alignment:
+        return alignment_from_dict((await self._request("align", a=a, b=b))["result"])
+
+    async def stats(self) -> dict:
+        return (await self._request("stats"))["result"]
+
+    async def ping(self) -> bool:
+        return (await self._request("ping"))["result"] == "pong"
+
+    async def shutdown(self) -> None:
+        """Ask the server to stop (it answers, then winds down)."""
+        await self._request("shutdown")
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncAlignmentClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+
+class AlignmentClient:
+    """Blocking facade over :class:`AsyncAlignmentClient`.
+
+    Runs its own event loop on a daemon thread, so it works from plain
+    synchronous code (scripts, the CLI) while still pipelining batch
+    calls::
+
+        with AlignmentClient(port=8765) as client:
+            s = client.score("ACGT", "AGGT")
+            scores = client.score_many(pairs, concurrency=64)
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="fragalign-client", daemon=True
+        )
+        self._thread.start()
+        try:
+            self._client: AsyncAlignmentClient = self._call(
+                AsyncAlignmentClient.connect(host, port)
+            )
+        except BaseException:
+            # Connect failed: release the loop thread before re-raising.
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=5)
+            self._loop.close()
+            raise
+
+    def _call(self, coro):
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    # -- operations ---------------------------------------------------
+
+    def score(self, a: str, b: str) -> float:
+        return self._call(self._client.score(a, b))
+
+    def align(self, a: str, b: str) -> Alignment:
+        return self._call(self._client.align(a, b))
+
+    def stats(self) -> dict:
+        return self._call(self._client.stats())
+
+    def ping(self) -> bool:
+        return self._call(self._client.ping())
+
+    def shutdown(self) -> None:
+        self._call(self._client.shutdown())
+
+    def _map(self, op_name: str, pairs: Sequence[tuple[str, str]], concurrency: int):
+        async def fan_out():
+            semaphore = asyncio.Semaphore(max(1, concurrency))
+            op = getattr(self._client, op_name)
+
+            async def one(pair):
+                async with semaphore:
+                    return await op(*pair)
+
+            return await asyncio.gather(*(one(p) for p in pairs))
+
+        return self._call(fan_out())
+
+    def score_many(
+        self, pairs: Sequence[tuple[str, str]], concurrency: int = 32
+    ) -> list[float]:
+        """Scores for all pairs, pipelined ``concurrency`` at a time."""
+        return self._map("score", pairs, concurrency)
+
+    def align_many(
+        self, pairs: Sequence[tuple[str, str]], concurrency: int = 32
+    ) -> list[Alignment]:
+        """Alignments for all pairs, pipelined ``concurrency`` at a time."""
+        return self._map("align", pairs, concurrency)
+
+    # -- lifecycle ----------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._call(self._client.close())
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=5)
+            self._loop.close()
+
+    def __enter__(self) -> "AlignmentClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,137 @@
+"""The ``fragalign.service`` wire protocol: JSON lines over a stream.
+
+Every request and response is one UTF-8 JSON object on one
+``\\n``-terminated line.  Responses may arrive **out of order** (the
+server answers cache hits immediately while batched misses are still
+computing), so every request carries a client-chosen ``id`` that the
+server echoes back.
+
+Requests::
+
+    {"id": 1, "op": "score", "a": "ACGT", "b": "AGGT"}
+    {"id": 2, "op": "align", "a": "ACGT", "b": "AGGT"}
+    {"id": 3, "op": "stats"}     # service counters / latency / cache
+    {"id": 4, "op": "ping"}
+    {"id": 5, "op": "shutdown"}  # answered, then the server stops
+
+Responses::
+
+    {"id": 1, "ok": true, "result": 2.0, "cached": false}
+    {"id": 2, "ok": true, "result": {"score": 2.0, "pairs": [[0, 0], ...],
+                                     "a_interval": [0, 4], "b_interval": [0, 4]}}
+    {"id": 9, "ok": false, "error": "unknown op 'frobnicate'"}
+
+``cached`` is only present on ``score``/``align`` responses and says
+whether the result came from the server's LRU result cache.  Lines are
+capped at :data:`MAX_LINE` bytes (both sides configure their stream
+reader with it), which bounds sequence length to roughly half a
+megabyte per request.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from fragalign.align.pairwise import Alignment
+from fragalign.util.errors import FragalignError
+
+__all__ = [
+    "MAX_LINE",
+    "OPS",
+    "PAIR_OPS",
+    "ProtocolError",
+    "ServiceError",
+    "Request",
+    "parse_request",
+    "encode_line",
+    "decode_line",
+    "ok_response",
+    "error_response",
+    "alignment_to_dict",
+    "alignment_from_dict",
+]
+
+MAX_LINE = 1 << 20  # 1 MiB per protocol line (reader buffer limit)
+
+OPS = ("score", "align", "stats", "ping", "shutdown")
+PAIR_OPS = ("score", "align")
+
+
+class ProtocolError(FragalignError):
+    """A malformed protocol line or request object."""
+
+
+class ServiceError(FragalignError):
+    """The server answered ``ok: false`` (raised client-side)."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One validated request: an op plus (for pair ops) the sequences."""
+
+    id: Any
+    op: str
+    a: str = ""
+    b: str = ""
+
+
+def encode_line(obj: dict) -> bytes:
+    """Serialize one protocol object to a compact JSON line."""
+    return json.dumps(obj, separators=(",", ":")).encode() + b"\n"
+
+
+def decode_line(line: bytes | str) -> dict:
+    """Parse one protocol line; raise :class:`ProtocolError` if broken."""
+    try:
+        obj = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"invalid JSON line: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(f"protocol line must be a JSON object, got {type(obj).__name__}")
+    return obj
+
+
+def parse_request(obj: dict) -> Request:
+    """Validate a decoded request object."""
+    op = obj.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r} (expected one of {OPS})")
+    if op in PAIR_OPS:
+        a, b = obj.get("a"), obj.get("b")
+        if not isinstance(a, str) or not isinstance(b, str):
+            raise ProtocolError(f"op {op!r} needs string fields 'a' and 'b'")
+        return Request(id=obj.get("id"), op=op, a=a, b=b)
+    return Request(id=obj.get("id"), op=op)
+
+
+def ok_response(request_id: Any, result: Any, cached: bool | None = None) -> dict:
+    obj: dict = {"id": request_id, "ok": True, "result": result}
+    if cached is not None:
+        obj["cached"] = cached
+    return obj
+
+
+def error_response(request_id: Any, message: str) -> dict:
+    return {"id": request_id, "ok": False, "error": message}
+
+
+def alignment_to_dict(aln: Alignment) -> dict:
+    """JSON-able form of an :class:`Alignment` (plain ints/floats)."""
+    return {
+        "score": float(aln.score),
+        "pairs": [[int(i), int(j)] for i, j in aln.pairs],
+        "a_interval": [int(aln.a_interval[0]), int(aln.a_interval[1])],
+        "b_interval": [int(aln.b_interval[0]), int(aln.b_interval[1])],
+    }
+
+
+def alignment_from_dict(obj: dict) -> Alignment:
+    """Rebuild an :class:`Alignment` from its wire form."""
+    return Alignment(
+        score=float(obj["score"]),
+        pairs=tuple((int(i), int(j)) for i, j in obj["pairs"]),
+        a_interval=(int(obj["a_interval"][0]), int(obj["a_interval"][1])),
+        b_interval=(int(obj["b_interval"][0]), int(obj["b_interval"][1])),
+    )

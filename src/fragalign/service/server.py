@@ -1,0 +1,305 @@
+"""The asyncio JSON-lines alignment server.
+
+Request flow for ``score``/``align``::
+
+    line → parse → result cache (LRU, keyed on pair+op+mode+model)
+         → hit:  answer immediately (cached: true)
+         → miss: MicroBatcher.submit → coalesced batch on the engine
+                 → cache the wire-form result → answer
+
+Everything runs on one event loop; each connection reads lines and
+spawns one task per request, so a single pipelined connection still
+fills batches.  Responses are written under a per-connection lock
+(they can complete out of order — the protocol's ``id`` field exists
+for exactly that).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import sys
+import time
+from dataclasses import dataclass, field
+
+from fragalign.align.scoring_matrices import SubstitutionModel
+from fragalign.engine.facade import AlignmentEngine
+from fragalign.service.batcher import MicroBatcher
+from fragalign.service.protocol import (
+    MAX_LINE,
+    ProtocolError,
+    alignment_to_dict,
+    decode_line,
+    encode_line,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from fragalign.service.stats import ServiceStats
+from fragalign.util.lru import LRUCache
+
+__all__ = ["ServiceConfig", "AlignmentService", "model_fingerprint", "run_server"]
+
+
+def model_fingerprint(model: SubstitutionModel) -> str:
+    """A short stable digest of a substitution model's parameters.
+
+    Part of every result-cache key, so results computed under one
+    model can never satisfy a lookup under another.
+    """
+    digest = hashlib.sha1()
+    digest.update(model.matrix.tobytes())
+    digest.update(repr(float(model.gap)).encode())
+    return digest.hexdigest()[:12]
+
+
+@dataclass
+class ServiceConfig:
+    """Server knobs (CLI flags map onto these one-to-one)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8765  # 0 = bind an ephemeral port (see AlignmentService.port)
+    backend: str = "numpy"
+    mode: str = "global"
+    max_batch: int = 64  # flush a batch at this many queued jobs
+    max_delay: float = 0.002  # seconds to wait for a batch to fill
+    cache_size: int = 4096  # LRU result-cache entries (0 disables)
+    backend_options: dict = field(default_factory=dict)
+
+
+class AlignmentService:
+    """One server: engine + micro-batcher + result cache + stats.
+
+    Lifecycle::
+
+        service = AlignmentService(ServiceConfig(port=0))
+        await service.start()          # binds; service.port is real now
+        await service.wait_closed()    # until a shutdown request/stop()
+        service.close()                # release engine + worker thread
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        engine: AlignmentEngine | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.engine = engine or AlignmentEngine(
+            backend=self.config.backend,
+            mode=self.config.mode,
+            **self.config.backend_options,
+        )
+        self.stats = ServiceStats()
+        self.cache = LRUCache(self.config.cache_size)
+        self.batcher = MicroBatcher(
+            self.engine,
+            max_batch=self.config.max_batch,
+            max_delay=self.config.max_delay,
+            stats=self.stats,
+        )
+        self._key_suffix = (self.engine.mode, model_fingerprint(self.engine.model))
+        self._server: asyncio.AbstractServer | None = None
+        self._stopped: asyncio.Event | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._handlers: set[asyncio.Task] = set()
+        self._inflight: dict[tuple, asyncio.Future] = {}
+        self.port: int | None = None  # actual bound port, set by start()
+
+    # -- cache keying -------------------------------------------------
+
+    def cache_key(self, op: str, a: str, b: str) -> tuple:
+        """Result-cache key: the pair *and* op, mode, model identity."""
+        return (op, a, b, *self._key_suffix)
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> None:
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=MAX_LINE,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> str:
+        return f"{self.config.host}:{self.port}"
+
+    def stop(self) -> None:
+        """Stop accepting and release waiters (idempotent)."""
+        if self._server is not None:
+            self._server.close()
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def wait_closed(self) -> None:
+        assert self._stopped is not None, "start() first"
+        await self._stopped.wait()
+        await self.batcher.drain()
+        # Drop any connection still open (an idle client would block
+        # shutdown forever), then wait for every handler to finish —
+        # nothing may outlive the event loop.
+        await asyncio.sleep(0)
+        for writer in list(self._connections):
+            writer.close()
+        while self._handlers:
+            await asyncio.gather(*list(self._handlers), return_exceptions=True)
+        if self._server is not None:
+            await self._server.wait_closed()
+
+    def close(self) -> None:
+        """Release the batcher worker thread and the engine's backend."""
+        self.batcher.close()
+        self.engine.close()
+
+    # -- connection handling ------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats.observe_connection(+1)
+        self._connections.add(writer)
+        handler = asyncio.current_task()
+        if handler is not None:
+            self._handlers.add(handler)
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, ValueError):
+                    # ValueError: a line over MAX_LINE (readline re-raises
+                    # LimitOverrunError as ValueError).  Drop the connection.
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.create_task(self._serve_line(line, writer, write_lock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            self.stats.observe_connection(-1)
+            self._connections.discard(writer)
+            if handler is not None:
+                self._handlers.discard(handler)
+            # Plain close (no wait_closed): the handler must not outlive
+            # the loop, and the transport flushes what's buffered anyway.
+            writer.close()
+
+    async def _serve_line(
+        self, line: bytes, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
+    ) -> None:
+        t0 = time.perf_counter()
+        request_id = None
+        request = None
+        try:
+            obj = decode_line(line)
+            request_id = obj.get("id")
+            request = parse_request(obj)
+            response = await self._dispatch(request)
+        except ProtocolError as exc:
+            self.stats.observe_error()
+            response = error_response(request_id, str(exc))
+        except Exception as exc:  # engine/backend failure: report, keep serving
+            self.stats.observe_error()
+            response = error_response(request_id, f"{type(exc).__name__}: {exc}")
+        self.stats.observe_latency(time.perf_counter() - t0)
+        async with write_lock:
+            writer.write(encode_line(response))
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+        if request is not None and request.op == "shutdown":
+            # Only after the answer is on the wire: stop accepting and
+            # release wait_closed() to wind the service down.
+            self.stop()
+
+    async def _dispatch(self, request) -> dict:
+        self.stats.observe_request(request.op)
+        if request.op == "ping":
+            return ok_response(request.id, "pong")
+        if request.op == "stats":
+            return ok_response(
+                request.id,
+                self.stats.snapshot(
+                    cache_stats=self.cache.stats(),
+                    engine={
+                        "backend": self.engine.backend_name,
+                        "mode": self.engine.mode,
+                    },
+                ),
+            )
+        if request.op == "shutdown":
+            return ok_response(request.id, "bye")  # _serve_line stops after
+        # score / align
+        key = self.cache_key(request.op, request.a, request.b)
+        result = self.cache.get(key)
+        if result is not None:
+            return ok_response(request.id, result, cached=True)
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            # A twin request is already computing; share its result.
+            # (The batcher also coalesces, but only until its batch is
+            # dispatched — this closes the dispatch→cache-put window.)
+            self.stats.observe_coalesced()
+            return ok_response(request.id, await inflight, cached=False)
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        try:
+            value = await self.batcher.submit(request.op, request.a, request.b)
+            # Cache the wire form, so warm hits skip serialization too.
+            result = (
+                float(value) if request.op == "score" else alignment_to_dict(value)
+            )
+            self.cache.put(key, result)
+            future.set_result(result)
+        except Exception as exc:
+            future.set_exception(exc)
+            future.exception()  # mark retrieved: twins may not exist
+            raise
+        finally:
+            self._inflight.pop(key, None)
+        return ok_response(request.id, result, cached=False)
+
+
+def run_server(config: ServiceConfig, port_file: str | None = None) -> int:
+    """Blocking entrypoint for ``fragalign serve``.
+
+    Binds, announces the address on stdout (and optionally writes the
+    bound port to ``port_file`` for scripted callers), then serves
+    until a ``shutdown`` request or Ctrl-C.  Returns a process exit
+    code; both stop paths are clean exits.
+    """
+
+    async def _main() -> None:
+        service = AlignmentService(config)
+        await service.start()
+        print(f"fragalign.service listening on {service.address}", flush=True)
+        if port_file:
+            with open(port_file, "w") as fh:
+                fh.write(f"{service.port}\n")
+        try:
+            await service.wait_closed()
+        finally:
+            service.close()
+            snap = service.stats.snapshot(cache_stats=service.cache.stats())
+            print(
+                "fragalign.service stopped: "
+                f"{snap['requests']['total']} requests, "
+                f"{snap['batches']['dispatched']} batches, "
+                f"cache hit rate {snap['cache']['hit_rate']:.2f}",
+                flush=True,
+            )
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        print("fragalign.service interrupted", file=sys.stderr)
+    return 0

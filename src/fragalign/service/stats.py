@@ -1,0 +1,100 @@
+"""Service observability: request counters, batch shapes, latency.
+
+One :class:`ServiceStats` instance lives on the server; the batcher
+and connection handlers feed it, and the ``stats`` request type
+returns :meth:`ServiceStats.snapshot`.  Latency keeps a bounded
+reservoir of the most recent request service times and reports p50/p95
+over it, so the surface stays O(1) memory under unbounded traffic.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, deque
+
+__all__ = ["ServiceStats"]
+
+_RESERVOIR = 4096  # most recent latency samples kept for quantiles
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    """Nearest-rank quantile of an already-sorted sample."""
+    if not ordered:
+        return 0.0
+    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+class ServiceStats:
+    """Mutable counters for one server instance (single-threaded owner)."""
+
+    def __init__(self) -> None:
+        self.started = time.monotonic()
+        self.requests: Counter[str] = Counter()
+        self.errors = 0
+        self.connections_open = 0
+        self.connections_total = 0
+        self.batches = 0
+        self.batched_pairs = 0
+        self.max_batch_size = 0
+        self.coalesced = 0  # requests folded into an identical in-flight job
+        self._latency: deque[float] = deque(maxlen=_RESERVOIR)
+
+    # -- feeders ------------------------------------------------------
+
+    def observe_request(self, op: str) -> None:
+        self.requests[op] += 1
+
+    def observe_error(self) -> None:
+        self.errors += 1
+
+    def observe_connection(self, delta: int) -> None:
+        self.connections_open += delta
+        if delta > 0:
+            self.connections_total += delta
+
+    def observe_batch(self, size: int) -> None:
+        self.batches += 1
+        self.batched_pairs += size
+        self.max_batch_size = max(self.max_batch_size, size)
+
+    def observe_coalesced(self) -> None:
+        self.coalesced += 1
+
+    def observe_latency(self, seconds: float) -> None:
+        self._latency.append(seconds)
+
+    # -- surface ------------------------------------------------------
+
+    def snapshot(self, cache_stats: dict | None = None, engine: dict | None = None) -> dict:
+        """The JSON-able stats object served by the ``stats`` op."""
+        ordered = sorted(self._latency)
+        total = sum(self.requests.values())
+        out = {
+            "uptime_s": round(time.monotonic() - self.started, 3),
+            "connections": {
+                "open": self.connections_open,
+                "total": self.connections_total,
+            },
+            "requests": {"total": total, "errors": self.errors, **self.requests},
+            "batches": {
+                "dispatched": self.batches,
+                "pairs": self.batched_pairs,
+                "mean_size": round(self.batched_pairs / self.batches, 2)
+                if self.batches
+                else 0.0,
+                "max_size": self.max_batch_size,
+                "coalesced": self.coalesced,
+            },
+            "latency_ms": {
+                "samples": len(ordered),
+                "p50": round(_quantile(ordered, 0.50) * 1e3, 3),
+                "p95": round(_quantile(ordered, 0.95) * 1e3, 3),
+                "mean": round(sum(ordered) / len(ordered) * 1e3, 3) if ordered else 0.0,
+            },
+        }
+        if cache_stats is not None:
+            out["cache"] = cache_stats
+        if engine is not None:
+            out["engine"] = engine
+        return out

@@ -1,4 +1,4 @@
-"""Shared utilities: RNG plumbing, timing, error hierarchy."""
+"""Shared utilities: RNG plumbing, timing, LRU cache, error hierarchy."""
 
 from fragalign.util.errors import (
     FragalignError,
@@ -7,10 +7,12 @@ from fragalign.util.errors import (
     ReductionError,
     SolverError,
 )
+from fragalign.util.lru import LRUCache
 from fragalign.util.rng import RngLike, as_generator, spawn
 from fragalign.util.timing import Stopwatch, time_call
 
 __all__ = [
+    "LRUCache",
     "FragalignError",
     "InconsistentMatchSetError",
     "InstanceError",

@@ -87,6 +87,49 @@ def test_engine_unknown_backend():
         main(["engine", "--backend", "gpu"])
 
 
+def test_serve_and_client_round_trip(tmp_path, capsys):
+    """`fragalign serve` + `fragalign client`: load, stats, clean stop."""
+    import threading
+
+    port_file = tmp_path / "port"
+    exit_codes = {}
+
+    def serve():
+        exit_codes["serve"] = main(
+            ["serve", "--port", "0", "--port-file", str(port_file)]
+        )
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    for _ in range(100):
+        if port_file.exists() and port_file.read_text().strip():
+            break
+        thread.join(timeout=0.05)
+    port = port_file.read_text().strip()
+    assert main(
+        [
+            "client",
+            "--port",
+            port,
+            "--requests",
+            "30",
+            "--concurrency",
+            "8",
+            "--length",
+            "48",
+            "--dup-fraction",
+            "0.5",
+            "--expect-cache-hits",
+            "--shutdown",
+        ]
+    ) == 0
+    thread.join(timeout=10)
+    assert not thread.is_alive() and exit_codes["serve"] == 0
+    out = capsys.readouterr().out
+    assert "req/s" in out and "cache hit rate" in out
+    assert "fragalign.service stopped" in out
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])

@@ -135,6 +135,23 @@ class TestConservedDiscovery:
         hits = find_conserved_regions(ca, cb, min_score=40)
         assert len(hits) >= 3
 
+    def test_h_kmer_index_built_once_per_contig(self, rng, monkeypatch):
+        import fragalign.genome.conserved as conserved
+
+        anc = make_ancestor(n_blocks=2, block_len=100, spacer_len=40, rng=rng)
+        a = evolve(anc, sub_rate=0.02, rng=rng)
+        b = evolve(anc, sub_rate=0.02, rng=rng)
+        ca = fragment_into_contigs(a, n_contigs=2, flip_prob=0, shuffle=False, rng=rng)
+        cb = fragment_into_contigs(b, n_contigs=3, flip_prob=0, shuffle=False, rng=rng)
+        calls = []
+        real_kmers = conserved._kmers
+        monkeypatch.setattr(
+            conserved, "_kmers", lambda seq, k: calls.append(seq) or real_kmers(seq, k)
+        )
+        find_conserved_regions(ca, cb, min_score=40)
+        # One index per H contig — not one per (H, M, strand) combination.
+        assert len(calls) == len(ca)
+
 
 class TestPipeline:
     @settings(max_examples=3)

@@ -1,0 +1,368 @@
+"""The serving layer: LRU cache, micro-batcher, server, clients.
+
+Standing invariants:
+
+* serving is an execution detail — every response equals what a direct
+  ``AlignmentEngine`` call produces;
+* N concurrent identical requests cost one backend call and return
+  identical results (coalescing);
+* the result cache keys on op, pair, mode, *and* model, so results
+  computed under one configuration never answer another.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from fragalign.align.pairwise import Alignment
+from fragalign.align.scoring_matrices import transition_transversion, unit_dna
+from fragalign.engine import AlignmentEngine
+from fragalign.service import (
+    AlignmentClient,
+    AlignmentService,
+    AsyncAlignmentClient,
+    LRUCache,
+    MicroBatcher,
+    ServiceConfig,
+    ServiceError,
+    model_fingerprint,
+)
+from fragalign.service.protocol import (
+    ProtocolError,
+    alignment_from_dict,
+    alignment_to_dict,
+    decode_line,
+    encode_line,
+    parse_request,
+)
+
+
+class TestLRUCache:
+    def test_hit_and_miss_counts(self):
+        cache = LRUCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b", "fallback") == "fallback"
+        assert (cache.hits, cache.misses) == (1, 2)
+        assert cache.hit_rate == pytest.approx(1 / 3)
+
+    def test_eviction_order_is_lru(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # promote a: b is now least recently used
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.evictions == 1
+        assert cache.keys() == ["a", "c"]
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not duplicate
+        cache.put("c", 3)
+        assert "b" not in cache and cache.get("a") == 10
+
+    def test_maxsize_zero_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+        assert cache.misses == 1
+
+    def test_stats_shape(self):
+        cache = LRUCache(8)
+        cache.put("a", 1)
+        cache.get("a")
+        stats = cache.stats()
+        assert stats == {
+            "size": 1,
+            "maxsize": 8,
+            "hits": 1,
+            "misses": 0,
+            "evictions": 0,
+            "hit_rate": 1.0,
+        }
+
+
+class TestFacadeEncodeMemoIsBounded:
+    def test_engine_reuses_lru_primitive(self):
+        eng = AlignmentEngine(cache_size=2)
+        assert isinstance(eng._codes, LRUCache)
+
+    def test_encode_memo_stays_bounded(self):
+        eng = AlignmentEngine(backend="naive", cache_size=2)
+        for seq in ("AC", "GT", "CA", "TG", "AA"):
+            eng.score(seq, "ACGT")
+        assert len(eng._codes) <= 2
+
+
+class TestProtocol:
+    def test_line_round_trip(self):
+        obj = {"id": 7, "op": "score", "a": "ACGT", "b": "AGGT"}
+        assert decode_line(encode_line(obj)) == obj
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError, match="invalid JSON"):
+            decode_line(b"{nope\n")
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_line(b"[1, 2]\n")
+
+    def test_parse_request_validation(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            parse_request({"op": "frobnicate"})
+        with pytest.raises(ProtocolError, match="string fields"):
+            parse_request({"op": "score", "a": "ACGT"})
+        request = parse_request({"id": 3, "op": "align", "a": "AC", "b": "GT"})
+        assert (request.op, request.a, request.b) == ("align", "AC", "GT")
+
+    def test_alignment_round_trip(self):
+        aln = Alignment(3.5, ((0, 1), (2, 2)), (0, 3), (1, 3))
+        assert alignment_from_dict(alignment_to_dict(aln)) == aln
+
+    def test_model_fingerprint_distinguishes_models(self):
+        assert model_fingerprint(unit_dna()) == model_fingerprint(unit_dna())
+        assert model_fingerprint(unit_dna()) != model_fingerprint(
+            transition_transversion()
+        )
+        assert model_fingerprint(unit_dna()) != model_fingerprint(
+            unit_dna(gap=-2.0)
+        )
+
+
+class CountingEngine:
+    """Engine wrapper that counts backend batch calls (batcher's view)."""
+
+    def __init__(self, engine: AlignmentEngine) -> None:
+        self._engine = engine
+        self.calls: list[tuple[str, int]] = []
+
+    def score_many(self, pairs):
+        self.calls.append(("score", len(pairs)))
+        return self._engine.score_many(pairs)
+
+    def align_many(self, pairs):
+        self.calls.append(("align", len(pairs)))
+        return self._engine.align_many(pairs)
+
+
+class TestMicroBatcher:
+    def test_identical_concurrent_requests_coalesce(self):
+        async def run():
+            counting = CountingEngine(AlignmentEngine())
+            batcher = MicroBatcher(counting, max_batch=64, max_delay=0.005)
+            try:
+                results = await asyncio.gather(
+                    *(batcher.submit("score", "ACGTACGT", "AGGTACGT") for _ in range(16))
+                )
+            finally:
+                batcher.close()
+            return counting.calls, results
+
+        calls, results = asyncio.run(run())
+        assert calls == [("score", 1)]  # one backend call, batch of one job
+        assert len(set(results)) == 1  # identical results for all awaiters
+        assert results[0] == AlignmentEngine().score("ACGTACGT", "AGGTACGT")
+
+    def test_mixed_batch_matches_direct_engine(self):
+        pairs = [("ACGT", "AGGT"), ("AAAA", "TTTT"), ("ACGTAC", "ACGTAC")]
+
+        async def run():
+            counting = CountingEngine(AlignmentEngine())
+            batcher = MicroBatcher(counting, max_batch=64, max_delay=0.005)
+            try:
+                scores = asyncio.gather(*(batcher.submit("score", a, b) for a, b in pairs))
+                alns = asyncio.gather(*(batcher.submit("align", a, b) for a, b in pairs))
+                return counting.calls, await scores, await alns
+            finally:
+                batcher.close()
+
+        calls, scores, alns = asyncio.run(run())
+        # One flush: one score_many and one align_many dispatch.
+        assert sorted(calls) == [("align", 3), ("score", 3)]
+        with AlignmentEngine() as eng:
+            assert scores == [eng.score(a, b) for a, b in pairs]
+            assert alns == eng.align_many(pairs)
+
+    def test_flush_by_size_before_delay(self):
+        async def run():
+            counting = CountingEngine(AlignmentEngine())
+            # Absurd delay: only the size trigger can flush in time.
+            batcher = MicroBatcher(counting, max_batch=4, max_delay=60.0)
+            pairs = [("ACGT" * 2, "AGGT" * 2 + "A" * k) for k in range(4)]
+            try:
+                scores = await asyncio.wait_for(
+                    asyncio.gather(*(batcher.submit("score", a, b) for a, b in pairs)),
+                    timeout=5.0,
+                )
+            finally:
+                batcher.close()
+            return counting.calls, scores
+
+        calls, scores = asyncio.run(run())
+        assert calls == [("score", 4)]
+        assert len(scores) == 4
+
+    def test_engine_error_propagates_to_all_waiters(self):
+        class ExplodingEngine:
+            def score_many(self, pairs):
+                raise RuntimeError("kernel on fire")
+
+        async def run():
+            batcher = MicroBatcher(ExplodingEngine(), max_batch=8, max_delay=0.001)
+            try:
+                results = await asyncio.gather(
+                    *(batcher.submit("score", "AC", "GT") for _ in range(3)),
+                    batcher.submit("score", "TT", "AA"),
+                    return_exceptions=True,
+                )
+            finally:
+                batcher.close()
+            return results
+
+        results = asyncio.run(run())
+        assert len(results) == 4
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+
+def _serve_in_thread(config: ServiceConfig):
+    """Start a service on a daemon thread; return (port, stop, service)."""
+    holder: dict = {}
+    ready = threading.Event()
+
+    def target():
+        async def main():
+            service = AlignmentService(config)
+            await service.start()
+            holder["service"] = service
+            holder["port"] = service.port
+            holder["loop"] = asyncio.get_running_loop()
+            ready.set()
+            await service.wait_closed()
+            service.close()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    assert ready.wait(10), "service failed to start"
+
+    def stop():
+        try:
+            holder["loop"].call_soon_threadsafe(holder["service"].stop)
+        except RuntimeError:
+            pass  # loop already closed: the server stopped on its own
+        thread.join(timeout=10)
+        assert not thread.is_alive(), "service thread failed to exit"
+
+    return holder["port"], stop, holder["service"]
+
+
+@pytest.fixture()
+def service_port():
+    port, stop, _service = _serve_in_thread(
+        ServiceConfig(port=0, max_batch=16, max_delay=0.002, cache_size=256)
+    )
+    yield port
+    stop()
+
+
+class TestServiceEndToEnd:
+    def test_score_align_parity_with_engine(self, service_port):
+        pairs = [("ACGTACGTAC", "ACGTAGGTAC"), ("AAAA", "AAAT"), ("", "ACG")]
+        with AlignmentClient(port=service_port) as client:
+            assert client.ping()
+            scores = client.score_many(pairs, concurrency=4)
+            alns = client.align_many(pairs, concurrency=4)
+        with AlignmentEngine() as eng:
+            assert scores == [eng.score(a, b) for a, b in pairs]
+            assert alns == eng.align_many(pairs)
+
+    def test_cache_hit_on_repeat(self, service_port):
+        async def run():
+            client = await AsyncAlignmentClient.connect(port=service_port)
+            try:
+                first, cached_first = await client.score_detail("ACGT", "AGGT")
+                second, cached_second = await client.score_detail("ACGT", "AGGT")
+                stats = await client.stats()
+            finally:
+                await client.close()
+            return first, cached_first, second, cached_second, stats
+
+        first, cached_first, second, cached_second, stats = asyncio.run(run())
+        assert first == second
+        assert not cached_first and cached_second
+        assert stats["cache"]["hits"] >= 1
+
+    def test_concurrent_load_batches_and_stats(self, service_port):
+        pairs = [("ACGT" * 4, "AGGT" * 3 + "ACG" + "T" * k) for k in range(40)]
+        with AlignmentClient(port=service_port) as client:
+            scores = client.score_many(pairs + pairs, concurrency=16)
+            stats = client.stats()
+        assert scores[:40] == scores[40:]
+        # Far fewer backend dispatches than requests: batching happened.
+        assert 0 < stats["batches"]["dispatched"] < 80
+        assert stats["batches"]["max_size"] > 1
+        assert stats["cache"]["hits"] + stats["batches"]["coalesced"] >= 40
+        assert stats["requests"]["score"] == 80
+        assert stats["latency_ms"]["p95"] >= stats["latency_ms"]["p50"] >= 0
+
+    def test_unknown_op_is_answered_not_fatal(self, service_port):
+        async def run():
+            client = await AsyncAlignmentClient.connect(port=service_port)
+            try:
+                with pytest.raises(ServiceError, match="unknown op"):
+                    await client._request("frobnicate")
+                return await client.ping()  # connection still serves
+            finally:
+                await client.close()
+
+        assert asyncio.run(run())
+
+    def test_shutdown_request_stops_server(self):
+        port, stop, _service = _serve_in_thread(ServiceConfig(port=0))
+        client = AlignmentClient(port=port)
+        try:
+            assert client.ping()
+            client.shutdown()
+        finally:
+            client.close()
+        stop()  # joins the server thread: returns only on clean exit
+        with pytest.raises(OSError):
+            AlignmentClient(port=port).ping()
+
+
+class TestCacheKeying:
+    def test_key_includes_op_mode_and_model(self):
+        svc_global = AlignmentService(ServiceConfig(port=0))
+        svc_local = AlignmentService(ServiceConfig(port=0, mode="local"))
+        svc_model = AlignmentService(
+            ServiceConfig(port=0),
+            engine=AlignmentEngine(model=transition_transversion()),
+        )
+        keys = {
+            svc_global.cache_key("score", "ACGT", "AGGT"),
+            svc_global.cache_key("align", "ACGT", "AGGT"),
+            svc_local.cache_key("score", "ACGT", "AGGT"),
+            svc_model.cache_key("score", "ACGT", "AGGT"),
+        }
+        assert len(keys) == 4  # all distinct: op, mode, model all key
+        for svc in (svc_global, svc_local, svc_model):
+            svc.close()
+
+    def test_same_config_same_key(self):
+        svc_a = AlignmentService(ServiceConfig(port=0))
+        svc_b = AlignmentService(ServiceConfig(port=0))
+        try:
+            assert svc_a.cache_key("score", "AC", "GT") == svc_b.cache_key(
+                "score", "AC", "GT"
+            )
+        finally:
+            svc_a.close()
+            svc_b.close()
