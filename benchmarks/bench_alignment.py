@@ -112,21 +112,25 @@ def test_engine_naive_loop(benchmark, batch_pairs):
 def run_engine_bench(
     n_pairs: int = 200, length: int = 256, workers: int = 4, seed: int = 2026
 ) -> dict:
-    """Time every backend on one batch; return the JSON-able report.
+    """Time every backend and mode on one batch; return the report.
 
     The headline row: ``numpy`` ``align_many`` must beat a per-pair
     loop over the ``naive`` backend by >= 5x (it beats it by orders of
     magnitude — the naive loop is the transparent per-cell foil).
+    ``traceback_share`` is the fraction of ``align_many`` wall clock
+    that is *not* the score sweep — i.e. what direction-code emission
+    plus the per-pair code walks cost on top of score-only.
     """
     gen = np.random.default_rng(seed)
     pairs = [(random_dna(length, gen), random_dna(length, gen)) for _ in range(n_pairs)]
     cells = n_pairs * length * length
+    band = max(8, length // 8)
     results: dict[str, dict] = {}
 
-    def record(name: str, seconds: float) -> None:
+    def record(name: str, seconds: float, mcells: int = cells) -> None:
         results[name] = {
             "seconds": round(seconds, 4),
-            "mcells_per_s": round(cells / max(seconds, 1e-9) / 1e6, 2),
+            "mcells_per_s": round(mcells / max(seconds, 1e-9) / 1e6, 2),
         }
 
     # Best-of-3 for the sub-second paths (noise there swings the ratio);
@@ -137,10 +141,21 @@ def run_engine_bench(
         )
         record("naive_align_loop", t)
     with AlignmentEngine(backend="numpy") as eng:
-        t, vec_alns = time_call(eng.align_many, pairs, repeat=3)
-        record("numpy_align_many", t)
-        t, vec_scores = time_call(eng.score_many, pairs, repeat=3)
-        record("numpy_score_many", t)
+        t_align, vec_alns = time_call(eng.align_many, pairs, repeat=3)
+        record("numpy_align_many", t_align)
+        t_score, vec_scores = time_call(eng.score_many, pairs, repeat=3)
+        record("numpy_score_many", t_score)
+        # The new first-class modes, score kernels (banded sweeps
+        # O(n * band) cells, so its rate is reported over that count).
+        t, overlap_scores = time_call(
+            eng.score_many, pairs, "overlap", repeat=3
+        )
+        record("numpy_overlap_score_many", t)
+        banded_cells = n_pairs * length * (2 * band + 1)
+        t, banded_scores = time_call(
+            eng.score_many, pairs, "banded", band, repeat=3
+        )
+        record(f"numpy_banded_score_many_band{band}", t, banded_cells)
     with AlignmentEngine(backend="parallel", workers=workers) as eng:
         # Warm the pool: a sub-min_batch slice would run in-process and
         # leave pool start-up inside the measured window.
@@ -148,17 +163,42 @@ def run_engine_bench(
         t, par_scores = time_call(eng.score_many, pairs, repeat=3)
         record(f"parallel_score_many_x{workers}", t)
 
+    # The banded satellite: vectorized diagonal-offset kernel vs the
+    # per-cell dict DP it replaced, one long pair at band 32.
+    from fragalign.align.pairwise import (
+        banded_global_score,
+        banded_global_score_reference,
+    )
+
+    bl = min(2048, max(512, length * 8))
+    ba, bb = random_dna(bl, gen), random_dna(bl, gen)
+    t_vec_banded, s_vec = time_call(banded_global_score, ba, bb, 32, repeat=3)
+    t_ref_banded, s_ref = time_call(
+        banded_global_score_reference, ba, bb, 32, repeat=1
+    )
+    assert s_vec == s_ref
+
     assert [x.score for x in naive_alns] == [x.score for x in vec_alns]
     assert np.array_equal(vec_scores, par_scores)
     assert np.array_equal(vec_scores, [x.score for x in vec_alns])
+    # Cross-mode sanity on the same workload: overlap is at least the
+    # global score (it relaxes end gaps); a full-width band is exact.
+    assert np.all(overlap_scores >= vec_scores)
+    assert np.all(banded_scores <= vec_scores + 1e-9)
     speedup = results["naive_align_loop"]["seconds"] / max(
         results["numpy_align_many"]["seconds"], 1e-9
     )
     return {
         "experiment": "B-ENGINE batch alignment throughput",
-        "config": {"n_pairs": n_pairs, "length": length, "workers": workers},
+        "config": {"n_pairs": n_pairs, "length": length, "workers": workers, "band": band},
         "results": results,
         "speedup_numpy_align_many_vs_naive_loop": round(speedup, 1),
+        "traceback_share_of_align_many": round(
+            max(0.0, 1.0 - t_score / max(t_align, 1e-9)), 3
+        ),
+        "banded_vectorized_speedup_vs_dict_band32": round(
+            t_ref_banded / max(t_vec_banded, 1e-9), 1
+        ),
     }
 
 

@@ -22,17 +22,28 @@ from fragalign.align.interval_dp import (
 )
 from fragalign.align.pairwise import (
     Alignment,
+    banded_align,
+    banded_align_batch,
     banded_global_score,
+    banded_global_score_reference,
+    banded_scores_batch,
+    get_prefix_max_mode,
     global_align,
     global_align_batch,
     global_score,
     global_score_reference,
     global_scores_batch,
     local_align,
+    local_align_batch,
     local_score,
     local_score_reference,
     local_scores_batch,
+    overlap_align,
+    overlap_align_batch,
     overlap_score,
+    overlap_score_reference,
+    overlap_scores_batch,
+    set_prefix_max_mode,
 )
 from fragalign.align.scoring_matrices import (
     SubstitutionModel,
@@ -55,17 +66,28 @@ __all__ = [
     "all_interval_chain_scores_parallel",
     "all_interval_chain_scores_reference",
     "Alignment",
+    "banded_align",
+    "banded_align_batch",
     "banded_global_score",
+    "banded_global_score_reference",
+    "banded_scores_batch",
+    "get_prefix_max_mode",
     "global_align",
     "global_align_batch",
     "global_score",
     "global_score_reference",
     "global_scores_batch",
     "local_align",
+    "local_align_batch",
     "local_score",
     "local_score_reference",
     "local_scores_batch",
+    "overlap_align",
+    "overlap_align_batch",
     "overlap_score",
+    "overlap_score_reference",
+    "overlap_scores_batch",
+    "set_prefix_max_mode",
     "SubstitutionModel",
     "encode",
     "transition_transversion",

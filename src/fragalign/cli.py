@@ -75,7 +75,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     eng.add_argument("--batch", type=int, default=50, help="number of pairs")
     eng.add_argument("--length", type=int, default=256, help="sequence length")
-    eng.add_argument("--mode", choices=["global", "local"], default="global")
+    eng.add_argument(
+        "--mode",
+        choices=["global", "local", "overlap", "banded"],
+        default="global",
+    )
+    eng.add_argument(
+        "--band",
+        type=int,
+        default=None,
+        help="band half-width (required with --mode banded)",
+    )
     eng.add_argument("--workers", type=int, default=None)
     eng.add_argument("--seed", type=int, default=2026)
 
@@ -87,7 +97,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=8765, help="0 binds an ephemeral port"
     )
     srv.add_argument("--backend", default="numpy")
-    srv.add_argument("--mode", choices=["global", "local"], default="global")
+    srv.add_argument(
+        "--mode",
+        choices=["global", "local", "overlap", "banded"],
+        default="global",
+        help="default alignment mode (requests may override per call)",
+    )
+    srv.add_argument(
+        "--band",
+        type=int,
+        default=None,
+        help="default band half-width for banded-mode requests",
+    )
     srv.add_argument(
         "--max-batch", type=int, default=64, help="flush a batch at this size"
     )
@@ -121,6 +142,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of requests repeating an earlier pair (cache food)",
     )
     cli.add_argument("--op", choices=["score", "align"], default="score")
+    cli.add_argument(
+        "--mode",
+        choices=["global", "local", "overlap", "banded"],
+        default=None,
+        help="per-request alignment mode (default: server's mode)",
+    )
+    cli.add_argument(
+        "--band",
+        type=int,
+        default=None,
+        help="band half-width to send with banded-mode requests",
+    )
     cli.add_argument("--seed", type=int, default=2026)
     cli.add_argument(
         "--expect-cache-hits",
@@ -251,8 +284,13 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         for _ in range(args.batch)
     ]
     options = {} if args.workers is None else {"workers": args.workers}
+    if args.mode == "banded" and args.band is None:
+        print("error: --mode banded needs --band", file=sys.stderr)
+        return 2
     try:
-        engine = AlignmentEngine(backend=args.backend, mode=args.mode, **options)
+        engine = AlignmentEngine(
+            backend=args.backend, mode=args.mode, band=args.band, **options
+        )
     except TypeError:
         print(
             f"error: backend {args.backend!r} does not accept --workers",
@@ -277,11 +315,15 @@ def _cmd_engine(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from fragalign.service import ServiceConfig, run_server
 
+    if args.mode == "banded" and args.band is None:
+        print("error: --mode banded needs --band", file=sys.stderr)
+        return 2
     config = ServiceConfig(
         host=args.host,
         port=args.port,
         backend=args.backend,
         mode=args.mode,
+        band=args.band,
         max_batch=args.max_batch,
         max_delay=args.max_delay_ms / 1e3,
         cache_size=args.cache_size,
@@ -310,7 +352,9 @@ def _cmd_client(args: argparse.Namespace) -> int:
 
     with AlignmentClient(args.host, args.port) as client:
         run = client.score_many if args.op == "score" else client.align_many
-        t, results = time_call(run, pairs, args.concurrency, repeat=1)
+        t, results = time_call(
+            run, pairs, args.concurrency, args.mode, args.band, repeat=1
+        )
         stats = client.stats()
         if args.shutdown:
             client.shutdown()

@@ -31,6 +31,7 @@ this for the built-ins and is the template for testing new ones.
 """
 
 from fragalign.engine.backends import (
+    MODES,
     AlignmentBackend,
     NaiveBackend,
     NumpyBackend,
@@ -49,6 +50,7 @@ register_backend("numpy", NumpyBackend, overwrite=True)
 register_backend("parallel", ParallelBackend, overwrite=True)
 
 __all__ = [
+    "MODES",
     "AlignmentEngine",
     "AlignmentBackend",
     "NaiveBackend",

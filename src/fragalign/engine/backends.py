@@ -6,6 +6,11 @@ identical tracebacks, which the cross-backend parity tests pin down.
 ``score_many``/``align_many`` receive *uniform-shape* batches — the
 :class:`fragalign.engine.AlignmentEngine` facade buckets mixed-length
 workloads by shape before dispatching.
+
+Four modes are first-class: ``global`` (Needleman–Wunsch), ``local``
+(Smith–Waterman), ``overlap`` (suffix–prefix, the assembler's overlap
+detector) and ``banded`` (global restricted to ``|i - j| <= band``;
+the only mode that takes the extra ``band`` argument).
 """
 
 from __future__ import annotations
@@ -15,19 +20,27 @@ from dataclasses import dataclass
 import numpy as np
 
 from fragalign.align.pairwise import (
+    _NEG,
+    _check_band,
     Alignment,
+    banded_align_batch,
+    banded_global_score_reference,
+    banded_scores_batch,
     global_align_batch,
     global_score_reference,
     global_scores_batch,
-    local_align,
+    local_align_batch,
     local_score_reference,
     local_scores_batch,
+    overlap_align_batch,
+    overlap_score_reference,
+    overlap_scores_batch,
 )
 from fragalign.align.scoring_matrices import SubstitutionModel
 
 __all__ = ["PreparedPair", "AlignmentBackend", "NaiveBackend", "NumpyBackend"]
 
-MODES = ("global", "local")
+MODES = ("global", "local", "overlap", "banded")
 
 
 @dataclass(frozen=True)
@@ -50,25 +63,32 @@ class AlignmentBackend:
     Subclasses must implement :meth:`score` and :meth:`align`; they
     *should* override the batch methods when they can do better than a
     Python loop (the whole point of the NumPy and parallel backends).
+    ``band`` is only meaningful for ``mode="banded"`` and is never
+    passed for the other modes, so backends that don't support banded
+    alignment can keep the three-argument signature.
     """
 
     name = "?"
 
-    def score(self, p: PreparedPair, model: SubstitutionModel, mode: str) -> float:
+    def score(self, p: PreparedPair, model: SubstitutionModel, mode: str, band=None) -> float:
         raise NotImplementedError
 
-    def align(self, p: PreparedPair, model: SubstitutionModel, mode: str) -> Alignment:
+    def align(self, p: PreparedPair, model: SubstitutionModel, mode: str, band=None) -> Alignment:
         raise NotImplementedError
 
     def score_many(
-        self, batch: list[PreparedPair], model: SubstitutionModel, mode: str
+        self, batch: list[PreparedPair], model: SubstitutionModel, mode: str, band=None
     ) -> np.ndarray:
-        return np.array([self.score(p, model, mode) for p in batch])
+        if band is None:
+            return np.array([self.score(p, model, mode) for p in batch])
+        return np.array([self.score(p, model, mode, band=band) for p in batch])
 
     def align_many(
-        self, batch: list[PreparedPair], model: SubstitutionModel, mode: str
+        self, batch: list[PreparedPair], model: SubstitutionModel, mode: str, band=None
     ) -> list[Alignment]:
-        return [self.align(p, model, mode) for p in batch]
+        if band is None:
+            return [self.align(p, model, mode) for p in batch]
+        return [self.align(p, model, mode, band=band) for p in batch]
 
     def close(self) -> None:
         """Release any held resources (process pools, device handles)."""
@@ -82,9 +102,10 @@ def _check_mode(mode: str) -> None:
 class NaiveBackend(AlignmentBackend):
     """Transparent per-cell Python DP — the correctness oracle.
 
-    Every cell is a Python ``max`` over three moves; tracebacks prefer
-    diagonal, then up, then left, exactly like the NumPy kernels, so
-    the two backends agree alignment-for-alignment on integer models.
+    Every cell is a Python ``max`` over the legal moves; tracebacks
+    prefer diagonal, then up, then left, exactly like the NumPy
+    kernels' direction codes, so the two backends agree
+    alignment-for-alignment on integer models.
     """
 
     name = "naive"
@@ -93,44 +114,32 @@ class NaiveBackend(AlignmentBackend):
     def _w_rows(p: PreparedPair, model: SubstitutionModel) -> list[list[float]]:
         return model.pair_matrix(p.a_codes, p.b_codes).tolist()
 
-    def score(self, p: PreparedPair, model: SubstitutionModel, mode: str) -> float:
+    def score(self, p: PreparedPair, model: SubstitutionModel, mode: str, band=None) -> float:
         _check_mode(mode)
         if mode == "local":
             return local_score_reference(p.a, p.b, model)
+        if mode == "overlap":
+            return overlap_score_reference(p.a, p.b, model)
+        if mode == "banded":
+            return banded_global_score_reference(p.a, p.b, band, model)
         return global_score_reference(p.a, p.b, model)
 
-    def align(self, p: PreparedPair, model: SubstitutionModel, mode: str) -> Alignment:
+    def align(self, p: PreparedPair, model: SubstitutionModel, mode: str, band=None) -> Alignment:
         _check_mode(mode)
+        if mode == "local":
+            return self._align_local(p, model)
+        if mode == "overlap":
+            return self._align_overlap(p, model)
+        if mode == "banded":
+            return self._align_banded(p, model, band)
+        return self._align_global(p, model)
+
+    def _align_global(self, p: PreparedPair, model: SubstitutionModel) -> Alignment:
         n, m = p.shape
         g = model.gap
         if n == 0 or m == 0:
-            score = 0.0 if mode == "local" else (n + m) * g
-            return Alignment(score, (), (0, n if mode == "global" else 0), (0, m if mode == "global" else 0))
+            return Alignment((n + m) * g, (), (0, n), (0, m))
         W = self._w_rows(p, model)
-        if mode == "local":
-            H = [[0.0] * (m + 1) for _ in range(n + 1)]
-            best, bi, bj = 0.0, 0, 0
-            for i in range(1, n + 1):
-                w = W[i - 1]
-                hp, hc = H[i - 1], H[i]
-                for j in range(1, m + 1):
-                    v = max(0.0, hp[j - 1] + w[j - 1], hp[j] + g, hc[j - 1] + g)
-                    hc[j] = v
-                    if v > best:
-                        best, bi, bj = v, i, j
-            i, j = bi, bj
-            pairs: list[tuple[int, int]] = []
-            while i > 0 and j > 0 and H[i][j] > 0:
-                if H[i][j] == H[i - 1][j - 1] + W[i - 1][j - 1]:
-                    pairs.append((i - 1, j - 1))
-                    i -= 1
-                    j -= 1
-                elif H[i][j] == H[i - 1][j] + g:
-                    i -= 1
-                else:
-                    j -= 1
-            pairs.reverse()
-            return Alignment(best, tuple(pairs), (i, bi), (j, bj))
         H = [[j * g for j in range(m + 1)]]
         for i in range(1, n + 1):
             row = [i * g] + [0.0] * m
@@ -139,7 +148,7 @@ class NaiveBackend(AlignmentBackend):
                 row[j] = max(prev[j - 1] + w[j - 1], prev[j] + g, row[j - 1] + g)
             H.append(row)
         i, j = n, m
-        pairs = []
+        pairs: list[tuple[int, int]] = []
         while i > 0 and j > 0:
             if H[i][j] == H[i - 1][j - 1] + W[i - 1][j - 1]:
                 pairs.append((i - 1, j - 1))
@@ -152,43 +161,156 @@ class NaiveBackend(AlignmentBackend):
         pairs.reverse()
         return Alignment(float(H[n][m]), tuple(pairs), (0, n), (0, m))
 
+    def _align_local(self, p: PreparedPair, model: SubstitutionModel) -> Alignment:
+        n, m = p.shape
+        g = model.gap
+        if n == 0 or m == 0:
+            return Alignment(0.0, (), (0, 0), (0, 0))
+        W = self._w_rows(p, model)
+        H = [[0.0] * (m + 1) for _ in range(n + 1)]
+        best, bi, bj = 0.0, 0, 0
+        for i in range(1, n + 1):
+            w = W[i - 1]
+            hp, hc = H[i - 1], H[i]
+            for j in range(1, m + 1):
+                v = max(0.0, hp[j - 1] + w[j - 1], hp[j] + g, hc[j - 1] + g)
+                hc[j] = v
+                if v > best:
+                    best, bi, bj = v, i, j
+        i, j = bi, bj
+        pairs: list[tuple[int, int]] = []
+        while i > 0 and j > 0 and H[i][j] > 0:
+            if H[i][j] == H[i - 1][j - 1] + W[i - 1][j - 1]:
+                pairs.append((i - 1, j - 1))
+                i -= 1
+                j -= 1
+            elif H[i][j] == H[i - 1][j] + g:
+                i -= 1
+            else:
+                j -= 1
+        pairs.reverse()
+        return Alignment(best, tuple(pairs), (i, bi), (j, bj))
+
+    def _align_overlap(self, p: PreparedPair, model: SubstitutionModel) -> Alignment:
+        n, m = p.shape
+        g = model.gap
+        if n == 0 or m == 0:
+            return Alignment(0.0, (), (n, n), (0, 0))
+        W = self._w_rows(p, model)
+        H = [[j * g for j in range(m + 1)]]
+        for i in range(1, n + 1):
+            row = [0.0] * (m + 1)
+            prev, w = H[i - 1], W[i - 1]
+            for j in range(1, m + 1):
+                row[j] = max(prev[j - 1] + w[j - 1], prev[j] + g, row[j - 1] + g)
+            H.append(row)
+        b_end = max(range(m + 1), key=lambda j: (H[n][j], -j))
+        score = H[n][b_end]
+        i, j = n, b_end
+        pairs: list[tuple[int, int]] = []
+        while j > 0:
+            if i > 0 and H[i][j] == H[i - 1][j - 1] + W[i - 1][j - 1]:
+                pairs.append((i - 1, j - 1))
+                i -= 1
+                j -= 1
+            elif i > 0 and H[i][j] == H[i - 1][j] + g:
+                i -= 1
+            else:
+                j -= 1
+        pairs.reverse()
+        return Alignment(float(score), tuple(pairs), (i, n), (0, b_end))
+
+    def _align_banded(self, p: PreparedPair, model: SubstitutionModel, band) -> Alignment:
+        n, m = p.shape
+        g = model.gap
+        band = _check_band(n, m, band)
+        if n == 0 or m == 0:
+            return Alignment((n + m) * g, (), (0, n), (0, m))
+        W = self._w_rows(p, model)
+        rows: list[dict[int, float]] = [
+            {j: j * g for j in range(0, min(m, band) + 1)}
+        ]
+        for i in range(1, n + 1):
+            lo = max(0, i - band)
+            hi = min(m, i + band)
+            prev = rows[i - 1]
+            cur: dict[int, float] = {}
+            for j in range(lo, hi + 1):
+                best = _NEG
+                if j == 0:
+                    best = i * g
+                if j - 1 in prev:
+                    best = max(best, prev[j - 1] + W[i - 1][j - 1])
+                if j in prev:
+                    best = max(best, prev[j] + g)
+                if j - 1 in cur:
+                    best = max(best, cur[j - 1] + g)
+                cur[j] = best
+            rows.append(cur)
+        i, j = n, m
+        pairs: list[tuple[int, int]] = []
+        while i > 0 and j > 0:
+            h = rows[i][j]
+            if j - 1 in rows[i - 1] and h == rows[i - 1][j - 1] + W[i - 1][j - 1]:
+                pairs.append((i - 1, j - 1))
+                i -= 1
+                j -= 1
+            elif j in rows[i - 1] and h == rows[i - 1][j] + g:
+                i -= 1
+            else:
+                j -= 1
+        pairs.reverse()
+        return Alignment(float(rows[n][m]), tuple(pairs), (0, n), (0, m))
+
 
 class NumpyBackend(AlignmentBackend):
     """Row-vectorized kernels; batches share one sweep per DP row.
 
-    ``chunk`` bounds how many pairs' substitution tensors are held in
-    memory at once during a batch sweep.
+    ``chunk`` bounds how many pairs' sweep buffers are held in memory
+    at once during a batch sweep.
     """
 
     name = "numpy"
 
+    _SCORE_KERNELS = {
+        "global": global_scores_batch,
+        "local": local_scores_batch,
+        "overlap": overlap_scores_batch,
+    }
+    _ALIGN_KERNELS = {
+        "global": global_align_batch,
+        "local": local_align_batch,
+        "overlap": overlap_align_batch,
+    }
+
     def __init__(self, chunk: int = 64) -> None:
         self.chunk = chunk
 
-    def score(self, p: PreparedPair, model: SubstitutionModel, mode: str) -> float:
-        _check_mode(mode)
-        kernel = local_scores_batch if mode == "local" else global_scores_batch
-        return float(kernel([(p.a_codes, p.b_codes)], model, chunk=1)[0])
+    def _run(self, codes, model, mode, band, chunk, kind):
+        if mode == "banded":
+            kernel = banded_scores_batch if kind == "score" else banded_align_batch
+            return kernel(codes, band, model, chunk=chunk)
+        table = self._SCORE_KERNELS if kind == "score" else self._ALIGN_KERNELS
+        return table[mode](codes, model, chunk=chunk)
 
-    def align(self, p: PreparedPair, model: SubstitutionModel, mode: str) -> Alignment:
+    def score(self, p: PreparedPair, model: SubstitutionModel, mode: str, band=None) -> float:
         _check_mode(mode)
-        if mode == "local":
-            return local_align(p.a, p.b, model)
-        return global_align_batch([(p.a_codes, p.b_codes)], model, chunk=1)[0]
+        return float(self._run([(p.a_codes, p.b_codes)], model, mode, band, 1, "score")[0])
+
+    def align(self, p: PreparedPair, model: SubstitutionModel, mode: str, band=None) -> Alignment:
+        _check_mode(mode)
+        return self._run([(p.a_codes, p.b_codes)], model, mode, band, 1, "align")[0]
 
     def score_many(
-        self, batch: list[PreparedPair], model: SubstitutionModel, mode: str
+        self, batch: list[PreparedPair], model: SubstitutionModel, mode: str, band=None
     ) -> np.ndarray:
         _check_mode(mode)
-        kernel = local_scores_batch if mode == "local" else global_scores_batch
-        return kernel([(p.a_codes, p.b_codes) for p in batch], model, chunk=self.chunk)
+        codes = [(p.a_codes, p.b_codes) for p in batch]
+        return self._run(codes, model, mode, band, self.chunk, "score")
 
     def align_many(
-        self, batch: list[PreparedPair], model: SubstitutionModel, mode: str
+        self, batch: list[PreparedPair], model: SubstitutionModel, mode: str, band=None
     ) -> list[Alignment]:
         _check_mode(mode)
-        if mode == "local":
-            return [local_align(p.a, p.b, model) for p in batch]
-        return global_align_batch(
-            [(p.a_codes, p.b_codes) for p in batch], model, chunk=self.chunk
-        )
+        codes = [(p.a_codes, p.b_codes) for p in batch]
+        return self._run(codes, model, mode, band, self.chunk, "align")

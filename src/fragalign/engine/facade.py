@@ -8,6 +8,13 @@ One object, four verbs::
         alns   = eng.align_many(pairs)    # batch, bucketed by shape
         scores = eng.score_many(pairs)    # batch, bucketed by shape
 
+Every verb takes optional ``mode=`` / ``band=`` overrides, so one
+engine can serve all four alignment modes (``global``, ``local``,
+``overlap``, ``banded``) — the service layer relies on this to route
+per-request modes through a single engine.  ``band`` is required
+whenever the resolved mode is ``banded`` (set a default at
+construction or pass it per call).
+
 The facade owns everything backends shouldn't care about: memoized
 sequence encoding (each distinct sequence is encoded once per engine),
 the memoized default scoring matrix, validation, and bucketing mixed
@@ -49,7 +56,12 @@ class AlignmentEngine:
     model:
         Substitution model; defaults to the memoized unit-cost model.
     mode:
-        ``"global"`` (Needleman–Wunsch) or ``"local"`` (Smith–Waterman).
+        Default alignment mode: ``"global"`` (Needleman–Wunsch),
+        ``"local"`` (Smith–Waterman), ``"overlap"`` (suffix–prefix) or
+        ``"banded"``.  Every verb accepts a per-call ``mode=`` override.
+    band:
+        Default band half-width for ``banded`` mode (per-call ``band=``
+        overrides it).  Must be a non-negative integer when set.
     cache_size:
         How many distinct sequences' encodings to memoize (a bounded
         LRU — ``<= 0`` disables memoization).  Bounded so a
@@ -65,13 +77,19 @@ class AlignmentEngine:
         backend: str | AlignmentBackend = "numpy",
         model: SubstitutionModel | None = None,
         mode: str = "global",
+        band: int | None = None,
         cache_size: int = 4096,
         **backend_options,
     ) -> None:
         if mode not in MODES:
             raise ValueError(f"unknown alignment mode {mode!r} (expected one of {MODES})")
+        if band is not None and (not isinstance(band, int) or isinstance(band, bool) or band < 0):
+            raise ValueError(f"band must be a non-negative integer, got {band!r}")
+        if mode == "banded" and band is None:
+            raise ValueError("mode='banded' needs a band (pass band=...)")
         self.model = model or default_model()
         self.mode = mode
+        self.band = band
         if isinstance(backend, AlignmentBackend):
             if backend_options:
                 raise ValueError("backend options only apply when backend is a name")
@@ -101,13 +119,27 @@ class AlignmentEngine:
         """Encode one pair (memoized per distinct sequence)."""
         return PreparedPair(a, b, self._encode(a), self._encode(b))
 
+    def _resolve(self, mode: str | None, band: int | None) -> tuple[str, dict]:
+        """Per-call mode/band resolution -> (mode, backend kwargs)."""
+        mode = self.mode if mode is None else mode
+        if mode not in MODES:
+            raise ValueError(f"unknown alignment mode {mode!r} (expected one of {MODES})")
+        if mode != "banded":
+            return mode, {}
+        band = self.band if band is None else band
+        if band is None:
+            raise ValueError("mode='banded' needs a band (pass band=...)")
+        return mode, {"band": band}
+
     # -- single-pair API ---------------------------------------------
 
-    def score(self, a: str, b: str) -> float:
-        return self._backend.score(self.prepare(a, b), self.model, self.mode)
+    def score(self, a: str, b: str, mode: str | None = None, band: int | None = None) -> float:
+        mode, kw = self._resolve(mode, band)
+        return self._backend.score(self.prepare(a, b), self.model, mode, **kw)
 
-    def align(self, a: str, b: str) -> Alignment:
-        return self._backend.align(self.prepare(a, b), self.model, self.mode)
+    def align(self, a: str, b: str, mode: str | None = None, band: int | None = None) -> Alignment:
+        mode, kw = self._resolve(mode, band)
+        return self._backend.align(self.prepare(a, b), self.model, mode, **kw)
 
     # -- batch API ---------------------------------------------------
 
@@ -119,25 +151,37 @@ class AlignmentEngine:
             by_shape[p.shape].append(k)
         return [([k for k in idxs], [preps[k] for k in idxs]) for idxs in by_shape.values()]
 
-    def score_many(self, pairs: Sequence[tuple[str, str]]) -> np.ndarray:
+    def score_many(
+        self,
+        pairs: Sequence[tuple[str, str]],
+        mode: str | None = None,
+        band: int | None = None,
+    ) -> np.ndarray:
         """Scores for every (a, b) pair, in input order.
 
         Pairs are bucketed by shape; each uniform bucket goes to the
         backend's batch kernel in one call.  Equals ``[self.score(a, b)
         for a, b in pairs]`` (a standing test invariant).
         """
+        mode, kw = self._resolve(mode, band)
         preps = [self.prepare(a, b) for a, b in pairs]
         out = np.empty(len(preps))
         for idxs, bucket in self._buckets(preps):
-            out[idxs] = self._backend.score_many(bucket, self.model, self.mode)
+            out[idxs] = self._backend.score_many(bucket, self.model, mode, **kw)
         return out
 
-    def align_many(self, pairs: Sequence[tuple[str, str]]) -> list[Alignment]:
+    def align_many(
+        self,
+        pairs: Sequence[tuple[str, str]],
+        mode: str | None = None,
+        band: int | None = None,
+    ) -> list[Alignment]:
         """Full alignments for every pair, in input order (bucketed)."""
+        mode, kw = self._resolve(mode, band)
         preps = [self.prepare(a, b) for a, b in pairs]
         out: list[Alignment | None] = [None] * len(preps)
         for idxs, bucket in self._buckets(preps):
-            for k, aln in zip(idxs, self._backend.align_many(bucket, self.model, self.mode)):
+            for k, aln in zip(idxs, self._backend.align_many(bucket, self.model, mode, **kw)):
                 out[k] = aln
         return out  # type: ignore[return-value]
 

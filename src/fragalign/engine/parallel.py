@@ -6,7 +6,8 @@ kernels as the ``numpy`` backend — so results are bit-identical, only
 the schedule changes.  The pool is created lazily and kept alive for
 the backend's lifetime (``close()`` releases it), and single very long
 global alignments are routed through the blocked-wavefront DP on the
-same pool instead of being computed serially.
+same pool instead of being computed serially.  All four engine modes
+(``global``/``local``/``overlap``/``banded``) fan out the same way.
 """
 
 from __future__ import annotations
@@ -16,13 +17,7 @@ import os
 
 import numpy as np
 
-from fragalign.align.pairwise import (
-    Alignment,
-    global_align_batch,
-    global_scores_batch,
-    local_align,
-    local_scores_batch,
-)
+from fragalign.align.pairwise import Alignment
 from fragalign.align.scoring_matrices import SubstitutionModel
 from fragalign.align.wavefront import nw_score_wavefront
 from fragalign.engine.backends import (
@@ -34,18 +29,17 @@ from fragalign.engine.backends import (
 
 __all__ = ["ParallelBackend"]
 
+_KERNELS = NumpyBackend()
+
 
 def _score_chunk(args) -> np.ndarray:
-    codes, model, mode, chunk = args
-    kernel = local_scores_batch if mode == "local" else global_scores_batch
-    return kernel(codes, model, chunk=chunk)
+    codes, model, mode, band, chunk = args
+    return _KERNELS._run(codes, model, mode, band, chunk, "score")
 
 
 def _align_chunk(args) -> list[Alignment]:
-    payload, model, mode, chunk = args
-    if mode == "local":
-        return [local_align(a, b, model) for a, b in payload]
-    return global_align_batch(payload, model, chunk=chunk)
+    codes, model, mode, band, chunk = args
+    return _KERNELS._run(codes, model, mode, band, chunk, "align")
 
 
 class ParallelBackend(AlignmentBackend):
@@ -89,47 +83,43 @@ class ParallelBackend(AlignmentBackend):
         per = max(1, -(-count // self.workers))
         return [(lo, min(lo + per, count)) for lo in range(0, count, per)]
 
-    def score(self, p: PreparedPair, model: SubstitutionModel, mode: str) -> float:
+    def score(self, p: PreparedPair, model: SubstitutionModel, mode: str, band=None) -> float:
+        _check_mode(mode)
         n, m = p.shape
         if mode == "global" and min(n, m) >= self.wavefront_min:
             block = max(256, n // self.workers)
             return nw_score_wavefront(
                 p.a, p.b, model, block=block, pool=self._ensure_pool()
             )
-        return self._local.score(p, model, mode)
+        return self._local.score(p, model, mode, band=band)
 
-    def align(self, p: PreparedPair, model: SubstitutionModel, mode: str) -> Alignment:
-        return self._local.align(p, model, mode)
+    def align(self, p: PreparedPair, model: SubstitutionModel, mode: str, band=None) -> Alignment:
+        return self._local.align(p, model, mode, band=band)
+
+    def _fan_out(self, batch, model, mode, band, runner):
+        codes = [(p.a_codes, p.b_codes) for p in batch]
+        tasks = [
+            (codes[lo:hi], model, mode, band, self.chunk)
+            for lo, hi in self._chunks(len(batch))
+        ]
+        return self._ensure_pool().map(runner, tasks)
 
     def score_many(
-        self, batch: list[PreparedPair], model: SubstitutionModel, mode: str
+        self, batch: list[PreparedPair], model: SubstitutionModel, mode: str, band=None
     ) -> np.ndarray:
         _check_mode(mode)
         if len(batch) < self.min_batch:
-            return self._local.score_many(batch, model, mode)
-        codes = [(p.a_codes, p.b_codes) for p in batch]
-        tasks = [
-            (codes[lo:hi], model, mode, self.chunk)
-            for lo, hi in self._chunks(len(batch))
-        ]
-        parts = list(self._ensure_pool().map(_score_chunk, tasks))
+            return self._local.score_many(batch, model, mode, band=band)
+        parts = list(self._fan_out(batch, model, mode, band, _score_chunk))
         return np.concatenate(parts)
 
     def align_many(
-        self, batch: list[PreparedPair], model: SubstitutionModel, mode: str
+        self, batch: list[PreparedPair], model: SubstitutionModel, mode: str, band=None
     ) -> list[Alignment]:
         _check_mode(mode)
         if len(batch) < self.min_batch:
-            return self._local.align_many(batch, model, mode)
-        if mode == "local":
-            payloads = [[(p.a, p.b) for p in batch[lo:hi]] for lo, hi in self._chunks(len(batch))]
-        else:
-            payloads = [
-                [(p.a_codes, p.b_codes) for p in batch[lo:hi]]
-                for lo, hi in self._chunks(len(batch))
-            ]
-        tasks = [(payload, model, mode, self.chunk) for payload in payloads]
+            return self._local.align_many(batch, model, mode, band=band)
         out: list[Alignment] = []
-        for part in self._ensure_pool().map(_align_chunk, tasks):
+        for part in self._fan_out(batch, model, mode, band, _align_chunk):
             out.extend(part)
         return out

@@ -28,7 +28,7 @@ from fragalign.engine.facade import AlignmentEngine
 
 __all__ = ["MicroBatcher"]
 
-Key = tuple  # (op, a, b)
+Key = tuple  # (op, mode, band, a, b)
 
 
 class MicroBatcher:
@@ -73,15 +73,25 @@ class MicroBatcher:
 
     # -- submission ---------------------------------------------------
 
-    async def submit(self, op: str, a: str, b: str) -> Any:
+    async def submit(
+        self,
+        op: str,
+        a: str,
+        b: str,
+        mode: str | None = None,
+        band: int | None = None,
+    ) -> Any:
         """Queue one job; await its batched result.
 
         Returns a float for ``op="score"`` and an
         :class:`~fragalign.align.pairwise.Alignment` for ``op="align"``.
+        ``mode``/``band`` select the alignment mode per job (``None``
+        means the engine's default); one flush dispatches each distinct
+        ``(op, mode, band)`` group as its own engine batch.
         """
         if self._loop is None:
             self._loop = asyncio.get_running_loop()
-        key = (op, a, b)
+        key = (op, mode, band, a, b)
         fut = self._pending.get(key)
         if fut is not None:
             # Identical job already queued or computing: share its future.
@@ -113,26 +123,23 @@ class MicroBatcher:
     async def _run_batch(self, keys: list[Key]) -> None:
         if self._stats is not None:
             self._stats.observe_batch(len(keys))
-        score_keys = [k for k in keys if k[0] == "score"]
-        align_keys = [k for k in keys if k[0] == "align"]
+        groups: dict[tuple, list[Key]] = {}
+        for key in keys:
+            groups.setdefault(key[:3], []).append(key)
         results: dict[Key, Any] = {}
         try:
-            if score_keys:
-                scores = await self._loop.run_in_executor(
+            for (op, mode, band), group in groups.items():
+                fn = self.engine.score_many if op == "score" else self.engine.align_many
+                values = await self._loop.run_in_executor(
                     self._executor,
-                    self.engine.score_many,
-                    [(a, b) for _, a, b in score_keys],
+                    fn,
+                    [(a, b) for _, _, _, a, b in group],
+                    mode,
+                    band,
                 )
-                results.update(
-                    (k, float(s)) for k, s in zip(score_keys, scores)
-                )
-            if align_keys:
-                alns = await self._loop.run_in_executor(
-                    self._executor,
-                    self.engine.align_many,
-                    [(a, b) for _, a, b in align_keys],
-                )
-                results.update(zip(align_keys, alns))
+                if op == "score":
+                    values = [float(v) for v in values]
+                results.update(zip(group, values))
         except Exception as exc:
             for key in keys:
                 fut = self._pending.pop(key, None)

@@ -72,7 +72,8 @@ class AsyncAlignmentClient:
         self._next_id += 1
         fut = asyncio.get_running_loop().create_future()
         self._waiting[rid] = fut
-        self._writer.write(encode_line({"id": rid, "op": op, **fields}))
+        payload = {k: v for k, v in fields.items() if v is not None}
+        self._writer.write(encode_line({"id": rid, "op": op, **payload}))
         await self._writer.drain()
         response = await fut
         if not response.get("ok"):
@@ -80,17 +81,27 @@ class AsyncAlignmentClient:
         return response
 
     # -- operations ---------------------------------------------------
+    # mode/band select the alignment mode per request (None = server
+    # default); see fragalign.service.protocol for the wire fields.
 
-    async def score(self, a: str, b: str) -> float:
-        return float((await self._request("score", a=a, b=b))["result"])
+    async def score(
+        self, a: str, b: str, mode: str | None = None, band: int | None = None
+    ) -> float:
+        response = await self._request("score", a=a, b=b, mode=mode, band=band)
+        return float(response["result"])
 
-    async def score_detail(self, a: str, b: str) -> tuple[float, bool]:
+    async def score_detail(
+        self, a: str, b: str, mode: str | None = None, band: int | None = None
+    ) -> tuple[float, bool]:
         """Score plus whether the server answered from its cache."""
-        response = await self._request("score", a=a, b=b)
+        response = await self._request("score", a=a, b=b, mode=mode, band=band)
         return float(response["result"]), bool(response.get("cached"))
 
-    async def align(self, a: str, b: str) -> Alignment:
-        return alignment_from_dict((await self._request("align", a=a, b=b))["result"])
+    async def align(
+        self, a: str, b: str, mode: str | None = None, band: int | None = None
+    ) -> Alignment:
+        response = await self._request("align", a=a, b=b, mode=mode, band=band)
+        return alignment_from_dict(response["result"])
 
     async def stats(self) -> dict:
         return (await self._request("stats"))["result"]
@@ -157,11 +168,15 @@ class AlignmentClient:
 
     # -- operations ---------------------------------------------------
 
-    def score(self, a: str, b: str) -> float:
-        return self._call(self._client.score(a, b))
+    def score(
+        self, a: str, b: str, mode: str | None = None, band: int | None = None
+    ) -> float:
+        return self._call(self._client.score(a, b, mode=mode, band=band))
 
-    def align(self, a: str, b: str) -> Alignment:
-        return self._call(self._client.align(a, b))
+    def align(
+        self, a: str, b: str, mode: str | None = None, band: int | None = None
+    ) -> Alignment:
+        return self._call(self._client.align(a, b, mode=mode, band=band))
 
     def stats(self) -> dict:
         return self._call(self._client.stats())
@@ -172,30 +187,45 @@ class AlignmentClient:
     def shutdown(self) -> None:
         self._call(self._client.shutdown())
 
-    def _map(self, op_name: str, pairs: Sequence[tuple[str, str]], concurrency: int):
+    def _map(
+        self,
+        op_name: str,
+        pairs: Sequence[tuple[str, str]],
+        concurrency: int,
+        mode: str | None,
+        band: int | None,
+    ):
         async def fan_out():
             semaphore = asyncio.Semaphore(max(1, concurrency))
             op = getattr(self._client, op_name)
 
             async def one(pair):
                 async with semaphore:
-                    return await op(*pair)
+                    return await op(*pair, mode=mode, band=band)
 
             return await asyncio.gather(*(one(p) for p in pairs))
 
         return self._call(fan_out())
 
     def score_many(
-        self, pairs: Sequence[tuple[str, str]], concurrency: int = 32
+        self,
+        pairs: Sequence[tuple[str, str]],
+        concurrency: int = 32,
+        mode: str | None = None,
+        band: int | None = None,
     ) -> list[float]:
         """Scores for all pairs, pipelined ``concurrency`` at a time."""
-        return self._map("score", pairs, concurrency)
+        return self._map("score", pairs, concurrency, mode, band)
 
     def align_many(
-        self, pairs: Sequence[tuple[str, str]], concurrency: int = 32
+        self,
+        pairs: Sequence[tuple[str, str]],
+        concurrency: int = 32,
+        mode: str | None = None,
+        band: int | None = None,
     ) -> list[Alignment]:
         """Alignments for all pairs, pipelined ``concurrency`` at a time."""
-        return self._map("align", pairs, concurrency)
+        return self._map("align", pairs, concurrency, mode, band)
 
     # -- lifecycle ----------------------------------------------------
 

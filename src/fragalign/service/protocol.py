@@ -10,9 +10,19 @@ Requests::
 
     {"id": 1, "op": "score", "a": "ACGT", "b": "AGGT"}
     {"id": 2, "op": "align", "a": "ACGT", "b": "AGGT"}
-    {"id": 3, "op": "stats"}     # service counters / latency / cache
-    {"id": 4, "op": "ping"}
-    {"id": 5, "op": "shutdown"}  # answered, then the server stops
+    {"id": 3, "op": "score", "a": "ACGT", "b": "AGGT", "mode": "overlap"}
+    {"id": 4, "op": "align", "a": "ACGT", "b": "AGGT", "mode": "banded", "band": 8}
+    {"id": 5, "op": "stats"}     # service counters / latency / cache
+    {"id": 6, "op": "ping"}
+    {"id": 7, "op": "shutdown"}  # answered, then the server stops
+
+``mode`` selects the alignment mode per request (``global``,
+``local``, ``overlap`` or ``banded``); omitted, the server's
+configured default applies.  ``band`` is the banded half-width —
+required for ``mode="banded"`` unless the server was started with a
+default band, and it must satisfy ``band >= abs(len(a) - len(b))``
+(validated before the request joins a batch, so one bad request can
+never poison a batch of good ones).
 
 Responses::
 
@@ -35,10 +45,12 @@ from dataclasses import dataclass
 from typing import Any
 
 from fragalign.align.pairwise import Alignment
+from fragalign.engine.backends import MODES
 from fragalign.util.errors import FragalignError
 
 __all__ = [
     "MAX_LINE",
+    "MODES",
     "OPS",
     "PAIR_OPS",
     "ProtocolError",
@@ -69,12 +81,18 @@ class ServiceError(FragalignError):
 
 @dataclass(frozen=True)
 class Request:
-    """One validated request: an op plus (for pair ops) the sequences."""
+    """One validated request: an op plus (for pair ops) the sequences.
+
+    ``mode``/``band`` are ``None`` when the request didn't set them —
+    the server substitutes its configured defaults.
+    """
 
     id: Any
     op: str
     a: str = ""
     b: str = ""
+    mode: str | None = None
+    band: int | None = None
 
 
 def encode_line(obj: dict) -> bytes:
@@ -102,7 +120,15 @@ def parse_request(obj: dict) -> Request:
         a, b = obj.get("a"), obj.get("b")
         if not isinstance(a, str) or not isinstance(b, str):
             raise ProtocolError(f"op {op!r} needs string fields 'a' and 'b'")
-        return Request(id=obj.get("id"), op=op, a=a, b=b)
+        mode = obj.get("mode")
+        if mode is not None and mode not in MODES:
+            raise ProtocolError(f"unknown mode {mode!r} (expected one of {MODES})")
+        band = obj.get("band")
+        if band is not None and (
+            isinstance(band, bool) or not isinstance(band, int) or band < 0
+        ):
+            raise ProtocolError(f"band must be a non-negative integer, got {band!r}")
+        return Request(id=obj.get("id"), op=op, a=a, b=b, mode=mode, band=band)
     return Request(id=obj.get("id"), op=op)
 
 

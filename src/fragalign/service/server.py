@@ -60,7 +60,8 @@ class ServiceConfig:
     host: str = "127.0.0.1"
     port: int = 8765  # 0 = bind an ephemeral port (see AlignmentService.port)
     backend: str = "numpy"
-    mode: str = "global"
+    mode: str = "global"  # default mode; requests may override per call
+    band: int | None = None  # default band for banded-mode requests
     max_batch: int = 64  # flush a batch at this many queued jobs
     max_delay: float = 0.002  # seconds to wait for a batch to fill
     cache_size: int = 4096  # LRU result-cache entries (0 disables)
@@ -87,6 +88,7 @@ class AlignmentService:
         self.engine = engine or AlignmentEngine(
             backend=self.config.backend,
             mode=self.config.mode,
+            band=self.config.band,
             **self.config.backend_options,
         )
         self.stats = ServiceStats()
@@ -97,7 +99,7 @@ class AlignmentService:
             max_delay=self.config.max_delay,
             stats=self.stats,
         )
-        self._key_suffix = (self.engine.mode, model_fingerprint(self.engine.model))
+        self._model_fp = model_fingerprint(self.engine.model)
         self._server: asyncio.AbstractServer | None = None
         self._stopped: asyncio.Event | None = None
         self._connections: set[asyncio.StreamWriter] = set()
@@ -107,9 +109,36 @@ class AlignmentService:
 
     # -- cache keying -------------------------------------------------
 
-    def cache_key(self, op: str, a: str, b: str) -> tuple:
-        """Result-cache key: the pair *and* op, mode, model identity."""
-        return (op, a, b, *self._key_suffix)
+    def cache_key(
+        self, op: str, a: str, b: str, mode: str, band: int | None
+    ) -> tuple:
+        """Result-cache key: the pair *and* op, mode, band, model
+        identity — a result computed under one mode/band/model can
+        never satisfy a lookup under another."""
+        return (op, a, b, mode, band, self._model_fp)
+
+    def _resolve_mode(self, request) -> tuple[str, int | None]:
+        """Per-request mode/band with the server's defaults applied.
+
+        Raises :class:`ProtocolError` for banded requests that are
+        unservable (no band anywhere, or a band too narrow for the
+        pair) *before* they reach the batcher, so a bad request can
+        only ever fail itself, never the batch it would have joined.
+        """
+        mode = request.mode or self.engine.mode
+        if mode != "banded":
+            return mode, None
+        band = request.band if request.band is not None else self.engine.band
+        if band is None:
+            raise ProtocolError(
+                "mode 'banded' needs a band (request field or server default)"
+            )
+        if band < abs(len(request.a) - len(request.b)):
+            raise ProtocolError(
+                f"band {band} too narrow for lengths "
+                f"{len(request.a)}/{len(request.b)}"
+            )
+        return mode, band
 
     # -- lifecycle ----------------------------------------------------
 
@@ -239,7 +268,8 @@ class AlignmentService:
         if request.op == "shutdown":
             return ok_response(request.id, "bye")  # _serve_line stops after
         # score / align
-        key = self.cache_key(request.op, request.a, request.b)
+        mode, band = self._resolve_mode(request)
+        key = self.cache_key(request.op, request.a, request.b, mode, band)
         result = self.cache.get(key)
         if result is not None:
             return ok_response(request.id, result, cached=True)
@@ -253,7 +283,9 @@ class AlignmentService:
         future = asyncio.get_running_loop().create_future()
         self._inflight[key] = future
         try:
-            value = await self.batcher.submit(request.op, request.a, request.b)
+            value = await self.batcher.submit(
+                request.op, request.a, request.b, mode, band
+            )
             # Cache the wire form, so warm hits skip serialization too.
             result = (
                 float(value) if request.op == "score" else alignment_to_dict(value)

@@ -2,18 +2,33 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
-from hypothesis import given
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from fragalign.align.pairwise import (
+    banded_align,
+    banded_align_batch,
     banded_global_score,
+    banded_global_score_reference,
+    banded_scores_batch,
+    get_prefix_max_mode,
     global_align,
+    global_align_batch,
     global_score,
     global_score_reference,
+    global_scores_batch,
     local_align,
+    local_align_batch,
     local_score,
+    local_scores_batch,
+    overlap_align,
+    overlap_align_batch,
     overlap_score,
+    overlap_score_reference,
+    overlap_scores_batch,
+    set_prefix_max_mode,
 )
 from fragalign.align.scoring_matrices import (
     encode,
@@ -136,3 +151,214 @@ def test_banded_equals_global_with_wide_band(a, b):
 def test_banded_rejects_too_narrow():
     with pytest.raises(ValueError):
         banded_global_score("AAAA", "A", band=1)
+
+
+def test_banded_validates_band_up_front():
+    with pytest.raises(ValueError, match="non-negative"):
+        banded_global_score("ACGT", "ACGT", band=-1)
+    with pytest.raises(ValueError, match="integer"):
+        banded_global_score("ACGT", "ACGT", band=2.5)
+    with pytest.raises(ValueError, match="integer"):
+        banded_global_score("ACGT", "ACGT", band=None)
+
+
+def _random_uniform_batch(rng, count, n, m):
+    from fragalign.genome.dna import random_dna
+
+    return [(random_dna(n, rng), random_dna(m, rng)) for _ in range(count)]
+
+
+class TestBatchKernelsVsScalarReferences:
+    """Cross-kernel parity: every batch kernel vs its per-cell oracle."""
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.lists(st.tuples(dna, dna), min_size=1, max_size=6), st.booleans())
+    def test_overlap_batch_equals_reference(self, shapes, biological):
+        model = transition_transversion() if biological else unit_dna()
+        n, m = len(shapes[0][0]), len(shapes[0][1])
+        pairs = [(a[:n].ljust(n, "A"), b[:m].ljust(m, "C")) for a, b in shapes]
+        got = overlap_scores_batch(pairs, model)
+        want = [overlap_score_reference(a, b, model) for a, b in pairs]
+        assert np.allclose(got, want, atol=1e-9)
+        if not biological:
+            assert list(got) == want  # bit-identical on integer models
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.lists(st.tuples(dna, dna), min_size=1, max_size=6), st.integers(0, 6))
+    def test_banded_batch_equals_reference(self, shapes, extra_band):
+        n, m = len(shapes[0][0]), len(shapes[0][1])
+        band = abs(n - m) + extra_band
+        pairs = [(a[:n].ljust(n, "A"), b[:m].ljust(m, "C")) for a, b in shapes]
+        got = banded_scores_batch(pairs, band)
+        want = [banded_global_score_reference(a, b, band) for a, b in pairs]
+        assert list(got) == want  # bit-identical on the unit model
+
+    def test_banded_wide_band_alignment_equals_global(self, rng):
+        pairs = _random_uniform_batch(rng, 6, 40, 37)
+        band = 64
+        banded = banded_align_batch(pairs, band)
+        full = global_align_batch(pairs)
+        for x, y in zip(banded, full):
+            assert x.score == y.score
+            assert x.pairs == y.pairs
+
+    def test_overlap_align_batch_equals_scalar(self, rng):
+        pairs = _random_uniform_batch(rng, 8, 30, 26)
+        batch = overlap_align_batch(pairs)
+        loop = [overlap_align(a, b) for a, b in pairs]
+        assert batch == loop
+        for (a, b), aln in zip(pairs, batch):
+            s, a_start, b_end = overlap_score(a, b)
+            assert (s, a_start, b_end) == (
+                aln.score,
+                aln.a_interval[0],
+                aln.b_interval[1],
+            )
+
+    def test_local_align_batch_equals_scalar(self, rng):
+        pairs = _random_uniform_batch(rng, 8, 30, 26)
+        assert local_align_batch(pairs) == [local_align(a, b) for a, b in pairs]
+
+
+class TestDirectionWalkVsRecomputeWalk:
+    """The packed-code walk reproduces the old H-table float-equality
+    walk exactly on integer models (same tie order: diag, up, left)."""
+
+    @staticmethod
+    def _recompute_walk(a, b, model):
+        """The pre-direction-code traceback: full H table plus float
+        equality re-testing, kept here as the independent oracle."""
+        W = model.pair_matrix(encode(a), encode(b))
+        g = model.gap
+        n, m = len(a), len(b)
+        H = np.empty((n + 1, m + 1))
+        H[0] = np.arange(m + 1) * g
+        for i in range(1, n + 1):
+            H[i, 0] = i * g
+            for j in range(1, m + 1):
+                H[i, j] = max(
+                    H[i - 1, j - 1] + W[i - 1, j - 1],
+                    H[i - 1, j] + g,
+                    H[i, j - 1] + g,
+                )
+        pairs = []
+        i, j = n, m
+        while i > 0 and j > 0:
+            h = H.item(i, j)
+            if h == H.item(i - 1, j - 1) + W.item(i - 1, j - 1):
+                pairs.append((i - 1, j - 1))
+                i -= 1
+                j -= 1
+            elif h == H.item(i - 1, j) + g:
+                i -= 1
+            else:
+                j -= 1
+        pairs.reverse()
+        return float(H[n, m]), tuple(pairs)
+
+    def test_randomized_batches(self, rng):
+        model = unit_dna()
+        for n, m in [(1, 1), (7, 3), (16, 16), (24, 31)]:
+            pairs = _random_uniform_batch(rng, 10, n, m)
+            for (a, b), aln in zip(pairs, global_align_batch(pairs, model)):
+                score, walked = self._recompute_walk(a, b, model)
+                assert aln.score == score
+                assert aln.pairs == walked
+
+    @given(dna1, dna1)
+    def test_hypothesis_identity(self, a, b):
+        aln = global_align(a, b)
+        score, walked = self._recompute_walk(a, b, unit_dna())
+        assert (aln.score, aln.pairs) == (score, walked)
+
+
+class TestDegenerateShapes:
+    """Empty/degenerate sweeps through every kernel: n==0, m==0,
+    band == |n - m|, and the empty batch."""
+
+    def test_empty_batches(self):
+        assert len(global_scores_batch([])) == 0
+        assert len(local_scores_batch([])) == 0
+        assert len(overlap_scores_batch([])) == 0
+        assert len(banded_scores_batch([], band=0)) == 0
+        assert global_align_batch([]) == []
+        assert local_align_batch([]) == []
+        assert overlap_align_batch([]) == []
+        assert banded_align_batch([], band=0) == []
+
+    @pytest.mark.parametrize("a,b", [("", ""), ("", "ACG"), ("ACGT", "")])
+    def test_empty_sequences(self, a, b):
+        g = unit_dna().gap
+        n, m = len(a), len(b)
+        assert global_scores_batch([(a, b)])[0] == (n + m) * g
+        assert local_scores_batch([(a, b)])[0] == 0.0
+        assert overlap_scores_batch([(a, b)])[0] == 0.0
+        assert banded_scores_batch([(a, b)], band=max(n, m))[0] == (n + m) * g
+        for aln in (
+            global_align_batch([(a, b)])[0],
+            banded_align_batch([(a, b)], band=max(n, m))[0],
+        ):
+            assert aln.pairs == () and aln.score == (n + m) * g
+        assert local_align_batch([(a, b)])[0].pairs == ()
+        assert overlap_align_batch([(a, b)])[0].pairs == ()
+
+    def test_band_exactly_length_gap(self):
+        # band == |n - m|: the tightest band that still connects the
+        # corners — one forced diagonal staircase.
+        a, b = "ACGTACGT", "ACGT"
+        band = len(a) - len(b)
+        got = banded_global_score(a, b, band)
+        assert got == banded_global_score_reference(a, b, band)
+        aln = banded_align(a, b, band)
+        assert aln.score == got
+        for (i1, j1), (i2, j2) in zip(aln.pairs, aln.pairs[1:]):
+            assert i1 < i2 and j1 < j2
+
+    def test_band_zero_square(self):
+        assert banded_global_score("ACGT", "AGGT", 0) == 2.0
+        assert banded_align("ACGT", "AGGT", 0).pairs == (
+            (0, 0),
+            (1, 1),
+            (2, 2),
+            (3, 3),
+        )
+
+
+class TestPrefixMaxSwitch:
+    """The blocked two-pass prefix max is bit-identical to the scan."""
+
+    def _all_outputs(self, pairs, band):
+        return (
+            global_scores_batch(pairs),
+            local_scores_batch(pairs),
+            overlap_scores_batch(pairs),
+            banded_scores_batch(pairs, band),
+            global_align_batch(pairs),
+            local_align_batch(pairs),
+        )
+
+    def test_modes_are_bit_identical(self, rng):
+        for count, n, m in [(4, 33, 29), (200, 17, 21), (3, 1, 1)]:
+            pairs = _random_uniform_batch(rng, count, n, m)
+            band = abs(n - m) + 5
+            old = set_prefix_max_mode("scan")
+            try:
+                scan = self._all_outputs(pairs, band)
+                set_prefix_max_mode("blocked")
+                blocked = self._all_outputs(pairs, band)
+            finally:
+                set_prefix_max_mode(old)
+            for s, bl in zip(scan, blocked):
+                if isinstance(s, np.ndarray):
+                    assert np.array_equal(s, bl)
+                else:
+                    assert s == bl
+
+    def test_switch_validates_and_restores(self):
+        assert get_prefix_max_mode() == "auto"
+        with pytest.raises(ValueError, match="unknown prefix-max mode"):
+            set_prefix_max_mode("sideways")
+        old = set_prefix_max_mode("blocked")
+        assert old == "auto" and get_prefix_max_mode() == "blocked"
+        set_prefix_max_mode(old)
+        assert get_prefix_max_mode() == "auto"

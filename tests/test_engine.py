@@ -67,7 +67,21 @@ class TestRegistry:
 class TestFacade:
     def test_mode_validation(self):
         with pytest.raises(ValueError, match="unknown alignment mode"):
-            AlignmentEngine(mode="overlap")
+            AlignmentEngine(mode="frobnicate")
+
+    def test_banded_mode_needs_band(self):
+        with pytest.raises(ValueError, match="needs a band"):
+            AlignmentEngine(mode="banded")
+        with pytest.raises(ValueError, match="band must be"):
+            AlignmentEngine(mode="banded", band=-3)
+        eng = AlignmentEngine(mode="banded", band=4)
+        assert eng.score("ACGT", "ACGT") == 4.0
+        # A global-mode engine can still serve banded per call ...
+        eng = AlignmentEngine()
+        assert eng.score("ACGT", "AGGT", mode="banded", band=2) == 2.0
+        # ... but only with a band from somewhere.
+        with pytest.raises(ValueError, match="needs a band"):
+            eng.score("ACGT", "AGGT", mode="banded")
 
     def test_backend_instance_accepted(self):
         eng = AlignmentEngine(backend=NaiveBackend())
@@ -139,14 +153,59 @@ class TestCrossBackendParity:
             naive.score_many(pairs), vec.score_many(pairs), atol=1e-9
         )
 
+    @settings(deadline=None, max_examples=25)
+    @given(dna_pairs)
+    def test_local_alignments_naive_equals_numpy(self, pairs):
+        # The stop-bit direction-code walk vs the naive float-equality
+        # walk: identical windows, pairs, and scores on integer models.
+        naive = AlignmentEngine(backend="naive", mode="local")
+        vec = AlignmentEngine(backend="numpy", mode="local")
+        for x, y in zip(naive.align_many(pairs), vec.align_many(pairs)):
+            assert x == y
+
+    @settings(deadline=None, max_examples=30)
+    @given(dna_pairs)
+    def test_overlap_scores_naive_equals_numpy(self, pairs):
+        naive = AlignmentEngine(backend="naive", mode="overlap")
+        vec = AlignmentEngine(backend="numpy", mode="overlap")
+        assert np.array_equal(naive.score_many(pairs), vec.score_many(pairs))
+
+    @settings(deadline=None, max_examples=30)
+    @given(dna_pairs, st.integers(0, 5))
+    def test_banded_scores_naive_equals_numpy(self, pairs, extra_band):
+        band = max((abs(len(a) - len(b)) for a, b in pairs), default=0) + extra_band
+        naive = AlignmentEngine(backend="naive", mode="banded", band=band)
+        vec = AlignmentEngine(backend="numpy", mode="banded", band=band)
+        assert np.array_equal(naive.score_many(pairs), vec.score_many(pairs))
+
+    @settings(deadline=None, max_examples=20)
+    @given(dna_pairs)
+    def test_overlap_alignments_naive_equals_numpy(self, pairs):
+        naive = AlignmentEngine(backend="naive", mode="overlap")
+        vec = AlignmentEngine(backend="numpy", mode="overlap")
+        for x, y in zip(naive.align_many(pairs), vec.align_many(pairs)):
+            assert x == y
+
+    @settings(deadline=None, max_examples=20)
+    @given(dna_pairs)
+    def test_banded_alignments_naive_equals_numpy(self, pairs):
+        band = max((abs(len(a) - len(b)) for a, b in pairs), default=0) + 3
+        naive = AlignmentEngine(backend="naive", mode="banded", band=band)
+        vec = AlignmentEngine(backend="numpy", mode="banded", band=band)
+        for x, y in zip(naive.align_many(pairs), vec.align_many(pairs)):
+            assert x == y
+
     def test_parallel_matches_numpy(self):
         gen = np.random.default_rng(5)
         # Uniform lengths so the pool fan-out path actually runs.
         pairs = [(random_dna(96, gen), random_dna(96, gen)) for _ in range(40)]
         mixed = pairs + [(random_dna(31, gen), random_dna(17, gen)) for _ in range(4)]
-        for mode in ("global", "local"):
-            vec = AlignmentEngine(backend="numpy", mode=mode)
-            with AlignmentEngine(backend="parallel", mode=mode, workers=2) as par:
+        for mode in ("global", "local", "overlap", "banded"):
+            band = 70 if mode == "banded" else None
+            vec = AlignmentEngine(backend="numpy", mode=mode, band=band)
+            with AlignmentEngine(
+                backend="parallel", mode=mode, band=band, workers=2
+            ) as par:
                 assert np.array_equal(
                     par.score_many(mixed), vec.score_many(mixed)
                 )
@@ -185,6 +244,19 @@ class TestBatchSemantics:
         got = eng.score_many(pairs)
         want = [eng.score(a, b) for a, b in pairs]
         assert list(got) == want
+
+    def test_per_call_mode_override(self):
+        # One engine serves all four modes; per-call overrides never
+        # disturb the configured default.
+        eng = AlignmentEngine(backend="numpy")
+        pairs = [("TTTTTACGTACGT", "ACGTACGTCCCC"), ("ACGT", "AGGT")]
+        for mode, band in [("global", None), ("local", None), ("overlap", None), ("banded", 9)]:
+            fixed = AlignmentEngine(backend="numpy", mode=mode, band=band)
+            assert np.array_equal(
+                eng.score_many(pairs, mode=mode, band=band), fixed.score_many(pairs)
+            )
+            assert eng.align_many(pairs, mode=mode, band=band) == fixed.align_many(pairs)
+        assert eng.mode == "global" and eng.band is None
 
 
 class TestConsumers:
@@ -235,11 +307,11 @@ class TestBackendProtocol:
         p = AlignmentEngine().prepare("AC", "GT")
         for backend in (NaiveBackend(), NumpyBackend()):
             with pytest.raises(ValueError, match="unknown alignment mode"):
-                backend.score(p, unit_dna(), "overlap")
+                backend.score(p, unit_dna(), "frobnicate")
         # The pool fan-out path must validate too (min_batch=0 forces it);
         # the check fires before any worker process is spawned.
         par = ParallelBackend(min_batch=0)
         for method in (par.score_many, par.align_many):
             with pytest.raises(ValueError, match="unknown alignment mode"):
-                method([p], unit_dna(), "overlap")
+                method([p], unit_dna(), "frobnicate")
         assert par._pool is None

@@ -121,6 +121,20 @@ class TestProtocol:
             parse_request({"op": "score", "a": "ACGT"})
         request = parse_request({"id": 3, "op": "align", "a": "AC", "b": "GT"})
         assert (request.op, request.a, request.b) == ("align", "AC", "GT")
+        assert (request.mode, request.band) == (None, None)
+
+    def test_parse_request_mode_and_band(self):
+        request = parse_request(
+            {"id": 1, "op": "score", "a": "AC", "b": "GT", "mode": "banded", "band": 4}
+        )
+        assert (request.mode, request.band) == ("banded", 4)
+        with pytest.raises(ProtocolError, match="unknown mode"):
+            parse_request({"op": "score", "a": "AC", "b": "GT", "mode": "diagonal"})
+        for bad_band in (-1, 2.5, True, "8"):
+            with pytest.raises(ProtocolError, match="band must be"):
+                parse_request(
+                    {"op": "score", "a": "AC", "b": "GT", "mode": "banded", "band": bad_band}
+                )
 
     def test_alignment_round_trip(self):
         aln = Alignment(3.5, ((0, 1), (2, 2)), (0, 3), (1, 3))
@@ -143,13 +157,13 @@ class CountingEngine:
         self._engine = engine
         self.calls: list[tuple[str, int]] = []
 
-    def score_many(self, pairs):
+    def score_many(self, pairs, mode=None, band=None):
         self.calls.append(("score", len(pairs)))
-        return self._engine.score_many(pairs)
+        return self._engine.score_many(pairs, mode=mode, band=band)
 
-    def align_many(self, pairs):
+    def align_many(self, pairs, mode=None, band=None):
         self.calls.append(("align", len(pairs)))
-        return self._engine.align_many(pairs)
+        return self._engine.align_many(pairs, mode=mode, band=band)
 
 
 class TestMicroBatcher:
@@ -211,7 +225,7 @@ class TestMicroBatcher:
 
     def test_engine_error_propagates_to_all_waiters(self):
         class ExplodingEngine:
-            def score_many(self, pairs):
+            def score_many(self, pairs, mode=None, band=None):
                 raise RuntimeError("kernel on fire")
 
         async def run():
@@ -313,6 +327,50 @@ class TestServiceEndToEnd:
         assert stats["requests"]["score"] == 80
         assert stats["latency_ms"]["p95"] >= stats["latency_ms"]["p50"] >= 0
 
+    def test_overlap_and_banded_round_trip(self, service_port):
+        # Per-request mode overrides route client -> batcher -> engine
+        # and come back intact; every response equals the direct
+        # engine call in that mode.
+        pairs = [("TTTTTACGTACGT", "ACGTACGTCCCC"), ("ACGTACGT", "ACGTAGGT")]
+        with AlignmentClient(port=service_port) as client:
+            overlap_scores = client.score_many(pairs, concurrency=4, mode="overlap")
+            overlap_alns = client.align_many(pairs, concurrency=4, mode="overlap")
+            banded_scores = client.score_many(pairs, concurrency=4, mode="banded", band=4)
+            banded_alns = client.align_many(pairs, concurrency=4, mode="banded", band=4)
+            global_scores = client.score_many(pairs, concurrency=4)
+        with AlignmentEngine() as eng:
+            assert overlap_scores == [
+                eng.score(a, b, mode="overlap") for a, b in pairs
+            ]
+            assert overlap_alns == eng.align_many(pairs, mode="overlap")
+            assert banded_scores == [
+                eng.score(a, b, mode="banded", band=4) for a, b in pairs
+            ]
+            assert banded_alns == eng.align_many(pairs, mode="banded", band=4)
+            assert global_scores == [eng.score(a, b) for a, b in pairs]
+        # Distinct modes for one pair must not cross-contaminate the
+        # result cache: the overlap score of these pairs differs from
+        # the global score.
+        assert overlap_scores != global_scores
+
+    def test_banded_requests_validated_before_batching(self, service_port):
+        async def run():
+            client = await AsyncAlignmentClient.connect(port=service_port)
+            try:
+                with pytest.raises(ServiceError, match="needs a band"):
+                    await client.score("ACGT", "AGGT", mode="banded")
+                with pytest.raises(ServiceError, match="too narrow"):
+                    await client.score("ACGTACGTACGT", "AC", mode="banded", band=2)
+                # The failed requests poisoned nothing: a good banded
+                # request on the same connection still works.
+                return await client.score("ACGT", "AGGT", mode="banded", band=2)
+            finally:
+                await client.close()
+
+        assert asyncio.run(run()) == AlignmentEngine().score(
+            "ACGT", "AGGT", mode="banded", band=2
+        )
+
     def test_unknown_op_is_answered_not_fatal(self, service_port):
         async def run():
             client = await AsyncAlignmentClient.connect(port=service_port)
@@ -339,29 +397,31 @@ class TestServiceEndToEnd:
 
 
 class TestCacheKeying:
-    def test_key_includes_op_mode_and_model(self):
-        svc_global = AlignmentService(ServiceConfig(port=0))
-        svc_local = AlignmentService(ServiceConfig(port=0, mode="local"))
+    def test_key_includes_op_mode_band_and_model(self):
+        svc = AlignmentService(ServiceConfig(port=0))
         svc_model = AlignmentService(
             ServiceConfig(port=0),
             engine=AlignmentEngine(model=transition_transversion()),
         )
         keys = {
-            svc_global.cache_key("score", "ACGT", "AGGT"),
-            svc_global.cache_key("align", "ACGT", "AGGT"),
-            svc_local.cache_key("score", "ACGT", "AGGT"),
-            svc_model.cache_key("score", "ACGT", "AGGT"),
+            svc.cache_key("score", "ACGT", "AGGT", "global", None),
+            svc.cache_key("align", "ACGT", "AGGT", "global", None),
+            svc.cache_key("score", "ACGT", "AGGT", "local", None),
+            svc.cache_key("score", "ACGT", "AGGT", "overlap", None),
+            svc.cache_key("score", "ACGT", "AGGT", "banded", 2),
+            svc.cache_key("score", "ACGT", "AGGT", "banded", 3),
+            svc_model.cache_key("score", "ACGT", "AGGT", "global", None),
         }
-        assert len(keys) == 4  # all distinct: op, mode, model all key
-        for svc in (svc_global, svc_local, svc_model):
-            svc.close()
+        assert len(keys) == 7  # op, mode, band, model all key
+        svc.close()
+        svc_model.close()
 
     def test_same_config_same_key(self):
         svc_a = AlignmentService(ServiceConfig(port=0))
         svc_b = AlignmentService(ServiceConfig(port=0))
         try:
-            assert svc_a.cache_key("score", "AC", "GT") == svc_b.cache_key(
-                "score", "AC", "GT"
+            assert svc_a.cache_key("score", "AC", "GT", "global", None) == svc_b.cache_key(
+                "score", "AC", "GT", "global", None
             )
         finally:
             svc_a.close()
