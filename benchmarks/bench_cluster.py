@@ -1,0 +1,317 @@
+"""B-CLUSTER — the sharded tier: throughput scale-out and cache aggregation.
+
+Two experiments against **real OS-process shards** spawned by
+:class:`~fragalign.cluster.supervisor.ClusterSupervisor` (each shard is
+a full ``fragalign serve`` process with its own GIL, engine, batcher
+and LRU cache):
+
+* **throughput** — the same all-unique ``score`` workload at
+  concurrency ``C``, served by (a) one instance driven by a pipelined
+  ``AsyncAlignmentClient`` (the PR-2 serving mode at its best) and
+  (b) a cluster of 4 behind :class:`~fragalign.cluster.router.ShardRouter`.
+  Caches are off, so the ratio is pure serving capacity.  NOTE: the
+  cluster's win here *is* multiprocessing — on hosts with < 4 cores the
+  shards time-slice one core and the ratio collapses to ~1×, so the
+  ≥ 2.5× threshold is only enforced when the host has ≥ 4 CPUs (the
+  committed JSON records ``cpu_count`` for exactly this reason).
+
+* **warm cache** — a keyset of W pairs with per-host cache budget
+  ``C_cache < W <= 4·C_cache``, measured over two shuffled passes:
+
+  - cluster-of-4 (4 disjoint caches of ``C_cache``; aggregate
+    ``4·C_cache >= W``) **warmed** by replaying the keyset through
+    ``fragalign.cluster.warm`` → every measured request hits;
+  - one instance with the *same total budget* (``4·C_cache``), cold —
+    the service layer has no warm tooling, so pass one misses;
+  - one instance with the same *per-host* budget (``C_cache``), even
+    after a client-side replay — the working set simply does not fit
+    in one host's cache (the aggregate-capacity argument).
+
+Run as a script: ``python benchmarks/bench_cluster.py [--quick]``
+writes ``BENCH_cluster.json`` (the committed reference run) unless
+``--quick``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # script mode: make src/ importable
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from fragalign.cluster import ClusterSupervisor, ShardRouter, warm_router
+from fragalign.genome.dna import random_dna
+from fragalign.service import AsyncAlignmentClient
+
+
+def _pairs(n: int, length: int, gen) -> list[tuple[str, str]]:
+    return [(random_dna(length, gen), random_dna(length, gen)) for _ in range(n)]
+
+
+async def _drive_single(port: int, pairs, concurrency: int, repeat: int) -> float:
+    """Best-of-``repeat`` wall time over one pipelined client."""
+    client = await AsyncAlignmentClient.connect(port=port)
+    try:
+        semaphore = asyncio.Semaphore(concurrency)
+
+        async def one(pair):
+            async with semaphore:
+                return await client.score(*pair)
+
+        await asyncio.gather(*(one(p) for p in pairs[: max(8, concurrency)]))  # warmup
+        best = float("inf")
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            await asyncio.gather(*(one(p) for p in pairs))
+            best = min(best, time.perf_counter() - t0)
+        return best
+    finally:
+        await client.close()
+
+
+async def _drive_cluster(addresses, pairs, concurrency: int, repeat: int) -> float:
+    async with ShardRouter(addresses) as router:
+        await router.score_many(pairs[: max(8, concurrency)], concurrency=concurrency)
+        best = float("inf")
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            await router.score_many(pairs, concurrency=concurrency)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+
+def bench_throughput(n_pairs, length, concurrency, seed, shards=4, repeat=3) -> dict:
+    gen = np.random.default_rng(seed)
+    pairs = _pairs(n_pairs, length, gen)
+    with ClusterSupervisor(shards=1, cache_size=0) as single:
+        t_single = asyncio.run(
+            _drive_single(single.addresses[0][1], pairs, concurrency, repeat)
+        )
+    with ClusterSupervisor(shards=shards, cache_size=0) as fleet:
+        t_cluster = asyncio.run(
+            _drive_cluster(fleet.addresses, pairs, concurrency, repeat)
+        )
+    return {
+        "n_pairs": n_pairs,
+        "length": length,
+        "concurrency": concurrency,
+        "shards": shards,
+        "single_instance": {
+            "seconds": round(t_single, 4),
+            "req_per_s": round(n_pairs / t_single, 1),
+        },
+        "cluster": {
+            "seconds": round(t_cluster, 4),
+            "req_per_s": round(n_pairs / t_cluster, 1),
+        },
+        "speedup_cluster_vs_single": round(t_single / max(t_cluster, 1e-9), 2),
+    }
+
+
+async def _measured_hit_rate_single(port, keyset_pairs, passes, concurrency, warm):
+    """Hit rate of the measured window against one instance.
+
+    ``warm=True`` first replays the keyset once (a client-side stand-in
+    for warm tooling); the measured window is ``passes`` shuffled scans.
+    """
+    client = await AsyncAlignmentClient.connect(port=port)
+    try:
+        semaphore = asyncio.Semaphore(concurrency)
+
+        async def one(pair):
+            async with semaphore:
+                return await client.score(*pair)
+
+        if warm:
+            await asyncio.gather(*(one(p) for p in keyset_pairs))
+        before = (await client.stats())["cache"]
+        order = np.random.default_rng(0)
+        for _ in range(passes):
+            shuffled = [keyset_pairs[i] for i in order.permutation(len(keyset_pairs))]
+            await asyncio.gather(*(one(p) for p in shuffled))
+        after = (await client.stats())["cache"]
+    finally:
+        await client.close()
+    hits = after["hits"] - before["hits"]
+    misses = after["misses"] - before["misses"]
+    return round(hits / max(hits + misses, 1), 4)
+
+
+async def _measured_hit_rate_cluster(addresses, keyset, passes, concurrency):
+    """Warm the fleet through the warm module, then measure."""
+    async with ShardRouter(addresses) as router:
+        report = await warm_router(router, keyset, concurrency=concurrency)
+        before = (await router.cluster_stats())["aggregate"]["cache"]
+        pairs = [(e["a"], e["b"]) for e in keyset]
+        order = np.random.default_rng(0)
+        for _ in range(passes):
+            shuffled = [pairs[i] for i in order.permutation(len(pairs))]
+            await router.score_many(shuffled, concurrency=concurrency)
+        after = (await router.cluster_stats())["aggregate"]["cache"]
+    hits = after["hits"] - before["hits"]
+    misses = after["misses"] - before["misses"]
+    return round(hits / max(hits + misses, 1), 4), report
+
+
+def bench_warm_cache(
+    keyset_size, per_node_cache, length, concurrency, seed, shards=4, passes=2
+) -> dict:
+    gen = np.random.default_rng(seed)
+    keyset = [
+        {"op": "score", "a": a, "b": b} for a, b in _pairs(keyset_size, length, gen)
+    ]
+    pairs = [(e["a"], e["b"]) for e in keyset]
+    total_budget = shards * per_node_cache
+
+    with ClusterSupervisor(shards=shards, cache_size=per_node_cache) as fleet:
+        cluster_rate, warm_report = asyncio.run(
+            _measured_hit_rate_cluster(fleet.addresses, keyset, passes, concurrency)
+        )
+    with ClusterSupervisor(shards=1, cache_size=total_budget) as single_total:
+        single_total_rate = asyncio.run(
+            _measured_hit_rate_single(
+                single_total.addresses[0][1], pairs, passes, concurrency, warm=False
+            )
+        )
+    with ClusterSupervisor(shards=1, cache_size=per_node_cache) as single_node:
+        single_node_rate = asyncio.run(
+            _measured_hit_rate_single(
+                single_node.addresses[0][1], pairs, passes, concurrency, warm=True
+            )
+        )
+    return {
+        "keyset_size": keyset_size,
+        "per_node_cache": per_node_cache,
+        "cluster_total_cache": total_budget,
+        "measured_passes": passes,
+        "warm_per_shard": warm_report["per_shard"],
+        "warm_errors": warm_report["errors"],
+        "cluster4_warmed_hit_rate": cluster_rate,
+        "single_same_total_budget_cold_hit_rate": single_total_rate,
+        "single_same_per_node_budget_warmed_hit_rate": single_node_rate,
+    }
+
+
+def run_cluster_bench(
+    n_pairs=384,
+    length=256,
+    concurrency=64,
+    keyset_size=400,
+    per_node_cache=128,
+    warm_length=64,
+    seed=2026,
+    shards=4,
+) -> dict:
+    throughput = bench_throughput(n_pairs, length, concurrency, seed, shards=shards)
+    warm = bench_warm_cache(
+        keyset_size, per_node_cache, warm_length, min(concurrency, 32), seed, shards
+    )
+    report = {
+        "experiment": "B-CLUSTER sharded serving tier",
+        "host": {"cpu_count": os.cpu_count()},
+        "config": {
+            "shards": shards,
+            "backend": "numpy",
+            "concurrency": concurrency,
+            "throughput_pairs": n_pairs,
+            "throughput_length": length,
+            "warm_keyset_size": keyset_size,
+            "warm_length": warm_length,
+            "per_node_cache": per_node_cache,
+        },
+        "throughput": throughput,
+        "warm_cache": warm,
+        "notes": [
+            "throughput speedup is multiprocessing: expect ~1x on hosts "
+            "with fewer cores than shards (see host.cpu_count)",
+            "warm_cache compares the warmed cluster against one instance "
+            "with the same TOTAL cache budget served cold (the service "
+            "layer has no warm tooling) and against one instance with the "
+            "same PER-NODE budget after a client-side replay (the working "
+            "set exceeds one node's cache)",
+        ],
+    }
+    return report
+
+
+def check_report(report: dict) -> list[str]:
+    """Threshold checks for full runs; returns failure strings."""
+    failures = []
+    warm = report["warm_cache"]
+    if warm["cluster4_warmed_hit_rate"] <= warm["single_same_total_budget_cold_hit_rate"]:
+        failures.append(
+            "cluster warmed hit rate "
+            f"{warm['cluster4_warmed_hit_rate']} not above cold single "
+            f"{warm['single_same_total_budget_cold_hit_rate']}"
+        )
+    if warm["cluster4_warmed_hit_rate"] <= warm["single_same_per_node_budget_warmed_hit_rate"]:
+        failures.append(
+            "cluster warmed hit rate "
+            f"{warm['cluster4_warmed_hit_rate']} not above per-node single "
+            f"{warm['single_same_per_node_budget_warmed_hit_rate']}"
+        )
+    cpu = report["host"]["cpu_count"] or 1
+    speedup = report["throughput"]["speedup_cluster_vs_single"]
+    if cpu >= 4:
+        if speedup < 2.5:
+            failures.append(f"cluster speedup {speedup} < 2.5x on {cpu}-core host")
+    else:
+        report.setdefault("notes", []).append(
+            f"throughput threshold (>=2.5x) not enforced: host has {cpu} CPU(s)"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes for CI smoke runs"
+    )
+    parser.add_argument("--pairs", type=int, default=384)
+    parser.add_argument("--length", type=int, default=256)
+    parser.add_argument("--concurrency", type=int, default=64)
+    parser.add_argument("--keyset-size", type=int, default=400)
+    parser.add_argument("--per-node-cache", type=int, default=128)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="where to write the JSON report (default: repo-root "
+        "BENCH_cluster.json; quick runs don't write unless --out is given)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.pairs, args.length, args.concurrency = 32, 64, 8
+        args.keyset_size, args.per_node_cache, args.shards = 48, 12, 3
+    report = run_cluster_bench(
+        n_pairs=args.pairs,
+        length=args.length,
+        concurrency=args.concurrency,
+        keyset_size=args.keyset_size,
+        per_node_cache=args.per_node_cache,
+        shards=args.shards,
+    )
+    failures = check_report(report) if not args.quick else []
+    print(json.dumps(report, indent=2))
+    out = args.out
+    if out is None and not args.quick:
+        out = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
+    if out:
+        Path(out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {out}", file=sys.stderr)
+    if failures:
+        print("FAIL: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,9 @@ Commands
 ``engine``    — batch-align random pairs through a chosen backend.
 ``serve``     — run the JSON-lines alignment service (micro-batching).
 ``client``    — drive a running service: load generation + stats.
+``cluster``   — the sharded tier: ``serve``/``route``/``warm``/``stats``
+                over N local service instances behind a consistent-hash
+                router with health-aware failover.
 """
 
 from __future__ import annotations
@@ -165,6 +168,124 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ask the server to stop after the run",
     )
+
+    cluster = sub.add_parser(
+        "cluster", help="sharded serving tier (serve/route/warm/stats)"
+    )
+    csub = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    cserve = csub.add_parser(
+        "serve", help="boot N local shards under a supervisor"
+    )
+    cserve.add_argument("--shards", type=int, default=4)
+    cserve.add_argument("--host", default="127.0.0.1")
+    cserve.add_argument("--backend", default="numpy")
+    cserve.add_argument(
+        "--mode",
+        choices=["global", "local", "overlap", "banded"],
+        default="global",
+    )
+    cserve.add_argument("--band", type=int, default=None)
+    cserve.add_argument("--max-batch", type=int, default=64)
+    cserve.add_argument("--max-delay-ms", type=float, default=2.0)
+    cserve.add_argument(
+        "--cache-size",
+        type=int,
+        default=4096,
+        help="per-shard LRU result-cache entries (0 off)",
+    )
+    cserve.add_argument(
+        "--cluster-file",
+        default=None,
+        help="write the fleet layout (host/ports/pids) here once booted",
+    )
+    cserve.add_argument(
+        "--base-dir",
+        default=None,
+        help="scratch dir for shard port files and logs",
+    )
+
+    croute = csub.add_parser(
+        "route", help="drive a cluster: load generation through the router"
+    )
+    croute.add_argument("--cluster-file", required=True)
+    croute.add_argument("--requests", type=int, default=200)
+    croute.add_argument("--concurrency", type=int, default=32)
+    croute.add_argument("--length", type=int, default=128)
+    croute.add_argument(
+        "--dup-fraction",
+        type=float,
+        default=0.5,
+        help="fraction of requests repeating an earlier pair (cache food)",
+    )
+    croute.add_argument(
+        "--op",
+        choices=["score", "align", "mixed"],
+        default="score",
+        help="'mixed' alternates score and align per request",
+    )
+    croute.add_argument(
+        "--mode",
+        choices=["global", "local", "overlap", "banded", "mixed"],
+        default=None,
+        help="'mixed' cycles global/local/overlap across requests",
+    )
+    croute.add_argument("--band", type=int, default=None)
+    croute.add_argument("--seed", type=int, default=2026)
+    croute.add_argument(
+        "--max-attempts",
+        type=int,
+        default=2,
+        help="distinct shards tried per request before giving up",
+    )
+    croute.add_argument(
+        "--verify",
+        action="store_true",
+        help="check every response against a local engine (exit 1 on drift)",
+    )
+    croute.add_argument(
+        "--expect-failover",
+        action="store_true",
+        help="exit nonzero unless the router recorded a failover (CI drills)",
+    )
+    croute.add_argument(
+        "--expect-cache-hits",
+        action="store_true",
+        help="exit nonzero unless the cluster reports aggregate cache hits",
+    )
+    croute.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="ask every shard to stop after the run",
+    )
+
+    cwarm = csub.add_parser(
+        "warm", help="replay a keyset file into the owning shards"
+    )
+    cwarm.add_argument("--cluster-file", required=True)
+    cwarm.add_argument("--keyset", required=True, help="JSON-lines keyset path")
+    cwarm.add_argument(
+        "--generate",
+        type=int,
+        default=None,
+        metavar="N",
+        help="first write a synthetic keyset of N random pairs to --keyset",
+    )
+    cwarm.add_argument("--length", type=int, default=128)
+    cwarm.add_argument("--seed", type=int, default=2026)
+    cwarm.add_argument("--op", choices=["score", "align"], default="score")
+    cwarm.add_argument(
+        "--mode",
+        choices=["global", "local", "overlap", "banded"],
+        default=None,
+    )
+    cwarm.add_argument("--band", type=int, default=None)
+    cwarm.add_argument("--concurrency", type=int, default=32)
+
+    cstats = csub.add_parser(
+        "stats", help="print aggregated cluster stats as JSON"
+    )
+    cstats.add_argument("--cluster-file", required=True)
 
     solve = sub.add_parser("solve", help="solve a JSON instance file")
     solve.add_argument("path", help="instance JSON (see fragalign.core.io)")
@@ -381,6 +502,271 @@ def _cmd_client(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cluster_layout(cluster_file: str) -> tuple[list[tuple[str, int]], dict]:
+    """Addresses plus the fleet's configured defaults (used both to
+    normalize routing keys and to build the --verify engine)."""
+    from fragalign.cluster import read_cluster_file
+
+    obj = read_cluster_file(cluster_file)
+    host = obj.get("host", "127.0.0.1")
+    addresses = [(host, s["port"]) for s in obj["shards"] if s.get("port") is not None]
+    defaults = {
+        "backend": obj.get("backend", "numpy"),
+        "mode": obj.get("mode", "global"),
+        "band": obj.get("band"),
+    }
+    return addresses, defaults
+
+
+def _cmd_cluster_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from fragalign.cluster import ClusterSupervisor
+
+    if args.mode == "banded" and args.band is None:
+        print("error: --mode banded needs --band", file=sys.stderr)
+        return 2
+    supervisor = ClusterSupervisor(
+        shards=args.shards,
+        host=args.host,
+        backend=args.backend,
+        mode=args.mode,
+        band=args.band,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        cache_size=args.cache_size,
+        base_dir=args.base_dir,
+    )
+    try:
+        supervisor.start()
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for host, port in supervisor.addresses:
+        print(f"fragalign.cluster shard listening on {host}:{port}", flush=True)
+    if args.cluster_file:
+        supervisor.write_cluster_file(args.cluster_file)
+        print(f"fragalign.cluster file written to {args.cluster_file}", flush=True)
+    try:
+        # Supervise until the whole fleet is gone (e.g. a routed
+        # --shutdown) or Ctrl-C.  Dead shards are reported once.
+        reported: set[int] = set()
+        while supervisor.alive_count > 0:
+            for row in supervisor.poll():
+                if not row["alive"] and row["index"] not in reported:
+                    reported.add(row["index"])
+                    print(
+                        f"fragalign.cluster shard {row['index']} exited "
+                        f"(code {row['returncode']})",
+                        flush=True,
+                    )
+            time.sleep(0.2)
+        print("fragalign.cluster: all shards exited", flush=True)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        print("fragalign.cluster interrupted", file=sys.stderr)
+    finally:
+        supervisor.stop()
+    return 0
+
+
+def _cmd_cluster_route(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from fragalign.cluster import ClusterClient, ClusterError
+    from fragalign.engine import AlignmentEngine
+    from fragalign.genome.dna import random_dna
+    from fragalign.util.timing import time_call
+
+    addresses, defaults = _cluster_layout(args.cluster_file)
+    if args.mode == "banded" and args.band is None and defaults["band"] is None:
+        print("error: --mode banded needs --band", file=sys.stderr)
+        return 2
+    if not addresses:
+        print("error: cluster file lists no shards", file=sys.stderr)
+        return 1
+    gen = np.random.default_rng(args.seed)
+    n_unique = max(1, round(args.requests * (1.0 - args.dup_fraction)))
+    unique = [
+        (random_dna(args.length, gen), random_dna(args.length, gen))
+        for _ in range(n_unique)
+    ]
+    pairs = [unique[int(k)] for k in gen.integers(0, n_unique, args.requests)]
+    for k, pair in enumerate(unique[: args.requests]):
+        pairs[k] = pair
+    mode_cycle = ("global", "local", "overlap")
+    entries = [
+        {
+            "op": args.op if args.op != "mixed" else ("score", "align")[k % 2],
+            "a": pairs[k][0],
+            "b": pairs[k][1],
+            "mode": args.mode
+            if args.mode != "mixed"
+            else mode_cycle[k % len(mode_cycle)],
+            "band": args.band,
+        }
+        for k in range(args.requests)
+    ]
+
+    def run(cluster):
+        # The whole mixed workload fires concurrently through the
+        # router (each request routes to its own shard/op/mode).
+        return cluster.request_many(entries, concurrency=args.concurrency)
+
+    failures = []
+    with ClusterClient(
+        addresses,
+        max_attempts=args.max_attempts,
+        default_mode=defaults["mode"],
+        default_band=defaults["band"],
+    ) as cluster:
+        try:
+            t, results = time_call(run, cluster, repeat=1)
+        except ClusterError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        report = cluster.stats()
+        if args.verify:
+            # The verify engine must match the fleet's configuration
+            # (backend and mode/band defaults, not this process's).
+            # Unique entries are grouped per (op, mode, band) and
+            # recomputed through the engine's *batch* kernels —
+            # per-pair scalar calls would dominate wall clock at
+            # cluster-scale request counts.
+            memo: dict = {}
+            groups: dict = {}
+            for entry in entries:
+                key = (entry["op"], entry["a"], entry["b"], entry["mode"], entry["band"])
+                if key not in memo:
+                    memo[key] = None
+                    groups.setdefault(
+                        (entry["op"], entry["mode"], entry["band"]), []
+                    ).append(key)
+            with AlignmentEngine(
+                backend=defaults["backend"],
+                mode=defaults["mode"],
+                band=defaults["band"],
+            ) as eng:
+                for (op, mode, band), keys in groups.items():
+                    fn = eng.score_many if op == "score" else eng.align_many
+                    values = fn([(k[1], k[2]) for k in keys], mode=mode, band=band)
+                    memo.update(zip(keys, values))
+            for k, result in enumerate(results):
+                entry = entries[k]
+                key = (entry["op"], entry["a"], entry["b"], entry["mode"], entry["band"])
+                expected = memo[key]
+                if entry["op"] == "score":
+                    expected = float(expected)
+                if result != expected:
+                    failures.append(
+                        f"request {k} ({entry['op']}/{entry['mode']}): "
+                        f"cluster={result!r} engine={expected!r}"
+                    )
+        if args.shutdown:
+            acked = cluster.shutdown_shards()
+            print(
+                "shutdown acknowledged by "
+                f"{sum(acked.values())}/{len(acked)} shards",
+                flush=True,
+            )
+    router = report["router"]
+    agg = report["aggregate"]
+    rps = args.requests / max(t, 1e-9)
+    print(
+        f"{args.requests} requests (op={args.op}, mode={args.mode or 'default'}) "
+        f"over {len(addresses)} shards at concurrency {args.concurrency}: "
+        f"{t:.3f}s ({rps:.0f} req/s)"
+    )
+    print(
+        f"router: routed={router['routed_total']} "
+        f"failovers={router['failovers']} retries={router['retries']} "
+        f"evictions={router['evictions']} live={len(router['live_shards'])}"
+        f"/{len(router['configured_shards'])}"
+    )
+    if agg.get("shards_reporting"):
+        cache = agg["cache"]
+        print(
+            f"aggregate: requests={agg['requests_total']} "
+            f"cache hit rate {cache['hit_rate']:.2f} "
+            f"({cache['hits']} hits / {cache['misses']} misses), "
+            f"worst p95 {agg['latency_ms']['worst_p95']:.2f} ms"
+        )
+    for line in failures[:5]:
+        print(f"verify drift: {line}", file=sys.stderr)
+    if failures:
+        print(f"error: {len(failures)} responses drifted", file=sys.stderr)
+        return 1
+    if args.expect_failover and router["failovers"] <= 0:
+        print("error: expected a failover, router recorded none", file=sys.stderr)
+        return 1
+    if args.expect_cache_hits and agg.get("cache", {}).get("hits", 0) <= 0:
+        print("error: expected cache hits, cluster reports none", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_cluster_warm(args: argparse.Namespace) -> int:
+    from fragalign.cluster import (
+        ClusterClient,
+        dump_keyset,
+        generate_keyset,
+        load_keyset,
+    )
+
+    addresses, defaults = _cluster_layout(args.cluster_file)
+    if not addresses:
+        print("error: cluster file lists no shards", file=sys.stderr)
+        return 1
+    if args.generate is not None:
+        entries = generate_keyset(
+            args.generate,
+            length=args.length,
+            seed=args.seed,
+            op=args.op,
+            mode=args.mode,
+            band=args.band,
+        )
+        dump_keyset(args.keyset, entries)
+        print(f"wrote {len(entries)} entries to {args.keyset}", flush=True)
+    entries = load_keyset(args.keyset)
+    with ClusterClient(
+        addresses, default_mode=defaults["mode"], default_band=defaults["band"]
+    ) as cluster:
+        report = cluster.warm(entries, concurrency=args.concurrency)
+    per_shard = ", ".join(
+        f"{shard}={count}" for shard, count in sorted(report["per_shard"].items())
+    )
+    print(
+        f"warmed {report['warmed']}/{report['entries']} keyset entries "
+        f"({report['errors']} errors) across shards: {per_shard}"
+    )
+    return 0 if report["warmed"] > 0 or not entries else 1
+
+
+def _cmd_cluster_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from fragalign.cluster import ClusterClient
+
+    addresses, _defaults = _cluster_layout(args.cluster_file)
+    if not addresses:
+        print("error: cluster file lists no shards", file=sys.stderr)
+        return 1
+    with ClusterClient(addresses) as cluster:
+        report = cluster.stats()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    handlers = {
+        "serve": _cmd_cluster_serve,
+        "route": _cmd_cluster_route,
+        "warm": _cmd_cluster_warm,
+        "stats": _cmd_cluster_stats,
+    }
+    return handlers[args.cluster_command](args)
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     from fragalign.core import baseline4, csr_improve, exact_csr, greedy_csr
     from fragalign.core.bounds import certified_ratio
@@ -418,6 +804,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "engine": _cmd_engine,
         "serve": _cmd_serve,
         "client": _cmd_client,
+        "cluster": _cmd_cluster,
         "solve": _cmd_solve,
     }
     return handlers[args.command](args)

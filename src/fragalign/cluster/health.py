@@ -1,0 +1,155 @@
+"""Per-shard health probing: ring eviction and readmission.
+
+A :class:`HealthMonitor` periodically probes every *configured* shard
+(not just the live ones — dead shards must keep being probed or they
+could never come back) by opening a fresh connection and issuing the
+``stats`` op under a timeout.  Consecutive probe failures beyond a
+threshold evict the shard from the router's ring; the first successful
+probe of an evicted shard readmits it.  Using a fresh connection per
+probe is deliberate: it exercises the full accept→serve path, so a
+shard whose event loop is wedged (but whose old sockets linger) still
+fails its probe.
+
+The router also fails shards *reactively* — a connection error during
+a real request evicts immediately rather than waiting out a probe
+interval — so the monitor's job is readmission plus catching shards
+that die while idle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["ShardHealth", "HealthMonitor"]
+
+
+@dataclass
+class ShardHealth:
+    """Probe bookkeeping for one shard."""
+
+    shard: str
+    healthy: bool = True
+    consecutive_failures: int = 0
+    probes: int = 0
+    failures: int = 0
+    last_error: str | None = None
+    last_probe_at: float | None = None
+
+    def snapshot(self) -> dict:
+        return {
+            "healthy": self.healthy,
+            "consecutive_failures": self.consecutive_failures,
+            "probes": self.probes,
+            "failures": self.failures,
+            "last_error": self.last_error,
+        }
+
+
+class HealthMonitor:
+    """Drive periodic ``stats`` probes against a router's shards.
+
+    Parameters
+    ----------
+    router:
+        A :class:`~fragalign.cluster.router.ShardRouter`; the monitor
+        calls its ``probe_shard`` / ``mark_shard_down`` /
+        ``mark_shard_up`` surface.
+    interval:
+        Seconds between probe rounds.
+    timeout:
+        Per-probe budget (connect + stats round trip).
+    fail_after:
+        Evict a shard after this many *consecutive* probe failures.
+        1 means the first failed probe evicts.
+    """
+
+    def __init__(
+        self,
+        router,
+        interval: float = 1.0,
+        timeout: float = 2.0,
+        fail_after: int = 2,
+    ) -> None:
+        if fail_after < 1:
+            raise ValueError("fail_after must be >= 1")
+        self.router = router
+        self.interval = interval
+        self.timeout = timeout
+        self.fail_after = fail_after
+        self.records: dict[str, ShardHealth] = {
+            shard: ShardHealth(shard) for shard in router.configured_shards
+        }
+        self.rounds = 0
+        self._task: asyncio.Task | None = None
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> None:
+        """Begin probing on the running event loop (idempotent)."""
+        if self._task is None or self._task.done():
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    async def _run(self) -> None:
+        while True:
+            await self.probe_round()
+            await asyncio.sleep(self.interval)
+
+    # -- probing ------------------------------------------------------
+
+    async def probe_round(self) -> dict[str, bool]:
+        """Probe every configured shard once, concurrently; apply ring
+        eviction/readmission; return {shard: probe_ok}."""
+        self.rounds += 1
+        shards = list(self.records)
+        outcomes = await asyncio.gather(
+            *(self._probe_one(s) for s in shards), return_exceptions=False
+        )
+        return dict(zip(shards, outcomes))
+
+    async def _probe_one(self, shard: str) -> bool:
+        record = self.records[shard]
+        record.probes += 1
+        record.last_probe_at = time.monotonic()
+        try:
+            await asyncio.wait_for(
+                self.router.probe_shard(shard), timeout=self.timeout
+            )
+        except Exception as exc:
+            record.failures += 1
+            record.consecutive_failures += 1
+            record.last_error = f"{type(exc).__name__}: {exc}"
+            if record.healthy and record.consecutive_failures >= self.fail_after:
+                record.healthy = False
+                self.router.mark_shard_down(shard)
+            return False
+        record.consecutive_failures = 0
+        record.last_error = None
+        if not record.healthy:
+            record.healthy = True
+            self.router.mark_shard_up(shard)
+        else:
+            # The router may have evicted reactively between probes;
+            # a passing probe readmits either way.
+            self.router.mark_shard_up(shard)
+        return True
+
+    # -- observability ------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "rounds": self.rounds,
+            "interval_s": self.interval,
+            "fail_after": self.fail_after,
+            "shards": {s: r.snapshot() for s, r in self.records.items()},
+        }

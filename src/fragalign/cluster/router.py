@@ -1,0 +1,583 @@
+"""The shard router: fan out batches over N service instances.
+
+:class:`ShardRouter` fronts N running :mod:`fragalign.service`
+servers.  Each request is keyed exactly like the service result cache
+(``op, pair, mode, band, model``), hashed onto the consistent ring,
+and sent to the owning shard over that shard's pipelined
+:class:`~fragalign.service.client.AsyncAlignmentClient`.  Batch calls
+(``score_many``/``align_many``) fire every request concurrently — the
+per-shard groups each fill that shard's micro-batcher — and merge the
+answers back **in request order**.
+
+Failover: a connection-level failure (refused, reset, mid-stream
+close, probe timeout) evicts the shard from the ring and retries the
+request on the next distinct shard in ring order, up to
+``max_attempts`` shards.  Server-side *answers* that are errors
+(:class:`~fragalign.service.protocol.ServiceError`, e.g. a band too
+narrow) are **not** retried — the shard is healthy and every replica
+would reject the same request the same way.  Readmission is the
+health monitor's job (:mod:`fragalign.cluster.health`).
+
+The blocking :class:`ClusterClient` wrapper runs the router (plus an
+optional health monitor) on a private event-loop thread, mirroring
+:class:`~fragalign.service.client.AlignmentClient`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import Counter
+from typing import Any, Sequence
+
+from fragalign.align.pairwise import Alignment
+from fragalign.cluster.ring import HashRing, ring_key
+from fragalign.service.client import AlignmentClient, AsyncAlignmentClient
+from fragalign.service.protocol import ServiceError
+from fragalign.util.errors import FragalignError
+
+__all__ = ["ClusterError", "ShardRouter", "ClusterClient"]
+
+# Failures that mean "this shard, not this request": worth a retry on
+# the next replica.  ServiceError is deliberately absent.
+_SHARD_FAILURES = (ConnectionError, OSError, EOFError, asyncio.TimeoutError)
+
+
+class ClusterError(FragalignError):
+    """No shard could serve a request (ring empty / all replicas failed)."""
+
+
+class ShardRouter:
+    """Health-aware consistent-hash router over N service shards.
+
+    Parameters
+    ----------
+    addresses:
+        ``(host, port)`` per shard.  The shard's ring name is
+        ``"host:port"``.
+    vnodes:
+        Virtual nodes per shard on the ring.
+    model_fp:
+        Substitution-model fingerprint mixed into routing keys.  For a
+        homogeneous cluster any constant works (it shifts every key's
+        hash identically); pass the real fingerprint when routing for
+        multiple models so their keyspaces interleave.
+    max_attempts:
+        Maximum number of *distinct* shards tried per request.
+    request_timeout:
+        Optional per-attempt budget in seconds, covering connection
+        establishment *and* the round trip; a timeout counts as a
+        shard failure and triggers failover.
+    connect_timeout:
+        Budget for opening a new shard connection even when
+        ``request_timeout`` is unset — a black-holing host (dropped
+        SYNs) must fail over, not hang the router for the OS TCP
+        timeout.
+    default_mode / default_band:
+        The shards' configured defaults.  Routing keys are normalized
+        with them (``mode=None`` hashes as the default mode, ``band``
+        is dropped unless the mode is banded) so requests that the
+        *server* resolves to the same cache key also hash to the same
+        shard.
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence[tuple[str, int]],
+        vnodes: int = 96,
+        model_fp: str = "",
+        max_attempts: int = 2,
+        request_timeout: float | None = None,
+        connect_timeout: float = 5.0,
+        default_mode: str = "global",
+        default_band: int | None = None,
+    ) -> None:
+        if not addresses:
+            raise ValueError("at least one shard address is required")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.addresses: dict[str, tuple[str, int]] = {
+            f"{host}:{port}": (host, port) for host, port in addresses
+        }
+        self.ring = HashRing(self.addresses, vnodes=vnodes)
+        self.model_fp = model_fp
+        self.max_attempts = max_attempts
+        self.request_timeout = request_timeout
+        self.connect_timeout = connect_timeout
+        self.default_mode = default_mode
+        self.default_band = default_band
+        self._clients: dict[str, AsyncAlignmentClient] = {}
+        self._connecting: dict[str, asyncio.Lock] = {}
+        self._closing: set[asyncio.Task] = set()  # strong refs to close tasks
+        self._orphans: list[AsyncAlignmentClient] = []  # dropped without a loop
+        # -- router-level counters (the cluster's own stats surface) --
+        self.routed: Counter[str] = Counter()  # completed requests per shard
+        self.retries = 0  # extra attempts made (failover hops)
+        self.failovers = 0  # requests that succeeded on a non-first shard
+        self.evictions = 0  # ring removals (reactive + health-driven)
+        self.readmissions = 0  # ring re-additions (health-driven)
+        self.failed_requests = 0  # requests that exhausted every replica
+
+    # -- membership / keying ------------------------------------------
+
+    @property
+    def configured_shards(self) -> list[str]:
+        """Every shard this router knows about, live or not."""
+        return sorted(self.addresses)
+
+    @property
+    def live_shards(self) -> list[str]:
+        return self.ring.nodes
+
+    def key_for(
+        self, op: str, a: str, b: str, mode: str | None = None, band: int | None = None
+    ) -> str:
+        mode = mode or self.default_mode
+        if mode == "banded" and band is None:
+            band = self.default_band
+        return ring_key(op, a, b, mode, band, self.model_fp)
+
+    def shard_for(
+        self, op: str, a: str, b: str, mode: str | None = None, band: int | None = None
+    ) -> str:
+        """The shard currently owning one request (tests, warm reports)."""
+        return self.ring.node_for(self.key_for(op, a, b, mode, band))
+
+    def mark_shard_down(self, shard: str) -> None:
+        """Evict a shard from the ring (idempotent); its keys fall to
+        their ring successors until readmission."""
+        if shard in self.ring:
+            self.ring.remove_node(shard)
+            self.evictions += 1
+        self._drop_client(shard)
+
+    def mark_shard_up(self, shard: str) -> None:
+        """Readmit a configured shard (idempotent)."""
+        if shard in self.addresses and shard not in self.ring:
+            self.ring.add_node(shard)
+            self.readmissions += 1
+
+    def _drop_client(self, shard: str) -> None:
+        client = self._clients.pop(shard, None)
+        if client is None:
+            return
+        try:
+            task = asyncio.get_running_loop().create_task(client.close())
+            # The loop keeps only a weak reference to tasks: hold one
+            # until the close completes or it could be GC'd mid-await.
+            self._closing.add(task)
+            task.add_done_callback(self._closing.discard)
+        except RuntimeError:
+            # No running loop (sync teardown): park the client so
+            # close() can release its socket later.
+            self._orphans.append(client)
+
+    # -- connections --------------------------------------------------
+
+    async def _client(self, shard: str) -> AsyncAlignmentClient:
+        client = self._clients.get(shard)
+        if client is not None and not client.closed:
+            return client
+        lock = self._connecting.setdefault(shard, asyncio.Lock())
+        async with lock:
+            client = self._clients.get(shard)
+            if client is not None and not client.closed:
+                return client
+            host, port = self.addresses[shard]
+            client = await asyncio.wait_for(
+                AsyncAlignmentClient.connect(host, port),
+                timeout=self.connect_timeout,
+            )
+            self._clients[shard] = client
+            return client
+
+    async def probe_shard(self, shard: str) -> dict:
+        """Health probe: fresh connection, ``stats`` op, close.  Raises
+        on any failure; returns the shard's stats snapshot.  The whole
+        round trip is bounded by ``connect_timeout`` — a wedged shard
+        whose listen socket still accepts must fail the probe, not
+        hang ``cluster_stats()``."""
+        host, port = self.addresses[shard]
+
+        async def probe() -> dict:
+            client = await AsyncAlignmentClient.connect(host, port)
+            try:
+                return await client.stats()
+            finally:
+                await client.close()
+
+        return await asyncio.wait_for(probe(), timeout=self.connect_timeout)
+
+    # -- request path -------------------------------------------------
+
+    async def _call_shard(self, shard: str, op: str, request) -> Any:
+        async def attempt() -> Any:
+            client = await self._client(shard)
+            return await request(client)
+
+        if self.request_timeout is not None:
+            # The budget covers connect + round trip: a black-holing
+            # shard times out here and fails over like any other death.
+            return await asyncio.wait_for(attempt(), timeout=self.request_timeout)
+        return await attempt()
+
+    async def _route(self, op: str, a: str, b: str, mode, band, request) -> Any:
+        """Send one request to its owning shard, failing over along
+        the ring; ``request(client)`` builds the coroutine."""
+        key = self.key_for(op, a, b, mode, band)
+        tried: set[str] = set()
+        last_error: Exception | None = None
+        for attempt in range(self.max_attempts):
+            # Recompute candidates each attempt: evictions (ours or a
+            # concurrent request's) reshape the ring under us.
+            try:
+                candidates = self.ring.nodes_for(key, len(self.addresses))
+            except LookupError:
+                break  # ring empty: nothing left to try
+            shard = next((s for s in candidates if s not in tried), None)
+            if shard is None:
+                break
+            tried.add(shard)
+            if attempt > 0:
+                self.retries += 1
+            try:
+                value = await self._call_shard(shard, op, request)
+            except ServiceError:
+                raise  # the shard answered: the request itself is bad
+            except _SHARD_FAILURES as exc:
+                last_error = exc
+                self.mark_shard_down(shard)
+                continue
+            self.routed[shard] += 1
+            if attempt > 0:
+                self.failovers += 1
+            return value
+        self.failed_requests += 1
+        raise ClusterError(
+            f"no shard could serve {op} request "
+            f"(tried {sorted(tried) or 'none'}): {last_error}"
+        )
+
+    async def score(
+        self, a: str, b: str, mode: str | None = None, band: int | None = None
+    ) -> float:
+        return await self._route(
+            "score", a, b, mode, band, lambda c: c.score(a, b, mode=mode, band=band)
+        )
+
+    async def align(
+        self, a: str, b: str, mode: str | None = None, band: int | None = None
+    ) -> Alignment:
+        return await self._route(
+            "align", a, b, mode, band, lambda c: c.align(a, b, mode=mode, band=band)
+        )
+
+    async def request_many(
+        self, entries: Sequence[dict], concurrency: int = 64
+    ) -> list:
+        """Fan a heterogeneous batch out across shards; results in
+        request order.
+
+        Each entry is ``{"op", "a", "b"}`` with optional ``"mode"`` /
+        ``"band"`` — the keyset-file shape, and what the CLI's mixed
+        workloads use.  ``asyncio.gather`` preserves argument order,
+        so position ``i`` of the returned list answers entry ``i`` —
+        regardless of which shard served it, in what order shards
+        answered, or whether failover rerouted it mid-flight.
+        """
+        semaphore = asyncio.Semaphore(max(1, concurrency))
+
+        async def one(entry: dict):
+            fn = self.score if entry["op"] == "score" else self.align
+            async with semaphore:
+                return await fn(
+                    entry["a"],
+                    entry["b"],
+                    mode=entry.get("mode"),
+                    band=entry.get("band"),
+                )
+
+        return list(await asyncio.gather(*(one(e) for e in entries)))
+
+    async def _many(
+        self,
+        op: str,
+        pairs: Sequence[tuple[str, str]],
+        concurrency: int,
+        mode: str | None,
+        band: int | None,
+    ) -> list:
+        return await self.request_many(
+            [{"op": op, "a": a, "b": b, "mode": mode, "band": band} for a, b in pairs],
+            concurrency=concurrency,
+        )
+
+    async def score_many(
+        self,
+        pairs: Sequence[tuple[str, str]],
+        concurrency: int = 64,
+        mode: str | None = None,
+        band: int | None = None,
+    ) -> list[float]:
+        return await self._many("score", pairs, concurrency, mode, band)
+
+    async def align_many(
+        self,
+        pairs: Sequence[tuple[str, str]],
+        concurrency: int = 64,
+        mode: str | None = None,
+        band: int | None = None,
+    ) -> list[Alignment]:
+        return await self._many("align", pairs, concurrency, mode, band)
+
+    # -- stats --------------------------------------------------------
+
+    def router_stats(self) -> dict:
+        return {
+            "configured_shards": self.configured_shards,
+            "live_shards": self.live_shards,
+            "vnodes": self.ring.vnodes,
+            "routed": dict(self.routed),
+            "routed_total": sum(self.routed.values()),
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "evictions": self.evictions,
+            "readmissions": self.readmissions,
+            "failed_requests": self.failed_requests,
+        }
+
+    async def cluster_stats(self) -> dict:
+        """Aggregated cluster stats: per-shard snapshots (each probed
+        over a fresh connection), router counters, and cross-shard
+        aggregates (summed counters, pooled cache hit rate, worst-case
+        latency quantiles)."""
+        shards: dict[str, dict] = {}
+
+        async def grab(shard: str) -> None:
+            try:
+                shards[shard] = await self.probe_shard(shard)
+            except Exception as exc:
+                shards[shard] = {"error": f"{type(exc).__name__}: {exc}"}
+
+        await asyncio.gather(*(grab(s) for s in self.configured_shards))
+        live = [s for s in shards.values() if "error" not in s]
+        agg: dict[str, Any] = {"shards_reporting": len(live)}
+        if live:
+            requests = sum(s["requests"]["total"] for s in live)
+            errors = sum(s["requests"]["errors"] for s in live)
+            by_mode: Counter[str] = Counter()
+            for s in live:
+                by_mode.update(s["requests"].get("by_mode", {}))
+            hits = sum(s["cache"]["hits"] for s in live)
+            misses = sum(s["cache"]["misses"] for s in live)
+            dispatched = sum(s["batches"]["dispatched"] for s in live)
+            pairs = sum(s["batches"]["pairs"] for s in live)
+            agg.update(
+                {
+                    "requests_total": requests,
+                    "errors": errors,
+                    "requests_by_mode": dict(by_mode),
+                    "cache": {
+                        "hits": hits,
+                        "misses": misses,
+                        "size": sum(s["cache"]["size"] for s in live),
+                        "maxsize": sum(s["cache"]["maxsize"] for s in live),
+                        "hit_rate": round(hits / (hits + misses), 4)
+                        if hits + misses
+                        else 0.0,
+                    },
+                    "batches": {
+                        "dispatched": dispatched,
+                        "pairs": pairs,
+                        "mean_size": round(pairs / dispatched, 2) if dispatched else 0.0,
+                        "max_size": max(s["batches"]["max_size"] for s in live),
+                    },
+                    "latency_ms": {
+                        "worst_p50": max(s["latency_ms"]["p50"] for s in live),
+                        "worst_p95": max(s["latency_ms"]["p95"] for s in live),
+                        "worst_p99": max(
+                            s["latency_ms"].get("p99", 0.0) for s in live
+                        ),
+                    },
+                }
+            )
+        return {"router": self.router_stats(), "aggregate": agg, "shards": shards}
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def shutdown_shards(self) -> dict[str, bool]:
+        """Send ``shutdown`` to every configured shard (live or not),
+        concurrently and each bounded by ``connect_timeout`` so one
+        black-holed host can't stall the teardown; return
+        {shard: acknowledged}."""
+
+        async def one(shard: str) -> bool:
+            host, port = self.addresses[shard]
+
+            async def ask() -> None:
+                client = await AsyncAlignmentClient.connect(host, port)
+                try:
+                    await client.shutdown()
+                finally:
+                    await client.close()
+
+            try:
+                await asyncio.wait_for(ask(), timeout=self.connect_timeout)
+                return True
+            except Exception:
+                return False
+
+        shards = self.configured_shards
+        outcomes = await asyncio.gather(*(one(s) for s in shards))
+        return dict(zip(shards, outcomes))
+
+    async def close(self) -> None:
+        clients = list(self._clients.values()) + self._orphans
+        self._clients, self._orphans = {}, []
+        for client in clients:
+            try:
+                await client.close()
+            except Exception:
+                pass
+        if self._closing:
+            await asyncio.gather(*list(self._closing), return_exceptions=True)
+
+    async def __aenter__(self) -> "ShardRouter":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+
+class ClusterClient:
+    """Blocking facade over :class:`ShardRouter` (+ optional health
+    monitor), on a private event-loop thread — the cluster-tier twin of
+    :class:`~fragalign.service.client.AlignmentClient`::
+
+        with ClusterClient([("127.0.0.1", p) for p in ports]) as cluster:
+            scores = cluster.score_many(pairs, concurrency=64)
+            report = cluster.stats()
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence[tuple[str, int]],
+        vnodes: int = 96,
+        model_fp: str = "",
+        max_attempts: int = 2,
+        request_timeout: float | None = None,
+        default_mode: str = "global",
+        default_band: int | None = None,
+        health_interval: float | None = None,
+        health_fail_after: int = 2,
+    ) -> None:
+        self.router = ShardRouter(
+            addresses,
+            vnodes=vnodes,
+            model_fp=model_fp,
+            max_attempts=max_attempts,
+            request_timeout=request_timeout,
+            default_mode=default_mode,
+            default_band=default_band,
+        )
+        self._monitor = None
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="fragalign-cluster", daemon=True
+        )
+        self._thread.start()
+        try:
+            if health_interval is not None:
+                from fragalign.cluster.health import HealthMonitor
+
+                self._monitor = HealthMonitor(
+                    self.router,
+                    interval=health_interval,
+                    fail_after=health_fail_after,
+                )
+                self._call(self._start_monitor())
+        except BaseException:
+            # Construction failed after the loop thread started:
+            # release it before re-raising or it leaks for the
+            # process lifetime (mirrors AlignmentClient.__init__).
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=5)
+            self._loop.close()
+            raise
+
+    async def _start_monitor(self) -> None:
+        self._monitor.start()
+
+    def _call(self, coro):
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    # -- operations ---------------------------------------------------
+
+    def score(self, a, b, mode=None, band=None) -> float:
+        return self._call(self.router.score(a, b, mode=mode, band=band))
+
+    def align(self, a, b, mode=None, band=None) -> Alignment:
+        return self._call(self.router.align(a, b, mode=mode, band=band))
+
+    def score_many(self, pairs, concurrency=64, mode=None, band=None) -> list[float]:
+        return self._call(
+            self.router.score_many(pairs, concurrency=concurrency, mode=mode, band=band)
+        )
+
+    def align_many(self, pairs, concurrency=64, mode=None, band=None) -> list[Alignment]:
+        return self._call(
+            self.router.align_many(pairs, concurrency=concurrency, mode=mode, band=band)
+        )
+
+    def request_many(self, entries, concurrency=64) -> list:
+        """Blocking mixed-batch fan-out (see :meth:`ShardRouter.request_many`)."""
+        return self._call(self.router.request_many(entries, concurrency=concurrency))
+
+    def warm(self, entries, concurrency=32) -> dict:
+        """Replay keyset entries into the owning shards; returns the
+        warm report (see :func:`fragalign.cluster.warm.warm_router`)."""
+        from fragalign.cluster.warm import warm_router
+
+        return self._call(warm_router(self.router, entries, concurrency=concurrency))
+
+    def shard_for(self, op, a, b, mode=None, band=None) -> str:
+        return self.router.shard_for(op, a, b, mode, band)
+
+    def stats(self) -> dict:
+        report = self._call(self.router.cluster_stats())
+        if self._monitor is not None:
+            report["health"] = self._monitor.snapshot()
+        return report
+
+    def probe_round(self) -> dict:
+        """Run one synchronous health-probe round (even when no
+        periodic monitor is configured)."""
+        if self._monitor is None:
+            from fragalign.cluster.health import HealthMonitor
+
+            self._monitor = HealthMonitor(self.router)
+        return self._call(self._monitor.probe_round())
+
+    def shutdown_shards(self) -> dict[str, bool]:
+        return self._call(self.router.shutdown_shards())
+
+    # -- lifecycle ----------------------------------------------------
+
+    def close(self) -> None:
+        async def teardown():
+            if self._monitor is not None:
+                await self._monitor.stop()
+            await self.router.close()
+
+        try:
+            self._call(teardown())
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=5)
+            self._loop.close()
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

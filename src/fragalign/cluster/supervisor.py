@@ -1,0 +1,308 @@
+"""Spawn and mind N local ``fragalign serve`` processes.
+
+:class:`ClusterSupervisor` is the deployment story for tests, CI and
+the CLI: it launches one OS process per shard (real parallelism — each
+shard owns its own GIL, engine, batcher and cache), waits for every
+shard to publish its ephemeral port through the atomic port-file
+handshake (:func:`fragalign.service.server.write_port_file` +
+:func:`~fragalign.service.server.wait_for_port_file`, so a half-written
+file can never be read), and exposes the address list a
+:class:`~fragalign.cluster.router.ShardRouter` routes over.
+
+It is intentionally sync/subprocess-based — no event loop — so it can
+run as a plain foreground process (``fragalign cluster serve``) and be
+driven from pytest without nesting loops.  ``kill_shard`` exists for
+exactly one purpose: failover drills.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from fragalign.service.server import wait_for_port_file
+
+__all__ = ["ShardProcess", "ClusterSupervisor", "read_cluster_file"]
+
+
+@dataclass
+class ShardProcess:
+    """One spawned shard: its process handle plus the boot artifacts."""
+
+    index: int
+    port_file: str
+    log_path: str
+    process: subprocess.Popen = field(repr=False)
+    port: int | None = None
+
+    @property
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+
+def _fragalign_pythonpath() -> str:
+    """PYTHONPATH entry that makes ``import fragalign`` work in child
+    processes no matter how the parent found the package."""
+    import fragalign
+
+    return str(Path(fragalign.__file__).resolve().parents[1])
+
+
+def read_cluster_file(path: str | Path) -> dict:
+    """Parse a cluster file written by :meth:`ClusterSupervisor.write_cluster_file`."""
+    obj = json.loads(Path(path).read_text())
+    if not isinstance(obj, dict) or "shards" not in obj:
+        raise ValueError(f"{path} is not a cluster file (no 'shards' key)")
+    return obj
+
+
+class ClusterSupervisor:
+    """Boot, observe and stop a local shard fleet.
+
+    Usage::
+
+        sup = ClusterSupervisor(shards=4, cache_size=1024)
+        sup.start()                    # blocks until every port is known
+        addresses = sup.addresses      # [(host, port), ...] for the router
+        sup.kill_shard(0)              # SIGKILL: failover drill
+        sup.stop()                     # graceful shutdown op, then escalate
+    """
+
+    def __init__(
+        self,
+        shards: int = 4,
+        host: str = "127.0.0.1",
+        backend: str = "numpy",
+        mode: str = "global",
+        band: int | None = None,
+        max_batch: int = 64,
+        max_delay_ms: float = 2.0,
+        cache_size: int = 4096,
+        base_dir: str | None = None,
+        python: str = sys.executable,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.n_shards = shards
+        self.host = host
+        self.backend = backend
+        self.mode = mode
+        self.band = band
+        self.max_batch = max_batch
+        self.max_delay_ms = max_delay_ms
+        self.cache_size = cache_size
+        self.python = python
+        self._own_base_dir = base_dir is None
+        self.base_dir = base_dir or tempfile.mkdtemp(prefix="fragalign-cluster-")
+        self.procs: list[ShardProcess] = []
+
+    # -- boot ---------------------------------------------------------
+
+    def _spawn_one(self, index: int) -> ShardProcess:
+        port_file = os.path.join(self.base_dir, f"shard-{index}.port")
+        log_path = os.path.join(self.base_dir, f"shard-{index}.log")
+        # Stale port files from a previous run of this shard index must
+        # not satisfy the wait below.
+        try:
+            os.unlink(port_file)
+        except FileNotFoundError:
+            pass
+        cmd = [
+            self.python,
+            "-m",
+            "fragalign",
+            "serve",
+            "--host",
+            self.host,
+            "--port",
+            "0",
+            "--port-file",
+            port_file,
+            "--backend",
+            self.backend,
+            "--mode",
+            self.mode,
+            "--max-batch",
+            str(self.max_batch),
+            "--max-delay-ms",
+            str(self.max_delay_ms),
+            "--cache-size",
+            str(self.cache_size),
+        ]
+        if self.band is not None:
+            cmd += ["--band", str(self.band)]
+        env = dict(os.environ)
+        src = _fragalign_pythonpath()
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+        )
+        log = open(log_path, "ab")
+        try:
+            process = subprocess.Popen(
+                cmd, stdout=log, stderr=subprocess.STDOUT, env=env
+            )
+        finally:
+            log.close()  # the child holds its own descriptor now
+        return ShardProcess(
+            index=index, port_file=port_file, log_path=log_path, process=process
+        )
+
+    def start(self, timeout: float = 60.0) -> "ClusterSupervisor":
+        """Spawn every shard and wait for all ports (all-or-nothing:
+        a shard that dies before publishing aborts the whole boot)."""
+        assert not self.procs, "start() already ran"
+        os.makedirs(self.base_dir, exist_ok=True)
+        shard: ShardProcess | None = None
+        try:
+            # Append incrementally: if a later spawn raises, the
+            # except-branch stop() can still reap the earlier shards
+            # instead of orphaning them.
+            for i in range(self.n_shards):
+                self.procs.append(self._spawn_one(i))
+            for shard in self.procs:
+                shard.port = wait_for_port_file(
+                    shard.port_file,
+                    timeout=timeout,
+                    alive=lambda s=shard: s.alive,
+                )
+        except Exception as exc:
+            which = f"shard {shard.index}" if shard is not None else "a shard"
+            detail = self._log_tail(shard) if shard is not None else ""
+            self.stop(graceful=False)
+            raise RuntimeError(
+                f"{which} failed to boot: {exc}\n{detail}"
+            ) from exc
+        return self
+
+    def _log_tail(self, shard: ShardProcess, n: int = 20) -> str:
+        try:
+            lines = Path(shard.log_path).read_text().splitlines()[-n:]
+            return "\n".join(f"  [shard {shard.index}] {l}" for l in lines)
+        except OSError:
+            return ""
+
+    # -- observation --------------------------------------------------
+
+    @property
+    def addresses(self) -> list[tuple[str, int]]:
+        return [(self.host, s.port) for s in self.procs if s.port is not None]
+
+    @property
+    def alive_count(self) -> int:
+        return sum(1 for s in self.procs if s.alive)
+
+    def poll(self) -> list[dict]:
+        """One status row per shard (the ``cluster serve`` heartbeat)."""
+        return [
+            {
+                "index": s.index,
+                "port": s.port,
+                "pid": s.pid,
+                "alive": s.alive,
+                "returncode": s.process.poll(),
+            }
+            for s in self.procs
+        ]
+
+    def write_cluster_file(self, path: str | Path) -> None:
+        """Publish the fleet layout for routers/CLIs in other
+        processes (atomically, like the port files)."""
+        obj = {
+            "host": self.host,
+            "backend": self.backend,
+            "mode": self.mode,
+            "band": self.band,
+            "shards": [
+                {"index": s.index, "port": s.port, "pid": s.pid} for s in self.procs
+            ],
+        }
+        tmp = f"{path}.tmp.{os.getpid()}"
+        Path(tmp).write_text(json.dumps(obj, indent=2) + "\n")
+        os.replace(tmp, path)
+
+    # -- failure drills & teardown ------------------------------------
+
+    def kill_shard(self, index: int, sig: int = signal.SIGKILL) -> None:
+        """Abruptly kill one shard (failover drills — no cleanup, no
+        goodbye) and wait until the OS confirms it is gone."""
+        shard = self.procs[index]
+        if shard.alive:
+            shard.process.send_signal(sig)
+            shard.process.wait(timeout=10)
+
+    def restart_shard(self, index: int, timeout: float = 60.0) -> tuple[str, int]:
+        """Respawn a dead shard (new process, new ephemeral port);
+        returns its new address."""
+        old = self.procs[index]
+        if old.alive:
+            raise RuntimeError(f"shard {index} is still alive")
+        fresh = self._spawn_one(index)
+        fresh.port = wait_for_port_file(
+            fresh.port_file, timeout=timeout, alive=lambda: fresh.alive
+        )
+        self.procs[index] = fresh
+        return (self.host, fresh.port)
+
+    def _request_shutdown(self, shard: ShardProcess, timeout: float = 2.0) -> bool:
+        """Best-effort ``shutdown`` op over a raw socket (no event
+        loop: the supervisor stays synchronous)."""
+        if shard.port is None:
+            return False
+        try:
+            with socket.create_connection((self.host, shard.port), timeout=timeout) as sock:
+                sock.settimeout(timeout)
+                sock.sendall(b'{"id":0,"op":"shutdown"}\n')
+                sock.recv(4096)  # the "bye" — the server answers, then stops
+            return True
+        except OSError:
+            return False
+
+    def stop(self, graceful: bool = True, timeout: float = 10.0) -> list[int | None]:
+        """Stop every shard: shutdown op → SIGTERM → SIGKILL; returns
+        each shard's exit code.  Removes the scratch dir if this
+        supervisor created it."""
+        codes: list[int | None] = []
+        asked: set[int] = set()  # shards that acknowledged the shutdown op
+        for shard in self.procs:
+            if shard.alive and graceful and self._request_shutdown(shard):
+                asked.add(shard.index)
+        deadline = time.monotonic() + timeout
+        for shard in self.procs:
+            if shard.alive:
+                if shard.index not in asked:
+                    # Nothing was (successfully) asked of this shard;
+                    # waiting first would just burn the whole timeout.
+                    shard.process.terminate()
+                remaining = max(0.1, deadline - time.monotonic())
+                try:
+                    shard.process.wait(timeout=remaining)
+                except subprocess.TimeoutExpired:
+                    shard.process.terminate()
+                    try:
+                        shard.process.wait(timeout=5)
+                    except subprocess.TimeoutExpired:
+                        shard.process.kill()
+                        shard.process.wait()
+            codes.append(shard.process.poll())
+        if self._own_base_dir:
+            shutil.rmtree(self.base_dir, ignore_errors=True)
+        return codes
+
+    def __enter__(self) -> "ClusterSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

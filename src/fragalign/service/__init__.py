@@ -47,6 +47,8 @@ from fragalign.service.server import (
     ServiceConfig,
     model_fingerprint,
     run_server,
+    wait_for_port_file,
+    write_port_file,
 )
 from fragalign.service.stats import ServiceStats
 from fragalign.util.lru import LRUCache
@@ -66,4 +68,6 @@ __all__ = [
     "alignment_to_dict",
     "model_fingerprint",
     "run_server",
+    "wait_for_port_file",
+    "write_port_file",
 ]

@@ -40,12 +40,19 @@ class AsyncAlignmentClient:
         self._writer = writer
         self._waiting: dict[int, asyncio.Future] = {}
         self._next_id = 0
+        self._conn_error: Exception | None = None
         self._reader_task = asyncio.create_task(self._read_responses())
 
     @classmethod
     async def connect(cls, host: str = "127.0.0.1", port: int = 8765) -> "AsyncAlignmentClient":
         reader, writer = await asyncio.open_connection(host, port, limit=MAX_LINE)
         return cls(reader, writer)
+
+    @property
+    def closed(self) -> bool:
+        """True once the connection is unusable (reader task finished:
+        server closed the stream, or :meth:`close` ran)."""
+        return self._reader_task.done()
 
     # -- response routing ---------------------------------------------
 
@@ -62,19 +69,35 @@ class AsyncAlignmentClient:
                     fut.set_result(obj)
         except Exception as exc:  # feed the failure to every waiter
             error = exc
-        for fut in self._waiting.values():
-            if not fut.done():
-                fut.set_exception(error)
-        self._waiting.clear()
+        finally:
+            # Runs even when the task is *cancelled* (close() racing
+            # in-flight requests): every waiter must be released, or a
+            # request sharing this client would hang forever.  The
+            # stored error also makes requests issued after the close
+            # fail fast instead of writing into a dead socket.
+            self._conn_error = error
+            for fut in self._waiting.values():
+                if not fut.done():
+                    fut.set_exception(error)
+            self._waiting.clear()
 
     async def _request(self, op: str, **fields: Any) -> dict:
+        if self._reader_task.done():
+            # The connection is gone (server closed mid-stream, or we
+            # closed): surface a clean error instead of writing into a
+            # dead socket and awaiting a response nobody will route.
+            raise self._conn_error or ConnectionError("client connection closed")
         rid = self._next_id
         self._next_id += 1
         fut = asyncio.get_running_loop().create_future()
         self._waiting[rid] = fut
         payload = {k: v for k, v in fields.items() if v is not None}
-        self._writer.write(encode_line({"id": rid, "op": op, **payload}))
-        await self._writer.drain()
+        try:
+            self._writer.write(encode_line({"id": rid, "op": op, **payload}))
+            await self._writer.drain()
+        except (ConnectionError, OSError):
+            self._waiting.pop(rid, None)
+            raise
         response = await fut
         if not response.get("ok"):
             raise ServiceError(response.get("error", "unknown service error"))

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import os
 import sys
 import time
 from dataclasses import dataclass, field
@@ -38,7 +39,61 @@ from fragalign.service.protocol import (
 from fragalign.service.stats import ServiceStats
 from fragalign.util.lru import LRUCache
 
-__all__ = ["ServiceConfig", "AlignmentService", "model_fingerprint", "run_server"]
+__all__ = [
+    "ServiceConfig",
+    "AlignmentService",
+    "model_fingerprint",
+    "run_server",
+    "write_port_file",
+    "wait_for_port_file",
+]
+
+
+def write_port_file(path: str, port: int) -> None:
+    """Atomically publish the bound port: write a sibling tmp file,
+    then ``os.replace`` it into place.
+
+    Readers polling the path can therefore never observe a half-written
+    file — they either see nothing (keep polling) or the complete port
+    line.  This is what lets ``ClusterSupervisor`` and CI scripts spin
+    on the file without a startup race.
+    """
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as fh:
+        fh.write(f"{port}\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def wait_for_port_file(
+    path: str,
+    timeout: float = 30.0,
+    poll: float = 0.05,
+    alive=None,
+) -> int:
+    """Poll ``path`` until a port appears (written by
+    :func:`write_port_file`); return it as an int.
+
+    ``alive`` is an optional zero-argument callable checked each poll
+    (e.g. ``process.poll() is None``): when it goes false the wait
+    aborts immediately instead of burning the whole timeout on a
+    server that already died.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            with open(path) as fh:
+                text = fh.read().strip()
+            if text:
+                return int(text)
+        except (FileNotFoundError, ValueError):
+            pass
+        if alive is not None and not alive():
+            raise RuntimeError(f"server exited before publishing its port to {path}")
+        if time.monotonic() >= deadline:
+            raise TimeoutError(f"no port appeared in {path} within {timeout:.1f}s")
+        time.sleep(poll)
 
 
 def model_fingerprint(model: SubstitutionModel) -> str:
@@ -269,6 +324,7 @@ class AlignmentService:
             return ok_response(request.id, "bye")  # _serve_line stops after
         # score / align
         mode, band = self._resolve_mode(request)
+        self.stats.observe_mode(mode)
         key = self.cache_key(request.op, request.a, request.b, mode, band)
         result = self.cache.get(key)
         if result is not None:
@@ -315,8 +371,7 @@ def run_server(config: ServiceConfig, port_file: str | None = None) -> int:
         await service.start()
         print(f"fragalign.service listening on {service.address}", flush=True)
         if port_file:
-            with open(port_file, "w") as fh:
-                fh.write(f"{service.port}\n")
+            write_port_file(port_file, service.port)
         try:
             await service.wait_closed()
         finally:

@@ -31,6 +31,7 @@ class ServiceStats:
     def __init__(self) -> None:
         self.started = time.monotonic()
         self.requests: Counter[str] = Counter()
+        self.modes: Counter[str] = Counter()  # resolved mode per pair op
         self.errors = 0
         self.connections_open = 0
         self.connections_total = 0
@@ -44,6 +45,12 @@ class ServiceStats:
 
     def observe_request(self, op: str) -> None:
         self.requests[op] += 1
+
+    def observe_mode(self, mode: str) -> None:
+        """Count one pair-op request under its *resolved* alignment
+        mode (the server's default already substituted), so cluster
+        aggregation can break traffic down by mode."""
+        self.modes[mode] += 1
 
     def observe_error(self) -> None:
         self.errors += 1
@@ -76,7 +83,14 @@ class ServiceStats:
                 "open": self.connections_open,
                 "total": self.connections_total,
             },
-            "requests": {"total": total, "errors": self.errors, **self.requests},
+            "requests": {
+                "total": total,
+                "errors": self.errors,
+                **self.requests,
+                # Additive key (older clients ignore it): pair-op
+                # traffic by resolved alignment mode.
+                "by_mode": dict(self.modes),
+            },
             "batches": {
                 "dispatched": self.batches,
                 "pairs": self.batched_pairs,
@@ -90,6 +104,7 @@ class ServiceStats:
                 "samples": len(ordered),
                 "p50": round(_quantile(ordered, 0.50) * 1e3, 3),
                 "p95": round(_quantile(ordered, 0.95) * 1e3, 3),
+                "p99": round(_quantile(ordered, 0.99) * 1e3, 3),
                 "mean": round(sum(ordered) / len(ordered) * 1e3, 3) if ordered else 0.0,
             },
         }

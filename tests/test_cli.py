@@ -130,6 +130,83 @@ def test_serve_and_client_round_trip(tmp_path, capsys):
     assert "fragalign.service stopped" in out
 
 
+def test_cluster_serve_route_warm_stats_round_trip(tmp_path, capsys):
+    """`fragalign cluster`: boot 2 shards, warm, route+verify, stats,
+    shutdown — the whole tier through the CLI entry points."""
+    import threading
+
+    cluster_file = tmp_path / "cluster.json"
+    keyset = tmp_path / "keys.jsonl"
+    exit_codes = {}
+
+    def serve():
+        exit_codes["serve"] = main(
+            [
+                "cluster",
+                "serve",
+                "--shards",
+                "2",
+                "--cache-size",
+                "256",
+                "--cluster-file",
+                str(cluster_file),
+                "--base-dir",
+                str(tmp_path / "scratch"),
+            ]
+        )
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    for _ in range(300):
+        if cluster_file.exists() and cluster_file.read_text().strip():
+            break
+        thread.join(timeout=0.1)
+    assert cluster_file.exists(), "cluster file never appeared"
+    common = ["--cluster-file", str(cluster_file)]
+    assert main(
+        ["cluster", "warm", *common, "--keyset", str(keyset), "--generate", "20", "--length", "48"]
+    ) == 0
+    assert main(
+        [
+            "cluster",
+            "route",
+            *common,
+            "--requests",
+            "40",
+            "--concurrency",
+            "8",
+            "--length",
+            "48",
+            "--op",
+            "mixed",
+            "--verify",
+            "--expect-cache-hits",
+        ]
+    ) == 0
+    assert main(["cluster", "stats", *common]) == 0
+    assert main(
+        [
+            "cluster",
+            "route",
+            *common,
+            "--requests",
+            "4",
+            "--concurrency",
+            "2",
+            "--length",
+            "32",
+            "--shutdown",
+        ]
+    ) == 0
+    thread.join(timeout=30)
+    assert not thread.is_alive() and exit_codes["serve"] == 0
+    out = capsys.readouterr().out
+    assert "warmed 20/20" in out
+    assert "router: routed=40" in out
+    assert '"aggregate"' in out  # the stats JSON
+    assert "all shards exited" in out
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 
 import pytest
 
@@ -29,6 +30,8 @@ from fragalign.service import (
     ServiceConfig,
     ServiceError,
     model_fingerprint,
+    wait_for_port_file,
+    write_port_file,
 )
 from fragalign.service.protocol import (
     ProtocolError,
@@ -89,6 +92,46 @@ class TestLRUCache:
             "evictions": 0,
             "hit_rate": 1.0,
         }
+
+    def test_thread_safety_under_concurrent_access(self):
+        # The same instance is shared by the engine encode memo (hit
+        # from the batcher worker thread), the service result cache
+        # (event loop) and cluster warmers: hammer one cache from many
+        # threads and require intact invariants afterwards.
+        cache = LRUCache(64)
+        n_threads, n_ops, key_space = 8, 3000, 256
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(n_threads)
+
+        def worker(seed: int) -> None:
+            try:
+                barrier.wait()
+                for k in range(n_ops):
+                    key = (seed * 7919 + k * 31) % key_space
+                    if k % 3 == 0:
+                        cache.put(key, (seed, k))
+                    else:
+                        value = cache.get(key)
+                        assert value is None or isinstance(value, tuple)
+                    if k % 101 == 0:
+                        assert len(cache.keys()) <= 64
+            except BaseException as exc:  # surfaced after join
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(s,)) for s in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert len(cache) <= 64
+        # Counter conservation: every get() was exactly one hit or miss.
+        gets = n_threads * sum(1 for k in range(n_ops) if k % 3 != 0)
+        assert cache.hits + cache.misses == gets
+        stats = cache.stats()
+        assert stats["size"] == len(cache.keys()) <= stats["maxsize"]
 
 
 class TestFacadeEncodeMemoIsBounded:
@@ -325,7 +368,13 @@ class TestServiceEndToEnd:
         assert stats["batches"]["max_size"] > 1
         assert stats["cache"]["hits"] + stats["batches"]["coalesced"] >= 40
         assert stats["requests"]["score"] == 80
-        assert stats["latency_ms"]["p95"] >= stats["latency_ms"]["p50"] >= 0
+        assert stats["requests"]["by_mode"]["global"] == 80  # resolved default
+        assert (
+            stats["latency_ms"]["p99"]
+            >= stats["latency_ms"]["p95"]
+            >= stats["latency_ms"]["p50"]
+            >= 0
+        )
 
     def test_overlap_and_banded_round_trip(self, service_port):
         # Per-request mode overrides route client -> batcher -> engine
@@ -394,6 +443,150 @@ class TestServiceEndToEnd:
         stop()  # joins the server thread: returns only on clean exit
         with pytest.raises(OSError):
             AlignmentClient(port=port).ping()
+
+
+class TestServiceStatsSurface:
+    def test_p99_and_by_mode_counters(self):
+        from fragalign.service import ServiceStats
+
+        stats = ServiceStats()
+        for k in range(100):
+            stats.observe_latency(k / 1000.0)
+        stats.observe_request("score")
+        stats.observe_mode("global")
+        stats.observe_request("score")
+        stats.observe_mode("overlap")
+        snap = stats.snapshot()
+        assert snap["latency_ms"]["p99"] >= snap["latency_ms"]["p95"]
+        assert snap["requests"]["by_mode"] == {"global": 1, "overlap": 1}
+        # Backward compatibility: the pre-existing schema keys survive.
+        for key in ("total", "errors", "score"):
+            assert key in snap["requests"]
+        for key in ("p50", "p95", "mean", "samples"):
+            assert key in snap["latency_ms"]
+
+
+class TestPortFileHandshake:
+    def test_write_is_atomic_and_wait_polls(self, tmp_path):
+        path = tmp_path / "server.port"
+
+        def late_write():
+            time.sleep(0.15)
+            write_port_file(str(path), 43210)
+
+        writer = threading.Thread(target=late_write)
+        writer.start()
+        try:
+            # The reader starts before the file exists and must never
+            # see a half-written value — only nothing, then the port.
+            assert wait_for_port_file(str(path), timeout=5.0, poll=0.01) == 43210
+        finally:
+            writer.join()
+        assert not list(tmp_path.glob("*.tmp.*"))  # tmp file renamed away
+
+    def test_wait_times_out_and_aborts_on_dead_server(self, tmp_path):
+        path = str(tmp_path / "never.port")
+        with pytest.raises(TimeoutError, match="no port appeared"):
+            wait_for_port_file(path, timeout=0.2, poll=0.02)
+        with pytest.raises(RuntimeError, match="exited before"):
+            wait_for_port_file(path, timeout=5.0, poll=0.02, alive=lambda: False)
+
+
+async def _abrupt_server():
+    """A server that reads one line, then closes the connection without
+    answering — the mid-stream-death simulator."""
+
+    async def handle(reader, writer):
+        await reader.readline()
+        writer.close()
+
+    server = await asyncio.start_server(handle, host="127.0.0.1", port=0)
+    return server, server.sockets[0].getsockname()[1]
+
+
+class TestClientReconnectBehavior:
+    def test_pending_request_fails_cleanly_on_mid_stream_close(self):
+        async def run():
+            server, port = await _abrupt_server()
+            try:
+                client = await AsyncAlignmentClient.connect(port=port)
+                try:
+                    with pytest.raises((ConnectionError, OSError)):
+                        await client.score("ACGT", "AGGT")
+                    assert client.closed
+                    # Requests issued after the close fail fast with a
+                    # clean error instead of hanging on a dead reader.
+                    with pytest.raises((ConnectionError, OSError)):
+                        await client.ping()
+                finally:
+                    await client.close()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(run())
+
+    def test_sync_client_surfaces_connection_error(self):
+        async def start():
+            return await _abrupt_server()
+
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        server, port = asyncio.run_coroutine_threadsafe(start(), loop).result()
+        try:
+            client = AlignmentClient(port=port)
+            try:
+                with pytest.raises((ConnectionError, OSError)):
+                    client.score("ACGT", "AGGT")
+                with pytest.raises((ConnectionError, OSError)):
+                    client.ping()  # still clean on the next call
+            finally:
+                client.close()
+        finally:
+            asyncio.run_coroutine_threadsafe(_close(server), loop).result()
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=5)
+            loop.close()
+
+    def test_close_releases_pending_waiters(self):
+        # close() cancels the reader task; the cleanup must run anyway
+        # (finally, not except) or a request sharing the client — e.g.
+        # through the cluster router's failover path — hangs forever.
+        async def run():
+            async def handle(reader, writer):
+                await asyncio.sleep(3600)  # a server that never answers
+
+            server = await asyncio.start_server(handle, host="127.0.0.1", port=0)
+            port = server.sockets[0].getsockname()[1]
+            client = await AsyncAlignmentClient.connect(port=port)
+            pending = asyncio.create_task(client.score("ACGT", "AGGT"))
+            await asyncio.sleep(0.05)  # let the request hit the wire
+            await client.close()
+            with pytest.raises((ConnectionError, OSError)):
+                await asyncio.wait_for(pending, timeout=5)
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(run())
+
+    def test_server_restart_allows_fresh_connection(self, service_port):
+        # The documented reconnect story: a new client object per
+        # connection.  After an old client dies with the server, a
+        # fresh connect to a live server works.
+        async def run():
+            client = await AsyncAlignmentClient.connect(port=service_port)
+            try:
+                return await client.score("ACGT", "AGGT")
+            finally:
+                await client.close()
+
+        assert asyncio.run(run()) == asyncio.run(run())
+
+
+async def _close(server):
+    server.close()
+    await server.wait_closed()
 
 
 class TestCacheKeying:
