@@ -114,12 +114,18 @@ def run_engine_bench(
 ) -> dict:
     """Time every backend and mode on one batch; return the report.
 
-    The headline row: ``numpy`` ``align_many`` must beat a per-pair
-    loop over the ``naive`` backend by >= 5x (it beats it by orders of
-    magnitude — the naive loop is the transparent per-cell foil).
-    ``traceback_share`` is the fraction of ``align_many`` wall clock
-    that is *not* the score sweep — i.e. what direction-code emission
-    plus the per-pair code walks cost on top of score-only.
+    The headline rows: ``numpy`` ``align_many`` must beat a per-pair
+    loop over the ``naive`` backend by >= 5x, and the batched affine
+    (Gotoh) ``align_many`` must beat the per-pair naive Gotoh loop by
+    >= 10x (both beat it by orders of magnitude — the naive loops are
+    the transparent per-cell foils; the Gotoh loop is timed on a slice
+    and compared by throughput).  ``traceback_share`` is the fraction
+    of ``align_many`` wall clock that is *not* the score sweep — i.e.
+    what direction-code emission plus the per-pair code walks cost on
+    top of score-only.  The long-pair rows compare the direction
+    -tensor traceback against the linear-memory Hirschberg walker on
+    one pair, including each strategy's peak allocation
+    (``peak_mb``, via tracemalloc — NumPy reports its buffers there).
     """
     gen = np.random.default_rng(seed)
     pairs = [(random_dna(length, gen), random_dna(length, gen)) for _ in range(n_pairs)]
@@ -127,11 +133,13 @@ def run_engine_bench(
     band = max(8, length // 8)
     results: dict[str, dict] = {}
 
-    def record(name: str, seconds: float, mcells: int = cells) -> None:
+    def record(name: str, seconds: float, mcells: int = cells, peak_mb=None) -> None:
         results[name] = {
             "seconds": round(seconds, 4),
             "mcells_per_s": round(mcells / max(seconds, 1e-9) / 1e6, 2),
         }
+        if peak_mb is not None:
+            results[name]["peak_mb"] = round(peak_mb, 1)
 
     # Best-of-3 for the sub-second paths (noise there swings the ratio);
     # the naive loop is seconds long and stable, one run is enough.
@@ -163,16 +171,73 @@ def run_engine_bench(
         t, par_scores = time_call(eng.score_many, pairs, repeat=3)
         record(f"parallel_score_many_x{workers}", t)
 
+    # Affine (Gotoh) rows: the batched three-frontier kernels vs a
+    # per-pair loop over the per-cell Gotoh oracle.  The oracle is
+    # timed on a slice (it is minutes-slow on the full batch) and the
+    # headline compares throughput, not raw seconds.
+    from fragalign.align.affine import affine_align_reference
+
+    with AlignmentEngine(backend="numpy") as eng:
+        t_aff_align, aff_alns = time_call(
+            eng.align_many, pairs, "global", None, -4.0, -1.0, repeat=3
+        )
+        record("numpy_affine_align_many", t_aff_align)
+        t, aff_scores = time_call(
+            eng.score_many, pairs, "global", None, -4.0, -1.0, repeat=3
+        )
+        record("numpy_affine_score_many", t)
+    n_oracle = max(2, min(12, n_pairs // 16))
+    t_oracle, oracle_alns = time_call(
+        lambda: [
+            affine_align_reference(a, b, None, -4.0, -1.0) for a, b in pairs[:n_oracle]
+        ],
+        repeat=1,
+    )
+    record("naive_affine_align_loop", t_oracle, n_oracle * length * length)
+    assert oracle_alns == aff_alns[:n_oracle]
+    assert np.array_equal(aff_scores, [x.score for x in aff_alns])
+
+    # Long-pair traceback: direction tensor vs the linear-memory
+    # Hirschberg walker — identical alignments, very different peaks.
+    import tracemalloc
+
+    from fragalign.align.hirschberg import linear_align
+    from fragalign.align.pairwise import global_align
+
+    hl = min(4096, max(1024, length * 16))
+    ha, hb = random_dna(hl, gen), random_dna(hl, gen)
+    hcells = hl * hl
+
+    def peak_call(fn, *args, **kwargs):
+        tracemalloc.start()
+        t0 = time_call(fn, *args, repeat=1, **kwargs)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return t0[0], t0[1], peak / 1e6
+
+    t_tensor, aln_tensor, peak_tensor = peak_call(global_align, ha, hb)
+    record(f"align_single_{hl}x{hl}_tensor", t_tensor, hcells, peak_mb=peak_tensor)
+    t_linear, aln_linear, peak_linear = peak_call(linear_align, ha, hb)
+    record(f"align_single_{hl}x{hl}_linear", t_linear, hcells, peak_mb=peak_linear)
+    assert aln_linear == aln_tensor
+
     # The banded satellite: vectorized diagonal-offset kernel vs the
-    # per-cell dict DP it replaced, one long pair at band 32.
+    # per-cell dict DP it replaced, one long pair at band 32 — plus
+    # the dispatch-trimmed single-pair fast path (batch-of-one).
     from fragalign.align.pairwise import (
         banded_global_score,
         banded_global_score_reference,
+        banded_scores_batch,
     )
 
     bl = min(2048, max(512, length * 8))
     ba, bb = random_dna(bl, gen), random_dna(bl, gen)
     t_vec_banded, s_vec = time_call(banded_global_score, ba, bb, 32, repeat=3)
+    record("banded_single_pair_band32", t_vec_banded, bl * 65)
+    # The batch kernel at B=2 halves its dispatch cost per pair; per-
+    # pair time approximates what the old B=1 batch path cost.
+    t_b2, _ = time_call(banded_scores_batch, [(ba, bb), (bb, ba)], 32, repeat=3)
+    record("banded_batch_kernel_per_pair_band32", t_b2 / 2, bl * 65)
     t_ref_banded, s_ref = time_call(
         banded_global_score_reference, ba, bb, 32, repeat=1
     )
@@ -182,22 +247,31 @@ def run_engine_bench(
     assert np.array_equal(vec_scores, par_scores)
     assert np.array_equal(vec_scores, [x.score for x in vec_alns])
     # Cross-mode sanity on the same workload: overlap is at least the
-    # global score (it relaxes end gaps); a full-width band is exact.
+    # global score (it relaxes end gaps); a full-width band is exact;
+    # affine with open < extend never beats linear unit gaps... (it
+    # *can* differ either way, so no blanket inequality is asserted).
     assert np.all(overlap_scores >= vec_scores)
     assert np.all(banded_scores <= vec_scores + 1e-9)
     speedup = results["naive_align_loop"]["seconds"] / max(
         results["numpy_align_many"]["seconds"], 1e-9
+    )
+    affine_speedup = results["numpy_affine_align_many"]["mcells_per_s"] / max(
+        results["naive_affine_align_loop"]["mcells_per_s"], 1e-9
     )
     return {
         "experiment": "B-ENGINE batch alignment throughput",
         "config": {"n_pairs": n_pairs, "length": length, "workers": workers, "band": band},
         "results": results,
         "speedup_numpy_align_many_vs_naive_loop": round(speedup, 1),
+        "speedup_numpy_affine_align_many_vs_naive_gotoh_loop": round(affine_speedup, 1),
         "traceback_share_of_align_many": round(
             max(0.0, 1.0 - t_score / max(t_align, 1e-9)), 3
         ),
         "banded_vectorized_speedup_vs_dict_band32": round(
             t_ref_banded / max(t_vec_banded, 1e-9), 1
+        ),
+        "linear_memory_peak_ratio_vs_tensor": round(
+            peak_tensor / max(peak_linear, 1e-9), 1
         ),
     }
 
@@ -230,6 +304,10 @@ def main(argv: list[str] | None = None) -> int:
     speedup = report["speedup_numpy_align_many_vs_naive_loop"]
     if speedup < 5.0 and not args.quick:
         print(f"FAIL: speedup {speedup} < 5x", file=sys.stderr)
+        return 1
+    affine_speedup = report["speedup_numpy_affine_align_many_vs_naive_gotoh_loop"]
+    if affine_speedup < 10.0 and not args.quick:
+        print(f"FAIL: affine speedup {affine_speedup} < 10x", file=sys.stderr)
         return 1
     return 0
 

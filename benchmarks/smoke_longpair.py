@@ -1,0 +1,122 @@
+"""Long-pair memory smoke: linear-memory traceback under a hard cap.
+
+Aligns one ``--length`` x ``--length`` random DNA pair (default 32k —
+a pair whose (n, m) uint8 direction tensor alone would be ~1 GiB)
+with ``memory="linear"`` under an **address-space cap** set to the
+process's current usage plus ``--headroom-mb``.  The cap is far below
+what the tensor path would need, which the script proves directly: it
+first attempts to allocate the tensor and requires that allocation to
+fail under the cap.  The linear walker must then finish the alignment
+inside the same cap and agree with the O(m)-memory score sweep.
+
+CI runs this as the ``longpair-smoke`` job; locally::
+
+    python benchmarks/smoke_longpair.py --length 32768 --headroom-mb 512
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # script mode: make src/ importable
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+
+def _vm_size_mb() -> float | None:
+    """Current virtual size from /proc (Linux); None elsewhere."""
+    try:
+        for line in Path("/proc/self/status").read_text().splitlines():
+            if line.startswith("VmSize:"):
+                return int(line.split()[1]) / 1024.0
+    except OSError:
+        pass
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--length", type=int, default=32768)
+    parser.add_argument(
+        "--headroom-mb",
+        type=int,
+        default=512,
+        help="address-space headroom over current usage (must be far "
+        "below the ~length^2 bytes the direction tensor needs)",
+    )
+    parser.add_argument("--seed", type=int, default=2026)
+    args = parser.parse_args(argv)
+
+    import numpy as np
+
+    from fragalign.engine import AlignmentEngine
+    from fragalign.genome.dna import random_dna
+
+    n = args.length
+    tensor_mb = n * n / 1e6
+    if tensor_mb <= args.headroom_mb * 2:
+        print(
+            f"error: length {n} gives a {tensor_mb:.0f} MB tensor, too small "
+            f"to prove anything against {args.headroom_mb} MB of headroom",
+            file=sys.stderr,
+        )
+        return 2
+
+    gen = np.random.default_rng(args.seed)
+    a, b = random_dna(n, gen), random_dna(n, gen)
+    eng = AlignmentEngine()
+    # Encode (and warm every lazy import) before arming the cap.
+    eng.prepare(a, b)
+    t0 = time.perf_counter()
+    score = eng.score(a, b)  # O(m) memory, the correctness anchor
+    t_score = time.perf_counter() - t0
+    print(f"score sweep: {score:.0f} in {t_score:.1f}s", flush=True)
+
+    base_mb = _vm_size_mb()
+    if base_mb is None:
+        print("warning: no /proc/self/status; running uncapped", file=sys.stderr)
+    else:
+        import resource
+
+        cap = int((base_mb + args.headroom_mb) * 1e6)
+        resource.setrlimit(resource.RLIMIT_AS, (cap, cap))
+        print(
+            f"address-space cap armed: {cap / 1e6:.0f} MB "
+            f"(base {base_mb:.0f} + headroom {args.headroom_mb}; "
+            f"tensor would need +{tensor_mb:.0f})",
+            flush=True,
+        )
+        try:
+            np.empty((n, 1, n), dtype=np.uint8)
+        except MemoryError:
+            print("direction tensor allocation fails under the cap: OK", flush=True)
+        else:
+            print("error: the cap did not block the tensor", file=sys.stderr)
+            return 1
+
+    t0 = time.perf_counter()
+    aln = eng.align(a, b, memory="linear")
+    t_align = time.perf_counter() - t0
+    peak_mb = _vm_size_mb()
+    eng.close()
+    if aln.score != score:
+        print(f"error: align score {aln.score} != sweep {score}", file=sys.stderr)
+        return 1
+    for (i1, j1), (i2, j2) in zip(aln.pairs, aln.pairs[1:]):
+        if not (i1 < i2 and j1 < j2):
+            print("error: pairs are not strictly increasing", file=sys.stderr)
+            return 1
+    vm_note = f", VmSize now {peak_mb:.0f} MB" if peak_mb else ""
+    print(
+        f"linear-memory align: {len(aln.pairs)} pairs, score {aln.score:.0f}, "
+        f"{t_align:.1f}s ({n * n / t_align / 1e6:.0f} Mcells/s){vm_note}",
+        flush=True,
+    )
+    print("longpair smoke OK", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

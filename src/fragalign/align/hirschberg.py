@@ -1,21 +1,240 @@
-"""Hirschberg's linear-space global alignment with traceback.
+"""Linear-memory alignment with *exact* traceback reproduction.
 
-The O(nm)-memory traceback of :func:`fragalign.align.pairwise.
-global_align` is the limiting factor for long conserved regions; the
-divide-and-conquer of Hirschberg (1975) recovers the same optimal
-aligned pairs in O(n + m) memory and ~2× the time: split ``a`` in the
-middle, find the optimal crossing column of ``b`` by combining a
-forward score row with a backward score row, recurse on the halves.
+The direction-tensor traceback of the batched kernels holds one packed
+byte per DP cell — an ``(n, B, m)`` tensor.  At 32k x 32k that is a
+gigabyte per pair, which caps pair length long before the hardware
+does.  This module recovers the **byte-identical** alignment in
+near-linear memory with a Hirschberg-style divide and conquer:
+
+* split the rows in half and recompute the frontier at the middle row
+  with a *score-only* half sweep (O(m) memory — the same kernels, no
+  direction codes);
+* recurse on the **bottom** half first: its backward walk reveals the
+  exact column where the canonical traceback crosses the middle row;
+* recurse on the top half with the columns truncated to that crossing
+  column (the walk can never move right of it);
+* at small sub-problems, emit direction codes for just that block
+  (bounded by ``block_cells``) and walk them with the standard code
+  walk.
+
+Because every block sweep restarts from a checkpoint frontier computed
+by the *same* kernel operations, the block's direction codes — and
+therefore the walk — are bit-identical to what the full tensor sweep
+would have produced.  The result is *equal by construction* to
+``global_align`` / ``overlap_align`` / ``local_align``, not merely
+co-optimal: a standing test invariant.
+
+Memory is O(m·log n) (one checkpoint frontier per recursion level)
+plus the constant ``block_cells`` code block — versus O(n·m) for the
+tensor.  Time is ~2-3x a score-only sweep for typical inputs (the
+bottom-half chain re-sweeps full-width rows; truncated top halves
+shrink geometrically), degrading toward O(n·m·log n) only when the
+optimal path hugs the top-right corner.
+
+The classic score-splitting Hirschberg (which returns *a* co-optimal
+alignment, not the canonical one) survives as
+:func:`hirschberg_align_reference`, the score-parity oracle.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from fragalign.align.pairwise import Alignment, global_align
+from fragalign.align.pairwise import (
+    Alignment,
+    _sweep_global,
+    _sweep_local,
+    _walk_global,
+    _walk_local,
+    global_align,
+)
 from fragalign.align.scoring_matrices import SubstitutionModel, encode, unit_dna
 
-__all__ = ["hirschberg_align"]
+__all__ = ["hirschberg_align", "hirschberg_align_reference", "linear_align"]
+
+#: Direction-code cells a base-case block may hold (bytes); 4 MiB of
+#: codes per block keeps the walk's working set small while making the
+#: per-block Python overhead negligible.
+DEFAULT_BLOCK_CELLS = 1 << 22
+
+LINEAR_MODES = ("global", "overlap", "local")
+
+
+class _LinearWalk:
+    """One linear-memory walk: mode-specific sweeps + the recursion."""
+
+    def __init__(
+        self,
+        a_codes: np.ndarray,
+        b_codes: np.ndarray,
+        model: SubstitutionModel,
+        mode: str,
+        block_cells: int,
+    ) -> None:
+        self.ac = a_codes
+        self.bc = b_codes
+        self.model = model
+        self.mode = mode
+        self.block_cells = max(1, block_cells)
+        self.segments: list[list[tuple[int, int]]] = []  # bottom-first
+        self.stop: tuple[int, int] | None = None  # where the walk ended
+        self.corner: float | None = None  # f-space F at (len(ac), je_root)
+
+    # -- kernel plumbing ----------------------------------------------
+
+    def _sweep(self, lo: int, hi: int, F_lo: np.ndarray, je: int, D=None):
+        """Sweep rows (lo, hi] over columns 0..je from checkpoint
+        ``F_lo``; returns the new frontier row (f-space, length je+1)."""
+        A = self.ac[lo:hi][None, :]
+        Bm = self.bc[:je][None, :]
+        F0 = F_lo[None, : je + 1]
+        if self.mode == "local":
+            _, _, _, fr = _sweep_local(A, Bm, self.model, D=D, F0=F0, i0=lo)
+        else:
+            fr = _sweep_global(
+                A, Bm, self.model, overlap=self.mode == "overlap", D=D, F0=F0, i0=lo
+            )
+        return fr.prev[0, : je + 1].copy()
+
+    def _walk_block(self, db: bytes, rows: int, je: int):
+        if self.mode == "local":
+            return _walk_local(db, je, rows, je)
+        return _walk_global(db, je, rows, je)
+
+    # -- the recursion ------------------------------------------------
+
+    def run(self, lo: int, hi: int, F_lo: np.ndarray, je: int) -> int | None:
+        """Walk rows (lo, hi] backward from (hi, je).
+
+        Appends this range's aligned pairs (forward order, absolute
+        indices) as one segment per block, bottom blocks first.
+        Returns the crossing column at row ``lo``, or ``None`` when the
+        walk terminated inside the range (column 0 reached, or a local
+        stop code) — ``self.stop`` then holds the terminal cell.
+        """
+        if je == 0:
+            # Already pinned to column 0: the remaining rows are forced
+            # gaps, no pairs.  (self.stop was set when j first hit 0.)
+            return 0
+        rows = hi - lo
+        if rows == 0:
+            return je
+        if rows * je <= self.block_cells or rows <= 1:
+            D = np.empty((rows, 1, je), dtype=np.uint8)
+            F_hi = self._sweep(lo, hi, F_lo, je, D=D)
+            if hi == len(self.ac) and self.corner is None:
+                # The first base case is always the bottom-right block
+                # (the bottom chain never shrinks rows or columns), so
+                # its frontier carries the corner value for the score.
+                self.corner = float(F_hi[je])
+            walked, i_rel, j_stop = self._walk_block(D[:, 0, :].tobytes(), rows, je)
+            if walked:
+                self.segments.append([(lo + ri, cj) for ri, cj in walked])
+            if i_rel == 0 and j_stop > 0:
+                return j_stop  # crossed row lo
+            self.stop = (lo + i_rel, j_stop)
+            return None
+        mid = (lo + hi) // 2
+        F_mid = self._sweep(lo, mid, F_lo, je)
+        j_mid = self.run(mid, hi, F_mid, je)
+        if j_mid is None:
+            return None
+        return self.run(lo, mid, F_lo, j_mid)
+
+    def pairs(self) -> tuple[tuple[int, int], ...]:
+        out: list[tuple[int, int]] = []
+        for segment in reversed(self.segments):
+            out.extend(segment)
+        return tuple(out)
+
+
+def linear_align(
+    a: str | np.ndarray,
+    b: str | np.ndarray,
+    model: SubstitutionModel | None = None,
+    mode: str = "global",
+    block_cells: int = DEFAULT_BLOCK_CELLS,
+) -> Alignment:
+    """Optimal alignment in near-linear memory, byte-identical to the
+    direction-tensor kernels.
+
+    ``mode`` is ``"global"``, ``"overlap"`` or ``"local"`` (banded
+    traceback is already O(n·band) and affine gaps keep their tensor
+    path — the engine rejects ``memory="linear"`` for those).  Equal —
+    score *and* aligned pairs — to :func:`~fragalign.align.pairwise.
+    global_align` / ``overlap_align`` / ``local_align`` on the same
+    inputs, while peak traceback memory stays O(m·log n) + one
+    ``block_cells`` code block instead of the (n, m) byte tensor.
+    """
+    model = model or unit_dna()
+    if mode not in LINEAR_MODES:
+        raise ValueError(
+            f"linear-memory alignment supports modes {LINEAR_MODES}, got {mode!r}"
+        )
+    ac = a if isinstance(a, np.ndarray) else encode(a)
+    bc = b if isinstance(b, np.ndarray) else encode(b)
+    n, m = len(ac), len(bc)
+    g = model.gap
+    if n == 0 or m == 0:
+        if mode == "global":
+            return Alignment((n + m) * g, (), (0, n), (0, m))
+        if mode == "overlap":
+            return Alignment(0.0, (), (n, n), (0, 0))
+        return Alignment(0.0, (), (0, 0), (0, 0))
+    js = np.arange(m + 1)
+
+    if mode == "global":
+        walk = _LinearWalk(ac, bc, model, mode, block_cells)
+        walk.run(0, n, np.zeros(m + 1), m)
+        # f-space: H(n, m) = F(n, m) + g*m + n*g.
+        score = walk.corner + g * (m + n)
+        return Alignment(score, walk.pairs(), (0, n), (0, m))
+
+    if mode == "overlap":
+        fr = _sweep_global(ac[None, :], bc[None, :], model, overlap=True)
+        hrow = fr.prev[0, : m + 1] + g * js
+        b_end = int(np.argmax(hrow))
+        score = float(hrow[b_end] + n * g)
+        if b_end == 0:  # empty overlap: the walk starts (and ends) at (n, 0)
+            return Alignment(score, (), (n, n), (0, 0))
+        walk = _LinearWalk(ac, bc, model, mode, block_cells)
+        F0 = np.zeros(m + 1)
+        walk.run(0, n, F0, b_end)
+        # stop records where the walk hit column 0; otherwise it
+        # reached row 0 with the b column still open (a_start = 0).
+        a_start = walk.stop[0] if walk.stop is not None else 0
+        return Alignment(score, walk.pairs(), (a_start, n), (0, b_end))
+
+    # local
+    best, bi, bj, _ = _sweep_local(ac[None, :], bc[None, :], model)
+    score, ei, ej = float(best[0]), int(bi[0]), int(bj[0])
+    if ei == 0 or ej == 0:
+        return Alignment(0.0, (), (0, 0), (0, 0))
+    walk = _LinearWalk(ac, bc, model, mode, block_cells)
+    F0 = -g * js  # row 0: H = 0 -> F = -g*j
+    crossed = walk.run(0, ei, F0[: ej + 1], ej)
+    if walk.stop is not None:
+        i0, j0 = walk.stop
+    else:
+        i0, j0 = 0, crossed if crossed is not None else 0
+    return Alignment(score, walk.pairs(), (i0, ei), (j0, ej))
+
+
+def hirschberg_align(
+    a: str, b: str, model: SubstitutionModel | None = None
+) -> Alignment:
+    """Optimal global alignment in near-linear memory.
+
+    Byte-identical to :func:`~fragalign.align.pairwise.global_align`
+    (score *and* pairs — a standing test invariant), via the
+    canonical-walk divide and conquer of :func:`linear_align`.
+    """
+    return linear_align(a, b, model, mode="global")
+
+
+# ---------------------------------------------------------------------------
+# The classic score-splitting Hirschberg — kept as the parity oracle.
+# ---------------------------------------------------------------------------
 
 
 def _score_last_row(
@@ -69,13 +288,15 @@ def _recurse(
     )
 
 
-def hirschberg_align(
+def hirschberg_align_reference(
     a: str, b: str, model: SubstitutionModel | None = None
 ) -> Alignment:
-    """Optimal global alignment in linear space.
+    """The classic forward+backward score-splitting Hirschberg.
 
-    Equal in score to :func:`global_align` (test invariant); the pair
-    list may differ among co-optimal alignments.
+    Returns *a* co-optimal global alignment in linear space — equal in
+    score to :func:`hirschberg_align` but free to pick a different
+    co-optimal pair list.  Kept as the score-parity oracle for the
+    canonical walker.
     """
     model = model or unit_dna()
     pairs: list[tuple[int, int]] = []

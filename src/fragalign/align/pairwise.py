@@ -74,6 +74,15 @@ __all__ = [
     "banded_scores_batch",
     "banded_align",
     "banded_align_batch",
+    "affine_scores_batch",
+    "affine_align_batch",
+    "affine_local_scores_batch",
+    "affine_local_align_batch",
+    "affine_overlap_scores_batch",
+    "affine_overlap_align_batch",
+    "affine_banded_scores_batch",
+    "affine_banded_align_batch",
+    "check_affine_gaps",
     "set_prefix_max_mode",
     "get_prefix_max_mode",
 ]
@@ -322,9 +331,17 @@ def _sweep_global(
     model: SubstitutionModel,
     overlap: bool = False,
     D: np.ndarray | None = None,
+    F0: np.ndarray | None = None,
+    i0: int = 0,
 ) -> _Frontier:
     """Forward sweep; final frontier in ``fr.prev``.  Emits direction
-    codes into ``D`` ((n, B, m) uint8) when given."""
+    codes into ``D`` ((n, B, m) uint8) when given.
+
+    ``F0`` is an optional initial frontier (f-space, shape (B, m+1)) —
+    the checkpoint row a linear-memory walk restarts from; ``i0`` is
+    that row's absolute index (the overlap boundary depends on it).
+    Defaults reproduce a sweep from row 0.
+    """
     g = model.gap
     B, n = A.shape
     m = Bm.shape[1]
@@ -332,7 +349,7 @@ def _sweep_global(
     P2 = (model.matrix - 2.0 * g)[:, Bm]  # per-code diag rows, pre-shifted
     bidx = np.arange(B)
     fr = _Frontier(B, M)
-    fr.prev[:, :M] = 0.0
+    fr.prev[:, :M] = 0.0 if F0 is None else F0
     t1 = np.empty((B, m))
     if D is not None:
         up = np.empty((B, m), dtype=bool)
@@ -344,7 +361,7 @@ def _sweep_global(
         up_from = prev[:, 1:M]
         if D is not None:
             np.greater(up_from, t1, out=up)
-        cur[:, 0] = -i * g if overlap else 0.0
+        cur[:, 0] = -(i0 + i) * g if overlap else 0.0
         np.maximum(t1, up_from, out=cur[:, 1:M])
         fr.prefix_max()
         if D is not None:
@@ -565,8 +582,16 @@ def _sweep_local(
     Bm: np.ndarray,
     model: SubstitutionModel,
     D: np.ndarray | None = None,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Forward local sweep; returns (best, best_i, best_j) per pair."""
+    F0: np.ndarray | None = None,
+    i0: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, _Frontier]:
+    """Forward local sweep; returns (best, best_i, best_j, frontier)
+    per pair (``best_i`` counts rows within this sweep).
+
+    ``F0``/``i0`` restart the sweep from a checkpoint frontier, as in
+    :func:`_sweep_global`; the local f-space depends on the absolute
+    row index, so ``i0`` shifts the zero-cell clamp accordingly.
+    """
     g = model.gap
     B, n = A.shape
     m = Bm.shape[1]
@@ -575,7 +600,10 @@ def _sweep_local(
     bidx = np.arange(B)
     negjs = -g * np.arange(M)
     fr = _Frontier(B, M)
-    fr.prev[:, :M] = negjs  # row 0: H = 0  ->  F = -g*j
+    if F0 is None:
+        fr.prev[:, :M] = negjs  # row 0: H = 0  ->  F = -g*j
+    else:
+        fr.prev[:, :M] = F0
     t1 = np.empty((B, m))
     cv = np.empty(M)
     hrow = np.empty((B, M))
@@ -593,7 +621,7 @@ def _sweep_local(
         up_from = prev[:, 1:M]
         if D is not None:
             np.greater(up_from, t1, out=up)
-        np.add(negjs, -g * i, out=cv)  # F-value of a zero cell, this row
+        np.add(negjs, -g * (i0 + i), out=cv)  # F-value of a zero cell, this row
         cur[:, 0] = cv[0]
         np.maximum(t1, up_from, out=cur[:, 1:M])
         np.maximum(cur[:, :M], cv, out=cur[:, :M])  # the 0-clamp
@@ -616,7 +644,7 @@ def _sweep_local(
             np.multiply(stop.view(np.uint8), 4, out=tmp8)
             np.add(D[i - 1], tmp8, out=D[i - 1])
         fr.advance()
-    return best, bi, bj
+    return best, bi, bj, fr
 
 
 def local_score_reference(a: str, b: str, model: SubstitutionModel | None = None) -> float:
@@ -657,7 +685,7 @@ def local_scores_batch(
     out = np.empty(len(pairs))
     for lo in range(0, len(pairs), chunk):
         A, B = _batch_codes(pairs[lo : lo + chunk])
-        best, _, _ = _sweep_local(A, B, model)
+        best, _, _, _ = _sweep_local(A, B, model)
         out[lo : lo + A.shape[0]] = best
     return out
 
@@ -690,7 +718,7 @@ def local_align_batch(
         A, Bm = _batch_codes(pairs[lo : lo + chunk])
         B = A.shape[0]
         D = np.empty((n, B, m), dtype=np.uint8)
-        best, bi, bj = _sweep_local(A, Bm, model, D=D)
+        best, bi, bj, _ = _sweep_local(A, Bm, model, D=D)
         for k in range(B):
             ei, ej = int(bi[k]), int(bj[k])
             walked, i0, j0 = _walk_local(_pair_bytes(D, k), m, ei, ej)
@@ -782,6 +810,93 @@ def _sweep_banded(
     return fr
 
 
+def _sweep_banded_single(
+    ac: np.ndarray,
+    bc: np.ndarray,
+    band: int,
+    model: SubstitutionModel,
+    D: np.ndarray | None = None,
+) -> np.ndarray:
+    """Dispatch-trimmed single-pair banded sweep; returns the final
+    f-space frontier (length w).
+
+    The batched banded kernel is dispatch-bound at batch 1 (~6 NumPy
+    calls per DP row over a narrow band).  This path cuts the interior
+    to 3 calls per row on 1-D buffers: the whole band's substitution
+    scores are pre-gathered in one fancy-index gather, boundary
+    masking runs only over the <= 2*band edge rows (interior rows need
+    none), the rotating frontier views are pre-built per parity, and
+    the up-shift sentinel is written once instead of re-pinned per
+    row.  ~2-2.5x the batch kernel at batch 1 on the reference host
+    (measured against the anti-diagonal front sweep and a skewed
+    multi-row fixpoint sweep, which both lose — see ROADMAP).
+    Direction codes (``D``: (n, w) uint8) match the batch kernel's.
+    """
+    g = model.gap
+    n, m = len(ac), len(bc)
+    w = 2 * band + 1
+    P2m = model.matrix - 2.0 * g
+    ks = np.arange(w)
+    boundary = -g * band
+    jm1_all = np.clip(np.arange(n)[:, None] - band + ks, 0, max(m - 1, 0))
+    W_all = P2m[ac[:, None], bc[jm1_all]]  # (n, w), one gather
+    bufs = (np.full(w + 1, -np.inf), np.full(w + 1, -np.inf))
+    acc = np.empty(w) if D is not None else None
+    t1 = np.empty(w)
+    valid0 = (ks >= band) & (ks - band <= m)
+    bufs[0][:w][valid0] = boundary
+    # Pre-built rotating views: (row 0..w-1, up-shifted 1..w).
+    views = ((bufs[0][:w], bufs[0][1 : w + 1]), (bufs[1][:w], bufs[1][1 : w + 1]))
+    add, maximum, accum = np.add, np.maximum, np.maximum.accumulate
+    if D is not None:
+        up = np.empty(w, dtype=bool)
+        left = np.empty(w, dtype=bool)
+        tmp8 = np.empty(w, dtype=np.uint8)
+    lo_int = min(band + 1, n + 1)  # rows below this mask at k's low end
+    hi_int = min(n, m - band)  # rows above this mask at k's high end
+    p = 0
+
+    def row(i: int, interior: bool) -> None:
+        (pw, pu), (cw, _) = views[p], views[1 - p]
+        add(pw, W_all[i - 1], out=t1)
+        if D is not None:
+            np.greater(pu, t1, out=up)
+        maximum(t1, pu, out=cw)
+        if not interior:
+            klo = band - i + 1
+            if klo > 0:
+                cw[: min(klo, w)] = -np.inf
+                if klo - 1 < w:
+                    cw[klo - 1] = boundary
+            khi = m - i + band
+            if khi < w - 1:
+                cw[max(khi + 1, 0) : w] = -np.inf
+        if D is None:
+            accum(cw, out=cw)
+        else:
+            accum(cw, out=acc)
+            np.greater(acc, cw, out=left)
+            np.multiply(left.view(np.uint8), 2, out=tmp8)
+            np.add(tmp8, up.view(np.uint8), out=D[i - 1])
+            cw[:] = acc
+
+    for i in range(1, lo_int):
+        row(i, False)
+        p = 1 - p
+    for i in range(lo_int, hi_int + 1):
+        row(i, True)
+        p = 1 - p
+    for i in range(max(lo_int, hi_int + 1), n + 1):
+        row(i, False)
+        p = 1 - p
+    return views[p][0]
+
+
+#: Pre-gathering the whole band's substitution tensor caps the single-
+#: pair fast path; bigger sweeps take the batch kernel at B = 1.
+_BANDED_SINGLE_MAX_BYTES = 64 << 20
+
+
 def banded_global_score_reference(
     a: str, b: str, band: int, model: SubstitutionModel | None = None
 ) -> float:
@@ -835,6 +950,14 @@ def banded_scores_batch(
     k_end = m - n + band
     shift = g * k_end + 2.0 * g * n
     out = np.empty(len(pairs))
+    w = 2 * band + 1
+    if min(len(pairs), chunk) == 1 and n * w * 8 <= _BANDED_SINGLE_MAX_BYTES:
+        # Batch-of-one sweeps are dispatch-bound; take the trimmed
+        # single-pair path (identical scores, ~2x fewer NumPy calls).
+        for k, (a, b) in enumerate(pairs):
+            final = _sweep_banded_single(_as_codes(a), _as_codes(b), band, model)
+            out[k] = final[k_end] + shift
+        return out
     for lo in range(0, len(pairs), chunk):
         A, B = _batch_codes(pairs[lo : lo + chunk])
         fr = _sweep_banded(A, B, band, model)
@@ -860,7 +983,30 @@ def banded_align_batch(
     w = 2 * band + 1
     k_end = m - n + band
     shift = g * k_end + 2.0 * g * n
+
+    def walk_codes(db: bytes, score: float) -> Alignment:
+        i, j = n, m
+        rev: list[tuple[int, int]] = []
+        while i > 0 and j > 0:
+            c = db[(i - 1) * w + (j - i + band)]
+            if c >= 2:
+                j -= 1
+            elif c == 1:
+                i -= 1
+            else:
+                rev.append((i - 1, j - 1))
+                i -= 1
+                j -= 1
+        rev.reverse()
+        return Alignment(score, tuple(rev), (0, n), (0, m))
+
     out: list[Alignment] = []
+    if min(len(pairs), chunk) == 1 and n * w * 9 <= _BANDED_SINGLE_MAX_BYTES:
+        for a, b in pairs:
+            D1 = np.empty((n, w), dtype=np.uint8)
+            final = _sweep_banded_single(_as_codes(a), _as_codes(b), band, model, D=D1)
+            out.append(walk_codes(D1.tobytes(), float(final[k_end] + shift)))
+        return out
     for lo in range(0, len(pairs), chunk):
         A, Bm = _batch_codes(pairs[lo : lo + chunk])
         B = A.shape[0]
@@ -868,21 +1014,7 @@ def banded_align_batch(
         fr = _sweep_banded(A, Bm, band, model, D=D)
         scores = fr.prev[:, k_end] + shift
         for k in range(B):
-            db = _pair_bytes(D, k)
-            i, j = n, m
-            rev: list[tuple[int, int]] = []
-            while i > 0 and j > 0:
-                c = db[(i - 1) * w + (j - i + band)]
-                if c >= 2:
-                    j -= 1
-                elif c == 1:
-                    i -= 1
-                else:
-                    rev.append((i - 1, j - 1))
-                    i -= 1
-                    j -= 1
-            rev.reverse()
-            out.append(Alignment(float(scores[k]), tuple(rev), (0, n), (0, m)))
+            out.append(walk_codes(_pair_bytes(D, k), float(scores[k])))
     return out
 
 
@@ -903,3 +1035,566 @@ def banded_global_score(
     parity oracle).  ``band`` is validated once up front.
     """
     return float(banded_scores_batch([(a, b)], band, model, chunk=1)[0])
+
+
+# ---------------------------------------------------------------------------
+# Affine-gap (Gotoh) kernels.
+#
+# Three frontiers per row: M (last move was a match/mismatch), X (gap
+# in b — consuming a, the "up" gap) and Y (gap in a — consuming b, the
+# "left" gap).  A k-long gap costs gap_open + (k-1)*gap_extend; a
+# direct X<->Y switch pays gap_open again (the convention of the
+# scalar Gotoh oracle in fragalign.align.affine).
+#
+#   M[i,j] = max(M, X, Y)[i-1, j-1] + W(i, j)
+#   X[i,j] = max(max(M, Y)[i-1, j] + open,  X[i-1, j] + extend)
+#   Y[i,j] = max(max(M, X)[i, j-1] + open,  Y[i, j-1] + extend)
+#
+# The Y in-row dependency collapses to a prefix maximum of
+# ``max(M, X)[j'] + open - extend*(j'+1)`` (add ``extend*j`` back per
+# column) — the affine twin of the linear kernel's f-space trick — so
+# a row costs a fixed number of whole-batch NumPy ops.  Everything is
+# exact on integer-valued models.
+#
+# Direction codes, one packed uint8 per cell:
+#   bits 0-1: M's diagonal source state (0=M, 1=X, 2=Y); ties M > X > Y
+#   bit 2 (4):  X extended (from X above); unset = opened
+#   bit 3 (8):  X opened from Y (read when bit2 unset); unset = from M
+#   bit 4 (16): Y extended (from Y on the left); unset = opened
+#   bit 5 (32): Y opened from X (read when bit4 unset); unset = from M
+#   bit 6 (64): local only — M was clamped to 0 (stop)
+# All "beats" are strict, so the walk reproduces the tie orders above.
+# ---------------------------------------------------------------------------
+
+
+def check_affine_gaps(gap_open, gap_extend) -> tuple[float, float]:
+    """Validate an affine gap parameter pair; returns them as floats.
+
+    Both must be set together and be non-positive numbers (the local
+    kernels rely on gaps never improving a score, so an optimal local
+    alignment always ends in the M state).
+    """
+    if (gap_open is None) != (gap_extend is None):
+        raise ValueError(
+            "gap_open and gap_extend must be set together "
+            f"(got gap_open={gap_open!r}, gap_extend={gap_extend!r})"
+        )
+    for name, value in (("gap_open", gap_open), ("gap_extend", gap_extend)):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"{name} must be a number, got {value!r}")
+        if value > 0:
+            raise ValueError(f"{name} must be <= 0, got {value!r}")
+    return float(gap_open), float(gap_extend)
+
+
+def _affine_empty(
+    n: int, m: int, open_: float, ext: float, mode: str
+) -> tuple[float, tuple[int, int], tuple[int, int]]:
+    """Score and intervals for a degenerate (n==0 or m==0) affine pair."""
+    if mode in ("local", "overlap"):
+        score = 0.0
+    elif n == 0 and m == 0:
+        score = 0.0
+    else:
+        score = open_ + (max(n, m) - 1) * ext
+    if mode == "local":
+        return score, (0, 0), (0, 0)
+    if mode == "overlap":
+        return score, (n, n), (0, 0)
+    return score, (0, n), (0, m)
+
+
+class _AffineRows:
+    """The three rotating (B, m+1) frontiers plus per-row scratch."""
+
+    __slots__ = ("Mp", "Xp", "Yp", "Mc", "Xc", "Yc", "bp", "osrc", "run", "t")
+
+    def __init__(self, B: int, M: int) -> None:
+        self.Mp = np.full((B, M), -np.inf)
+        self.Xp = np.full((B, M), -np.inf)
+        self.Yp = np.full((B, M), -np.inf)
+        self.Mc = np.full((B, M), -np.inf)
+        self.Xc = np.full((B, M), -np.inf)
+        self.Yc = np.full((B, M), -np.inf)
+        self.bp = np.empty((B, M))
+        self.osrc = np.empty((B, M))
+        self.run = np.empty((B, M))
+        self.t = np.empty((B, M))
+
+    def advance(self) -> None:
+        self.Mp, self.Mc = self.Mc, self.Mp
+        self.Xp, self.Xc = self.Xc, self.Xp
+        self.Yp, self.Yc = self.Yc, self.Yp
+
+
+def _sweep_affine(
+    A: np.ndarray,
+    Bm: np.ndarray,
+    model: SubstitutionModel,
+    open_: float,
+    ext: float,
+    mode: str,
+    D: np.ndarray | None = None,
+) -> tuple[_AffineRows, np.ndarray, np.ndarray, np.ndarray]:
+    """Forward Gotoh sweep for ``mode`` in global/overlap/local.
+
+    Returns (rows, best, best_i, best_j); the final frontiers are in
+    ``rows.Mp/Xp/Yp``.  ``best*`` track the running best M cell (used
+    by local; zeros otherwise).  Emits packed direction codes into
+    ``D`` ((n, B, m) uint8) when given.
+    """
+    B, n = A.shape
+    m = Bm.shape[1]
+    M = m + 1
+    P = model.matrix[:, Bm]  # per-code substitution rows, (5, B, m)
+    bidx = np.arange(B)
+    js = np.arange(M)
+    extjs = ext * js
+    src_shift = open_ - ext * (js + 1.0)
+    r = _AffineRows(B, M)
+    local = mode == "local"
+    overlap = mode == "overlap"
+    # Row 0: M[0][0] = 0 (local: the whole row restarts at 0);
+    # leading gaps in b live in Y unless local.
+    if local:
+        r.Mp[:, :] = 0.0
+    else:
+        r.Mp[:, 0] = 0.0
+        if m:
+            r.Yp[:, 1:] = open_ + (js[1:] - 1) * ext
+    best = np.zeros(B)
+    bi = np.zeros(B, dtype=np.int64)
+    bj = np.zeros(B, dtype=np.int64)
+    if D is not None:
+        e_x = np.empty((B, m), dtype=bool)
+        e_y = np.empty((B, m), dtype=bool)
+        b1 = np.empty((B, m), dtype=bool)
+        u8a = np.empty((B, m), dtype=np.uint8)
+        u8b = np.empty((B, m), dtype=np.uint8)
+    for i in range(1, n + 1):
+        Mp, Xp, Yp = r.Mp, r.Xp, r.Yp
+        Mc, Xc, Yc = r.Mc, r.Xc, r.Yc
+        # M: best previous state, one diagonal step back.
+        np.maximum(Mp, Xp, out=r.bp)
+        if D is not None:
+            # bits 0-1: M's diag source (ties M > X > Y), from columns
+            # 0..m-1 of the previous row.
+            np.greater(Xp[:, :m], Mp[:, :m], out=e_x)
+            np.greater(Yp[:, :m], r.bp[:, :m], out=e_y)
+            np.multiply(e_y.view(np.uint8), 2, out=u8a)
+            np.logical_and(e_x, ~e_y, out=b1)
+            np.add(u8a, b1.view(np.uint8), out=u8a)  # u8a = msrc
+        np.maximum(r.bp, Yp, out=r.bp)
+        np.add(r.bp[:, :m], P[A[:, i - 1], bidx], out=Mc[:, 1:])
+        Mc[:, 0] = 0.0 if (local or overlap) else -np.inf
+        if local:
+            if D is not None:
+                # bit 6: the clamp won (cell value 0) — stop.
+                np.less_equal(Mc[:, 1:], 0.0, out=b1)
+                np.multiply(b1.view(np.uint8), 64, out=u8b)
+                np.add(u8a, u8b, out=u8a)
+            np.maximum(Mc, 0.0, out=Mc)
+        # X: open from M/Y above, or extend the running gap.
+        np.maximum(Mp, Yp, out=r.osrc)
+        if D is not None:
+            np.greater(Yp[:, 1:], Mp[:, 1:], out=b1)  # bit 3
+            np.multiply(b1.view(np.uint8), 8, out=u8b)
+            np.add(u8a, u8b, out=u8a)
+        np.add(r.osrc, open_, out=r.osrc)
+        np.add(Xp, ext, out=r.t)
+        if D is not None:
+            np.greater(r.t[:, 1:], r.osrc[:, 1:], out=b1)  # bit 2
+            np.multiply(b1.view(np.uint8), 4, out=u8b)
+            np.add(u8a, u8b, out=u8a)
+        np.maximum(r.osrc, r.t, out=Xc)
+        Xc[:, 0] = -np.inf if (local or overlap) else open_ + (i - 1) * ext
+        # Y: prefix max over max(M, X)[j'] + open - ext*(j'+1).
+        np.maximum(Mc, Xc, out=r.osrc)
+        if D is not None:
+            np.greater(Xc[:, :m], Mc[:, :m], out=b1)  # bit 5
+            np.multiply(b1.view(np.uint8), 32, out=u8b)
+            np.add(u8a, u8b, out=u8a)
+        np.add(r.osrc, src_shift, out=r.t)
+        r.run[:, 0] = -np.inf
+        np.maximum.accumulate(r.t[:, :m], axis=1, out=r.run[:, 1:])
+        np.add(r.run, extjs, out=Yc)
+        Yc[:, 0] = -np.inf
+        if D is not None:
+            # bit 4: Y extended — the gap ran past the previous column.
+            np.add(Yc[:, :m], ext, out=r.t[:, :m])
+            np.add(r.osrc[:, :m], open_, out=r.run[:, :m])
+            np.greater(r.t[:, :m], r.run[:, :m], out=b1)
+            np.multiply(b1.view(np.uint8), 16, out=u8b)
+            np.add(u8a, u8b, out=D[i - 1])
+        if local:
+            rowmax = Mc.max(axis=1)
+            better = rowmax > best
+            if better.any():
+                best[better] = rowmax[better]
+                bi[better] = i
+                bj[better] = np.argmax(Mc[better], axis=1)
+        r.advance()
+    return r, best, bi, bj
+
+
+def _end_state(mv: float, xv: float, yv: float) -> int:
+    """Best end state with tie order M > X > Y."""
+    best = max(mv, xv, yv)
+    if mv == best:
+        return 0
+    if xv == best:
+        return 1
+    return 2
+
+
+def _walk_affine(
+    db: bytes, m: int, i: int, j: int, state: int, band: int | None = None
+) -> tuple[list[tuple[int, int]], int, int]:
+    """Walk affine direction codes from (i, j) in ``state`` toward the
+    origin; returns (pairs in forward order, stop_i, stop_j).
+
+    ``db`` is the row-major bytes of one pair's code matrix: (n, m)
+    cell-indexed, or — when ``band`` is given — the (n, 2*band+1)
+    diagonal-offset layout, where ``m`` is the band width and a cell
+    (i, j) lives at offset ``j - i + band``.  The walk ends at the
+    first row/column or at a local stop code.
+    """
+    rev: list[tuple[int, int]] = []
+    while i > 0 and j > 0:
+        col = (j - 1) if band is None else (j - i + band)
+        c = db[(i - 1) * m + col]
+        if state == 0:
+            if c >= 64:  # local stop: this cell's M is 0
+                break
+            rev.append((i - 1, j - 1))
+            state = c & 3
+            i -= 1
+            j -= 1
+        elif state == 1:
+            state = 1 if c & 4 else (2 if c & 8 else 0)
+            i -= 1
+        else:
+            state = 2 if c & 16 else (1 if c & 32 else 0)
+            j -= 1
+    rev.reverse()
+    return rev, i, j
+
+
+def _affine_batch(
+    pairs: Sequence[tuple[str | np.ndarray, str | np.ndarray]],
+    model: SubstitutionModel | None,
+    gap_open,
+    gap_extend,
+    chunk: int,
+    mode: str,
+    kind: str,
+):
+    """Shared driver for the unbanded affine score/align kernels."""
+    model = model or unit_dna()
+    open_, ext = check_affine_gaps(gap_open, gap_extend)
+    if not pairs:
+        return np.zeros(0) if kind == "score" else []
+    n, m = _check_uniform(pairs)
+    if n == 0 or m == 0:
+        score, ai, bi_ = _affine_empty(n, m, open_, ext, mode)
+        if kind == "score":
+            return np.full(len(pairs), score)
+        return [Alignment(score, (), ai, bi_) for _ in pairs]
+    out_scores = np.empty(len(pairs))
+    out_alns: list[Alignment] = []
+    for lo in range(0, len(pairs), chunk):
+        A, Bm = _batch_codes(pairs[lo : lo + chunk])
+        B = A.shape[0]
+        D = None
+        if kind == "align":
+            D = np.empty((n, B, m), dtype=np.uint8)
+        r, best, bi, bj = _sweep_affine(A, Bm, model, open_, ext, mode, D=D)
+        if mode == "global":
+            mv, xv, yv = r.Mp[:, m], r.Xp[:, m], r.Yp[:, m]
+            scores = np.maximum(np.maximum(mv, xv), yv)
+        elif mode == "overlap":
+            hrow = np.maximum(np.maximum(r.Mp, r.Xp), r.Yp)
+            ends = np.argmax(hrow, axis=1)
+            scores = hrow[np.arange(B), ends]
+        else:  # local
+            scores = best
+        if kind == "score":
+            out_scores[lo : lo + B] = scores
+            continue
+        for k in range(B):
+            db = _pair_bytes(D, k)
+            if mode == "global":
+                state = _end_state(float(r.Mp[k, m]), float(r.Xp[k, m]), float(r.Yp[k, m]))
+                walked, _, _ = _walk_affine(db, m, n, m, state)
+                out_alns.append(
+                    Alignment(float(scores[k]), tuple(walked), (0, n), (0, m))
+                )
+            elif mode == "overlap":
+                b_end = int(ends[k])
+                state = _end_state(
+                    float(r.Mp[k, b_end]), float(r.Xp[k, b_end]), float(r.Yp[k, b_end])
+                )
+                walked, a_start, _ = _walk_affine(db, m, n, b_end, state)
+                out_alns.append(
+                    Alignment(float(scores[k]), tuple(walked), (a_start, n), (0, b_end))
+                )
+            else:  # local: best cell is always an M cell
+                ei, ej = int(bi[k]), int(bj[k])
+                walked, i0, j0 = _walk_affine(db, m, ei, ej, 0)
+                out_alns.append(
+                    Alignment(float(scores[k]), tuple(walked), (i0, ei), (j0, ej))
+                )
+    return out_scores if kind == "score" else out_alns
+
+
+def affine_scores_batch(
+    pairs: Sequence[tuple[str | np.ndarray, str | np.ndarray]],
+    model: SubstitutionModel | None = None,
+    gap_open: float = -4.0,
+    gap_extend: float = -1.0,
+    chunk: int = 64,
+) -> np.ndarray:
+    """Batched Gotoh global scores (affine gaps) for same-shape pairs."""
+    return _affine_batch(pairs, model, gap_open, gap_extend, chunk, "global", "score")
+
+
+def affine_align_batch(
+    pairs: Sequence[tuple[str | np.ndarray, str | np.ndarray]],
+    model: SubstitutionModel | None = None,
+    gap_open: float = -4.0,
+    gap_extend: float = -1.0,
+    chunk: int = 64,
+) -> list[Alignment]:
+    """Batched Gotoh global alignment with table-free traceback."""
+    return _affine_batch(pairs, model, gap_open, gap_extend, chunk, "global", "align")
+
+
+def affine_local_scores_batch(
+    pairs: Sequence[tuple[str | np.ndarray, str | np.ndarray]],
+    model: SubstitutionModel | None = None,
+    gap_open: float = -4.0,
+    gap_extend: float = -1.0,
+    chunk: int = 64,
+) -> np.ndarray:
+    """Batched affine Smith–Waterman scores for same-shape pairs."""
+    return _affine_batch(pairs, model, gap_open, gap_extend, chunk, "local", "score")
+
+
+def affine_local_align_batch(
+    pairs: Sequence[tuple[str | np.ndarray, str | np.ndarray]],
+    model: SubstitutionModel | None = None,
+    gap_open: float = -4.0,
+    gap_extend: float = -1.0,
+    chunk: int = 64,
+) -> list[Alignment]:
+    """Batched affine Smith–Waterman with table-free traceback."""
+    return _affine_batch(pairs, model, gap_open, gap_extend, chunk, "local", "align")
+
+
+def affine_overlap_scores_batch(
+    pairs: Sequence[tuple[str | np.ndarray, str | np.ndarray]],
+    model: SubstitutionModel | None = None,
+    gap_open: float = -4.0,
+    gap_extend: float = -1.0,
+    chunk: int = 64,
+) -> np.ndarray:
+    """Batched affine suffix(a)–prefix(b) overlap scores."""
+    return _affine_batch(pairs, model, gap_open, gap_extend, chunk, "overlap", "score")
+
+
+def affine_overlap_align_batch(
+    pairs: Sequence[tuple[str | np.ndarray, str | np.ndarray]],
+    model: SubstitutionModel | None = None,
+    gap_open: float = -4.0,
+    gap_extend: float = -1.0,
+    chunk: int = 64,
+) -> list[Alignment]:
+    """Batched affine overlap alignment with table-free traceback."""
+    return _affine_batch(pairs, model, gap_open, gap_extend, chunk, "overlap", "align")
+
+
+# ---------------------------------------------------------------------------
+# Banded affine kernels (diagonal-offset layout, three frontiers).
+#
+# Same layout as the linear banded sweep (column k is the diagonal
+# j - i + band), but with plain H values and -inf masking instead of
+# the f-space shift: the diagonal move stays in-place (same k), the X
+# gap reads k+1 from the previous row (sentinel column at k = w), and
+# the Y in-row dependency is the same prefix maximum as the unbanded
+# affine kernel, along k.
+# ---------------------------------------------------------------------------
+
+
+def _sweep_affine_banded(
+    A: np.ndarray,
+    Bm: np.ndarray,
+    band: int,
+    model: SubstitutionModel,
+    open_: float,
+    ext: float,
+    D: np.ndarray | None = None,
+) -> _AffineRows:
+    B, n = A.shape
+    m = Bm.shape[1]
+    w = 2 * band + 1
+    M = w + 1  # slot w is the -inf sentinel feeding the X up-shift
+    ks = np.arange(M)
+    extks = ext * ks
+    src_shift = open_ - ext * (ks + 1.0)
+    # Pre-gather every row's diagonal substitution scores (masked
+    # positions are clip artifacts; they are -inf'd below anyway).
+    jm1_all = np.clip(np.arange(n)[:, None] - band + ks[:w], 0, max(m - 1, 0))
+    W_all = None
+    Pm = model.matrix
+    if B * n * w * 8 <= (64 << 20):
+        W_all = Pm[A[:, :, None], Bm[:, jm1_all]]  # (B, n, w)
+    r = _AffineRows(B, M)
+    # Row 0: j = k - band in [0, m]; M[0][0] = 0, Y[0][j] carries the
+    # leading gap in b.
+    j0s = ks[:w] - band
+    valid0 = (j0s >= 0) & (j0s <= m)
+    r.Mp[:, :w][:, valid0 & (j0s == 0)] = 0.0
+    ypos = valid0 & (j0s >= 1)
+    if ypos.any():
+        r.Yp[:, :w][:, ypos] = open_ + (j0s[ypos] - 1) * ext
+    if D is not None:
+        e_x = np.empty((B, w), dtype=bool)
+        e_y = np.empty((B, w), dtype=bool)
+        b1 = np.empty((B, w), dtype=bool)
+        u8a = np.empty((B, w), dtype=np.uint8)
+        u8b = np.empty((B, w), dtype=np.uint8)
+    for i in range(1, n + 1):
+        Mp, Xp, Yp = r.Mp, r.Xp, r.Yp
+        Mc, Xc, Yc = r.Mc, r.Xc, r.Yc
+        if W_all is not None:
+            Wk = W_all[:, i - 1]
+        else:
+            Wk = Pm[A[:, i - 1][:, None], Bm[:, jm1_all[i - 1]]]
+        # M: diagonal move is in-place in this layout.
+        np.maximum(Mp[:, :w], Xp[:, :w], out=r.bp[:, :w])
+        if D is not None:
+            np.greater(Xp[:, :w], Mp[:, :w], out=e_x)
+            np.greater(Yp[:, :w], r.bp[:, :w], out=e_y)
+            np.multiply(e_y.view(np.uint8), 2, out=u8a)
+            np.logical_and(e_x, ~e_y, out=b1)
+            np.add(u8a, b1.view(np.uint8), out=u8a)
+        np.maximum(r.bp[:, :w], Yp[:, :w], out=r.bp[:, :w])
+        np.add(r.bp[:, :w], Wk, out=Mc[:, :w])
+        # X: open/extend from k+1 of the previous row.
+        np.maximum(Mp[:, 1:M], Yp[:, 1:M], out=r.osrc[:, :w])
+        if D is not None:
+            np.greater(Yp[:, 1:M], Mp[:, 1:M], out=b1)  # bit 3
+            np.multiply(b1.view(np.uint8), 8, out=u8b)
+            np.add(u8a, u8b, out=u8a)
+        np.add(r.osrc[:, :w], open_, out=r.osrc[:, :w])
+        np.add(Xp[:, 1:M], ext, out=r.t[:, :w])
+        if D is not None:
+            np.greater(r.t[:, :w], r.osrc[:, :w], out=b1)  # bit 2
+            np.multiply(b1.view(np.uint8), 4, out=u8b)
+            np.add(u8a, u8b, out=u8a)
+        np.maximum(r.osrc[:, :w], r.t[:, :w], out=Xc[:, :w])
+        # Mask cells outside the matrix; plant the j == 0 boundary.
+        klo = band - i + 1  # first k with j >= 1
+        if klo > 0:
+            Mc[:, : min(klo, w)] = -np.inf
+            Xc[:, : min(klo, w)] = -np.inf
+            if klo - 1 < w:
+                Xc[:, klo - 1] = open_ + (i - 1) * ext
+        khi = m - i + band  # last k with j <= m
+        if khi < w - 1:
+            Mc[:, max(khi + 1, 0) : w] = -np.inf
+            Xc[:, max(khi + 1, 0) : w] = -np.inf
+        Mc[:, w] = -np.inf
+        Xc[:, w] = -np.inf
+        # Y: in-row prefix max along k.  The in-row predecessor of cell
+        # k is k-1, so the Y bits compare one slot to the left (the
+        # unbanded kernel's column slices do this implicitly).
+        np.maximum(Mc[:, :w], Xc[:, :w], out=r.osrc[:, :w])
+        if D is not None:
+            b1[:, 0] = False  # k = 0 has no in-row predecessor
+            np.greater(Xc[:, : w - 1], Mc[:, : w - 1], out=b1[:, 1:w])  # bit 5
+            np.multiply(b1.view(np.uint8), 32, out=u8b)
+            np.add(u8a, u8b, out=u8a)
+        np.add(r.osrc[:, :w], src_shift[:w], out=r.t[:, :w])
+        r.run[:, 0] = -np.inf
+        np.maximum.accumulate(r.t[:, : w - 1], axis=1, out=r.run[:, 1:w])
+        np.add(r.run[:, :w], extks[:w], out=Yc[:, :w])
+        Yc[:, 0] = -np.inf
+        if khi < w - 1:
+            Yc[:, max(khi + 1, 0) : w] = -np.inf
+        if klo > 0:
+            Yc[:, : min(klo, w)] = -np.inf
+        Yc[:, w] = -np.inf
+        if D is not None:
+            np.add(Yc[:, : w - 1], ext, out=r.t[:, : w - 1])
+            np.add(r.osrc[:, : w - 1], open_, out=r.run[:, : w - 1])
+            b1[:, 0] = False
+            np.greater(r.t[:, : w - 1], r.run[:, : w - 1], out=b1[:, 1:w])  # bit 4
+            np.multiply(b1.view(np.uint8), 16, out=u8b)
+            np.add(u8a, u8b, out=D[i - 1])
+        r.advance()
+    return r
+
+
+def affine_banded_scores_batch(
+    pairs: Sequence[tuple[str | np.ndarray, str | np.ndarray]],
+    band: int,
+    model: SubstitutionModel | None = None,
+    gap_open: float = -4.0,
+    gap_extend: float = -1.0,
+    chunk: int = 64,
+) -> np.ndarray:
+    """Banded Gotoh scores (|i - j| <= band) for same-shape pairs."""
+    model = model or unit_dna()
+    open_, ext = check_affine_gaps(gap_open, gap_extend)
+    if not pairs:
+        return np.zeros(0)
+    n, m = _check_uniform(pairs)
+    band = _check_band(n, m, band)
+    if n == 0 or m == 0:
+        return np.full(len(pairs), _affine_empty(n, m, open_, ext, "global")[0])
+    k_end = m - n + band
+    out = np.empty(len(pairs))
+    for lo in range(0, len(pairs), chunk):
+        A, B = _batch_codes(pairs[lo : lo + chunk])
+        r = _sweep_affine_banded(A, B, band, model, open_, ext)
+        out[lo : lo + A.shape[0]] = np.maximum(
+            np.maximum(r.Mp[:, k_end], r.Xp[:, k_end]), r.Yp[:, k_end]
+        )
+    return out
+
+
+def affine_banded_align_batch(
+    pairs: Sequence[tuple[str | np.ndarray, str | np.ndarray]],
+    band: int,
+    model: SubstitutionModel | None = None,
+    gap_open: float = -4.0,
+    gap_extend: float = -1.0,
+    chunk: int = 64,
+) -> list[Alignment]:
+    """Batched banded Gotoh alignment with table-free traceback."""
+    model = model or unit_dna()
+    open_, ext = check_affine_gaps(gap_open, gap_extend)
+    if not pairs:
+        return []
+    n, m = _check_uniform(pairs)
+    band = _check_band(n, m, band)
+    if n == 0 or m == 0:
+        score, ai, bi_ = _affine_empty(n, m, open_, ext, "global")
+        return [Alignment(score, (), ai, bi_) for _ in pairs]
+    w = 2 * band + 1
+    k_end = m - n + band
+    out: list[Alignment] = []
+    for lo in range(0, len(pairs), chunk):
+        A, Bm = _batch_codes(pairs[lo : lo + chunk])
+        B = A.shape[0]
+        D = np.empty((n, B, w), dtype=np.uint8)
+        r = _sweep_affine_banded(A, Bm, band, model, open_, ext, D=D)
+        for k in range(B):
+            state = _end_state(
+                float(r.Mp[k, k_end]), float(r.Xp[k, k_end]), float(r.Yp[k, k_end])
+            )
+            score = (r.Mp[k, k_end], r.Xp[k, k_end], r.Yp[k, k_end])[state]
+            walked, _, _ = _walk_affine(_pair_bytes(D, k), w, n, m, state, band=band)
+            out.append(Alignment(float(score), tuple(walked), (0, n), (0, m)))
+    return out

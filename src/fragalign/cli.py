@@ -23,6 +23,49 @@ from typing import Sequence
 __all__ = ["main", "build_parser"]
 
 
+def _add_gap_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--gap-open",
+        type=float,
+        default=None,
+        help="affine gap-open cost (switches to Gotoh gaps; needs --gap-extend)",
+    )
+    parser.add_argument(
+        "--gap-extend",
+        type=float,
+        default=None,
+        help="affine gap-extend cost (with --gap-open)",
+    )
+
+
+def _check_gap_flags(args: argparse.Namespace) -> bool:
+    if args.gap_open is None and args.gap_extend is None:
+        return True
+    from fragalign.align.pairwise import check_affine_gaps
+
+    try:
+        check_affine_gaps(args.gap_open, args.gap_extend)
+    except ValueError as exc:
+        print(f"error: {exc} (--gap-open/--gap-extend)", file=sys.stderr)
+        return False
+    return True
+
+
+def _check_serve_memory(args: argparse.Namespace) -> bool:
+    """Default memory='linear' only serves linear-gap, unbanded align
+    traffic — reject the combination before booting a server that
+    would refuse 100% of its align requests."""
+    if getattr(args, "memory", None) != "linear":
+        return True
+    from fragalign.engine import linear_memory_conflict
+
+    conflict = linear_memory_conflict(args.mode, args.gap_open is not None)
+    if conflict is not None:
+        print(f"error: --memory linear is not supported with {conflict}", file=sys.stderr)
+        return False
+    return True
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="fragalign",
@@ -89,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="band half-width (required with --mode banded)",
     )
+    _add_gap_flags(eng)
     eng.add_argument("--workers", type=int, default=None)
     eng.add_argument("--seed", type=int, default=2026)
 
@@ -111,6 +155,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="default band half-width for banded-mode requests",
+    )
+    _add_gap_flags(srv)
+    srv.add_argument(
+        "--memory",
+        choices=["auto", "tensor", "linear"],
+        default="auto",
+        help="default align traceback strategy (requests may override)",
     )
     srv.add_argument(
         "--max-batch", type=int, default=64, help="flush a batch at this size"
@@ -157,6 +208,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="band half-width to send with banded-mode requests",
     )
+    _add_gap_flags(cli)
+    cli.add_argument(
+        "--memory",
+        choices=["auto", "tensor", "linear"],
+        default=None,
+        help="align traceback strategy to request (align op only)",
+    )
+    cli.add_argument(
+        "--reconnect",
+        action="store_true",
+        help="transparently reconnect (capped backoff) on connection loss",
+    )
     cli.add_argument("--seed", type=int, default=2026)
     cli.add_argument(
         "--expect-cache-hits",
@@ -186,6 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="global",
     )
     cserve.add_argument("--band", type=int, default=None)
+    _add_gap_flags(cserve)
     cserve.add_argument("--max-batch", type=int, default=64)
     cserve.add_argument("--max-delay-ms", type=float, default=2.0)
     cserve.add_argument(
@@ -231,6 +295,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="'mixed' cycles global/local/overlap across requests",
     )
     croute.add_argument("--band", type=int, default=None)
+    _add_gap_flags(croute)
+    croute.add_argument(
+        "--memory",
+        choices=["auto", "tensor", "linear"],
+        default=None,
+        help="align traceback strategy to request (align ops only)",
+    )
     croute.add_argument("--seed", type=int, default=2026)
     croute.add_argument(
         "--max-attempts",
@@ -280,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
     )
     cwarm.add_argument("--band", type=int, default=None)
+    _add_gap_flags(cwarm)
     cwarm.add_argument("--concurrency", type=int, default=32)
 
     cstats = csub.add_parser(
@@ -408,9 +480,16 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     if args.mode == "banded" and args.band is None:
         print("error: --mode banded needs --band", file=sys.stderr)
         return 2
+    if not _check_gap_flags(args):
+        return 2
     try:
         engine = AlignmentEngine(
-            backend=args.backend, mode=args.mode, band=args.band, **options
+            backend=args.backend,
+            mode=args.mode,
+            band=args.band,
+            gap_open=args.gap_open,
+            gap_extend=args.gap_extend,
+            **options,
         )
     except TypeError:
         print(
@@ -439,12 +518,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.mode == "banded" and args.band is None:
         print("error: --mode banded needs --band", file=sys.stderr)
         return 2
+    if not _check_gap_flags(args) or not _check_serve_memory(args):
+        return 2
     config = ServiceConfig(
         host=args.host,
         port=args.port,
         backend=args.backend,
         mode=args.mode,
         band=args.band,
+        gap_open=args.gap_open,
+        gap_extend=args.gap_extend,
+        memory=args.memory,
         max_batch=args.max_batch,
         max_delay=args.max_delay_ms / 1e3,
         cache_size=args.cache_size,
@@ -471,11 +555,20 @@ def _cmd_client(args: argparse.Namespace) -> int:
     for k, pair in enumerate(unique[: args.requests]):
         pairs[k] = pair  # every unique pair appears at least once
 
-    with AlignmentClient(args.host, args.port) as client:
-        run = client.score_many if args.op == "score" else client.align_many
-        t, results = time_call(
-            run, pairs, args.concurrency, args.mode, args.band, repeat=1
-        )
+    if not _check_gap_flags(args):
+        return 2
+    with AlignmentClient(args.host, args.port, reconnect=args.reconnect) as client:
+        if args.op == "score":
+            run = lambda: client.score_many(
+                pairs, args.concurrency, args.mode, args.band,
+                args.gap_open, args.gap_extend,
+            )
+        else:
+            run = lambda: client.align_many(
+                pairs, args.concurrency, args.mode, args.band,
+                args.gap_open, args.gap_extend, args.memory,
+            )
+        t, results = time_call(run, repeat=1)
         stats = client.stats()
         if args.shutdown:
             client.shutdown()
@@ -514,6 +607,8 @@ def _cluster_layout(cluster_file: str) -> tuple[list[tuple[str, int]], dict]:
         "backend": obj.get("backend", "numpy"),
         "mode": obj.get("mode", "global"),
         "band": obj.get("band"),
+        "gap_open": obj.get("gap_open"),
+        "gap_extend": obj.get("gap_extend"),
     }
     return addresses, defaults
 
@@ -526,12 +621,16 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
     if args.mode == "banded" and args.band is None:
         print("error: --mode banded needs --band", file=sys.stderr)
         return 2
+    if not _check_gap_flags(args):
+        return 2
     supervisor = ClusterSupervisor(
         shards=args.shards,
         host=args.host,
         backend=args.backend,
         mode=args.mode,
         band=args.band,
+        gap_open=args.gap_open,
+        gap_extend=args.gap_extend,
         max_batch=args.max_batch,
         max_delay_ms=args.max_delay_ms,
         cache_size=args.cache_size,
@@ -593,6 +692,8 @@ def _cmd_cluster_route(args: argparse.Namespace) -> int:
     pairs = [unique[int(k)] for k in gen.integers(0, n_unique, args.requests)]
     for k, pair in enumerate(unique[: args.requests]):
         pairs[k] = pair
+    if not _check_gap_flags(args):
+        return 2
     mode_cycle = ("global", "local", "overlap")
     entries = [
         {
@@ -603,9 +704,14 @@ def _cmd_cluster_route(args: argparse.Namespace) -> int:
             if args.mode != "mixed"
             else mode_cycle[k % len(mode_cycle)],
             "band": args.band,
+            "gap_open": args.gap_open,
+            "gap_extend": args.gap_extend,
         }
         for k in range(args.requests)
     ]
+    for entry in entries:
+        if entry["op"] == "align" and args.memory is not None:
+            entry["memory"] = args.memory
 
     def run(cluster):
         # The whole mixed workload fires concurrently through the
@@ -618,6 +724,8 @@ def _cmd_cluster_route(args: argparse.Namespace) -> int:
         max_attempts=args.max_attempts,
         default_mode=defaults["mode"],
         default_band=defaults["band"],
+        default_gap_open=defaults["gap_open"],
+        default_gap_extend=defaults["gap_extend"],
     ) as cluster:
         try:
             t, results = time_call(run, cluster, repeat=1)
@@ -634,25 +742,38 @@ def _cmd_cluster_route(args: argparse.Namespace) -> int:
             # cluster-scale request counts.
             memo: dict = {}
             groups: dict = {}
+
+            def entry_key(entry):
+                return (
+                    entry["op"], entry["a"], entry["b"], entry["mode"],
+                    entry["band"], entry.get("gap_open"), entry.get("gap_extend"),
+                )
+
             for entry in entries:
-                key = (entry["op"], entry["a"], entry["b"], entry["mode"], entry["band"])
+                key = entry_key(entry)
                 if key not in memo:
                     memo[key] = None
-                    groups.setdefault(
-                        (entry["op"], entry["mode"], entry["band"]), []
-                    ).append(key)
+                    groups.setdefault(key[:1] + key[3:], []).append(key)
             with AlignmentEngine(
                 backend=defaults["backend"],
                 mode=defaults["mode"],
                 band=defaults["band"],
+                gap_open=defaults["gap_open"],
+                gap_extend=defaults["gap_extend"],
             ) as eng:
-                for (op, mode, band), keys in groups.items():
+                for (op, mode, band, gap_open, gap_extend), keys in groups.items():
                     fn = eng.score_many if op == "score" else eng.align_many
-                    values = fn([(k[1], k[2]) for k in keys], mode=mode, band=band)
+                    values = fn(
+                        [(k[1], k[2]) for k in keys],
+                        mode=mode,
+                        band=band,
+                        gap_open=gap_open,
+                        gap_extend=gap_extend,
+                    )
                     memo.update(zip(keys, values))
             for k, result in enumerate(results):
                 entry = entries[k]
-                key = (entry["op"], entry["a"], entry["b"], entry["mode"], entry["band"])
+                key = entry_key(entry)
                 expected = memo[key]
                 if entry["op"] == "score":
                     expected = float(expected)
@@ -717,6 +838,8 @@ def _cmd_cluster_warm(args: argparse.Namespace) -> int:
         print("error: cluster file lists no shards", file=sys.stderr)
         return 1
     if args.generate is not None:
+        if not _check_gap_flags(args):
+            return 2
         entries = generate_keyset(
             args.generate,
             length=args.length,
@@ -724,12 +847,18 @@ def _cmd_cluster_warm(args: argparse.Namespace) -> int:
             op=args.op,
             mode=args.mode,
             band=args.band,
+            gap_open=args.gap_open,
+            gap_extend=args.gap_extend,
         )
         dump_keyset(args.keyset, entries)
         print(f"wrote {len(entries)} entries to {args.keyset}", flush=True)
     entries = load_keyset(args.keyset)
     with ClusterClient(
-        addresses, default_mode=defaults["mode"], default_band=defaults["band"]
+        addresses,
+        default_mode=defaults["mode"],
+        default_band=defaults["band"],
+        default_gap_open=defaults["gap_open"],
+        default_gap_extend=defaults["gap_extend"],
     ) as cluster:
         report = cluster.warm(entries, concurrency=args.concurrency)
     per_shard = ", ".join(

@@ -37,21 +37,31 @@ def ring_key(
     band: int | None = None,
     model_fp: str = "",
     default_mode: str = "global",
+    gap_open: float | None = None,
+    gap_extend: float | None = None,
 ) -> str:
     """Canonical routing-key string for one request.
 
     Mirrors the service result-cache key ``(op, a, b, mode, band,
-    model)`` field-for-field — *after* the same normalization the
-    server applies (``mode=None`` resolves to the cluster's default
-    mode; ``band`` only exists for banded mode) — so a request sent
-    with an explicit ``mode="global"`` and one relying on the default
-    hash identically and route to the shard whose cache already holds
-    the result.
+    gap_open, gap_extend, model)`` field-for-field — *after* the same
+    normalization the server applies (``mode=None`` resolves to the
+    cluster's default mode; ``band`` only exists for banded mode; gap
+    parameters are floats or the cluster's defaults; the ``memory``
+    knob never changes the result, so it is absent) — so a request
+    sent with an explicit ``mode="global"`` and one relying on the
+    default hash identically and route to the shard whose cache
+    already holds the result.
     """
     mode = mode or default_mode
     if mode != "banded":
         band = None
-    return _SEP.join((op, mode, str(band), model_fp, a, b))
+    if gap_open is not None:
+        gap_open = float(gap_open)
+    if gap_extend is not None:
+        gap_extend = float(gap_extend)
+    return _SEP.join(
+        (op, mode, str(band), str(gap_open), str(gap_extend), model_fp, a, b)
+    )
 
 
 def _hash64(data: str) -> int:

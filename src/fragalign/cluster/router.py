@@ -91,6 +91,8 @@ class ShardRouter:
         connect_timeout: float = 5.0,
         default_mode: str = "global",
         default_band: int | None = None,
+        default_gap_open: float | None = None,
+        default_gap_extend: float | None = None,
     ) -> None:
         if not addresses:
             raise ValueError("at least one shard address is required")
@@ -106,6 +108,8 @@ class ShardRouter:
         self.connect_timeout = connect_timeout
         self.default_mode = default_mode
         self.default_band = default_band
+        self.default_gap_open = default_gap_open
+        self.default_gap_extend = default_gap_extend
         self._clients: dict[str, AsyncAlignmentClient] = {}
         self._connecting: dict[str, asyncio.Lock] = {}
         self._closing: set[asyncio.Task] = set()  # strong refs to close tasks
@@ -130,18 +134,39 @@ class ShardRouter:
         return self.ring.nodes
 
     def key_for(
-        self, op: str, a: str, b: str, mode: str | None = None, band: int | None = None
+        self,
+        op: str,
+        a: str,
+        b: str,
+        mode: str | None = None,
+        band: int | None = None,
+        gap_open: float | None = None,
+        gap_extend: float | None = None,
     ) -> str:
         mode = mode or self.default_mode
         if mode == "banded" and band is None:
             band = self.default_band
-        return ring_key(op, a, b, mode, band, self.model_fp)
+        if gap_open is None and gap_extend is None:
+            gap_open, gap_extend = self.default_gap_open, self.default_gap_extend
+        return ring_key(
+            op, a, b, mode, band, self.model_fp,
+            gap_open=gap_open, gap_extend=gap_extend,
+        )
 
     def shard_for(
-        self, op: str, a: str, b: str, mode: str | None = None, band: int | None = None
+        self,
+        op: str,
+        a: str,
+        b: str,
+        mode: str | None = None,
+        band: int | None = None,
+        gap_open: float | None = None,
+        gap_extend: float | None = None,
     ) -> str:
         """The shard currently owning one request (tests, warm reports)."""
-        return self.ring.node_for(self.key_for(op, a, b, mode, band))
+        return self.ring.node_for(
+            self.key_for(op, a, b, mode, band, gap_open, gap_extend)
+        )
 
     def mark_shard_down(self, shard: str) -> None:
         """Evict a shard from the ring (idempotent); its keys fall to
@@ -221,10 +246,12 @@ class ShardRouter:
             return await asyncio.wait_for(attempt(), timeout=self.request_timeout)
         return await attempt()
 
-    async def _route(self, op: str, a: str, b: str, mode, band, request) -> Any:
+    async def _route(
+        self, op: str, a: str, b: str, mode, band, request, gap_open=None, gap_extend=None
+    ) -> Any:
         """Send one request to its owning shard, failing over along
         the ring; ``request(client)`` builds the coroutine."""
-        key = self.key_for(op, a, b, mode, band)
+        key = self.key_for(op, a, b, mode, band, gap_open, gap_extend)
         tried: set[str] = set()
         last_error: Exception | None = None
         for attempt in range(self.max_attempts):
@@ -259,17 +286,41 @@ class ShardRouter:
         )
 
     async def score(
-        self, a: str, b: str, mode: str | None = None, band: int | None = None
+        self,
+        a: str,
+        b: str,
+        mode: str | None = None,
+        band: int | None = None,
+        gap_open: float | None = None,
+        gap_extend: float | None = None,
     ) -> float:
         return await self._route(
-            "score", a, b, mode, band, lambda c: c.score(a, b, mode=mode, band=band)
+            "score", a, b, mode, band,
+            lambda c: c.score(
+                a, b, mode=mode, band=band, gap_open=gap_open, gap_extend=gap_extend
+            ),
+            gap_open, gap_extend,
         )
 
     async def align(
-        self, a: str, b: str, mode: str | None = None, band: int | None = None
+        self,
+        a: str,
+        b: str,
+        mode: str | None = None,
+        band: int | None = None,
+        gap_open: float | None = None,
+        gap_extend: float | None = None,
+        memory: str | None = None,
     ) -> Alignment:
+        # memory is an execution hint, not part of the routing key —
+        # the result is byte-identical either way.
         return await self._route(
-            "align", a, b, mode, band, lambda c: c.align(a, b, mode=mode, band=band)
+            "align", a, b, mode, band,
+            lambda c: c.align(
+                a, b, mode=mode, band=band, gap_open=gap_open,
+                gap_extend=gap_extend, memory=memory,
+            ),
+            gap_open, gap_extend,
         )
 
     async def request_many(
@@ -288,14 +339,19 @@ class ShardRouter:
         semaphore = asyncio.Semaphore(max(1, concurrency))
 
         async def one(entry: dict):
-            fn = self.score if entry["op"] == "score" else self.align
+            kwargs = {
+                "mode": entry.get("mode"),
+                "band": entry.get("band"),
+                "gap_open": entry.get("gap_open"),
+                "gap_extend": entry.get("gap_extend"),
+            }
+            if entry["op"] == "score":
+                fn = self.score
+            else:
+                fn = self.align
+                kwargs["memory"] = entry.get("memory")
             async with semaphore:
-                return await fn(
-                    entry["a"],
-                    entry["b"],
-                    mode=entry.get("mode"),
-                    band=entry.get("band"),
-                )
+                return await fn(entry["a"], entry["b"], **kwargs)
 
         return list(await asyncio.gather(*(one(e) for e in entries)))
 
@@ -306,11 +362,18 @@ class ShardRouter:
         concurrency: int,
         mode: str | None,
         band: int | None,
+        gap_open: float | None = None,
+        gap_extend: float | None = None,
+        memory: str | None = None,
     ) -> list:
-        return await self.request_many(
-            [{"op": op, "a": a, "b": b, "mode": mode, "band": band} for a, b in pairs],
-            concurrency=concurrency,
-        )
+        entries = [
+            {
+                "op": op, "a": a, "b": b, "mode": mode, "band": band,
+                "gap_open": gap_open, "gap_extend": gap_extend, "memory": memory,
+            }
+            for a, b in pairs
+        ]
+        return await self.request_many(entries, concurrency=concurrency)
 
     async def score_many(
         self,
@@ -318,8 +381,12 @@ class ShardRouter:
         concurrency: int = 64,
         mode: str | None = None,
         band: int | None = None,
+        gap_open: float | None = None,
+        gap_extend: float | None = None,
     ) -> list[float]:
-        return await self._many("score", pairs, concurrency, mode, band)
+        return await self._many(
+            "score", pairs, concurrency, mode, band, gap_open, gap_extend
+        )
 
     async def align_many(
         self,
@@ -327,8 +394,13 @@ class ShardRouter:
         concurrency: int = 64,
         mode: str | None = None,
         band: int | None = None,
+        gap_open: float | None = None,
+        gap_extend: float | None = None,
+        memory: str | None = None,
     ) -> list[Alignment]:
-        return await self._many("align", pairs, concurrency, mode, band)
+        return await self._many(
+            "align", pairs, concurrency, mode, band, gap_open, gap_extend, memory
+        )
 
     # -- stats --------------------------------------------------------
 
@@ -468,6 +540,8 @@ class ClusterClient:
         request_timeout: float | None = None,
         default_mode: str = "global",
         default_band: int | None = None,
+        default_gap_open: float | None = None,
+        default_gap_extend: float | None = None,
         health_interval: float | None = None,
         health_fail_after: int = 2,
     ) -> None:
@@ -479,6 +553,8 @@ class ClusterClient:
             request_timeout=request_timeout,
             default_mode=default_mode,
             default_band=default_band,
+            default_gap_open=default_gap_open,
+            default_gap_extend=default_gap_extend,
         )
         self._monitor = None
         self._loop = asyncio.new_event_loop()
@@ -513,20 +589,42 @@ class ClusterClient:
 
     # -- operations ---------------------------------------------------
 
-    def score(self, a, b, mode=None, band=None) -> float:
-        return self._call(self.router.score(a, b, mode=mode, band=band))
-
-    def align(self, a, b, mode=None, band=None) -> Alignment:
-        return self._call(self.router.align(a, b, mode=mode, band=band))
-
-    def score_many(self, pairs, concurrency=64, mode=None, band=None) -> list[float]:
+    def score(self, a, b, mode=None, band=None, gap_open=None, gap_extend=None) -> float:
         return self._call(
-            self.router.score_many(pairs, concurrency=concurrency, mode=mode, band=band)
+            self.router.score(
+                a, b, mode=mode, band=band, gap_open=gap_open, gap_extend=gap_extend
+            )
         )
 
-    def align_many(self, pairs, concurrency=64, mode=None, band=None) -> list[Alignment]:
+    def align(
+        self, a, b, mode=None, band=None, gap_open=None, gap_extend=None, memory=None
+    ) -> Alignment:
         return self._call(
-            self.router.align_many(pairs, concurrency=concurrency, mode=mode, band=band)
+            self.router.align(
+                a, b, mode=mode, band=band, gap_open=gap_open,
+                gap_extend=gap_extend, memory=memory,
+            )
+        )
+
+    def score_many(
+        self, pairs, concurrency=64, mode=None, band=None, gap_open=None, gap_extend=None
+    ) -> list[float]:
+        return self._call(
+            self.router.score_many(
+                pairs, concurrency=concurrency, mode=mode, band=band,
+                gap_open=gap_open, gap_extend=gap_extend,
+            )
+        )
+
+    def align_many(
+        self, pairs, concurrency=64, mode=None, band=None, gap_open=None,
+        gap_extend=None, memory=None,
+    ) -> list[Alignment]:
+        return self._call(
+            self.router.align_many(
+                pairs, concurrency=concurrency, mode=mode, band=band,
+                gap_open=gap_open, gap_extend=gap_extend, memory=memory,
+            )
         )
 
     def request_many(self, entries, concurrency=64) -> list:
@@ -540,8 +638,8 @@ class ClusterClient:
 
         return self._call(warm_router(self.router, entries, concurrency=concurrency))
 
-    def shard_for(self, op, a, b, mode=None, band=None) -> str:
-        return self.router.shard_for(op, a, b, mode, band)
+    def shard_for(self, op, a, b, mode=None, band=None, gap_open=None, gap_extend=None) -> str:
+        return self.router.shard_for(op, a, b, mode, band, gap_open, gap_extend)
 
     def stats(self) -> dict:
         report = self._call(self.router.cluster_stats())

@@ -88,6 +88,8 @@ class ClusterSupervisor:
         backend: str = "numpy",
         mode: str = "global",
         band: int | None = None,
+        gap_open: float | None = None,
+        gap_extend: float | None = None,
         max_batch: int = 64,
         max_delay_ms: float = 2.0,
         cache_size: int = 4096,
@@ -101,6 +103,8 @@ class ClusterSupervisor:
         self.backend = backend
         self.mode = mode
         self.band = band
+        self.gap_open = gap_open
+        self.gap_extend = gap_extend
         self.max_batch = max_batch
         self.max_delay_ms = max_delay_ms
         self.cache_size = cache_size
@@ -144,6 +148,10 @@ class ClusterSupervisor:
         ]
         if self.band is not None:
             cmd += ["--band", str(self.band)]
+        if self.gap_open is not None:
+            cmd += ["--gap-open", str(self.gap_open)]
+        if self.gap_extend is not None:
+            cmd += ["--gap-extend", str(self.gap_extend)]
         env = dict(os.environ)
         src = _fragalign_pythonpath()
         env["PYTHONPATH"] = (
@@ -225,6 +233,8 @@ class ClusterSupervisor:
             "backend": self.backend,
             "mode": self.mode,
             "band": self.band,
+            "gap_open": self.gap_open,
+            "gap_extend": self.gap_extend,
             "shards": [
                 {"index": s.index, "port": s.port, "pid": s.pid} for s in self.procs
             ],

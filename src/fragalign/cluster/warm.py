@@ -45,6 +45,11 @@ def _normalize(entry: dict) -> dict:
         out["mode"] = entry["mode"]
     if entry.get("band") is not None:
         out["band"] = int(entry["band"])
+    if (entry.get("gap_open") is None) != (entry.get("gap_extend") is None):
+        raise ValueError("keyset gap_open and gap_extend must appear together")
+    if entry.get("gap_open") is not None:
+        out["gap_open"] = float(entry["gap_open"])
+        out["gap_extend"] = float(entry["gap_extend"])
     return out
 
 
@@ -77,6 +82,8 @@ def generate_keyset(
     op: str = "score",
     mode: str | None = None,
     band: int | None = None,
+    gap_open: float | None = None,
+    gap_extend: float | None = None,
 ) -> list[dict]:
     """A synthetic keyset of ``n`` random DNA pairs (benchmarks, CI)."""
     import numpy as np
@@ -95,6 +102,9 @@ def generate_keyset(
             entry["mode"] = mode
         if band is not None:
             entry["band"] = band
+        if gap_open is not None:
+            entry["gap_open"] = gap_open
+            entry["gap_extend"] = gap_extend
         entries.append(entry)
     return entries
 
@@ -114,19 +124,22 @@ async def warm_router(router, entries: Sequence[dict], concurrency: int = 32) ->
     async def one(entry: dict) -> None:
         nonlocal errors
         op = entry["op"]
-        mode, band = entry.get("mode"), entry.get("band")
+        knobs = {
+            "mode": entry.get("mode"),
+            "band": entry.get("band"),
+            "gap_open": entry.get("gap_open"),
+            "gap_extend": entry.get("gap_extend"),
+        }
         async with semaphore:
             try:
-                if op == "score":
-                    await router.score(entry["a"], entry["b"], mode=mode, band=band)
-                else:
-                    await router.align(entry["a"], entry["b"], mode=mode, band=band)
+                fn = router.score if op == "score" else router.align
+                await fn(entry["a"], entry["b"], **knobs)
             except Exception as exc:
                 errors += 1
                 if len(samples) < 5:
                     samples.append(f"{type(exc).__name__}: {exc}")
                 return
-        per_shard[router.shard_for(op, entry["a"], entry["b"], mode, band)] += 1
+        per_shard[router.shard_for(op, entry["a"], entry["b"], **knobs)] += 1
 
     await asyncio.gather(*(one(e) for e in entries))
     return {

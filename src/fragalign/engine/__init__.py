@@ -31,11 +31,14 @@ this for the built-ins and is the template for testing new ones.
 """
 
 from fragalign.engine.backends import (
+    LINEAR_AUTO_CELLS,
+    MEMORY_MODES,
     MODES,
     AlignmentBackend,
     NaiveBackend,
     NumpyBackend,
     PreparedPair,
+    linear_memory_conflict,
 )
 from fragalign.engine.facade import AlignmentEngine, default_model
 from fragalign.engine.parallel import ParallelBackend
@@ -50,6 +53,8 @@ register_backend("numpy", NumpyBackend, overwrite=True)
 register_backend("parallel", ParallelBackend, overwrite=True)
 
 __all__ = [
+    "LINEAR_AUTO_CELLS",
+    "MEMORY_MODES",
     "MODES",
     "AlignmentEngine",
     "AlignmentBackend",
@@ -60,5 +65,6 @@ __all__ = [
     "available_backends",
     "default_model",
     "get_backend",
+    "linear_memory_conflict",
     "register_backend",
 ]

@@ -11,6 +11,17 @@ Four modes are first-class: ``global`` (Needleman–Wunsch), ``local``
 (Smith–Waterman), ``overlap`` (suffix–prefix, the assembler's overlap
 detector) and ``banded`` (global restricted to ``|i - j| <= band``;
 the only mode that takes the extra ``band`` argument).
+
+Two orthogonal knobs apply to every mode:
+
+* ``gap_open``/``gap_extend`` switch any mode to **affine (Gotoh)
+  gap costs** (a k-gap costs ``open + (k-1)·extend``); both ``None``
+  (the default) keeps the model's linear gap.
+* ``memory`` selects the align-verb traceback strategy: ``"tensor"``
+  (the packed (n, B, m) direction tensor), ``"linear"`` (the
+  Hirschberg-style canonical walker — byte-identical alignments in
+  near-linear memory) or ``"auto"`` (linear above
+  ``linear_auto_cells`` DP cells per pair, tensor below).
 """
 
 from __future__ import annotations
@@ -19,10 +30,23 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from fragalign.align.affine import (
+    affine_align_reference,
+    affine_score_reference,
+)
+from fragalign.align.hirschberg import linear_align
 from fragalign.align.pairwise import (
     _NEG,
     _check_band,
     Alignment,
+    affine_align_batch,
+    affine_banded_align_batch,
+    affine_banded_scores_batch,
+    affine_local_align_batch,
+    affine_local_scores_batch,
+    affine_overlap_align_batch,
+    affine_overlap_scores_batch,
+    affine_scores_batch,
     banded_align_batch,
     banded_global_score_reference,
     banded_scores_batch,
@@ -38,9 +62,29 @@ from fragalign.align.pairwise import (
 )
 from fragalign.align.scoring_matrices import SubstitutionModel
 
-__all__ = ["PreparedPair", "AlignmentBackend", "NaiveBackend", "NumpyBackend"]
+__all__ = [
+    "PreparedPair",
+    "AlignmentBackend",
+    "NaiveBackend",
+    "NumpyBackend",
+    "MODES",
+    "MEMORY_MODES",
+    "LINEAR_AUTO_CELLS",
+    "check_memory_mode",
+    "linear_memory_conflict",
+    "resolve_memory",
+]
 
 MODES = ("global", "local", "overlap", "banded")
+MEMORY_MODES = ("auto", "tensor", "linear")
+
+#: ``memory="auto"`` switches the align verbs to the linear-memory
+#: walker above this many DP cells per *chunk* — the point where the
+#: (n, B, m) uint8 direction tensor starts to dominate peak memory
+#: (16M cells = a 16 MB tensor allocation).  A batch sweeps up to
+#: ``chunk`` pairs per tensor, so the resolution accounts for the
+#: whole chunk, not one pair.
+LINEAR_AUTO_CELLS = 1 << 24
 
 
 @dataclass(frozen=True)
@@ -63,32 +107,76 @@ class AlignmentBackend:
     Subclasses must implement :meth:`score` and :meth:`align`; they
     *should* override the batch methods when they can do better than a
     Python loop (the whole point of the NumPy and parallel backends).
-    ``band`` is only meaningful for ``mode="banded"`` and is never
-    passed for the other modes, so backends that don't support banded
-    alignment can keep the three-argument signature.
+    ``band`` is only meaningful for ``mode="banded"``;
+    ``gap_open``/``gap_extend`` select affine gap costs when set;
+    ``memory`` is the align-verb traceback strategy (score verbs are
+    always O(n + m)).
     """
 
     name = "?"
 
-    def score(self, p: PreparedPair, model: SubstitutionModel, mode: str, band=None) -> float:
+    def score(
+        self,
+        p: PreparedPair,
+        model: SubstitutionModel,
+        mode: str,
+        band=None,
+        gap_open=None,
+        gap_extend=None,
+    ) -> float:
         raise NotImplementedError
 
-    def align(self, p: PreparedPair, model: SubstitutionModel, mode: str, band=None) -> Alignment:
+    def align(
+        self,
+        p: PreparedPair,
+        model: SubstitutionModel,
+        mode: str,
+        band=None,
+        gap_open=None,
+        gap_extend=None,
+        memory: str = "auto",
+    ) -> Alignment:
         raise NotImplementedError
+
+    @staticmethod
+    def _loop_kwargs(band, gap_open, gap_extend, memory=None) -> dict:
+        """Only forward non-default knobs, so a minimal backend that
+        implements ``score(self, p, model, mode)`` keeps working until
+        a caller actually uses the extra knobs."""
+        kw: dict = {}
+        if band is not None:
+            kw["band"] = band
+        if gap_open is not None or gap_extend is not None:
+            kw["gap_open"] = gap_open
+            kw["gap_extend"] = gap_extend
+        if memory is not None and memory != "auto":
+            kw["memory"] = memory
+        return kw
 
     def score_many(
-        self, batch: list[PreparedPair], model: SubstitutionModel, mode: str, band=None
+        self,
+        batch: list[PreparedPair],
+        model: SubstitutionModel,
+        mode: str,
+        band=None,
+        gap_open=None,
+        gap_extend=None,
     ) -> np.ndarray:
-        if band is None:
-            return np.array([self.score(p, model, mode) for p in batch])
-        return np.array([self.score(p, model, mode, band=band) for p in batch])
+        kw = self._loop_kwargs(band, gap_open, gap_extend)
+        return np.array([self.score(p, model, mode, **kw) for p in batch])
 
     def align_many(
-        self, batch: list[PreparedPair], model: SubstitutionModel, mode: str, band=None
+        self,
+        batch: list[PreparedPair],
+        model: SubstitutionModel,
+        mode: str,
+        band=None,
+        gap_open=None,
+        gap_extend=None,
+        memory: str = "auto",
     ) -> list[Alignment]:
-        if band is None:
-            return [self.align(p, model, mode) for p in batch]
-        return [self.align(p, model, mode, band=band) for p in batch]
+        kw = self._loop_kwargs(band, gap_open, gap_extend, memory)
+        return [self.align(p, model, mode, **kw) for p in batch]
 
     def close(self) -> None:
         """Release any held resources (process pools, device handles)."""
@@ -99,13 +187,60 @@ def _check_mode(mode: str) -> None:
         raise ValueError(f"unknown alignment mode {mode!r} (expected one of {MODES})")
 
 
+def check_memory_mode(memory: str) -> None:
+    if memory not in MEMORY_MODES:
+        raise ValueError(
+            f"unknown memory mode {memory!r} (expected one of {MEMORY_MODES})"
+        )
+
+
+def linear_memory_conflict(mode: str, affine: bool) -> str | None:
+    """Why ``memory="linear"`` cannot serve this knob combination —
+    ``None`` when it can.  The single source of the rule, shared by
+    the kernels, the engine facade, the service's pre-batch
+    validation and the CLI's boot check."""
+    if mode == "banded":
+        return "banded mode"  # banded traceback is already O(n·band)
+    if affine:
+        return "affine gaps"  # the tensor path is the only affine traceback
+    return None
+
+
+def resolve_memory(
+    memory: str,
+    mode: str,
+    affine: bool,
+    cells: int,
+    auto_cells: int = LINEAR_AUTO_CELLS,
+) -> str:
+    """Resolve ``"auto"`` and reject unsupported ``"linear"`` combos.
+
+    An explicit ``memory="linear"`` for a combination the walker does
+    not cover (see :func:`linear_memory_conflict`) is an error rather
+    than a silent fallback.
+    """
+    check_memory_mode(memory)
+    conflict = linear_memory_conflict(mode, affine)
+    if memory == "linear":
+        if conflict is not None:
+            raise ValueError(f"memory='linear' is not supported with {conflict}")
+        return "linear"
+    if memory == "auto" and conflict is None and cells >= auto_cells:
+        return "linear"
+    return "tensor"
+
+
 class NaiveBackend(AlignmentBackend):
     """Transparent per-cell Python DP — the correctness oracle.
 
     Every cell is a Python ``max`` over the legal moves; tracebacks
     prefer diagonal, then up, then left, exactly like the NumPy
     kernels' direction codes, so the two backends agree
-    alignment-for-alignment on integer models.
+    alignment-for-alignment on integer models.  Affine modes delegate
+    to the per-cell Gotoh oracles in :mod:`fragalign.align.affine`
+    (same recurrences and tie orders as the batched kernels).
+    ``memory`` is accepted and ignored — the oracle holds the full
+    table regardless.
     """
 
     name = "naive"
@@ -114,8 +249,14 @@ class NaiveBackend(AlignmentBackend):
     def _w_rows(p: PreparedPair, model: SubstitutionModel) -> list[list[float]]:
         return model.pair_matrix(p.a_codes, p.b_codes).tolist()
 
-    def score(self, p: PreparedPair, model: SubstitutionModel, mode: str, band=None) -> float:
+    def score(
+        self, p, model, mode, band=None, gap_open=None, gap_extend=None
+    ) -> float:
         _check_mode(mode)
+        if gap_open is not None or gap_extend is not None:
+            return affine_score_reference(
+                p.a, p.b, model, gap_open, gap_extend, mode=mode, band=band
+            )
         if mode == "local":
             return local_score_reference(p.a, p.b, model)
         if mode == "overlap":
@@ -124,8 +265,15 @@ class NaiveBackend(AlignmentBackend):
             return banded_global_score_reference(p.a, p.b, band, model)
         return global_score_reference(p.a, p.b, model)
 
-    def align(self, p: PreparedPair, model: SubstitutionModel, mode: str, band=None) -> Alignment:
+    def align(
+        self, p, model, mode, band=None, gap_open=None, gap_extend=None, memory="auto"
+    ) -> Alignment:
         _check_mode(mode)
+        check_memory_mode(memory)
+        if gap_open is not None or gap_extend is not None:
+            return affine_align_reference(
+                p.a, p.b, model, gap_open, gap_extend, mode=mode, band=band
+            )
         if mode == "local":
             return self._align_local(p, model)
         if mode == "overlap":
@@ -267,7 +415,9 @@ class NumpyBackend(AlignmentBackend):
     """Row-vectorized kernels; batches share one sweep per DP row.
 
     ``chunk`` bounds how many pairs' sweep buffers are held in memory
-    at once during a batch sweep.
+    at once during a batch sweep; ``linear_auto_cells`` is the per-pair
+    DP-cell count above which ``memory="auto"`` align calls take the
+    linear-memory walker instead of the direction tensor.
     """
 
     name = "numpy"
@@ -282,35 +432,99 @@ class NumpyBackend(AlignmentBackend):
         "local": local_align_batch,
         "overlap": overlap_align_batch,
     }
+    _AFFINE_SCORE_KERNELS = {
+        "global": affine_scores_batch,
+        "local": affine_local_scores_batch,
+        "overlap": affine_overlap_scores_batch,
+    }
+    _AFFINE_ALIGN_KERNELS = {
+        "global": affine_align_batch,
+        "local": affine_local_align_batch,
+        "overlap": affine_overlap_align_batch,
+    }
 
-    def __init__(self, chunk: int = 64) -> None:
+    def __init__(self, chunk: int = 64, linear_auto_cells: int = LINEAR_AUTO_CELLS) -> None:
         self.chunk = chunk
+        self.linear_auto_cells = linear_auto_cells
 
-    def _run(self, codes, model, mode, band, chunk, kind):
+    def _run(
+        self, codes, model, mode, band, gap_open, gap_extend, chunk, kind, memory="auto"
+    ):
+        affine = gap_open is not None or gap_extend is not None
+        if kind == "align":
+            # The tensor is allocated per chunk — (n, B, m) — so auto
+            # resolves on the chunk's cell count, not one pair's.
+            cells = (
+                len(codes[0][0]) * len(codes[0][1]) * min(len(codes), chunk)
+                if codes
+                else 0
+            )
+            memory = resolve_memory(
+                memory, mode, affine, cells, self.linear_auto_cells
+            )
+            if memory == "linear":
+                return [linear_align(a, b, model, mode=mode) for a, b in codes]
         if mode == "banded":
+            if affine:
+                kernel = (
+                    affine_banded_scores_batch
+                    if kind == "score"
+                    else affine_banded_align_batch
+                )
+                return kernel(codes, band, model, gap_open, gap_extend, chunk=chunk)
             kernel = banded_scores_batch if kind == "score" else banded_align_batch
             return kernel(codes, band, model, chunk=chunk)
+        if affine:
+            table = (
+                self._AFFINE_SCORE_KERNELS
+                if kind == "score"
+                else self._AFFINE_ALIGN_KERNELS
+            )
+            return table[mode](codes, model, gap_open, gap_extend, chunk=chunk)
         table = self._SCORE_KERNELS if kind == "score" else self._ALIGN_KERNELS
         return table[mode](codes, model, chunk=chunk)
 
-    def score(self, p: PreparedPair, model: SubstitutionModel, mode: str, band=None) -> float:
+    def score(
+        self, p, model, mode, band=None, gap_open=None, gap_extend=None
+    ) -> float:
         _check_mode(mode)
-        return float(self._run([(p.a_codes, p.b_codes)], model, mode, band, 1, "score")[0])
+        return float(
+            self._run(
+                [(p.a_codes, p.b_codes)], model, mode, band, gap_open, gap_extend, 1, "score"
+            )[0]
+        )
 
-    def align(self, p: PreparedPair, model: SubstitutionModel, mode: str, band=None) -> Alignment:
+    def align(
+        self, p, model, mode, band=None, gap_open=None, gap_extend=None, memory="auto"
+    ) -> Alignment:
         _check_mode(mode)
-        return self._run([(p.a_codes, p.b_codes)], model, mode, band, 1, "align")[0]
+        return self._run(
+            [(p.a_codes, p.b_codes)],
+            model,
+            mode,
+            band,
+            gap_open,
+            gap_extend,
+            1,
+            "align",
+            memory=memory,
+        )[0]
 
     def score_many(
-        self, batch: list[PreparedPair], model: SubstitutionModel, mode: str, band=None
+        self, batch, model, mode, band=None, gap_open=None, gap_extend=None
     ) -> np.ndarray:
         _check_mode(mode)
         codes = [(p.a_codes, p.b_codes) for p in batch]
-        return self._run(codes, model, mode, band, self.chunk, "score")
+        return self._run(
+            codes, model, mode, band, gap_open, gap_extend, self.chunk, "score"
+        )
 
     def align_many(
-        self, batch: list[PreparedPair], model: SubstitutionModel, mode: str, band=None
+        self, batch, model, mode, band=None, gap_open=None, gap_extend=None, memory="auto"
     ) -> list[Alignment]:
         _check_mode(mode)
         codes = [(p.a_codes, p.b_codes) for p in batch]
-        return self._run(codes, model, mode, band, self.chunk, "align")
+        return self._run(
+            codes, model, mode, band, gap_open, gap_extend, self.chunk, "align",
+            memory=memory,
+        )

@@ -8,12 +8,17 @@ One object, four verbs::
         alns   = eng.align_many(pairs)    # batch, bucketed by shape
         scores = eng.score_many(pairs)    # batch, bucketed by shape
 
-Every verb takes optional ``mode=`` / ``band=`` overrides, so one
+Every verb takes optional ``mode=`` / ``band=`` / ``gap_open=`` /
+``gap_extend=`` overrides (and the align verbs ``memory=``), so one
 engine can serve all four alignment modes (``global``, ``local``,
-``overlap``, ``banded``) — the service layer relies on this to route
-per-request modes through a single engine.  ``band`` is required
-whenever the resolved mode is ``banded`` (set a default at
-construction or pass it per call).
+``overlap``, ``banded``), both gap models (linear and affine/Gotoh)
+and both traceback strategies (direction tensor / linear-memory
+Hirschberg walker) — the service layer relies on this to route
+per-request knobs through a single engine.  ``band`` is required
+whenever the resolved mode is ``banded``; ``gap_open``/``gap_extend``
+must be passed together (both ``None`` keeps the model's linear gap);
+``memory`` is ``"auto"`` (linear-memory traceback above
+``LINEAR_AUTO_CELLS`` DP cells), ``"tensor"`` or ``"linear"``.
 
 The facade owns everything backends shouldn't care about: memoized
 sequence encoding (each distinct sequence is encoded once per engine),
@@ -30,9 +35,15 @@ from typing import Sequence
 
 import numpy as np
 
-from fragalign.align.pairwise import Alignment
+from fragalign.align.pairwise import Alignment, check_affine_gaps
 from fragalign.align.scoring_matrices import SubstitutionModel, encode, unit_dna
-from fragalign.engine.backends import MODES, AlignmentBackend, PreparedPair
+from fragalign.engine.backends import (
+    MODES,
+    AlignmentBackend,
+    PreparedPair,
+    check_memory_mode,
+    linear_memory_conflict,
+)
 from fragalign.engine.registry import get_backend
 from fragalign.util.lru import LRUCache
 
@@ -62,6 +73,17 @@ class AlignmentEngine:
     band:
         Default band half-width for ``banded`` mode (per-call ``band=``
         overrides it).  Must be a non-negative integer when set.
+    gap_open / gap_extend:
+        Default affine (Gotoh) gap parameters — a k-long gap costs
+        ``gap_open + (k-1)·gap_extend``.  Both ``None`` (the default)
+        keeps the model's linear per-symbol gap; both must be set
+        together and be non-positive.  Per-call overrides on every
+        verb.
+    memory:
+        Default traceback strategy for the align verbs: ``"auto"``
+        (the default — linear-memory Hirschberg walker above a size
+        threshold, direction tensor below), ``"tensor"`` or
+        ``"linear"``.  Score verbs always run in O(n + m) memory.
     cache_size:
         How many distinct sequences' encodings to memoize (a bounded
         LRU — ``<= 0`` disables memoization).  Bounded so a
@@ -78,6 +100,9 @@ class AlignmentEngine:
         model: SubstitutionModel | None = None,
         mode: str = "global",
         band: int | None = None,
+        gap_open: float | None = None,
+        gap_extend: float | None = None,
+        memory: str = "auto",
         cache_size: int = 4096,
         **backend_options,
     ) -> None:
@@ -87,9 +112,22 @@ class AlignmentEngine:
             raise ValueError(f"band must be a non-negative integer, got {band!r}")
         if mode == "banded" and band is None:
             raise ValueError("mode='banded' needs a band (pass band=...)")
+        if gap_open is not None or gap_extend is not None:
+            gap_open, gap_extend = check_affine_gaps(gap_open, gap_extend)
+        check_memory_mode(memory)
+        if memory == "linear":
+            conflict = linear_memory_conflict(mode, gap_open is not None)
+            if conflict is not None:
+                # Fail at construction, not on every align call — a
+                # server built on this engine would otherwise boot
+                # cleanly and then reject 100% of its align traffic.
+                raise ValueError(f"memory='linear' is not supported with {conflict}")
         self.model = model or default_model()
         self.mode = mode
         self.band = band
+        self.gap_open = gap_open
+        self.gap_extend = gap_extend
+        self.memory = memory
         if isinstance(backend, AlignmentBackend):
             if backend_options:
                 raise ValueError("backend options only apply when backend is a name")
@@ -119,26 +157,68 @@ class AlignmentEngine:
         """Encode one pair (memoized per distinct sequence)."""
         return PreparedPair(a, b, self._encode(a), self._encode(b))
 
-    def _resolve(self, mode: str | None, band: int | None) -> tuple[str, dict]:
-        """Per-call mode/band resolution -> (mode, backend kwargs)."""
+    def _resolve(
+        self,
+        mode: str | None,
+        band: int | None,
+        gap_open: float | None = None,
+        gap_extend: float | None = None,
+        memory: str | None = None,
+        align: bool = False,
+    ) -> tuple[str, dict]:
+        """Per-call knob resolution -> (mode, backend kwargs)."""
         mode = self.mode if mode is None else mode
         if mode not in MODES:
             raise ValueError(f"unknown alignment mode {mode!r} (expected one of {MODES})")
+        kw: dict = {}
+        if gap_open is None and gap_extend is None:
+            gap_open, gap_extend = self.gap_open, self.gap_extend
+        else:
+            gap_open, gap_extend = check_affine_gaps(gap_open, gap_extend)
+        if gap_open is not None:
+            kw["gap_open"] = gap_open
+            kw["gap_extend"] = gap_extend
+        if align:
+            memory = self.memory if memory is None else memory
+            check_memory_mode(memory)
+            if memory != "auto":
+                # "auto" is every backend's default — omitting it keeps
+                # minimal third-party backends (mode-only signatures)
+                # working until a caller actually uses the knob.
+                kw["memory"] = memory
         if mode != "banded":
-            return mode, {}
+            return mode, kw
         band = self.band if band is None else band
         if band is None:
             raise ValueError("mode='banded' needs a band (pass band=...)")
-        return mode, {"band": band}
+        kw["band"] = band
+        return mode, kw
 
     # -- single-pair API ---------------------------------------------
 
-    def score(self, a: str, b: str, mode: str | None = None, band: int | None = None) -> float:
-        mode, kw = self._resolve(mode, band)
+    def score(
+        self,
+        a: str,
+        b: str,
+        mode: str | None = None,
+        band: int | None = None,
+        gap_open: float | None = None,
+        gap_extend: float | None = None,
+    ) -> float:
+        mode, kw = self._resolve(mode, band, gap_open, gap_extend)
         return self._backend.score(self.prepare(a, b), self.model, mode, **kw)
 
-    def align(self, a: str, b: str, mode: str | None = None, band: int | None = None) -> Alignment:
-        mode, kw = self._resolve(mode, band)
+    def align(
+        self,
+        a: str,
+        b: str,
+        mode: str | None = None,
+        band: int | None = None,
+        gap_open: float | None = None,
+        gap_extend: float | None = None,
+        memory: str | None = None,
+    ) -> Alignment:
+        mode, kw = self._resolve(mode, band, gap_open, gap_extend, memory, align=True)
         return self._backend.align(self.prepare(a, b), self.model, mode, **kw)
 
     # -- batch API ---------------------------------------------------
@@ -156,6 +236,8 @@ class AlignmentEngine:
         pairs: Sequence[tuple[str, str]],
         mode: str | None = None,
         band: int | None = None,
+        gap_open: float | None = None,
+        gap_extend: float | None = None,
     ) -> np.ndarray:
         """Scores for every (a, b) pair, in input order.
 
@@ -163,7 +245,7 @@ class AlignmentEngine:
         backend's batch kernel in one call.  Equals ``[self.score(a, b)
         for a, b in pairs]`` (a standing test invariant).
         """
-        mode, kw = self._resolve(mode, band)
+        mode, kw = self._resolve(mode, band, gap_open, gap_extend)
         preps = [self.prepare(a, b) for a, b in pairs]
         out = np.empty(len(preps))
         for idxs, bucket in self._buckets(preps):
@@ -175,9 +257,12 @@ class AlignmentEngine:
         pairs: Sequence[tuple[str, str]],
         mode: str | None = None,
         band: int | None = None,
+        gap_open: float | None = None,
+        gap_extend: float | None = None,
+        memory: str | None = None,
     ) -> list[Alignment]:
         """Full alignments for every pair, in input order (bucketed)."""
-        mode, kw = self._resolve(mode, band)
+        mode, kw = self._resolve(mode, band, gap_open, gap_extend, memory, align=True)
         preps = [self.prepare(a, b) for a, b in pairs]
         out: list[Alignment | None] = [None] * len(preps)
         for idxs, bucket in self._buckets(preps):

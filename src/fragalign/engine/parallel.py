@@ -5,9 +5,10 @@ chunk, executed by worker processes running the same vectorized
 kernels as the ``numpy`` backend — so results are bit-identical, only
 the schedule changes.  The pool is created lazily and kept alive for
 the backend's lifetime (``close()`` releases it), and single very long
-global alignments are routed through the blocked-wavefront DP on the
-same pool instead of being computed serially.  All four engine modes
-(``global``/``local``/``overlap``/``banded``) fan out the same way.
+linear-gap global scores are routed through the blocked-wavefront DP
+on the same pool instead of being computed serially.  All four engine
+modes (``global``/``local``/``overlap``/``banded``), affine gaps and
+the ``memory`` traceback knob fan out the same way.
 """
 
 from __future__ import annotations
@@ -33,13 +34,15 @@ _KERNELS = NumpyBackend()
 
 
 def _score_chunk(args) -> np.ndarray:
-    codes, model, mode, band, chunk = args
-    return _KERNELS._run(codes, model, mode, band, chunk, "score")
+    codes, model, mode, band, gap_open, gap_extend, chunk = args
+    return _KERNELS._run(codes, model, mode, band, gap_open, gap_extend, chunk, "score")
 
 
 def _align_chunk(args) -> list[Alignment]:
-    codes, model, mode, band, chunk = args
-    return _KERNELS._run(codes, model, mode, band, chunk, "align")
+    codes, model, mode, band, gap_open, gap_extend, chunk, memory = args
+    return _KERNELS._run(
+        codes, model, mode, band, gap_open, gap_extend, chunk, "align", memory=memory
+    )
 
 
 class ParallelBackend(AlignmentBackend):
@@ -49,8 +52,8 @@ class ParallelBackend(AlignmentBackend):
     memory-bandwidth-bound well before that on most hosts);
     ``min_batch`` is the batch size below which fan-out overhead beats
     the win and work runs in-process; ``wavefront_min`` is the single
-    -pair length above which a global score uses the blocked wavefront
-    DP across the pool.
+    -pair length above which a linear-gap global score uses the
+    blocked wavefront DP across the pool.
     """
 
     name = "parallel"
@@ -83,43 +86,64 @@ class ParallelBackend(AlignmentBackend):
         per = max(1, -(-count // self.workers))
         return [(lo, min(lo + per, count)) for lo in range(0, count, per)]
 
-    def score(self, p: PreparedPair, model: SubstitutionModel, mode: str, band=None) -> float:
+    def score(
+        self, p: PreparedPair, model: SubstitutionModel, mode: str,
+        band=None, gap_open=None, gap_extend=None,
+    ) -> float:
         _check_mode(mode)
         n, m = p.shape
-        if mode == "global" and min(n, m) >= self.wavefront_min:
+        if mode == "global" and gap_open is None and min(n, m) >= self.wavefront_min:
             block = max(256, n // self.workers)
             return nw_score_wavefront(
                 p.a, p.b, model, block=block, pool=self._ensure_pool()
             )
-        return self._local.score(p, model, mode, band=band)
+        return self._local.score(
+            p, model, mode, band=band, gap_open=gap_open, gap_extend=gap_extend
+        )
 
-    def align(self, p: PreparedPair, model: SubstitutionModel, mode: str, band=None) -> Alignment:
-        return self._local.align(p, model, mode, band=band)
+    def align(
+        self, p: PreparedPair, model: SubstitutionModel, mode: str,
+        band=None, gap_open=None, gap_extend=None, memory="auto",
+    ) -> Alignment:
+        return self._local.align(
+            p, model, mode, band=band, gap_open=gap_open, gap_extend=gap_extend,
+            memory=memory,
+        )
 
-    def _fan_out(self, batch, model, mode, band, runner):
+    def _fan_out(self, batch, model, mode, band, gap_open, gap_extend, runner, extra=()):
         codes = [(p.a_codes, p.b_codes) for p in batch]
         tasks = [
-            (codes[lo:hi], model, mode, band, self.chunk)
+            (codes[lo:hi], model, mode, band, gap_open, gap_extend, self.chunk, *extra)
             for lo, hi in self._chunks(len(batch))
         ]
         return self._ensure_pool().map(runner, tasks)
 
     def score_many(
-        self, batch: list[PreparedPair], model: SubstitutionModel, mode: str, band=None
+        self, batch, model, mode, band=None, gap_open=None, gap_extend=None
     ) -> np.ndarray:
         _check_mode(mode)
         if len(batch) < self.min_batch:
-            return self._local.score_many(batch, model, mode, band=band)
-        parts = list(self._fan_out(batch, model, mode, band, _score_chunk))
+            return self._local.score_many(
+                batch, model, mode, band=band, gap_open=gap_open, gap_extend=gap_extend
+            )
+        parts = list(
+            self._fan_out(batch, model, mode, band, gap_open, gap_extend, _score_chunk)
+        )
         return np.concatenate(parts)
 
     def align_many(
-        self, batch: list[PreparedPair], model: SubstitutionModel, mode: str, band=None
+        self, batch, model, mode, band=None, gap_open=None, gap_extend=None,
+        memory="auto",
     ) -> list[Alignment]:
         _check_mode(mode)
         if len(batch) < self.min_batch:
-            return self._local.align_many(batch, model, mode, band=band)
+            return self._local.align_many(
+                batch, model, mode, band=band, gap_open=gap_open,
+                gap_extend=gap_extend, memory=memory,
+            )
         out: list[Alignment] = []
-        for part in self._fan_out(batch, model, mode, band, _align_chunk):
+        for part in self._fan_out(
+            batch, model, mode, band, gap_open, gap_extend, _align_chunk, (memory,)
+        ):
             out.extend(part)
         return out

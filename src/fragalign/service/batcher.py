@@ -22,13 +22,15 @@ from __future__ import annotations
 
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
+from functools import partial
 from typing import Any
 
 from fragalign.engine.facade import AlignmentEngine
 
 __all__ = ["MicroBatcher"]
 
-Key = tuple  # (op, mode, band, a, b)
+Key = tuple  # (op, mode, band, gap_open, gap_extend, memory, a, b)
+_GROUP = 6  # leading key fields that define one engine batch
 
 
 class MicroBatcher:
@@ -80,18 +82,22 @@ class MicroBatcher:
         b: str,
         mode: str | None = None,
         band: int | None = None,
+        gap_open: float | None = None,
+        gap_extend: float | None = None,
+        memory: str | None = None,
     ) -> Any:
         """Queue one job; await its batched result.
 
         Returns a float for ``op="score"`` and an
         :class:`~fragalign.align.pairwise.Alignment` for ``op="align"``.
-        ``mode``/``band`` select the alignment mode per job (``None``
-        means the engine's default); one flush dispatches each distinct
-        ``(op, mode, band)`` group as its own engine batch.
+        ``mode``/``band``/``gap_open``/``gap_extend``/``memory`` select
+        the per-job knobs (``None`` means the engine's default); one
+        flush dispatches each distinct ``(op, mode, band, gaps,
+        memory)`` group as its own engine batch.
         """
         if self._loop is None:
             self._loop = asyncio.get_running_loop()
-        key = (op, mode, band, a, b)
+        key = (op, mode, band, gap_open, gap_extend, memory, a, b)
         fut = self._pending.get(key)
         if fut is not None:
             # Identical job already queued or computing: share its future.
@@ -125,18 +131,21 @@ class MicroBatcher:
             self._stats.observe_batch(len(keys))
         groups: dict[tuple, list[Key]] = {}
         for key in keys:
-            groups.setdefault(key[:3], []).append(key)
+            groups.setdefault(key[:_GROUP], []).append(key)
         results: dict[Key, Any] = {}
         try:
-            for (op, mode, band), group in groups.items():
-                fn = self.engine.score_many if op == "score" else self.engine.align_many
-                values = await self._loop.run_in_executor(
-                    self._executor,
-                    fn,
-                    [(a, b) for _, _, _, a, b in group],
-                    mode,
-                    band,
-                )
+            for (op, mode, band, gap_open, gap_extend, memory), group in groups.items():
+                pairs = [key[_GROUP:] for key in group]
+                if op == "score":
+                    call = partial(
+                        self.engine.score_many, pairs, mode, band, gap_open, gap_extend
+                    )
+                else:
+                    call = partial(
+                        self.engine.align_many, pairs, mode, band,
+                        gap_open, gap_extend, memory,
+                    )
+                values = await self._loop.run_in_executor(self._executor, call)
                 if op == "score":
                     values = [float(v) for v in values]
                 results.update(zip(group, values))

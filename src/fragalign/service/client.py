@@ -104,26 +104,55 @@ class AsyncAlignmentClient:
         return response
 
     # -- operations ---------------------------------------------------
-    # mode/band select the alignment mode per request (None = server
-    # default); see fragalign.service.protocol for the wire fields.
+    # mode/band/gap_open/gap_extend (and memory, for align) select the
+    # per-request knobs (None = server default); see
+    # fragalign.service.protocol for the wire fields.
 
     async def score(
-        self, a: str, b: str, mode: str | None = None, band: int | None = None
+        self,
+        a: str,
+        b: str,
+        mode: str | None = None,
+        band: int | None = None,
+        gap_open: float | None = None,
+        gap_extend: float | None = None,
     ) -> float:
-        response = await self._request("score", a=a, b=b, mode=mode, band=band)
+        response = await self._request(
+            "score", a=a, b=b, mode=mode, band=band,
+            gap_open=gap_open, gap_extend=gap_extend,
+        )
         return float(response["result"])
 
     async def score_detail(
-        self, a: str, b: str, mode: str | None = None, band: int | None = None
+        self,
+        a: str,
+        b: str,
+        mode: str | None = None,
+        band: int | None = None,
+        gap_open: float | None = None,
+        gap_extend: float | None = None,
     ) -> tuple[float, bool]:
         """Score plus whether the server answered from its cache."""
-        response = await self._request("score", a=a, b=b, mode=mode, band=band)
+        response = await self._request(
+            "score", a=a, b=b, mode=mode, band=band,
+            gap_open=gap_open, gap_extend=gap_extend,
+        )
         return float(response["result"]), bool(response.get("cached"))
 
     async def align(
-        self, a: str, b: str, mode: str | None = None, band: int | None = None
+        self,
+        a: str,
+        b: str,
+        mode: str | None = None,
+        band: int | None = None,
+        gap_open: float | None = None,
+        gap_extend: float | None = None,
+        memory: str | None = None,
     ) -> Alignment:
-        response = await self._request("align", a=a, b=b, mode=mode, band=band)
+        response = await self._request(
+            "align", a=a, b=b, mode=mode, band=band,
+            gap_open=gap_open, gap_extend=gap_extend, memory=memory,
+        )
         return alignment_from_dict(response["result"])
 
     async def stats(self) -> dict:
@@ -167,9 +196,34 @@ class AlignmentClient:
         with AlignmentClient(port=8765) as client:
             s = client.score("ACGT", "AGGT")
             scores = client.score_many(pairs, concurrency=64)
+
+    ``reconnect=True`` opts into transparent recovery from connection
+    loss: an operation that fails with a connection-level error
+    reconnects (capped exponential backoff, ``reconnect_attempts``
+    tries) and retries.  The default stays **fail-fast** — a dead
+    connection raises a clean :class:`ConnectionError` — so failover
+    logic layered on top (the cluster router, the failover drills)
+    keeps seeing failures immediately.  Retried batch operations are
+    replayed whole; the server's result cache and in-flight dedup make
+    the replayed prefix cheap.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8765) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        reconnect: bool = False,
+        reconnect_attempts: int = 5,
+        reconnect_base_delay: float = 0.05,
+        reconnect_max_delay: float = 2.0,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._reconnect = reconnect
+        self._reconnect_attempts = reconnect_attempts
+        self._reconnect_base_delay = reconnect_base_delay
+        self._reconnect_max_delay = reconnect_max_delay
+        self.reconnects = 0  # successful transparent reconnections
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
             target=self._loop.run_forever, name="fragalign-client", daemon=True
@@ -189,34 +243,70 @@ class AlignmentClient:
     def _call(self, coro):
         return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
 
+    def _with_retry(self, make_coro):
+        """Run ``make_coro()`` on the loop; on connection loss, either
+        fail fast (default) or reconnect with capped exponential
+        backoff and retry the whole operation."""
+        import time
+
+        attempts = 0
+        delay = self._reconnect_base_delay
+        while True:
+            try:
+                return self._call(make_coro())
+            except (ConnectionError, OSError):
+                if not self._reconnect or attempts >= self._reconnect_attempts:
+                    raise
+                attempts += 1
+                time.sleep(delay)
+                delay = min(delay * 2, self._reconnect_max_delay)
+                try:
+                    fresh = self._call(
+                        AsyncAlignmentClient.connect(self._host, self._port)
+                    )
+                except (ConnectionError, OSError):
+                    continue  # server still down; next attempt backs off more
+                old, self._client = self._client, fresh
+                self.reconnects += 1
+                try:
+                    self._call(old.close())
+                except Exception:
+                    pass
+
     # -- operations ---------------------------------------------------
 
-    def score(
-        self, a: str, b: str, mode: str | None = None, band: int | None = None
-    ) -> float:
-        return self._call(self._client.score(a, b, mode=mode, band=band))
+    def score(self, a, b, mode=None, band=None, gap_open=None, gap_extend=None) -> float:
+        return self._with_retry(
+            lambda: self._client.score(
+                a, b, mode=mode, band=band, gap_open=gap_open, gap_extend=gap_extend
+            )
+        )
 
     def align(
-        self, a: str, b: str, mode: str | None = None, band: int | None = None
+        self, a, b, mode=None, band=None, gap_open=None, gap_extend=None, memory=None
     ) -> Alignment:
-        return self._call(self._client.align(a, b, mode=mode, band=band))
+        return self._with_retry(
+            lambda: self._client.align(
+                a, b, mode=mode, band=band, gap_open=gap_open,
+                gap_extend=gap_extend, memory=memory,
+            )
+        )
 
     def stats(self) -> dict:
-        return self._call(self._client.stats())
+        return self._with_retry(lambda: self._client.stats())
 
     def ping(self) -> bool:
-        return self._call(self._client.ping())
+        return self._with_retry(lambda: self._client.ping())
 
     def shutdown(self) -> None:
-        self._call(self._client.shutdown())
+        self._with_retry(lambda: self._client.shutdown())
 
     def _map(
         self,
         op_name: str,
         pairs: Sequence[tuple[str, str]],
         concurrency: int,
-        mode: str | None,
-        band: int | None,
+        **kwargs,
     ):
         async def fan_out():
             semaphore = asyncio.Semaphore(max(1, concurrency))
@@ -224,11 +314,11 @@ class AlignmentClient:
 
             async def one(pair):
                 async with semaphore:
-                    return await op(*pair, mode=mode, band=band)
+                    return await op(*pair, **kwargs)
 
             return await asyncio.gather(*(one(p) for p in pairs))
 
-        return self._call(fan_out())
+        return self._with_retry(fan_out)
 
     def score_many(
         self,
@@ -236,9 +326,14 @@ class AlignmentClient:
         concurrency: int = 32,
         mode: str | None = None,
         band: int | None = None,
+        gap_open: float | None = None,
+        gap_extend: float | None = None,
     ) -> list[float]:
         """Scores for all pairs, pipelined ``concurrency`` at a time."""
-        return self._map("score", pairs, concurrency, mode, band)
+        return self._map(
+            "score", pairs, concurrency, mode=mode, band=band,
+            gap_open=gap_open, gap_extend=gap_extend,
+        )
 
     def align_many(
         self,
@@ -246,9 +341,15 @@ class AlignmentClient:
         concurrency: int = 32,
         mode: str | None = None,
         band: int | None = None,
+        gap_open: float | None = None,
+        gap_extend: float | None = None,
+        memory: str | None = None,
     ) -> list[Alignment]:
         """Alignments for all pairs, pipelined ``concurrency`` at a time."""
-        return self._map("align", pairs, concurrency, mode, band)
+        return self._map(
+            "align", pairs, concurrency, mode=mode, band=band,
+            gap_open=gap_open, gap_extend=gap_extend, memory=memory,
+        )
 
     # -- lifecycle ----------------------------------------------------
 

@@ -12,9 +12,12 @@ Requests::
     {"id": 2, "op": "align", "a": "ACGT", "b": "AGGT"}
     {"id": 3, "op": "score", "a": "ACGT", "b": "AGGT", "mode": "overlap"}
     {"id": 4, "op": "align", "a": "ACGT", "b": "AGGT", "mode": "banded", "band": 8}
-    {"id": 5, "op": "stats"}     # service counters / latency / cache
-    {"id": 6, "op": "ping"}
-    {"id": 7, "op": "shutdown"}  # answered, then the server stops
+    {"id": 5, "op": "score", "a": "ACGT", "b": "AGGT",
+              "gap_open": -4, "gap_extend": -1}
+    {"id": 6, "op": "align", "a": "ACGT", "b": "AGGT", "memory": "linear"}
+    {"id": 7, "op": "stats"}     # service counters / latency / cache
+    {"id": 8, "op": "ping"}
+    {"id": 9, "op": "shutdown"}  # answered, then the server stops
 
 ``mode`` selects the alignment mode per request (``global``,
 ``local``, ``overlap`` or ``banded``); omitted, the server's
@@ -23,6 +26,16 @@ required for ``mode="banded"`` unless the server was started with a
 default band, and it must satisfy ``band >= abs(len(a) - len(b))``
 (validated before the request joins a batch, so one bad request can
 never poison a batch of good ones).
+
+``gap_open``/``gap_extend`` switch the request to affine (Gotoh) gap
+costs — both together, both non-positive; omitted, the server's
+configured defaults apply (linear gaps unless the server was started
+with affine defaults).  ``memory`` (align requests only) selects the
+traceback strategy: ``"auto"``, ``"tensor"`` or ``"linear"`` — it
+never changes the result (the linear walker returns byte-identical
+alignments), so it is *not* part of the result-cache key, but
+``memory="linear"`` with banded mode or affine gaps is rejected
+before batching.
 
 Responses::
 
@@ -44,12 +57,13 @@ import json
 from dataclasses import dataclass
 from typing import Any
 
-from fragalign.align.pairwise import Alignment
-from fragalign.engine.backends import MODES
+from fragalign.align.pairwise import Alignment, check_affine_gaps
+from fragalign.engine.backends import MEMORY_MODES, MODES
 from fragalign.util.errors import FragalignError
 
 __all__ = [
     "MAX_LINE",
+    "MEMORY_MODES",
     "MODES",
     "OPS",
     "PAIR_OPS",
@@ -83,8 +97,9 @@ class ServiceError(FragalignError):
 class Request:
     """One validated request: an op plus (for pair ops) the sequences.
 
-    ``mode``/``band`` are ``None`` when the request didn't set them —
-    the server substitutes its configured defaults.
+    ``mode``/``band``/``gap_open``/``gap_extend``/``memory`` are
+    ``None`` when the request didn't set them — the server substitutes
+    its configured defaults.
     """
 
     id: Any
@@ -93,6 +108,9 @@ class Request:
     b: str = ""
     mode: str | None = None
     band: int | None = None
+    gap_open: float | None = None
+    gap_extend: float | None = None
+    memory: str | None = None
 
 
 def encode_line(obj: dict) -> bytes:
@@ -128,7 +146,26 @@ def parse_request(obj: dict) -> Request:
             isinstance(band, bool) or not isinstance(band, int) or band < 0
         ):
             raise ProtocolError(f"band must be a non-negative integer, got {band!r}")
-        return Request(id=obj.get("id"), op=op, a=a, b=b, mode=mode, band=band)
+        gap_open, gap_extend = obj.get("gap_open"), obj.get("gap_extend")
+        if gap_open is not None or gap_extend is not None:
+            try:
+                # One source of truth for the gap rules (and the float
+                # coercion that makes 4 and 4.0 key identically).
+                gap_open, gap_extend = check_affine_gaps(gap_open, gap_extend)
+            except ValueError as exc:
+                raise ProtocolError(str(exc)) from exc
+        memory = obj.get("memory")
+        if memory is not None:
+            if memory not in MEMORY_MODES:
+                raise ProtocolError(
+                    f"unknown memory mode {memory!r} (expected one of {MEMORY_MODES})"
+                )
+            if op != "align":
+                raise ProtocolError("memory only applies to align requests")
+        return Request(
+            id=obj.get("id"), op=op, a=a, b=b, mode=mode, band=band,
+            gap_open=gap_open, gap_extend=gap_extend, memory=memory,
+        )
     return Request(id=obj.get("id"), op=op)
 
 

@@ -24,6 +24,7 @@ import time
 from dataclasses import dataclass, field
 
 from fragalign.align.scoring_matrices import SubstitutionModel
+from fragalign.engine.backends import linear_memory_conflict
 from fragalign.engine.facade import AlignmentEngine
 from fragalign.service.batcher import MicroBatcher
 from fragalign.service.protocol import (
@@ -117,6 +118,9 @@ class ServiceConfig:
     backend: str = "numpy"
     mode: str = "global"  # default mode; requests may override per call
     band: int | None = None  # default band for banded-mode requests
+    gap_open: float | None = None  # default affine gap open (None = linear)
+    gap_extend: float | None = None  # default affine gap extend
+    memory: str = "auto"  # default align traceback strategy
     max_batch: int = 64  # flush a batch at this many queued jobs
     max_delay: float = 0.002  # seconds to wait for a batch to fill
     cache_size: int = 4096  # LRU result-cache entries (0 disables)
@@ -144,6 +148,9 @@ class AlignmentService:
             backend=self.config.backend,
             mode=self.config.mode,
             band=self.config.band,
+            gap_open=self.config.gap_open,
+            gap_extend=self.config.gap_extend,
+            memory=self.config.memory,
             **self.config.backend_options,
         )
         self.stats = ServiceStats()
@@ -165,24 +172,53 @@ class AlignmentService:
     # -- cache keying -------------------------------------------------
 
     def cache_key(
-        self, op: str, a: str, b: str, mode: str, band: int | None
+        self,
+        op: str,
+        a: str,
+        b: str,
+        mode: str,
+        band: int | None,
+        gap_open: float | None = None,
+        gap_extend: float | None = None,
     ) -> tuple:
-        """Result-cache key: the pair *and* op, mode, band, model
-        identity — a result computed under one mode/band/model can
-        never satisfy a lookup under another."""
-        return (op, a, b, mode, band, self._model_fp)
+        """Result-cache key: the pair *and* op, mode, band, gap and
+        model identity — a result computed under one knob set can
+        never satisfy a lookup under another.  ``memory`` is
+        deliberately absent: the linear walker returns byte-identical
+        alignments, so one cached result serves both strategies."""
+        return (op, a, b, mode, band, gap_open, gap_extend, self._model_fp)
 
-    def _resolve_mode(self, request) -> tuple[str, int | None]:
-        """Per-request mode/band with the server's defaults applied.
+    def _resolve_request(
+        self, request
+    ) -> tuple[str, int | None, float | None, float | None, str | None]:
+        """Per-request knobs with the server's defaults applied.
 
-        Raises :class:`ProtocolError` for banded requests that are
-        unservable (no band anywhere, or a band too narrow for the
-        pair) *before* they reach the batcher, so a bad request can
-        only ever fail itself, never the batch it would have joined.
+        Raises :class:`ProtocolError` for requests that are unservable
+        (no band anywhere, a band too narrow for the pair, or
+        ``memory="linear"`` with banded mode / affine gaps) *before*
+        they reach the batcher, so a bad request can only ever fail
+        itself, never the batch it would have joined.
         """
         mode = request.mode or self.engine.mode
+        if request.gap_open is not None:
+            gap_open, gap_extend = request.gap_open, request.gap_extend
+        else:
+            gap_open, gap_extend = self.engine.gap_open, self.engine.gap_extend
+        # Resolve memory fully here (request field or server default):
+        # validation then covers defaulted combinations too, and the
+        # batcher groups "memory omitted" with "memory sent explicitly
+        # as the default" instead of splitting the batch.
+        memory = None
+        if request.op == "align":
+            memory = request.memory if request.memory is not None else self.engine.memory
+        if memory == "linear":
+            conflict = linear_memory_conflict(mode, gap_open is not None)
+            if conflict is not None:
+                raise ProtocolError(
+                    f"memory='linear' is not supported with {conflict}"
+                )
         if mode != "banded":
-            return mode, None
+            return mode, None, gap_open, gap_extend, memory
         band = request.band if request.band is not None else self.engine.band
         if band is None:
             raise ProtocolError(
@@ -193,7 +229,7 @@ class AlignmentService:
                 f"band {band} too narrow for lengths "
                 f"{len(request.a)}/{len(request.b)}"
             )
-        return mode, band
+        return mode, band, gap_open, gap_extend, memory
 
     # -- lifecycle ----------------------------------------------------
 
@@ -323,9 +359,11 @@ class AlignmentService:
         if request.op == "shutdown":
             return ok_response(request.id, "bye")  # _serve_line stops after
         # score / align
-        mode, band = self._resolve_mode(request)
+        mode, band, gap_open, gap_extend, memory = self._resolve_request(request)
         self.stats.observe_mode(mode)
-        key = self.cache_key(request.op, request.a, request.b, mode, band)
+        key = self.cache_key(
+            request.op, request.a, request.b, mode, band, gap_open, gap_extend
+        )
         result = self.cache.get(key)
         if result is not None:
             return ok_response(request.id, result, cached=True)
@@ -340,7 +378,14 @@ class AlignmentService:
         self._inflight[key] = future
         try:
             value = await self.batcher.submit(
-                request.op, request.a, request.b, mode, band
+                request.op,
+                request.a,
+                request.b,
+                mode,
+                band,
+                gap_open=gap_open,
+                gap_extend=gap_extend,
+                memory=memory,
             )
             # Cache the wire form, so warm hits skip serialization too.
             result = (

@@ -441,3 +441,64 @@ class TestProcessCluster:
                 assert stats["router"]["failed_requests"] == 0
                 assert stats["aggregate"]["shards_reporting"] == 1
         assert sup.alive_count == 0
+
+
+class TestRingKeyGapFields:
+    """Routing keys mirror the widened cache key (gaps in, memory out)."""
+
+    def test_gap_fields_partition_the_keyspace(self):
+        base = ring_key("score", "ACGT", "AGGT", "global", None, "fp")
+        affine = ring_key(
+            "score", "ACGT", "AGGT", "global", None, "fp",
+            gap_open=-4.0, gap_extend=-1.0,
+        )
+        assert base != affine
+        assert affine == ring_key(
+            "score", "ACGT", "AGGT", "global", None, "fp",
+            gap_open=-4, gap_extend=-1,  # ints normalize to floats
+        )
+        assert affine != ring_key(
+            "score", "ACGT", "AGGT", "global", None, "fp",
+            gap_open=-4.0, gap_extend=-2.0,
+        )
+
+    def test_router_normalizes_gap_defaults(self):
+        router = ShardRouter(
+            [("127.0.0.1", 1)],
+            default_gap_open=-4.0,
+            default_gap_extend=-1.0,
+        )
+        explicit = router.key_for("score", "AC", "GT", gap_open=-4.0, gap_extend=-1.0)
+        defaulted = router.key_for("score", "AC", "GT")
+        assert explicit == defaulted
+        other = router.key_for("score", "AC", "GT", gap_open=-2.0, gap_extend=-1.0)
+        assert other != defaulted
+
+    def test_keyset_entries_carry_gap_fields(self, tmp_path):
+        entries = generate_keyset(
+            4, length=16, op="score", gap_open=-3.0, gap_extend=-1.0
+        )
+        path = tmp_path / "keys.jsonl"
+        dump_keyset(path, entries)
+        loaded = load_keyset(path)
+        assert all(e["gap_open"] == -3.0 and e["gap_extend"] == -1.0 for e in loaded)
+        with pytest.raises(ValueError, match="together"):
+            dump_keyset(path, [{"op": "score", "a": "AC", "b": "GT", "gap_open": -1}])
+
+
+class TestClusterAffineEndToEnd:
+    """Affine knobs through a real (in-process) shard fleet."""
+
+    def test_affine_routes_and_matches_engine(self, three_shards):
+        pairs = [("ACGTACGTAC", "ACGTAGGTAC"), ("AAAATTTT", "AAATTTT"), ("GGGG", "GGCG")]
+        with AlignmentEngine() as eng, ClusterClient(_addresses(three_shards)) as cluster:
+            got = cluster.score_many(pairs, gap_open=-3.0, gap_extend=-1.0)
+            want = [eng.score(a, b, gap_open=-3.0, gap_extend=-1.0) for a, b in pairs]
+            assert got == want
+            got_al = cluster.align_many(pairs, gap_open=-3.0, gap_extend=-1.0)
+            want_al = [eng.align(a, b, gap_open=-3.0, gap_extend=-1.0) for a, b in pairs]
+            assert got_al == want_al
+            # memory hint flows through without changing results
+            assert cluster.align(
+                pairs[0][0], pairs[0][1], memory="linear"
+            ) == eng.align(pairs[0][0], pairs[0][1])

@@ -315,3 +315,101 @@ class TestBackendProtocol:
             with pytest.raises(ValueError, match="unknown alignment mode"):
                 method([p], unit_dna(), "frobnicate")
         assert par._pool is None
+
+
+class TestAffineKnobs:
+    """Affine gap parameters through the facade, all backends."""
+
+    def _pairs(self, rng, count=8, lo=6, hi=24):
+        return [
+            (random_dna(int(rng.integers(lo, hi)), rng),
+             random_dna(int(rng.integers(lo, hi)), rng))
+            for _ in range(count)
+        ]
+
+    @pytest.mark.parametrize("mode", ["global", "local", "overlap", "banded"])
+    def test_cross_backend_affine_parity(self, mode, rng):
+        pairs = self._pairs(rng)
+        band = 30 if mode == "banded" else None
+        results = {}
+        for name in ("naive", "numpy"):
+            with AlignmentEngine(backend=name) as eng:
+                scores = eng.score_many(
+                    pairs, mode=mode, band=band, gap_open=-3.0, gap_extend=-1.0
+                )
+                alns = eng.align_many(
+                    pairs, mode=mode, band=band, gap_open=-3.0, gap_extend=-1.0
+                )
+            assert np.allclose(scores, [a.score for a in alns])
+            results[name] = (list(scores), alns)
+        assert results["naive"][0] == results["numpy"][0]
+        assert results["naive"][1] == results["numpy"][1]
+
+    def test_parallel_backend_affine_fan_out(self, rng):
+        pairs = [(random_dna(16, rng), random_dna(16, rng)) for _ in range(20)]
+        with AlignmentEngine(backend="numpy") as ref, AlignmentEngine(
+            backend="parallel", workers=2, min_batch=4
+        ) as par:
+            want = ref.score_many(pairs, gap_open=-4.0, gap_extend=-1.0)
+            got = par.score_many(pairs, gap_open=-4.0, gap_extend=-1.0)
+            assert np.array_equal(want, got)
+            assert par.align_many(
+                pairs, gap_open=-4.0, gap_extend=-1.0
+            ) == ref.align_many(pairs, gap_open=-4.0, gap_extend=-1.0)
+
+    def test_engine_level_defaults(self, rng):
+        a, b = random_dna(20, rng), random_dna(22, rng)
+        with AlignmentEngine(gap_open=-3.0, gap_extend=-1.0) as eng_def, AlignmentEngine() as eng:
+            assert eng_def.score(a, b) == eng.score(a, b, gap_open=-3.0, gap_extend=-1.0)
+            assert eng_def.align(a, b) == eng.align(a, b, gap_open=-3.0, gap_extend=-1.0)
+
+    def test_gap_validation(self):
+        with pytest.raises(ValueError, match="together"):
+            AlignmentEngine(gap_open=-3.0)
+        with pytest.raises(ValueError, match="<= 0"):
+            AlignmentEngine(gap_open=1.0, gap_extend=-1.0)
+        eng = AlignmentEngine()
+        with pytest.raises(ValueError, match="together"):
+            eng.score("AC", "GT", gap_open=-3.0)
+
+
+class TestMemoryKnob:
+    """Traceback strategy: linear vs tensor identity + validation."""
+
+    def test_linear_equals_tensor_all_supported_modes(self, rng):
+        a, b = random_dna(120, rng), random_dna(110, rng)
+        with AlignmentEngine() as eng:
+            for mode in ("global", "local", "overlap"):
+                assert eng.align(a, b, mode=mode, memory="linear") == eng.align(
+                    a, b, mode=mode, memory="tensor"
+                )
+
+    def test_align_many_linear_identity(self, rng):
+        pairs = [(random_dna(40, rng), random_dna(44, rng)) for _ in range(6)]
+        with AlignmentEngine() as eng:
+            assert eng.align_many(pairs, memory="linear") == eng.align_many(
+                pairs, memory="tensor"
+            )
+
+    def test_auto_threshold_switches_strategy(self, rng):
+        a, b = random_dna(64, rng), random_dna(64, rng)
+        with AlignmentEngine(linear_auto_cells=100) as small, AlignmentEngine() as eng:
+            # 64*64 cells > 100: auto takes the linear walker — results identical
+            assert small.align(a, b) == eng.align(a, b, memory="tensor")
+
+    def test_invalid_memory_combinations(self, rng):
+        a, b = random_dna(16, rng), random_dna(16, rng)
+        with AlignmentEngine() as eng:
+            with pytest.raises(ValueError, match="linear"):
+                eng.align(a, b, memory="linear", gap_open=-3.0, gap_extend=-1.0)
+            with pytest.raises(ValueError, match="linear"):
+                eng.align(a, b, mode="banded", band=4, memory="linear")
+            with pytest.raises(ValueError, match="memory"):
+                eng.align(a, b, memory="bogus")
+            with pytest.raises(ValueError, match="memory"):
+                AlignmentEngine(memory="bogus")
+
+    def test_naive_backend_accepts_and_ignores_memory(self, rng):
+        a, b = random_dna(12, rng), random_dna(12, rng)
+        with AlignmentEngine(backend="naive") as naive, AlignmentEngine() as eng:
+            assert naive.align(a, b, memory="linear") == eng.align(a, b, memory="linear")

@@ -200,13 +200,20 @@ class CountingEngine:
         self._engine = engine
         self.calls: list[tuple[str, int]] = []
 
-    def score_many(self, pairs, mode=None, band=None):
+    def score_many(self, pairs, mode=None, band=None, gap_open=None, gap_extend=None):
         self.calls.append(("score", len(pairs)))
-        return self._engine.score_many(pairs, mode=mode, band=band)
+        return self._engine.score_many(
+            pairs, mode=mode, band=band, gap_open=gap_open, gap_extend=gap_extend
+        )
 
-    def align_many(self, pairs, mode=None, band=None):
+    def align_many(
+        self, pairs, mode=None, band=None, gap_open=None, gap_extend=None, memory=None
+    ):
         self.calls.append(("align", len(pairs)))
-        return self._engine.align_many(pairs, mode=mode, band=band)
+        return self._engine.align_many(
+            pairs, mode=mode, band=band, gap_open=gap_open,
+            gap_extend=gap_extend, memory=memory,
+        )
 
 
 class TestMicroBatcher:
@@ -268,7 +275,7 @@ class TestMicroBatcher:
 
     def test_engine_error_propagates_to_all_waiters(self):
         class ExplodingEngine:
-            def score_many(self, pairs, mode=None, band=None):
+            def score_many(self, pairs, mode=None, band=None, gap_open=None, gap_extend=None):
                 raise RuntimeError("kernel on fire")
 
         async def run():
@@ -619,3 +626,142 @@ class TestCacheKeying:
         finally:
             svc_a.close()
             svc_b.close()
+
+
+class TestAffineAndMemoryKnobsEndToEnd:
+    """gap_open/gap_extend/memory round-trip client -> server -> engine."""
+
+    def test_affine_requests_match_engine(self, service_port):
+        a, b = "ACGTACGTACGTTT", "ACGTAAGTACG"
+        with AlignmentEngine() as eng, AlignmentClient(port=service_port) as client:
+            got = client.score(a, b, gap_open=-3.0, gap_extend=-1.0)
+            assert got == eng.score(a, b, gap_open=-3.0, gap_extend=-1.0)
+            for mode in ("global", "local", "overlap"):
+                got_aln = client.align(a, b, mode=mode, gap_open=-3.0, gap_extend=-1.0)
+                assert got_aln == eng.align(a, b, mode=mode, gap_open=-3.0, gap_extend=-1.0)
+            got_aln = client.align(
+                a, b, mode="banded", band=8, gap_open=-3.0, gap_extend=-1.0
+            )
+            assert got_aln == eng.align(
+                a, b, mode="banded", band=8, gap_open=-3.0, gap_extend=-1.0
+            )
+
+    def test_memory_strategies_agree_and_share_cache(self, service_port):
+        """linear and tensor return identical alignments, so they share
+        one cache entry (memory is not in the cache key)."""
+        a, b = "ACGTACGTACGT", "ACGTAAGTACG"
+
+        async def run():
+            client = await AsyncAlignmentClient.connect(port=service_port)
+            aln1 = await client.align(a, b, memory="tensor")
+            response = await client._request("align", a=a, b=b, memory="linear")
+            await client.close()
+            return aln1, response
+
+        aln1, response = asyncio.run(run())
+        assert response["cached"] is True  # same key as the tensor request
+        assert alignment_from_dict(response["result"]) == aln1
+
+    def test_affine_cached_separately_from_linear_gap(self, service_port):
+        a, b = "ACGTACGT", "ACGTCCGT"
+
+        async def run():
+            client = await AsyncAlignmentClient.connect(port=service_port)
+            s1 = await client.score(a, b)
+            s2, cached = await client.score_detail(a, b, gap_open=-4.0, gap_extend=-1.0)
+            await client.close()
+            return s1, s2, cached
+
+        s1, s2, cached = asyncio.run(run())
+        assert cached is False  # different knobs, different cache key
+
+    def test_invalid_knob_combos_rejected_before_batching(self, service_port):
+        a, b = "ACGT", "ACGA"
+        with AlignmentClient(port=service_port) as client:
+            with pytest.raises(ServiceError, match="linear"):
+                client.align(a, b, memory="linear", gap_open=-3.0, gap_extend=-1.0)
+            with pytest.raises(ServiceError, match="linear"):
+                client.align(a, b, mode="banded", band=4, memory="linear")
+            with pytest.raises(ServiceError, match="together"):
+                client.score(a, b, gap_open=-3.0)
+            with pytest.raises(ServiceError, match="<= 0"):
+                client.score(a, b, gap_open=2.0, gap_extend=-1.0)
+            # the connection is still healthy after rejected requests
+            assert client.ping()
+
+    def test_memory_on_score_rejected(self, service_port):
+        async def run():
+            client = await AsyncAlignmentClient.connect(port=service_port)
+            with pytest.raises(ServiceError, match="align"):
+                await client._request("score", a="AC", b="AC", memory="linear")
+            await client.close()
+
+        asyncio.run(run())
+
+    def test_server_affine_defaults_apply(self):
+        port, stop, _service = _serve_in_thread(
+            ServiceConfig(port=0, gap_open=-3.0, gap_extend=-1.0, cache_size=64)
+        )
+        try:
+            a, b = "ACGTACGTACGT", "ACGTCCGT"
+            with AlignmentEngine() as eng, AlignmentClient(port=port) as client:
+                assert client.score(a, b) == eng.score(
+                    a, b, gap_open=-3.0, gap_extend=-1.0
+                )
+        finally:
+            stop()
+
+
+class TestClientAutoReconnect:
+    """Opt-in reconnect with capped exponential backoff; fail-fast default."""
+
+    def _restartable_config(self):
+        return ServiceConfig(port=0, max_batch=8, max_delay=0.001, cache_size=64)
+
+    def test_reconnect_after_server_restart(self):
+        port, stop, _service = _serve_in_thread(self._restartable_config())
+        client = AlignmentClient(
+            port=port, reconnect=True, reconnect_base_delay=0.02,
+            reconnect_attempts=8,
+        )
+        try:
+            assert client.score("ACGT", "ACGA") == 2.0
+            stop()  # server dies
+            # restart on the same port while the client holds a dead conn
+            cfg = self._restartable_config()
+            cfg.port = port
+            port2, stop, _service = _serve_in_thread(cfg)
+            assert port2 == port
+            assert client.score("ACGT", "ACGA") == 2.0  # transparent retry
+            assert client.reconnects >= 1
+            # batch ops survive too
+            assert client.score_many([("AC", "AC"), ("GT", "GA")]) == [2.0, 0.0]
+        finally:
+            client.close()
+            stop()
+
+    def test_default_stays_fail_fast(self):
+        port, stop, _service = _serve_in_thread(self._restartable_config())
+        client = AlignmentClient(port=port)
+        try:
+            assert client.ping()
+            stop()
+            with pytest.raises((ConnectionError, OSError)):
+                client.score("ACGT", "ACGT")
+            assert client.reconnects == 0
+        finally:
+            client.close()
+
+    def test_reconnect_gives_up_after_attempts(self):
+        port, stop, _service = _serve_in_thread(self._restartable_config())
+        client = AlignmentClient(
+            port=port, reconnect=True, reconnect_attempts=2,
+            reconnect_base_delay=0.01, reconnect_max_delay=0.02,
+        )
+        try:
+            assert client.ping()
+            stop()  # nothing ever comes back on this port
+            with pytest.raises((ConnectionError, OSError)):
+                client.score("ACGT", "ACGT")
+        finally:
+            client.close()
