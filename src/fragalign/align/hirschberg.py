@@ -148,7 +148,7 @@ class _LinearWalk:
         return tuple(out)
 
 
-def linear_align(
+def linear_align(  # parity-oracle: hirschberg_align_reference
     a: str | np.ndarray,
     b: str | np.ndarray,
     model: SubstitutionModel | None = None,

@@ -445,10 +445,11 @@ def global_align_batch(
         return [Alignment((n + m) * g, (), (0, n), (0, m)) for _ in pairs]
     shift = g * (m + n)
     out: list[Alignment] = []
+    Dbuf = np.empty((n, min(chunk, len(pairs)), m), dtype=np.uint8)
     for lo in range(0, len(pairs), chunk):
         A, Bm = _batch_codes(pairs[lo : lo + chunk])
         B = A.shape[0]
-        D = np.empty((n, B, m), dtype=np.uint8)
+        D = Dbuf[:, :B]
         fr = _sweep_global(A, Bm, model, D=D)
         scores = fr.prev[:, m] + shift
         for k in range(B):
@@ -532,10 +533,11 @@ def overlap_align_batch(
     g = model.gap
     gjs = g * np.arange(m + 1)
     out: list[Alignment] = []
+    Dbuf = np.empty((n, min(chunk, len(pairs)), m), dtype=np.uint8)
     for lo in range(0, len(pairs), chunk):
         A, Bm = _batch_codes(pairs[lo : lo + chunk])
         B = A.shape[0]
-        D = np.empty((n, B, m), dtype=np.uint8)
+        D = Dbuf[:, :B]
         fr = _sweep_global(A, Bm, model, overlap=True, D=D)
         hrow = fr.prev[:, : m + 1] + gjs
         ends = np.argmax(hrow, axis=1)  # first maximum, like np.argmax
@@ -714,10 +716,11 @@ def local_align_batch(
     if n == 0 or m == 0:
         return [Alignment(0.0, (), (0, 0), (0, 0)) for _ in pairs]
     out: list[Alignment] = []
+    Dbuf = np.empty((n, min(chunk, len(pairs)), m), dtype=np.uint8)
     for lo in range(0, len(pairs), chunk):
         A, Bm = _batch_codes(pairs[lo : lo + chunk])
         B = A.shape[0]
-        D = np.empty((n, B, m), dtype=np.uint8)
+        D = Dbuf[:, :B]
         best, bi, bj, _ = _sweep_local(A, Bm, model, D=D)
         for k in range(B):
             ei, ej = int(bi[k]), int(bj[k])
@@ -1002,15 +1005,16 @@ def banded_align_batch(
 
     out: list[Alignment] = []
     if min(len(pairs), chunk) == 1 and n * w * 9 <= _BANDED_SINGLE_MAX_BYTES:
+        D1 = np.empty((n, w), dtype=np.uint8)
         for a, b in pairs:
-            D1 = np.empty((n, w), dtype=np.uint8)
             final = _sweep_banded_single(_as_codes(a), _as_codes(b), band, model, D=D1)
             out.append(walk_codes(D1.tobytes(), float(final[k_end] + shift)))
         return out
+    Dbuf = np.empty((n, min(chunk, len(pairs)), w), dtype=np.uint8)
     for lo in range(0, len(pairs), chunk):
         A, Bm = _batch_codes(pairs[lo : lo + chunk])
         B = A.shape[0]
-        D = np.empty((n, B, w), dtype=np.uint8)
+        D = Dbuf[:, :B]
         fr = _sweep_banded(A, Bm, band, model, D=D)
         scores = fr.prev[:, k_end] + shift
         for k in range(B):
@@ -1302,12 +1306,13 @@ def _affine_batch(
         return [Alignment(score, (), ai, bi_) for _ in pairs]
     out_scores = np.empty(len(pairs))
     out_alns: list[Alignment] = []
+    cap = min(chunk, len(pairs))
+    rows = np.arange(cap)
+    Dbuf = np.empty((n, cap, m), dtype=np.uint8) if kind == "align" else None
     for lo in range(0, len(pairs), chunk):
         A, Bm = _batch_codes(pairs[lo : lo + chunk])
         B = A.shape[0]
-        D = None
-        if kind == "align":
-            D = np.empty((n, B, m), dtype=np.uint8)
+        D = Dbuf[:, :B] if Dbuf is not None else None
         r, best, bi, bj = _sweep_affine(A, Bm, model, open_, ext, mode, D=D)
         if mode == "global":
             mv, xv, yv = r.Mp[:, m], r.Xp[:, m], r.Yp[:, m]
@@ -1315,7 +1320,7 @@ def _affine_batch(
         elif mode == "overlap":
             hrow = np.maximum(np.maximum(r.Mp, r.Xp), r.Yp)
             ends = np.argmax(hrow, axis=1)
-            scores = hrow[np.arange(B), ends]
+            scores = hrow[rows[:B], ends]
         else:  # local
             scores = best
         if kind == "score":
@@ -1585,10 +1590,11 @@ def affine_banded_align_batch(
     w = 2 * band + 1
     k_end = m - n + band
     out: list[Alignment] = []
+    Dbuf = np.empty((n, min(chunk, len(pairs)), w), dtype=np.uint8)
     for lo in range(0, len(pairs), chunk):
         A, Bm = _batch_codes(pairs[lo : lo + chunk])
         B = A.shape[0]
-        D = np.empty((n, B, w), dtype=np.uint8)
+        D = Dbuf[:, :B]
         r = _sweep_affine_banded(A, Bm, band, model, open_, ext, D=D)
         for k in range(B):
             state = _end_state(

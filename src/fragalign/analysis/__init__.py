@@ -1,0 +1,28 @@
+"""fragalign.analysis — repo-specific static checks (``fragalign check``).
+
+An AST-based analyzer that enforces the contracts the test suite can't
+see: kernel/oracle parity coverage, request-knob propagation through
+every serving layer, asyncio hygiene, hot-loop numpy discipline and
+key determinism.  See the rule modules under
+:mod:`fragalign.analysis.rules` for the individual contracts and
+``analysis-baseline.json`` at the repo root for suppressions.
+"""
+
+from __future__ import annotations
+
+from fragalign.analysis.baseline import Baseline, BaselineEntry, BaselineError
+from fragalign.analysis.findings import Finding, Severity
+from fragalign.analysis.project import Project
+from fragalign.analysis.runner import CheckResult, format_report, run_check
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "CheckResult",
+    "Finding",
+    "Project",
+    "Severity",
+    "format_report",
+    "run_check",
+]

@@ -1,0 +1,132 @@
+"""The suppression baseline: known findings carried with justification.
+
+The baseline is a committed JSON file.  Every entry suppresses exactly
+one finding fingerprint ``(rule, path, symbol)`` and **must** carry a
+non-empty ``justification`` that does not start with ``FIXME`` —
+``--update-baseline`` writes ``FIXME`` placeholders precisely so that
+a freshly regenerated baseline cannot pass CI until a human replaces
+each placeholder with a real reason.
+
+Etiquette (also in the README): the baseline is for *false positives*
+and consciously-accepted debt, never a dumping ground — a genuine
+violation gets fixed, not suppressed.  Stale entries (suppressing
+nothing) fail the run so the file can only shrink back honestly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from fragalign.analysis.findings import Finding
+
+__all__ = ["BaselineEntry", "Baseline", "BaselineError"]
+
+_VERSION = 1
+_PLACEHOLDER = "FIXME"
+
+
+class BaselineError(ValueError):
+    """A malformed baseline file (bad JSON, missing justification...)."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    symbol: str
+    justification: str
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.symbol)
+
+
+@dataclass
+class Baseline:
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read and validate a baseline file.  A missing file is an
+        empty baseline (the common, healthy case)."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            obj = json.loads(path.read_text())
+        except ValueError as exc:
+            raise BaselineError(f"{path}: invalid JSON: {exc}") from exc
+        if not isinstance(obj, dict) or not isinstance(obj.get("entries"), list):
+            raise BaselineError(f"{path}: expected an object with an 'entries' list")
+        entries = []
+        seen: set[tuple[str, str, str]] = set()
+        for k, raw in enumerate(obj["entries"]):
+            if not isinstance(raw, dict):
+                raise BaselineError(f"{path}: entry {k} is not an object")
+            missing = {"rule", "path", "symbol", "justification"} - set(raw)
+            if missing:
+                raise BaselineError(f"{path}: entry {k} missing {sorted(missing)}")
+            justification = str(raw["justification"]).strip()
+            if not justification or justification.upper().startswith(_PLACEHOLDER):
+                raise BaselineError(
+                    f"{path}: entry {k} ({raw['rule']} @ {raw['path']}:{raw['symbol']}) "
+                    "needs a real justification (placeholders don't pass)"
+                )
+            entry = BaselineEntry(
+                rule=str(raw["rule"]),
+                path=str(raw["path"]),
+                symbol=str(raw["symbol"]),
+                justification=justification,
+            )
+            if entry.fingerprint() in seen:
+                raise BaselineError(
+                    f"{path}: duplicate entry for {entry.fingerprint()}"
+                )
+            seen.add(entry.fingerprint())
+            entries.append(entry)
+        return cls(entries=entries)
+
+    def apply(
+        self, findings: Iterable[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Split findings into (new, suppressed) and report stale
+        entries (suppressing nothing — they must be pruned)."""
+        by_fp = {e.fingerprint(): e for e in self.entries}
+        new: list[Finding] = []
+        suppressed: list[Finding] = []
+        used: set[tuple[str, str, str]] = set()
+        for finding in findings:
+            entry = by_fp.get(finding.fingerprint())
+            if entry is None:
+                new.append(finding)
+            else:
+                suppressed.append(finding)
+                used.add(entry.fingerprint())
+        stale = [e for e in self.entries if e.fingerprint() not in used]
+        return new, suppressed, stale
+
+    @staticmethod
+    def write(path: str | Path, findings: Iterable[Finding]) -> int:
+        """Write a fresh baseline of FIXME placeholders for the given
+        findings (``--update-baseline``).  Returns the entry count."""
+        entries = []
+        seen: set[tuple[str, str, str]] = set()
+        for finding in findings:
+            fp = finding.fingerprint()
+            if fp in seen:
+                continue
+            seen.add(fp)
+            entries.append(
+                {
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "symbol": finding.symbol,
+                    "justification": f"{_PLACEHOLDER}: justify or fix ({finding.message})",
+                }
+            )
+        Path(path).write_text(
+            json.dumps({"version": _VERSION, "entries": entries}, indent=2) + "\n"
+        )
+        return len(entries)

@@ -1,0 +1,40 @@
+"""Findings: what a rule reports, and how suppressions anchor to them.
+
+A :class:`Finding` is one contract violation at one location.  Its
+:meth:`~Finding.fingerprint` deliberately excludes the line number —
+baselines anchor on ``(rule, path, symbol)`` so an unrelated edit that
+shifts lines doesn't invalidate every suppression in the file.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.  ``ERROR`` findings gate CI; ``WARNING``
+    findings are reported but never fail the run."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str  # rule id, e.g. "kernel-parity"
+    path: str  # path relative to the analyzed package root (posix)
+    line: int  # 1-based line of the offending node (0 = whole file)
+    symbol: str  # enclosing def/class qualname or the flagged name
+    message: str
+    severity: Severity = field(default=Severity.ERROR)
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """The baseline anchor: stable across line-number churn."""
+        return (self.rule, self.path, self.symbol)
+
+    def format(self) -> str:
+        location = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{location}: {self.severity.value}[{self.rule}] {self.symbol}: {self.message}"

@@ -1,0 +1,24 @@
+"""The rule registry.  Each rule module exposes ``ID``, ``DESCRIPTION``
+and ``check(project) -> list[Finding]``."""
+
+from __future__ import annotations
+
+from fragalign.analysis.rules import (
+    asyncio_hygiene,
+    determinism,
+    kernel_parity,
+    knob_propagation,
+    numpy_hot_loops,
+)
+
+ALL_RULES = (
+    kernel_parity,
+    knob_propagation,
+    asyncio_hygiene,
+    numpy_hot_loops,
+    determinism,
+)
+
+RULES_BY_ID = {rule.ID: rule for rule in ALL_RULES}
+
+__all__ = ["ALL_RULES", "RULES_BY_ID"]

@@ -1,0 +1,186 @@
+"""kernel-parity: every align kernel needs an oracle and a parity test.
+
+The repo's standing discipline (PR 1 → PR 5): a vectorized kernel is
+only trusted because a deliberately-dumb per-cell ``*_reference``
+oracle exists and a test pins the two against each other.  This rule
+makes the discipline mechanical:
+
+* every **public** function in ``align/`` whose name ends in
+  ``_batch``, ``_scores`` or ``_align`` is a kernel;
+* a kernel must have a matching ``*_reference`` oracle somewhere in
+  ``align/`` — matching means the kernel's family prefix and the
+  oracle's prefix (minus the ``score``/``scores``/``align`` verb
+  words) extend one another on ``_``-token boundaries, e.g.
+  ``banded_scores_batch`` ↔ ``banded_global_score_reference`` and
+  ``affine_local_align_batch`` ↔ ``affine_align_reference``;
+* at least one test file must reference the kernel **and** one of its
+  matching oracles (the co-mention is what makes the parity test
+  findable and deletable-with-consequences).
+
+Verb compatibility: a score kernel needs a score oracle; an align
+kernel accepts an align *or* a score oracle — align kernels' scores
+are pinned to the score oracle while the path itself is covered by
+the direction-walk identity tests.
+
+A kernel whose oracle has an unrelated name can declare it with a
+directive comment on (or right above) its ``def`` line::
+
+    def linear_align(...):  # parity-oracle: hirschberg_align_reference
+
+The declared oracle must still exist in ``align/`` and still co-occur
+with the kernel in some test file.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from fragalign.analysis.findings import Finding
+from fragalign.analysis.project import Project
+
+ID = "kernel-parity"
+DESCRIPTION = "align/ kernels must have *_reference oracles and parity tests"
+
+_KERNEL_SUFFIXES = ("_batch", "_scores", "_align")
+_VERB_WORDS = {"score", "scores", "align"}
+_DIRECTIVE = re.compile(r"#\s*parity-oracle:\s*(\w+)")
+
+
+def _is_kernel(name: str) -> bool:
+    return (
+        not name.startswith("_")
+        and not name.endswith("_reference")
+        and name.endswith(_KERNEL_SUFFIXES)
+    )
+
+
+def _family(name: str) -> str:
+    """The kernel/oracle family prefix: the name minus suffix/verb words.
+
+    ``affine_local_align_batch`` → ``affine_local``;
+    ``banded_global_score_reference`` → ``banded_global``.
+    """
+    tokens = name.split("_")
+    while tokens and tokens[-1] in {"batch", "reference", *_VERB_WORDS}:
+        tokens.pop()
+    return "_".join(tokens)
+
+
+def _token_prefix(short: str, long: str) -> bool:
+    """True when ``short`` is a ``_``-token-boundary prefix of ``long``."""
+    return long == short or long.startswith(short + "_")
+
+
+def _families_match(kernel_family: str, oracle_family: str) -> bool:
+    if not kernel_family or not oracle_family:
+        return False
+    return _token_prefix(kernel_family, oracle_family) or _token_prefix(
+        oracle_family, kernel_family
+    )
+
+
+def _verb(name: str) -> str:
+    tokens = name.split("_")
+    for token in reversed(tokens):
+        if token in ("score", "scores"):
+            return "score"
+        if token == "align":
+            return "align"
+    return "score"
+
+
+def _verbs_compatible(kernel: str, oracle: str) -> bool:
+    if _verb(kernel) == "score":
+        return _verb(oracle) == "score"
+    return True  # align kernels accept align or score oracles
+
+
+def _directive_oracle(source_lines: list[str], node: ast.AST) -> str | None:
+    """A ``# parity-oracle: name`` comment on the def line or the line
+    above it."""
+    for lineno in (node.lineno, node.lineno - 1):
+        if 1 <= lineno <= len(source_lines):
+            match = _DIRECTIVE.search(source_lines[lineno - 1])
+            if match:
+                return match.group(1)
+    return None
+
+
+_WORD_CACHE: dict[Path, set[str]] = {}
+
+
+def _words(project: Project, path: Path) -> set[str]:
+    if path not in _WORD_CACHE:
+        _WORD_CACHE[path] = set(re.findall(r"\w+", project.source(path)))
+    return _WORD_CACHE[path]
+
+
+def check(project: Project) -> list[Finding]:
+    _WORD_CACHE.clear()
+    kernels: list[tuple[Path, ast.AST, str, str | None]] = []
+    oracles: set[str] = set()
+    for path in project.files("align"):
+        tree = project.tree(path)
+        lines = project.source(path).splitlines()
+        for node in tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.endswith("_reference") and not node.name.startswith("_"):
+                oracles.add(node.name)
+            elif _is_kernel(node.name):
+                kernels.append((path, node, node.name, _directive_oracle(lines, node)))
+
+    findings: list[Finding] = []
+    test_files = project.test_files()
+    for path, node, kernel, declared in kernels:
+        relpath = project.relpath(path)
+        if declared is not None:
+            if declared not in oracles:
+                findings.append(
+                    Finding(
+                        rule=ID, path=relpath, line=node.lineno, symbol=kernel,
+                        message=(
+                            f"declared parity oracle {declared!r} does not exist "
+                            "in align/"
+                        ),
+                    )
+                )
+                continue
+            matching = [declared]
+        else:
+            family = _family(kernel)
+            matching = sorted(
+                o
+                for o in oracles
+                if _families_match(family, _family(o)) and _verbs_compatible(kernel, o)
+            )
+            if not matching:
+                findings.append(
+                    Finding(
+                        rule=ID, path=relpath, line=node.lineno, symbol=kernel,
+                        message=(
+                            f"kernel has no matching *_reference oracle in align/ "
+                            f"(family {family!r}); add one or declare "
+                            "'# parity-oracle: <name>'"
+                        ),
+                    )
+                )
+                continue
+        pinned = any(
+            kernel in _words(project, tf)
+            and any(o in _words(project, tf) for o in matching)
+            for tf in test_files
+        )
+        if not pinned:
+            findings.append(
+                Finding(
+                    rule=ID, path=relpath, line=node.lineno, symbol=kernel,
+                    message=(
+                        "no test file references both the kernel and a matching "
+                        f"oracle ({', '.join(matching)})"
+                    ),
+                )
+            )
+    return findings

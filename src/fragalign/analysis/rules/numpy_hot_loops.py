@@ -1,0 +1,141 @@
+"""hot-kernel-numpy: no per-iteration allocation in the sweep loops.
+
+The batched kernels in ``align/pairwise.py``, ``align/hirschberg.py``
+and ``align/affine.py`` owe their throughput to a strict buffer
+discipline: allocate once before the row loop, then only ``out=``
+writes and views inside it (the PR 2/3 rewrites were exactly this).
+This rule freezes that discipline for the *hot functions* — any
+function in those files whose name contains ``sweep`` or ends with
+``_batch``:
+
+* **growth-in-loop** — ``np.append``/``concatenate``/``vstack``/
+  ``hstack``/``stack`` inside a ``for``/``while`` loop: quadratic
+  reallocation by growth;
+* **alloc-in-loop** — ``np.zeros``/``empty``/``ones``/``full``/
+  ``array``/``arange``/``tile``/``repeat`` inside a loop: a fresh
+  array per iteration where a preallocated buffer belongs;
+* **convert-in-loop** — ``.astype(...)``/``.copy()``/``np.float64()``
+  per iteration: hidden copies and float64 widening of what should be
+  one dtype end to end.  (Bare ``float(x)`` is deliberately *not*
+  flagged: extracting a Python scalar per pair in a traceback loop is
+  the normal way to build result objects, not a buffer conversion.)
+
+Loops *inside nested function defs* are skipped (they're someone
+else's budget), as is anything outside the hot functions — reference
+oracles are deliberately naive and may allocate freely.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from fragalign.analysis.findings import Finding
+from fragalign.analysis.project import Project, qualname_of
+
+ID = "hot-kernel-numpy"
+DESCRIPTION = "sweep/batch kernels must not allocate or convert per iteration"
+
+_FILES = ("align/pairwise.py", "align/hirschberg.py", "align/affine.py")
+
+_GROWTH = {"append", "concatenate", "vstack", "hstack", "stack", "column_stack"}
+_ALLOC = {"zeros", "empty", "ones", "full", "array", "arange", "tile", "repeat"}
+_CONVERT_ATTRS = {"astype", "copy"}
+
+
+def _is_hot(name: str) -> bool:
+    return "sweep" in name or name.endswith("_batch")
+
+
+def _np_call(node: ast.Call) -> str | None:
+    """'zeros' for np.zeros(...) / numpy.zeros(...), else None."""
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("np", "numpy")
+    ):
+        return func.attr
+    return None
+
+
+class _LoopVisitor(ast.NodeVisitor):
+    """Walk a hot function; track loop depth; flag per-iteration work."""
+
+    def __init__(self, path: str, qualname: str) -> None:
+        self.path = path
+        self.qualname = qualname
+        self.depth = 0
+        self.findings: list[Finding] = []
+
+    def _finding(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                rule=ID, path=self.path, line=node.lineno, symbol=self.qualname,
+                message=message,
+            )
+        )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return  # nested defs: not this function's loop budget
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        return
+
+    def _loop(self, node: ast.For | ast.While) -> None:
+        self.depth += 1
+        self.generic_visit(node)
+        self.depth -= 1
+
+    visit_For = _loop
+    visit_While = _loop
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.depth > 0:
+            np_name = _np_call(node)
+            if np_name in _GROWTH:
+                self._finding(
+                    node,
+                    f"np.{np_name} inside a sweep loop reallocates per iteration "
+                    "(preallocate before the loop and write through out=/views)",
+                )
+            elif np_name in _ALLOC:
+                self._finding(
+                    node,
+                    f"np.{np_name} inside a sweep loop allocates per iteration "
+                    "(hoist the buffer out of the loop)",
+                )
+            elif np_name == "float64":
+                self._finding(
+                    node,
+                    "per-iteration float64 conversion widens/copies inside a "
+                    "sweep loop (keep one dtype end to end)",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _CONVERT_ATTRS
+            ):
+                self._finding(
+                    node,
+                    f".{node.func.attr}() inside a sweep loop copies per iteration "
+                    "(hoist the conversion or reuse a buffer)",
+                )
+        self.generic_visit(node)
+
+
+def check(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for relfile in _FILES:
+        path = project.file(relfile)
+        if path is None:
+            continue
+        relpath = project.relpath(path)
+        for node, stack in project.walk_with_stack(path):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _is_hot(node.name):
+                continue
+            visitor = _LoopVisitor(relpath, qualname_of(stack + [node]))
+            for stmt in node.body:
+                visitor.visit(stmt)
+            findings.extend(visitor.findings)
+    return findings

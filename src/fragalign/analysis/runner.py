@@ -1,0 +1,145 @@
+"""Run the rules, apply the baseline, decide pass/fail.
+
+Exit contract (what ``fragalign check`` and CI key off):
+
+* **0** — no new ERROR findings, baseline valid, no stale entries;
+* **1** — new findings, or stale baseline entries (the suppressed
+  thing no longer fires — prune the entry);
+* **2** — the baseline file itself is invalid (bad JSON, FIXME
+  placeholders, duplicates).
+
+``update_baseline=True`` rewrites the baseline with FIXME placeholders
+for every current finding; the run still fails until each placeholder
+is replaced with a real justification (see baseline.py).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from fragalign.analysis.baseline import Baseline, BaselineEntry, BaselineError
+from fragalign.analysis.findings import Finding, Severity
+from fragalign.analysis.project import Project
+from fragalign.analysis.rules import ALL_RULES
+
+__all__ = ["CheckResult", "run_check", "format_report"]
+
+
+@dataclass
+class CheckResult:
+    """Everything one analyzer run decided."""
+
+    new: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    stale: list[BaselineEntry] = field(default_factory=list)
+    baseline_error: str | None = None
+    rules_run: list[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        if self.baseline_error is not None:
+            return 2
+        gating = [f for f in self.new if f.severity is Severity.ERROR]
+        if gating or self.stale:
+            return 1
+        return 0
+
+    def to_json(self) -> str:
+        def enc(f: Finding) -> dict:
+            return {
+                "rule": f.rule, "path": f.path, "line": f.line,
+                "symbol": f.symbol, "message": f.message,
+                "severity": f.severity.value,
+            }
+
+        return json.dumps(
+            {
+                "exit_code": self.exit_code,
+                "rules": self.rules_run,
+                "new": [enc(f) for f in self.new],
+                "suppressed": [enc(f) for f in self.suppressed],
+                "stale": [
+                    {"rule": e.rule, "path": e.path, "symbol": e.symbol}
+                    for e in self.stale
+                ],
+                "baseline_error": self.baseline_error,
+            },
+            indent=2,
+        )
+
+
+def _sorted(findings: list[Finding]) -> list[Finding]:
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.symbol))
+
+
+def run_check(
+    root: str | Path,
+    tests: str | Path | None = None,
+    baseline_path: str | Path | None = None,
+    rules: Sequence[str] | None = None,
+    update_baseline: bool = False,
+) -> CheckResult:
+    """Run the analyzer over one package tree.
+
+    ``rules`` filters by rule id; ``baseline_path=None`` means no
+    suppressions at all.
+    """
+    project = Project(root, tests=tests)
+    selected = [
+        r for r in ALL_RULES if rules is None or r.ID in rules
+    ]
+    if rules is not None:
+        unknown = set(rules) - {r.ID for r in ALL_RULES}
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {sorted(unknown)}")
+
+    result = CheckResult(rules_run=[r.ID for r in selected])
+    findings: list[Finding] = []
+    for rule in selected:
+        findings.extend(rule.check(project))
+    findings = _sorted(findings)
+
+    if update_baseline and baseline_path is not None:
+        Baseline.write(baseline_path, findings)
+
+    if baseline_path is None:
+        result.new = findings
+        return result
+    try:
+        baseline = Baseline.load(baseline_path)
+    except BaselineError as exc:
+        result.baseline_error = str(exc)
+        result.new = findings
+        return result
+    new, suppressed, stale = baseline.apply(findings)
+    result.new = new
+    result.suppressed = suppressed
+    result.stale = stale
+    return result
+
+
+def format_report(result: CheckResult, verbose: bool = False) -> str:
+    """Human-readable report (the default ``fragalign check`` output)."""
+    lines: list[str] = []
+    if result.baseline_error is not None:
+        lines.append(f"baseline error: {result.baseline_error}")
+    for finding in result.new:
+        lines.append(finding.format())
+    if verbose:
+        for finding in result.suppressed:
+            lines.append(f"[baselined] {finding.format()}")
+    for entry in result.stale:
+        lines.append(
+            f"stale baseline entry: {entry.rule} @ {entry.path}:{entry.symbol} "
+            "no longer fires — prune it"
+        )
+    status = "FAILED" if result.exit_code else "ok"
+    lines.append(
+        f"fragalign check: {status} — {len(result.new)} new, "
+        f"{len(result.suppressed)} baselined, {len(result.stale)} stale "
+        f"({', '.join(result.rules_run)})"
+    )
+    return "\n".join(lines)

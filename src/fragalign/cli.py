@@ -359,6 +359,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cstats.add_argument("--cluster-file", required=True)
 
+    check = sub.add_parser(
+        "check", help="run the repo's static analysis rules"
+    )
+    check.add_argument(
+        "--root",
+        default=None,
+        help="package root to analyze (default: this installed fragalign)",
+    )
+    check.add_argument(
+        "--tests",
+        default=None,
+        help="test directory for parity co-mention scanning "
+        "(default: <root>/../../tests when present)",
+    )
+    check.add_argument(
+        "--baseline",
+        default=None,
+        help="suppression baseline JSON "
+        "(default: <root>/../../analysis-baseline.json when present)",
+    )
+    check.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="ID",
+        help="run only this rule id (repeatable)",
+    )
+    check.add_argument(
+        "--format", choices=["text", "json"], default="text"
+    )
+    check.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline with FIXME placeholders for every "
+        "current finding (the check still fails until each is justified)",
+    )
+    check.add_argument(
+        "--verbose", action="store_true", help="also print baselined findings"
+    )
+
     solve = sub.add_parser("solve", help="solve a JSON instance file")
     solve.add_argument("path", help="instance JSON (see fragalign.core.io)")
     solve.add_argument(
@@ -896,6 +936,32 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return handlers[args.cluster_command](args)
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from fragalign.analysis import format_report, run_check
+
+    root = Path(args.root) if args.root else Path(__file__).resolve().parent
+    baseline = args.baseline
+    if baseline is None:
+        candidate = root.parent.parent / "analysis-baseline.json"
+        baseline = candidate if candidate.is_file() else None
+    if args.update_baseline and baseline is None:
+        baseline = root.parent.parent / "analysis-baseline.json"
+    result = run_check(
+        root,
+        tests=args.tests,
+        baseline_path=baseline,
+        rules=args.rules,
+        update_baseline=args.update_baseline,
+    )
+    if args.format == "json":
+        print(result.to_json())
+    else:
+        print(format_report(result, verbose=args.verbose))
+    return result.exit_code
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     from fragalign.core import baseline4, csr_improve, exact_csr, greedy_csr
     from fragalign.core.bounds import certified_ratio
@@ -934,6 +1000,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _cmd_serve,
         "client": _cmd_client,
         "cluster": _cmd_cluster,
+        "check": _cmd_check,
         "solve": _cmd_solve,
     }
     return handlers[args.command](args)

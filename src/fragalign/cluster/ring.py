@@ -24,9 +24,16 @@ import hashlib
 from collections import Counter
 from typing import Iterable, Sequence
 
+from fragalign.service.fields import ring_key_fields
+
 __all__ = ["HashRing", "ring_key"]
 
 _SEP = "\x1f"  # unit separator: cannot appear in sequences or mode names
+
+# Knob fields of the routing key, from the shared registry.  The
+# registry asserts these mirror the service cache-key fields, which is
+# the property that keeps per-shard caches disjoint.
+_RING_FIELDS = ring_key_fields()  # ("mode", "band", "gap_open", "gap_extend")
 
 
 def ring_key(
@@ -59,8 +66,9 @@ def ring_key(
         gap_open = float(gap_open)
     if gap_extend is not None:
         gap_extend = float(gap_extend)
+    knobs = {"mode": mode, "band": band, "gap_open": gap_open, "gap_extend": gap_extend}
     return _SEP.join(
-        (op, mode, str(band), str(gap_open), str(gap_extend), model_fp, a, b)
+        (op, *(str(knobs[name]) for name in _RING_FIELDS), model_fp, a, b)
     )
 
 

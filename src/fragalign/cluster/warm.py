@@ -23,6 +23,7 @@ from typing import Iterable, Sequence
 
 import asyncio
 
+from fragalign.service.fields import REQUEST_FIELDS, coerce, keyset_fields
 from fragalign.service.protocol import PAIR_OPS
 
 __all__ = [
@@ -41,15 +42,16 @@ def _normalize(entry: dict) -> dict:
     if not isinstance(a, str) or not isinstance(b, str):
         raise ValueError("keyset entry needs string fields 'a' and 'b'")
     out = {"op": op, "a": a, "b": b}
-    if entry.get("mode") is not None:
-        out["mode"] = entry["mode"]
-    if entry.get("band") is not None:
-        out["band"] = int(entry["band"])
-    if (entry.get("gap_open") is None) != (entry.get("gap_extend") is None):
+    # Knob fields come from the shared registry: a keyset written today
+    # round-trips every knob the serving stack understands, per-op.
+    for spec in REQUEST_FIELDS:
+        if not spec.keyset or entry.get(spec.name) is None:
+            continue
+        if op not in spec.ops:
+            raise ValueError(f"keyset field {spec.name!r} only applies to {spec.ops}")
+        out[spec.name] = coerce(spec, entry[spec.name])
+    if (out.get("gap_open") is None) != (out.get("gap_extend") is None):
         raise ValueError("keyset gap_open and gap_extend must appear together")
-    if entry.get("gap_open") is not None:
-        out["gap_open"] = float(entry["gap_open"])
-        out["gap_extend"] = float(entry["gap_extend"])
     return out
 
 
@@ -84,6 +86,7 @@ def generate_keyset(
     band: int | None = None,
     gap_open: float | None = None,
     gap_extend: float | None = None,
+    memory: str | None = None,
 ) -> list[dict]:
     """A synthetic keyset of ``n`` random DNA pairs (benchmarks, CI)."""
     import numpy as np
@@ -91,6 +94,13 @@ def generate_keyset(
     from fragalign.genome.dna import random_dna
 
     gen = np.random.default_rng(seed)
+    knobs = {
+        "mode": mode,
+        "band": band,
+        "gap_open": gap_open,
+        "gap_extend": gap_extend,
+        "memory": memory,
+    }
     entries = []
     for _ in range(n):
         entry = {
@@ -98,13 +108,9 @@ def generate_keyset(
             "a": random_dna(length, gen),
             "b": random_dna(length, gen),
         }
-        if mode is not None:
-            entry["mode"] = mode
-        if band is not None:
-            entry["band"] = band
-        if gap_open is not None:
-            entry["gap_open"] = gap_open
-            entry["gap_extend"] = gap_extend
+        for name in keyset_fields():
+            if knobs[name] is not None:
+                entry[name] = knobs[name]
         entries.append(entry)
     return entries
 
@@ -124,16 +130,15 @@ async def warm_router(router, entries: Sequence[dict], concurrency: int = 32) ->
     async def one(entry: dict) -> None:
         nonlocal errors
         op = entry["op"]
-        knobs = {
-            "mode": entry.get("mode"),
-            "band": entry.get("band"),
-            "gap_open": entry.get("gap_open"),
-            "gap_extend": entry.get("gap_extend"),
-        }
+        knobs = {name: entry.get(name) for name in keyset_fields()}
+        # memory is an execution hint (align only), never a routing field.
+        memory = knobs.pop("memory", None)
         async with semaphore:
             try:
-                fn = router.score if op == "score" else router.align
-                await fn(entry["a"], entry["b"], **knobs)
+                if op == "score":
+                    await router.score(entry["a"], entry["b"], **knobs)
+                else:
+                    await router.align(entry["a"], entry["b"], memory=memory, **knobs)
             except Exception as exc:
                 errors += 1
                 if len(samples) < 5:

@@ -26,11 +26,17 @@ from functools import partial
 from typing import Any
 
 from fragalign.engine.facade import AlignmentEngine
+from fragalign.service.fields import group_key_fields
 
-__all__ = ["MicroBatcher"]
+__all__ = ["MicroBatcher", "GROUP_FIELDS"]
 
-Key = tuple  # (op, mode, band, gap_open, gap_extend, memory, a, b)
-_GROUP = 6  # leading key fields that define one engine batch
+# One dispatch group = one engine batch call.  The knob fields that
+# split groups come from the shared request-field registry — adding a
+# knob there extends every group key here automatically.
+GROUP_FIELDS = group_key_fields()  # ("mode", "band", "gap_open", "gap_extend", "memory")
+
+Key = tuple  # (op, *GROUP_FIELDS values, a, b)
+_GROUP = 1 + len(GROUP_FIELDS)  # leading key fields that define one engine batch
 
 
 class MicroBatcher:
@@ -97,7 +103,14 @@ class MicroBatcher:
         """
         if self._loop is None:
             self._loop = asyncio.get_running_loop()
-        key = (op, mode, band, gap_open, gap_extend, memory, a, b)
+        knobs = {
+            "mode": mode,
+            "band": band,
+            "gap_open": gap_open,
+            "gap_extend": gap_extend,
+            "memory": memory,
+        }
+        key = (op, *(knobs[name] for name in GROUP_FIELDS), a, b)
         fut = self._pending.get(key)
         if fut is not None:
             # Identical job already queued or computing: share its future.
@@ -134,17 +147,17 @@ class MicroBatcher:
             groups.setdefault(key[:_GROUP], []).append(key)
         results: dict[Key, Any] = {}
         try:
-            for (op, mode, band, gap_open, gap_extend, memory), group in groups.items():
+            for group_key, group in groups.items():
+                op = group_key[0]
+                # Registry field names match the engine verbs' keyword
+                # arguments one-to-one (a knob-propagation invariant).
+                knobs = dict(zip(GROUP_FIELDS, group_key[1:]))
                 pairs = [key[_GROUP:] for key in group]
                 if op == "score":
-                    call = partial(
-                        self.engine.score_many, pairs, mode, band, gap_open, gap_extend
-                    )
+                    knobs.pop("memory", None)  # execution hint: align only
+                    call = partial(self.engine.score_many, pairs, **knobs)
                 else:
-                    call = partial(
-                        self.engine.align_many, pairs, mode, band,
-                        gap_open, gap_extend, memory,
-                    )
+                    call = partial(self.engine.align_many, pairs, **knobs)
                 values = await self._loop.run_in_executor(self._executor, call)
                 if op == "score":
                     values = [float(v) for v in values]

@@ -53,12 +53,14 @@ megabyte per request.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from dataclasses import dataclass
 from typing import Any
 
 from fragalign.align.pairwise import Alignment, check_affine_gaps
 from fragalign.engine.backends import MEMORY_MODES, MODES
+from fragalign.service.fields import FIELD_NAMES
 from fragalign.util.errors import FragalignError
 
 __all__ = [
@@ -67,6 +69,7 @@ __all__ = [
     "MODES",
     "OPS",
     "PAIR_OPS",
+    "FIELD_NAMES",
     "ProtocolError",
     "ServiceError",
     "Request",
@@ -111,6 +114,14 @@ class Request:
     gap_open: float | None = None
     gap_extend: float | None = None
     memory: str | None = None
+
+
+# The wire request must carry exactly the registered knobs (plus the
+# structural id/op/a/b).  The static analyzer enforces this at check
+# time; this guard keeps an import of a drifted copy from even loading.
+assert {f.name for f in dataclasses.fields(Request)} == {"id", "op", "a", "b", *FIELD_NAMES}, (
+    "Request fields out of sync with the service.fields registry"
+)
 
 
 def encode_line(obj: dict) -> bytes:

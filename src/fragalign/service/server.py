@@ -27,6 +27,7 @@ from fragalign.align.scoring_matrices import SubstitutionModel
 from fragalign.engine.backends import linear_memory_conflict
 from fragalign.engine.facade import AlignmentEngine
 from fragalign.service.batcher import MicroBatcher
+from fragalign.service.fields import cache_key_fields
 from fragalign.service.protocol import (
     MAX_LINE,
     ProtocolError,
@@ -48,6 +49,11 @@ __all__ = [
     "write_port_file",
     "wait_for_port_file",
 ]
+
+# Knob fields of the result-cache key, from the shared registry.
+# ``memory`` is absent by registration: the linear walker returns
+# byte-identical alignments, so one cached entry serves every strategy.
+_CACHE_FIELDS = cache_key_fields()  # ("mode", "band", "gap_open", "gap_extend")
 
 
 def write_port_file(path: str, port: int) -> None:
@@ -181,12 +187,19 @@ class AlignmentService:
         gap_open: float | None = None,
         gap_extend: float | None = None,
     ) -> tuple:
-        """Result-cache key: the pair *and* op, mode, band, gap and
-        model identity — a result computed under one knob set can
-        never satisfy a lookup under another.  ``memory`` is
-        deliberately absent: the linear walker returns byte-identical
-        alignments, so one cached result serves both strategies."""
-        return (op, a, b, mode, band, gap_open, gap_extend, self._model_fp)
+        """Result-cache key: the pair *and* op, model identity, plus
+        every knob the registry marks ``cache_key`` — a result computed
+        under one knob set can never satisfy a lookup under another.
+        ``memory`` is deliberately absent: the linear walker returns
+        byte-identical alignments, so one cached result serves both
+        strategies."""
+        knobs = {
+            "mode": mode,
+            "band": band,
+            "gap_open": gap_open,
+            "gap_extend": gap_extend,
+        }
+        return (op, a, b, *(knobs[name] for name in _CACHE_FIELDS), self._model_fp)
 
     def _resolve_request(
         self, request

@@ -22,6 +22,7 @@ from fragalign.align.pairwise import (
     local_align,
     local_align_batch,
     local_score,
+    local_score_reference,
     local_scores_batch,
     overlap_align,
     overlap_align_batch,
@@ -218,6 +219,19 @@ class TestBatchKernelsVsScalarReferences:
     def test_local_align_batch_equals_scalar(self, rng):
         pairs = _random_uniform_batch(rng, 8, 30, 26)
         assert local_align_batch(pairs) == [local_align(a, b) for a, b in pairs]
+
+    def test_local_kernels_match_reference(self, rng):
+        # Parity: vectorized Smith–Waterman against the per-cell oracle.
+        pairs = _random_uniform_batch(rng, 12, 23, 31)
+        expected = [local_score_reference(a, b) for a, b in pairs]
+        np.testing.assert_allclose(local_scores_batch(pairs), expected)
+        for (a, b), aln, want in zip(pairs, local_align_batch(pairs), expected):
+            assert aln.score == want
+            assert local_align(a, b).score == want
+
+    @given(dna, dna)
+    def test_local_reference_parity_hypothesis(self, a, b):
+        assert local_score(a, b) == local_score_reference(a, b)
 
 
 class TestDirectionWalkVsRecomputeWalk:
