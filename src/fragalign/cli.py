@@ -12,6 +12,10 @@ Commands
 ``cluster``   — the sharded tier: ``serve``/``route``/``warm``/``stats``
                 over N local service instances behind a consistent-hash
                 router with health-aware failover.
+``metrics``   — scrape Prometheus expositions (one server or a whole
+                cluster, merged) to stdout.
+``top``       — the kernel-profile throughput table (Mcells/s by
+                family/backend/mode) from the same scrape.
 """
 
 from __future__ import annotations
@@ -35,6 +39,28 @@ def _add_gap_flags(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=None,
         help="affine gap-extend cost (with --gap-open)",
+    )
+
+
+def _add_log_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default="info",
+        help="structured-log threshold (lifecycle, eviction, failover events)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit logs as JSON lines instead of human-readable text",
+    )
+
+
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="send one traced request after the run and print its span tree",
     )
 
 
@@ -180,6 +206,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the bound port here once listening (for scripts/CI)",
     )
+    srv.add_argument(
+        "--trace-buffer",
+        type=int,
+        default=4096,
+        help="span ring-buffer capacity (oldest spans drop beyond it)",
+    )
+    _add_log_flags(srv)
 
     cli = sub.add_parser(
         "client", help="drive a running service (load generator + stats)"
@@ -231,6 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ask the server to stop after the run",
     )
+    _add_trace_flag(cli)
 
     cluster = sub.add_parser(
         "cluster", help="sharded serving tier (serve/route/warm/stats)"
@@ -268,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="scratch dir for shard port files and logs",
     )
+    _add_log_flags(cserve)
 
     croute = csub.add_parser(
         "route", help="drive a cluster: load generation through the router"
@@ -329,6 +364,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ask every shard to stop after the run",
     )
+    _add_trace_flag(croute)
 
     cwarm = csub.add_parser(
         "warm", help="replay a keyset file into the owning shards"
@@ -358,6 +394,41 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="print aggregated cluster stats as JSON"
     )
     cstats.add_argument("--cluster-file", required=True)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="scrape Prometheus metrics from a server or a whole cluster",
+    )
+    metrics.add_argument(
+        "--cluster-file",
+        default=None,
+        help="scrape every shard in this cluster file and merge (else --host/--port)",
+    )
+    metrics.add_argument("--host", default="127.0.0.1")
+    metrics.add_argument("--port", type=int, default=8765)
+    metrics.add_argument(
+        "--summary",
+        action="store_true",
+        help="also print histogram-derived latency p50/p95/p99 (to stderr, "
+        "so stdout stays a valid exposition)",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="kernel-profile throughput table (Mcells/s by family/backend/mode)",
+    )
+    top.add_argument(
+        "--cluster-file",
+        default=None,
+        help="aggregate over every shard in this cluster file (else --host/--port)",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=8765)
+    top.add_argument(
+        "--expect-samples",
+        action="store_true",
+        help="exit nonzero unless kernel-profile samples exist (CI smoke)",
+    )
 
     check = sub.add_parser(
         "check", help="run the repo's static analysis rules"
@@ -553,6 +624,7 @@ def _cmd_engine(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from fragalign.obs import configure_logging
     from fragalign.service import ServiceConfig, run_server
 
     if args.mode == "banded" and args.band is None:
@@ -560,6 +632,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     if not _check_gap_flags(args) or not _check_serve_memory(args):
         return 2
+    configure_logging(level=args.log_level, json_format=args.log_json)
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -572,8 +645,106 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_delay=args.max_delay_ms / 1e3,
         cache_size=args.cache_size,
+        trace_buffer=args.trace_buffer,
     )
     return run_server(config, port_file=args.port_file)
+
+
+def _print_span_tree(spans: list[dict], dropped: int, trace_id: str) -> None:
+    """Render one trace's spans as an indented parent→child tree."""
+    from fragalign.obs.trace import Span, span_tree
+
+    objs = [Span.from_dict(s) for s in spans]
+    by_parent = span_tree(objs)
+    ids = {s.span_id for s in objs}
+    print(f"trace {trace_id}: {len(objs)} spans, {dropped} dropped from buffers")
+
+    def walk(parent: str | None, depth: int) -> None:
+        for s in by_parent.get(parent, ()):
+            tags = " ".join(f"{k}={v}" for k, v in sorted(s.tags.items()))
+            print(
+                f"  {'  ' * depth}{s.name:<20} {s.duration_s * 1e3:9.3f} ms"
+                f"{'  ' + tags if tags else ''}"
+            )
+            walk(s.span_id, depth + 1)
+
+    # Roots: spans whose parent is unrecorded (the caller's root
+    # context never records a span of its own).
+    for parent in sorted(
+        {p for p in by_parent if p is None or p not in ids}, key=str
+    ):
+        walk(parent, 0)
+
+
+def _scrape_exposition(args: argparse.Namespace) -> str | None:
+    """One exposition: a single server's, or a cluster's merged one.
+
+    Prints scrape errors to stderr; returns ``None`` when nothing could
+    be scraped at all.
+    """
+    if args.cluster_file:
+        from fragalign.cluster import ClusterClient
+
+        addresses, _defaults = _cluster_layout(args.cluster_file)
+        if not addresses:
+            print("error: cluster file lists no shards", file=sys.stderr)
+            return None
+        with ClusterClient(addresses) as cluster:
+            report = cluster.metrics()
+        for shard, message in sorted(report["errors"].items()):
+            print(f"warning: {shard}: {message}", file=sys.stderr)
+        if not any(report["shards"].values()):
+            print("error: no shard answered the metrics scrape", file=sys.stderr)
+            return None
+        return report["merged"]
+    from fragalign.service import AlignmentClient
+
+    try:
+        with AlignmentClient(args.host, args.port) as client:
+            return client.metrics()
+    except OSError as exc:
+        print(f"error: {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from fragalign.obs.metrics import (
+        histogram_quantile_from_samples,
+        parse_exposition,
+    )
+
+    text = _scrape_exposition(args)
+    if text is None:
+        return 1
+    print(text, end="" if text.endswith("\n") else "\n")
+    if args.summary:
+        samples = parse_exposition(text)["samples"]
+        try:
+            for q, label in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+                value = histogram_quantile_from_samples(
+                    samples, "fragalign_request_latency_seconds", q
+                )
+                print(
+                    f"summary: request latency {label} = {value * 1e3:.3f} ms",
+                    file=sys.stderr,
+                )
+        except ValueError:
+            print("summary: no request-latency histogram yet", file=sys.stderr)
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from fragalign.obs.kprof import format_top, top_rows_from_exposition
+
+    text = _scrape_exposition(args)
+    if text is None:
+        return 1
+    rows = top_rows_from_exposition(text)
+    print(format_top(rows), end="")
+    if args.expect_samples and not rows:
+        print("error: expected kernel-profile samples, found none", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_client(args: argparse.Namespace) -> int:
@@ -610,6 +781,23 @@ def _cmd_client(args: argparse.Namespace) -> int:
             )
         t, results = time_call(run, repeat=1)
         stats = client.stats()
+        traced = None
+        if args.trace:
+            from fragalign.obs import new_trace_context
+
+            root = new_trace_context()
+            if args.op == "score":
+                client.score(
+                    *pairs[0], mode=args.mode, band=args.band,
+                    gap_open=args.gap_open, gap_extend=args.gap_extend, trace=root,
+                )
+            else:
+                client.align(
+                    *pairs[0], mode=args.mode, band=args.band,
+                    gap_open=args.gap_open, gap_extend=args.gap_extend,
+                    memory=args.memory, trace=root,
+                )
+            traced = (root.trace_id, client.trace_spans(root.trace_id))
         if args.shutdown:
             client.shutdown()
     rps = args.requests / max(t, 1e-9)
@@ -629,6 +817,9 @@ def _cmd_client(args: argparse.Namespace) -> int:
         f"coalesced {batches['coalesced']}), cache hit rate {cache['hit_rate']:.2f}, "
         f"latency p50/p95 {latency['p50']:.2f}/{latency['p95']:.2f} ms"
     )
+    if traced is not None:
+        trace_id, reply = traced
+        _print_span_tree(reply["spans"], reply["dropped"], trace_id)
     if args.expect_cache_hits and cache["hits"] <= 0:
         print("error: expected cache hits, server reports none", file=sys.stderr)
         return 1
@@ -657,12 +848,14 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
     import time
 
     from fragalign.cluster import ClusterSupervisor
+    from fragalign.obs import configure_logging
 
     if args.mode == "banded" and args.band is None:
         print("error: --mode banded needs --band", file=sys.stderr)
         return 2
     if not _check_gap_flags(args):
         return 2
+    configure_logging(level=args.log_level, json_format=args.log_json)
     supervisor = ClusterSupervisor(
         shards=args.shards,
         host=args.host,
@@ -675,6 +868,8 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
         max_delay_ms=args.max_delay_ms,
         cache_size=args.cache_size,
         base_dir=args.base_dir,
+        log_level=args.log_level,
+        log_json=args.log_json,
     )
     try:
         supervisor.start()
@@ -822,6 +1017,24 @@ def _cmd_cluster_route(args: argparse.Namespace) -> int:
                         f"request {k} ({entry['op']}/{entry['mode']}): "
                         f"cluster={result!r} engine={expected!r}"
                     )
+        traced = None
+        if args.trace:
+            from fragalign.obs import new_trace_context
+
+            root = new_trace_context()
+            entry = entries[0]
+            kwargs = {
+                "mode": entry["mode"], "band": entry["band"],
+                "gap_open": entry["gap_open"], "gap_extend": entry["gap_extend"],
+                "trace": root,
+            }
+            if entry["op"] == "score":
+                cluster.score(entry["a"], entry["b"], **kwargs)
+            else:
+                cluster.align(
+                    entry["a"], entry["b"], memory=entry.get("memory"), **kwargs
+                )
+            traced = (root.trace_id, cluster.collect_trace(root.trace_id))
         if args.shutdown:
             acked = cluster.shutdown_shards()
             print(
@@ -851,6 +1064,9 @@ def _cmd_cluster_route(args: argparse.Namespace) -> int:
             f"({cache['hits']} hits / {cache['misses']} misses), "
             f"worst p95 {agg['latency_ms']['worst_p95']:.2f} ms"
         )
+    if traced is not None:
+        trace_id, reply = traced
+        _print_span_tree(reply["spans"], reply["dropped"], trace_id)
     for line in failures[:5]:
         print(f"verify drift: {line}", file=sys.stderr)
     if failures:
@@ -1000,6 +1216,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _cmd_serve,
         "client": _cmd_client,
         "cluster": _cmd_cluster,
+        "metrics": _cmd_metrics,
+        "top": _cmd_top,
         "check": _cmd_check,
         "solve": _cmd_solve,
     }

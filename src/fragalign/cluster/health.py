@@ -36,6 +36,20 @@ class ShardHealth:
     failures: int = 0
     last_error: str | None = None
     last_probe_at: float | None = None
+    # Probe round-trip time (connect + stats + close), successful
+    # probes only: last observation, exponential moving average
+    # (alpha=0.2, so ~the last 10 probes dominate) and high-water mark.
+    last_rtt_ms: float | None = None
+    ema_rtt_ms: float | None = None
+    max_rtt_ms: float | None = None
+
+    def observe_rtt(self, seconds: float) -> None:
+        ms = seconds * 1000.0
+        self.last_rtt_ms = ms
+        self.ema_rtt_ms = (
+            ms if self.ema_rtt_ms is None else 0.2 * ms + 0.8 * self.ema_rtt_ms
+        )
+        self.max_rtt_ms = ms if self.max_rtt_ms is None else max(self.max_rtt_ms, ms)
 
     def snapshot(self) -> dict:
         return {
@@ -44,6 +58,11 @@ class ShardHealth:
             "probes": self.probes,
             "failures": self.failures,
             "last_error": self.last_error,
+            "rtt_ms": {
+                "last": round(self.last_rtt_ms, 3) if self.last_rtt_ms is not None else None,
+                "ema": round(self.ema_rtt_ms, 3) if self.ema_rtt_ms is not None else None,
+                "max": round(self.max_rtt_ms, 3) if self.max_rtt_ms is not None else None,
+            },
         }
 
 
@@ -121,6 +140,7 @@ class HealthMonitor:
         record = self.records[shard]
         record.probes += 1
         record.last_probe_at = time.monotonic()
+        started = time.perf_counter()
         try:
             await asyncio.wait_for(
                 self.router.probe_shard(shard), timeout=self.timeout
@@ -133,6 +153,7 @@ class HealthMonitor:
                 record.healthy = False
                 self.router.mark_shard_down(shard)
             return False
+        record.observe_rtt(time.perf_counter() - started)
         record.consecutive_failures = 0
         record.last_error = None
         if not record.healthy:

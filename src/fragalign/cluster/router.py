@@ -27,11 +27,15 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from collections import Counter
 from typing import Any, Sequence
 
 from fragalign.align.pairwise import Alignment
 from fragalign.cluster.ring import HashRing, ring_key
+from fragalign.obs.logs import get_logger
+from fragalign.obs.metrics import MetricsRegistry, merge_expositions
+from fragalign.obs.trace import TraceContext, Tracer
 from fragalign.service.client import AlignmentClient, AsyncAlignmentClient
 from fragalign.service.protocol import ServiceError
 from fragalign.util.errors import FragalignError
@@ -41,6 +45,11 @@ __all__ = ["ClusterError", "ShardRouter", "ClusterClient"]
 # Failures that mean "this shard, not this request": worth a retry on
 # the next replica.  ServiceError is deliberately absent.
 _SHARD_FAILURES = (ConnectionError, OSError, EOFError, asyncio.TimeoutError)
+
+_log = get_logger("cluster")
+
+_perf = time.perf_counter
+_wall = time.time
 
 
 class ClusterError(FragalignError):
@@ -114,6 +123,9 @@ class ShardRouter:
         self._connecting: dict[str, asyncio.Lock] = {}
         self._closing: set[asyncio.Task] = set()  # strong refs to close tasks
         self._orphans: list[AsyncAlignmentClient] = []  # dropped without a loop
+        # Router-side spans (fan-out, per-attempt, failover) land here;
+        # collect_trace() merges them with the shards' buffers.
+        self.tracer = Tracer()
         # -- router-level counters (the cluster's own stats surface) --
         self.routed: Counter[str] = Counter()  # completed requests per shard
         self.retries = 0  # extra attempts made (failover hops)
@@ -174,6 +186,10 @@ class ShardRouter:
         if shard in self.ring:
             self.ring.remove_node(shard)
             self.evictions += 1
+            _log.warning(
+                "shard evicted",
+                extra={"shard": shard, "live_shards": len(self.ring.nodes)},
+            )
         self._drop_client(shard)
 
     def mark_shard_up(self, shard: str) -> None:
@@ -181,6 +197,10 @@ class ShardRouter:
         if shard in self.addresses and shard not in self.ring:
             self.ring.add_node(shard)
             self.readmissions += 1
+            _log.info(
+                "shard readmitted",
+                extra={"shard": shard, "live_shards": len(self.ring.nodes)},
+            )
 
     def _drop_client(self, shard: str) -> None:
         client = self._clients.pop(shard, None)
@@ -247,11 +267,18 @@ class ShardRouter:
         return await attempt()
 
     async def _route(
-        self, op: str, a: str, b: str, mode, band, request, gap_open=None, gap_extend=None
+        self, op: str, a: str, b: str, mode, band, request,
+        gap_open=None, gap_extend=None, trace: TraceContext | None = None,
     ) -> Any:
         """Send one request to its owning shard, failing over along
-        the ring; ``request(client)`` builds the coroutine."""
+        the ring; ``request(client, ctx)`` builds the coroutine (``ctx``
+        is the per-attempt trace context the shard parents under, or
+        ``None`` when untraced)."""
         key = self.key_for(op, a, b, mode, band, gap_open, gap_extend)
+        # Fan-out span for the whole routing decision; each attempt is
+        # a child, so a failover reads as sibling attempt spans.
+        route_ctx = trace.child() if trace is not None else None
+        route_start = _perf()
         tried: set[str] = set()
         last_error: Exception | None = None
         for attempt in range(self.max_attempts):
@@ -267,22 +294,70 @@ class ShardRouter:
             tried.add(shard)
             if attempt > 0:
                 self.retries += 1
+                _log.warning(
+                    "failover retry",
+                    extra={"op": op, "shard": shard, "attempt": attempt + 1,
+                           "tried": sorted(tried)},
+                )
+            attempt_ctx = route_ctx.child() if route_ctx is not None else None
+            attempt_start = _perf()
             try:
-                value = await self._call_shard(shard, op, request)
+                value = await self._call_shard(
+                    shard, op, lambda c: request(c, attempt_ctx)
+                )
             except ServiceError:
+                if route_ctx is not None:
+                    self._finish_attempt(
+                        attempt_ctx, attempt_start, shard, attempt, "rejected"
+                    )
+                    self._finish_route(route_ctx, route_start, op, tried, False)
                 raise  # the shard answered: the request itself is bad
             except _SHARD_FAILURES as exc:
                 last_error = exc
+                if route_ctx is not None:
+                    self._finish_attempt(
+                        attempt_ctx, attempt_start, shard, attempt,
+                        f"failed: {type(exc).__name__}",
+                    )
                 self.mark_shard_down(shard)
                 continue
             self.routed[shard] += 1
             if attempt > 0:
                 self.failovers += 1
+            if route_ctx is not None:
+                self._finish_attempt(attempt_ctx, attempt_start, shard, attempt, "ok")
+                self._finish_route(route_ctx, route_start, op, tried, attempt > 0)
             return value
         self.failed_requests += 1
+        _log.error(
+            "request failed on every replica",
+            extra={"op": op, "tried": sorted(tried), "error": str(last_error)},
+        )
+        if route_ctx is not None:
+            self._finish_route(route_ctx, route_start, op, tried, False)
         raise ClusterError(
             f"no shard could serve {op} request "
             f"(tried {sorted(tried) or 'none'}): {last_error}"
+        )
+
+    def _finish_attempt(
+        self, ctx: TraceContext, started: float, shard: str, attempt: int,
+        outcome: str,
+    ) -> None:
+        self.tracer.record_raw(
+            ctx, "router.attempt", _wall() - (_perf() - started),
+            _perf() - started,
+            {"shard": shard, "attempt": attempt + 1, "outcome": outcome},
+        )
+
+    def _finish_route(
+        self, ctx: TraceContext, started: float, op: str, tried: set,
+        failover: bool,
+    ) -> None:
+        self.tracer.record_raw(
+            ctx, "router.route", _wall() - (_perf() - started),
+            _perf() - started,
+            {"op": op, "attempts": len(tried), "failover": failover},
         )
 
     async def score(
@@ -293,13 +368,15 @@ class ShardRouter:
         band: int | None = None,
         gap_open: float | None = None,
         gap_extend: float | None = None,
+        trace: TraceContext | None = None,
     ) -> float:
         return await self._route(
             "score", a, b, mode, band,
-            lambda c: c.score(
-                a, b, mode=mode, band=band, gap_open=gap_open, gap_extend=gap_extend
+            lambda c, ctx: c.score(
+                a, b, mode=mode, band=band, gap_open=gap_open,
+                gap_extend=gap_extend, trace=ctx,
             ),
-            gap_open, gap_extend,
+            gap_open, gap_extend, trace=trace,
         )
 
     async def align(
@@ -311,16 +388,17 @@ class ShardRouter:
         gap_open: float | None = None,
         gap_extend: float | None = None,
         memory: str | None = None,
+        trace: TraceContext | None = None,
     ) -> Alignment:
         # memory is an execution hint, not part of the routing key —
         # the result is byte-identical either way.
         return await self._route(
             "align", a, b, mode, band,
-            lambda c: c.align(
+            lambda c, ctx: c.align(
                 a, b, mode=mode, band=band, gap_open=gap_open,
-                gap_extend=gap_extend, memory=memory,
+                gap_extend=gap_extend, memory=memory, trace=ctx,
             ),
-            gap_open, gap_extend,
+            gap_open, gap_extend, trace=trace,
         )
 
     async def request_many(
@@ -475,6 +553,114 @@ class ShardRouter:
             )
         return {"router": self.router_stats(), "aggregate": agg, "shards": shards}
 
+    # -- observability ------------------------------------------------
+
+    def render_router_metrics(self) -> str:
+        """The router's own counters as a Prometheus exposition, so a
+        cluster scrape carries routing health (retries, failovers,
+        evictions) alongside the shards' request metrics."""
+        registry = MetricsRegistry()
+        routed = registry.counter(
+            "fragalign_router_requests_total",
+            "Requests completed per shard.", labels=("shard",),
+        )
+        for shard, count in self.routed.items():
+            routed.inc(count, shard=shard)
+        registry.counter(
+            "fragalign_router_retries_total", "Failover attempts made."
+        ).inc(self.retries)
+        registry.counter(
+            "fragalign_router_failovers_total",
+            "Requests served by a non-first replica.",
+        ).inc(self.failovers)
+        registry.counter(
+            "fragalign_router_evictions_total", "Shards evicted from the ring."
+        ).inc(self.evictions)
+        registry.counter(
+            "fragalign_router_readmissions_total", "Shards readmitted to the ring."
+        ).inc(self.readmissions)
+        registry.counter(
+            "fragalign_router_failed_requests_total",
+            "Requests that exhausted every replica.",
+        ).inc(self.failed_requests)
+        registry.gauge(
+            "fragalign_router_live_shards", "Shards currently on the ring."
+        ).set(len(self.ring.nodes))
+        return registry.render()
+
+    async def scrape_shard_metrics(self, shard: str) -> str:
+        """Scrape one shard's ``metrics`` op over a fresh, bounded
+        connection (mirrors :meth:`probe_shard`)."""
+        host, port = self.addresses[shard]
+
+        async def scrape() -> str:
+            client = await AsyncAlignmentClient.connect(host, port)
+            try:
+                return await client.metrics()
+            finally:
+                await client.close()
+
+        return await asyncio.wait_for(scrape(), timeout=self.connect_timeout)
+
+    async def cluster_metrics(self) -> dict:
+        """Scrape every configured shard's exposition and merge them
+        (plus the router's own counters) into one cluster-wide text.
+
+        Returns ``{"merged": text, "shards": {shard: text | None},
+        "errors": {shard: message}}`` — unreachable shards are reported,
+        not fatal, so a degraded cluster still exposes metrics."""
+        shards: dict[str, str | None] = {}
+        errors: dict[str, str] = {}
+
+        async def grab(shard: str) -> None:
+            try:
+                shards[shard] = await self.scrape_shard_metrics(shard)
+            except Exception as exc:
+                shards[shard] = None
+                errors[shard] = f"{type(exc).__name__}: {exc}"
+
+        await asyncio.gather(*(grab(s) for s in self.configured_shards))
+        texts = [t for t in shards.values() if t] + [self.render_router_metrics()]
+        return {
+            "merged": merge_expositions(texts),
+            "shards": shards,
+            "errors": errors,
+        }
+
+    async def collect_trace(self, trace_id: str) -> dict:
+        """Assemble one request's full span tree: drain the router's
+        local spans for ``trace_id`` and fan a ``trace`` op out to every
+        configured shard (evicted shards included — the failed attempt's
+        server-side spans live there).  Unreachable shards are skipped:
+        a trace should degrade, not fail, when a shard is down."""
+        spans = [s.to_dict() for s in self.tracer.buffer.drain(trace_id)]
+        dropped = self.tracer.buffer.dropped
+        errors: dict[str, str] = {}
+
+        async def grab(shard: str) -> None:
+            nonlocal dropped
+            host, port = self.addresses[shard]
+
+            async def ask() -> dict:
+                client = await AsyncAlignmentClient.connect(host, port)
+                try:
+                    return await client.trace_spans(trace_id)
+                finally:
+                    await client.close()
+
+            try:
+                reply = await asyncio.wait_for(ask(), timeout=self.connect_timeout)
+            except Exception as exc:
+                errors[shard] = f"{type(exc).__name__}: {exc}"
+                return
+            spans.extend(reply.get("spans", ()))
+            dropped += reply.get("dropped", 0)
+
+        await asyncio.gather(*(grab(s) for s in self.configured_shards))
+        spans.sort(key=lambda s: (s.get("start_s", 0.0), s.get("span_id", "")))
+        return {"trace_id": trace_id, "spans": spans, "dropped": dropped,
+                "errors": errors}
+
     # -- lifecycle ----------------------------------------------------
 
     async def shutdown_shards(self) -> dict[str, bool]:
@@ -589,20 +775,24 @@ class ClusterClient:
 
     # -- operations ---------------------------------------------------
 
-    def score(self, a, b, mode=None, band=None, gap_open=None, gap_extend=None) -> float:
+    def score(
+        self, a, b, mode=None, band=None, gap_open=None, gap_extend=None, trace=None
+    ) -> float:
         return self._call(
             self.router.score(
-                a, b, mode=mode, band=band, gap_open=gap_open, gap_extend=gap_extend
+                a, b, mode=mode, band=band, gap_open=gap_open,
+                gap_extend=gap_extend, trace=trace,
             )
         )
 
     def align(
-        self, a, b, mode=None, band=None, gap_open=None, gap_extend=None, memory=None
+        self, a, b, mode=None, band=None, gap_open=None, gap_extend=None,
+        memory=None, trace=None,
     ) -> Alignment:
         return self._call(
             self.router.align(
                 a, b, mode=mode, band=band, gap_open=gap_open,
-                gap_extend=gap_extend, memory=memory,
+                gap_extend=gap_extend, memory=memory, trace=trace,
             )
         )
 
@@ -646,6 +836,16 @@ class ClusterClient:
         if self._monitor is not None:
             report["health"] = self._monitor.snapshot()
         return report
+
+    def metrics(self) -> dict:
+        """Scrape + merge every shard's Prometheus exposition (see
+        :meth:`ShardRouter.cluster_metrics`)."""
+        return self._call(self.router.cluster_metrics())
+
+    def collect_trace(self, trace_id: str) -> dict:
+        """Assemble one trace's spans from the router and every shard
+        (see :meth:`ShardRouter.collect_trace`)."""
+        return self._call(self.router.collect_trace(trace_id))
 
     def probe_round(self) -> dict:
         """Run one synchronous health-probe round (even when no

@@ -95,6 +95,8 @@ class ClusterSupervisor:
         cache_size: int = 4096,
         base_dir: str | None = None,
         python: str = sys.executable,
+        log_level: str | None = None,
+        log_json: bool = False,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -108,6 +110,10 @@ class ClusterSupervisor:
         self.max_batch = max_batch
         self.max_delay_ms = max_delay_ms
         self.cache_size = cache_size
+        # Forwarded to every spawned serve process so shard lifecycle
+        # logs (in each shard-N.log) share the fleet's format/level.
+        self.log_level = log_level
+        self.log_json = log_json
         self.python = python
         self._own_base_dir = base_dir is None
         self.base_dir = base_dir or tempfile.mkdtemp(prefix="fragalign-cluster-")
@@ -152,6 +158,10 @@ class ClusterSupervisor:
             cmd += ["--gap-open", str(self.gap_open)]
         if self.gap_extend is not None:
             cmd += ["--gap-extend", str(self.gap_extend)]
+        if self.log_level is not None:
+            cmd += ["--log-level", self.log_level]
+        if self.log_json:
+            cmd += ["--log-json"]
         env = dict(os.environ)
         src = _fragalign_pythonpath()
         env["PYTHONPATH"] = (

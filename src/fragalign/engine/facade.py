@@ -25,10 +25,18 @@ sequence encoding (each distinct sequence is encoded once per engine),
 the memoized default scoring matrix, validation, and bucketing mixed
 -length batches into uniform-shape groups so backends only ever see
 batches their kernels can sweep in lockstep.
+
+Setting :attr:`AlignmentEngine.profiler` (any object with the
+:class:`fragalign.obs.kprof.KernelProfiler` ``record`` signature)
+turns on per-dispatch kernel profiling: every backend call is timed
+and reported with its family, backend, resolved mode and batch shape.
+Left at ``None`` (the default) the verbs take the exact pre-profiling
+code path — no timer reads, no overhead.
 """
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from functools import lru_cache
 from typing import Sequence
@@ -135,6 +143,9 @@ class AlignmentEngine:
         else:
             self._backend = get_backend(backend, **backend_options)
         self._codes = LRUCache(cache_size)
+        # Optional KernelProfiler-shaped sink (see module docstring);
+        # the serving tier attaches one so `fragalign top` has data.
+        self.profiler = None
 
     @property
     def backend(self) -> AlignmentBackend:
@@ -206,7 +217,16 @@ class AlignmentEngine:
         gap_extend: float | None = None,
     ) -> float:
         mode, kw = self._resolve(mode, band, gap_open, gap_extend)
-        return self._backend.score(self.prepare(a, b), self.model, mode, **kw)
+        if self.profiler is None:
+            return self._backend.score(self.prepare(a, b), self.model, mode, **kw)
+        prep = self.prepare(a, b)
+        start = time.perf_counter()
+        value = self._backend.score(prep, self.model, mode, **kw)
+        self.profiler.record(
+            "score", self.backend_name, mode, [prep.shape],
+            time.perf_counter() - start,
+        )
+        return value
 
     def align(
         self,
@@ -219,7 +239,16 @@ class AlignmentEngine:
         memory: str | None = None,
     ) -> Alignment:
         mode, kw = self._resolve(mode, band, gap_open, gap_extend, memory, align=True)
-        return self._backend.align(self.prepare(a, b), self.model, mode, **kw)
+        if self.profiler is None:
+            return self._backend.align(self.prepare(a, b), self.model, mode, **kw)
+        prep = self.prepare(a, b)
+        start = time.perf_counter()
+        aln = self._backend.align(prep, self.model, mode, **kw)
+        self.profiler.record(
+            "align", self.backend_name, mode, [prep.shape],
+            time.perf_counter() - start,
+        )
+        return aln
 
     # -- batch API ---------------------------------------------------
 
@@ -249,7 +278,15 @@ class AlignmentEngine:
         preps = [self.prepare(a, b) for a, b in pairs]
         out = np.empty(len(preps))
         for idxs, bucket in self._buckets(preps):
+            if self.profiler is None:
+                out[idxs] = self._backend.score_many(bucket, self.model, mode, **kw)
+                continue
+            start = time.perf_counter()
             out[idxs] = self._backend.score_many(bucket, self.model, mode, **kw)
+            self.profiler.record(
+                "score_many", self.backend_name, mode,
+                [p.shape for p in bucket], time.perf_counter() - start,
+            )
         return out
 
     def align_many(
@@ -266,8 +303,14 @@ class AlignmentEngine:
         preps = [self.prepare(a, b) for a, b in pairs]
         out: list[Alignment | None] = [None] * len(preps)
         for idxs, bucket in self._buckets(preps):
+            start = time.perf_counter() if self.profiler is not None else 0.0
             for k, aln in zip(idxs, self._backend.align_many(bucket, self.model, mode, **kw)):
                 out[k] = aln
+            if self.profiler is not None:
+                self.profiler.record(
+                    "align_many", self.backend_name, mode,
+                    [p.shape for p in bucket], time.perf_counter() - start,
+                )
         return out  # type: ignore[return-value]
 
     # -- lifecycle ---------------------------------------------------

@@ -1,0 +1,64 @@
+"""``fragalign.obs`` — telemetry for the serving stack.
+
+Three legs, all wired through every layer:
+
+* :mod:`fragalign.obs.trace` — request tracing.  A ``trace_id`` /
+  ``span_id`` pair rides the JSON-lines wire as *non-semantic* fields
+  (registered in ``service/fields.py`` with every participation flag
+  off, which the knob-propagation analyzer enforces — tracing can
+  never split a batch or enter a cache key).  Per-stage spans land in
+  a bounded ring buffer, drained via the ``trace`` op.
+* :mod:`fragalign.obs.metrics` — a counters/gauges/histograms registry
+  with Prometheus text exposition (the ``metrics`` op), fixed
+  log-spaced histogram buckets (mergeable across shards, no recency
+  bias), and scrape-side parse/merge for ``fragalign metrics``.
+* :mod:`fragalign.obs.kprof` — kernel profiling: the engine facade
+  times every backend dispatch into the registry, and ``fragalign
+  top`` renders Mcells/s by kernel family / backend / mode.
+
+:mod:`fragalign.obs.logs` adds structured (optionally JSON) logging
+for lifecycle events that metrics can't narrate: shard eviction,
+failover retries, server start/stop.
+"""
+
+from fragalign.obs.kprof import KernelProfiler, format_top, top_rows
+from fragalign.obs.logs import JsonFormatter, configure_logging, get_logger
+from fragalign.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_latency_buckets,
+    merge_expositions,
+    parse_exposition,
+)
+from fragalign.obs.trace import (
+    Span,
+    TraceBuffer,
+    TraceContext,
+    Tracer,
+    child_context,
+    new_trace_context,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonFormatter",
+    "KernelProfiler",
+    "MetricsRegistry",
+    "Span",
+    "TraceBuffer",
+    "TraceContext",
+    "Tracer",
+    "child_context",
+    "configure_logging",
+    "default_latency_buckets",
+    "format_top",
+    "get_logger",
+    "merge_expositions",
+    "new_trace_context",
+    "parse_exposition",
+    "top_rows",
+]

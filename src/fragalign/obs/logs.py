@@ -1,0 +1,89 @@
+"""Structured logging for the serving tiers.
+
+One stdlib :mod:`logging` hierarchy rooted at ``fragalign``; servers
+and supervisors call :func:`configure_logging` once at process start
+(the ``--log-level`` / ``--log-json`` CLI flags).  The JSON formatter
+emits one object per line — the same shape the protocol uses — so
+shard logs are machine-parseable with the same tooling as the wire.
+
+Library code only ever calls ``logging.getLogger("fragalign.<tier>")``
+and logs; whether anything is emitted, and in what format, is the
+entrypoint's decision.  Extra structured context goes through the
+standard ``extra={...}`` mechanism and lands as top-level JSON keys.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import IO
+
+__all__ = ["JsonFormatter", "configure_logging", "get_logger"]
+
+# logging.LogRecord's own attributes — anything else on a record came
+# in via extra={} and belongs in the JSON object.
+_RECORD_FIELDS = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per log line: ts, level, logger, event, extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        obj: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RECORD_FIELDS and not key.startswith("_"):
+                obj[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            obj["exc"] = self.formatException(record.exc_info)
+        return json.dumps(obj, separators=(",", ":"), default=str)
+
+
+class TextFormatter(logging.Formatter):
+    """Human-readable lines with extras appended as key=value."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        base = f"{stamp} {record.levelname:<7} {record.name} {record.getMessage()}"
+        extras = " ".join(
+            f"{key}={value}"
+            for key, value in record.__dict__.items()
+            if key not in _RECORD_FIELDS and not key.startswith("_")
+        )
+        if extras:
+            base = f"{base} [{extras}]"
+        if record.exc_info and record.exc_info[0] is not None:
+            base = f"{base}\n{self.formatException(record.exc_info)}"
+        return base
+
+
+def configure_logging(
+    level: str = "info", json_format: bool = False, stream: IO | None = None
+) -> logging.Logger:
+    """Configure the ``fragalign`` logger tree; idempotent per process.
+
+    Returns the root ``fragalign`` logger.  Re-invocation replaces the
+    handler (so tests can re-point the stream) instead of stacking.
+    """
+    logger = logging.getLogger("fragalign")
+    logger.setLevel(getattr(logging, level.upper(), logging.INFO))
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_format else TextFormatter())
+    for old in list(logger.handlers):
+        logger.removeHandler(old)
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger
+
+
+def get_logger(tier: str) -> logging.Logger:
+    """The logger for one serving tier (``service``, ``cluster``...)."""
+    return logging.getLogger(f"fragalign.{tier}")

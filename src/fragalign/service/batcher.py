@@ -21,11 +21,13 @@ serializes engine access, so the engine's memoized prep needs no lock.
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial
 from typing import Any
 
 from fragalign.engine.facade import AlignmentEngine
+from fragalign.obs.trace import TraceContext, Tracer, leaf_entry
 from fragalign.service.fields import group_key_fields
 
 __all__ = ["MicroBatcher", "GROUP_FIELDS"]
@@ -64,6 +66,7 @@ class MicroBatcher:
         max_batch: int = 64,
         max_delay: float = 0.002,
         stats=None,
+        tracer: Tracer | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -71,6 +74,11 @@ class MicroBatcher:
         self.max_batch = max_batch
         self.max_delay = max_delay
         self._stats = stats
+        self._tracer = tracer
+        # Trace interest registered out-of-band (trace_job) so the
+        # analyzer-checked submit signature stays exactly the group-key
+        # fields: tracing must not look like a batching knob.
+        self._trace_interest: dict[Key, list[tuple[TraceContext, float]]] = {}
         self._pending: dict[Key, asyncio.Future] = {}  # queued and in-flight
         self._queue: list[Key] = []  # queued, not yet dispatched
         self._timer: asyncio.TimerHandle | None = None
@@ -126,6 +134,28 @@ class MicroBatcher:
             self._timer = self._loop.call_later(self.max_delay, self.flush)
         return await fut
 
+    def trace_job(
+        self,
+        op: str,
+        a: str,
+        b: str,
+        knobs: dict,
+        ctx: TraceContext | None,
+    ) -> None:
+        """Register trace interest for the job an imminent ``submit``
+        with the same arguments will queue (``knobs`` maps every
+        ``GROUP_FIELDS`` name).  A side-channel, not a knob: the job's
+        identity and batching are completely unaffected.  Interest is
+        consumed — spans recorded under ``ctx`` — when the job's batch
+        runs; a job that never reaches ``submit`` after an interest
+        registration would leak it, so callers pair the two calls
+        (the server does, right next to each other).
+        """
+        if ctx is None or self._tracer is None:
+            return
+        key = (op, *(knobs[name] for name in GROUP_FIELDS), a, b)
+        self._trace_interest.setdefault(key, []).append((ctx, time.perf_counter()))
+
     def flush(self) -> None:
         """Dispatch everything queued right now as one batch."""
         if self._timer is not None:
@@ -142,6 +172,28 @@ class MicroBatcher:
     async def _run_batch(self, keys: list[Key]) -> None:
         if self._stats is not None:
             self._stats.observe_batch(len(keys))
+        # Consume trace interest up front: "batcher.wait" is the
+        # coalesce delay (trace_job → dispatch), recorded even when the
+        # engine call below fails.
+        dispatched = time.perf_counter()
+        interest = {
+            key: self._trace_interest.pop(key)
+            for key in keys
+            if key in self._trace_interest
+        }
+        if self._tracer is not None and interest:
+            now = time.time()
+            self._tracer.extend(
+                [
+                    leaf_entry(
+                        ctx, "batcher.wait",
+                        now - (dispatched - enqueued), dispatched - enqueued,
+                        {"op": key[0], "batch": len(keys)},
+                    )
+                    for key, watchers in interest.items()
+                    for ctx, enqueued in watchers
+                ]
+            )
         groups: dict[tuple, list[Key]] = {}
         for key in keys:
             groups.setdefault(key[:_GROUP], []).append(key)
@@ -158,7 +210,25 @@ class MicroBatcher:
                     call = partial(self.engine.score_many, pairs, **knobs)
                 else:
                     call = partial(self.engine.align_many, pairs, **knobs)
+                compute_start = time.perf_counter()
                 values = await self._loop.run_in_executor(self._executor, call)
+                if self._tracer is not None and interest:
+                    compute_s = time.perf_counter() - compute_start
+                    now = time.time()
+                    # Worker-thread engine call for this job's whole
+                    # dispatch group (queue + kernels).
+                    self._tracer.extend(
+                        [
+                            leaf_entry(
+                                ctx, "batcher.compute",
+                                now - compute_s, compute_s,
+                                {"op": op, "group": len(group),
+                                 "mode": knobs.get("mode")},
+                            )
+                            for key in group
+                            for ctx, _ in interest.get(key, ())
+                        ]
+                    )
                 if op == "score":
                     values = [float(v) for v in values]
                 results.update(zip(group, values))

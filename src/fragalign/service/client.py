@@ -19,6 +19,7 @@ import threading
 from typing import Any, Sequence
 
 from fragalign.align.pairwise import Alignment
+from fragalign.obs.trace import TraceContext
 from fragalign.service.protocol import (
     MAX_LINE,
     ServiceError,
@@ -106,7 +107,9 @@ class AsyncAlignmentClient:
     # -- operations ---------------------------------------------------
     # mode/band/gap_open/gap_extend (and memory, for align) select the
     # per-request knobs (None = server default); see
-    # fragalign.service.protocol for the wire fields.
+    # fragalign.service.protocol for the wire fields.  `trace` is a
+    # TraceContext whose trace_id/span_id ride along as non-semantic
+    # fields — the server's span tree parents under it.
 
     async def score(
         self,
@@ -116,10 +119,13 @@ class AsyncAlignmentClient:
         band: int | None = None,
         gap_open: float | None = None,
         gap_extend: float | None = None,
+        trace: TraceContext | None = None,
     ) -> float:
         response = await self._request(
             "score", a=a, b=b, mode=mode, band=band,
             gap_open=gap_open, gap_extend=gap_extend,
+            trace_id=trace.trace_id if trace is not None else None,
+            span_id=trace.span_id if trace is not None else None,
         )
         return float(response["result"])
 
@@ -131,11 +137,14 @@ class AsyncAlignmentClient:
         band: int | None = None,
         gap_open: float | None = None,
         gap_extend: float | None = None,
+        trace: TraceContext | None = None,
     ) -> tuple[float, bool]:
         """Score plus whether the server answered from its cache."""
         response = await self._request(
             "score", a=a, b=b, mode=mode, band=band,
             gap_open=gap_open, gap_extend=gap_extend,
+            trace_id=trace.trace_id if trace is not None else None,
+            span_id=trace.span_id if trace is not None else None,
         )
         return float(response["result"]), bool(response.get("cached"))
 
@@ -148,15 +157,30 @@ class AsyncAlignmentClient:
         gap_open: float | None = None,
         gap_extend: float | None = None,
         memory: str | None = None,
+        trace: TraceContext | None = None,
     ) -> Alignment:
         response = await self._request(
             "align", a=a, b=b, mode=mode, band=band,
             gap_open=gap_open, gap_extend=gap_extend, memory=memory,
+            trace_id=trace.trace_id if trace is not None else None,
+            span_id=trace.span_id if trace is not None else None,
         )
         return alignment_from_dict(response["result"])
 
     async def stats(self) -> dict:
         return (await self._request("stats"))["result"]
+
+    async def metrics(self) -> str:
+        """The server's Prometheus text exposition (``metrics`` op)."""
+        return (await self._request("metrics"))["result"]
+
+    async def trace_spans(self, trace_id: str | None = None) -> dict:
+        """Drain the server's span ring buffer (``trace`` op).
+
+        With ``trace_id``, only that trace's spans are drained (others
+        stay buffered).  Returns ``{"spans": [...], "dropped": n}``.
+        """
+        return (await self._request("trace", trace_id=trace_id))["result"]
 
     async def ping(self) -> bool:
         return (await self._request("ping"))["result"] == "pong"
@@ -275,25 +299,35 @@ class AlignmentClient:
 
     # -- operations ---------------------------------------------------
 
-    def score(self, a, b, mode=None, band=None, gap_open=None, gap_extend=None) -> float:
+    def score(
+        self, a, b, mode=None, band=None, gap_open=None, gap_extend=None, trace=None
+    ) -> float:
         return self._with_retry(
             lambda: self._client.score(
-                a, b, mode=mode, band=band, gap_open=gap_open, gap_extend=gap_extend
+                a, b, mode=mode, band=band, gap_open=gap_open,
+                gap_extend=gap_extend, trace=trace,
             )
         )
 
     def align(
-        self, a, b, mode=None, band=None, gap_open=None, gap_extend=None, memory=None
+        self, a, b, mode=None, band=None, gap_open=None, gap_extend=None,
+        memory=None, trace=None,
     ) -> Alignment:
         return self._with_retry(
             lambda: self._client.align(
                 a, b, mode=mode, band=band, gap_open=gap_open,
-                gap_extend=gap_extend, memory=memory,
+                gap_extend=gap_extend, memory=memory, trace=trace,
             )
         )
 
     def stats(self) -> dict:
         return self._with_retry(lambda: self._client.stats())
+
+    def metrics(self) -> str:
+        return self._with_retry(lambda: self._client.metrics())
+
+    def trace_spans(self, trace_id: str | None = None) -> dict:
+        return self._with_retry(lambda: self._client.trace_spans(trace_id=trace_id))
 
     def ping(self) -> bool:
         return self._with_retry(lambda: self._client.ping())
@@ -306,17 +340,19 @@ class AlignmentClient:
         op_name: str,
         pairs: Sequence[tuple[str, str]],
         concurrency: int,
+        trace_ctxs: Sequence[TraceContext] | None = None,
         **kwargs,
     ):
         async def fan_out():
             semaphore = asyncio.Semaphore(max(1, concurrency))
             op = getattr(self._client, op_name)
 
-            async def one(pair):
+            async def one(k, pair):
                 async with semaphore:
-                    return await op(*pair, **kwargs)
+                    ctx = trace_ctxs[k] if trace_ctxs is not None else None
+                    return await op(*pair, trace=ctx, **kwargs)
 
-            return await asyncio.gather(*(one(p) for p in pairs))
+            return await asyncio.gather(*(one(k, p) for k, p in enumerate(pairs)))
 
         return self._with_retry(fan_out)
 
@@ -328,11 +364,16 @@ class AlignmentClient:
         band: int | None = None,
         gap_open: float | None = None,
         gap_extend: float | None = None,
+        trace_ctxs: Sequence[TraceContext] | None = None,
     ) -> list[float]:
-        """Scores for all pairs, pipelined ``concurrency`` at a time."""
+        """Scores for all pairs, pipelined ``concurrency`` at a time.
+
+        ``trace_ctxs`` (optional, one per pair) sends each request
+        under its own trace context.
+        """
         return self._map(
-            "score", pairs, concurrency, mode=mode, band=band,
-            gap_open=gap_open, gap_extend=gap_extend,
+            "score", pairs, concurrency, trace_ctxs=trace_ctxs, mode=mode,
+            band=band, gap_open=gap_open, gap_extend=gap_extend,
         )
 
     def align_many(
@@ -344,11 +385,12 @@ class AlignmentClient:
         gap_open: float | None = None,
         gap_extend: float | None = None,
         memory: str | None = None,
+        trace_ctxs: Sequence[TraceContext] | None = None,
     ) -> list[Alignment]:
         """Alignments for all pairs, pipelined ``concurrency`` at a time."""
         return self._map(
-            "align", pairs, concurrency, mode=mode, band=band,
-            gap_open=gap_open, gap_extend=gap_extend, memory=memory,
+            "align", pairs, concurrency, trace_ctxs=trace_ctxs, mode=mode,
+            band=band, gap_open=gap_open, gap_extend=gap_extend, memory=memory,
         )
 
     # -- lifecycle ----------------------------------------------------

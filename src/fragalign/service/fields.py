@@ -129,6 +129,33 @@ _SPECS = (
         "cli_flag": "--memory",
         "doc": "align traceback strategy: auto, tensor or linear",
     },
+    # Trace context (fragalign.obs.trace) rides the wire as
+    # *non-semantic* fields: every participation flag is off, so the
+    # knob-propagation rule proves tracing can never split a batch,
+    # enter a cache or routing key, or appear in a warm keyset —
+    # observability only annotates, it never changes identity.
+    {
+        "name": "trace_id",
+        "kind": "str",
+        "ops": ("score", "align"),
+        "cache_key": False,  # non-semantic: never part of result identity
+        "ring_key": False,  # ...nor of routing
+        "group_key": False,  # ...and never splits an engine batch
+        "keyset": False,
+        "cli_flag": "--trace",
+        "doc": "distributed-trace id (non-semantic; see fragalign.obs)",
+    },
+    {
+        "name": "span_id",
+        "kind": "str",
+        "ops": ("score", "align"),
+        "cache_key": False,
+        "ring_key": False,
+        "group_key": False,
+        "keyset": False,
+        "cli_flag": "--trace",  # one flag turns both wire fields on
+        "doc": "caller's span id — becomes the server span's parent",
+    },
 )
 
 REQUEST_FIELDS: tuple[FieldSpec, ...] = tuple(FieldSpec(**spec) for spec in _SPECS)

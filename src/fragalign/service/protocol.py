@@ -18,6 +18,8 @@ Requests::
     {"id": 7, "op": "stats"}     # service counters / latency / cache
     {"id": 8, "op": "ping"}
     {"id": 9, "op": "shutdown"}  # answered, then the server stops
+    {"id": 10, "op": "metrics"}  # Prometheus text exposition (string)
+    {"id": 11, "op": "trace", "trace_id": "..."}  # drain buffered spans
 
 ``mode`` selects the alignment mode per request (``global``,
 ``local``, ``overlap`` or ``banded``); omitted, the server's
@@ -36,6 +38,15 @@ never changes the result (the linear walker returns byte-identical
 alignments), so it is *not* part of the result-cache key, but
 ``memory="linear"`` with banded mode or affine gaps is rejected
 before batching.
+
+``trace_id``/``span_id`` are the **non-semantic** trace-context
+fields (:mod:`fragalign.obs.trace`): any request may carry them, the
+server records per-stage spans under the given trace with the
+caller's ``span_id`` as parent, and the ``trace`` op drains the span
+ring buffer (optionally filtered to one ``trace_id``).  They are
+registered in :mod:`fragalign.service.fields` with every
+participation flag off — tracing can never split a batch or enter a
+cache/routing key, and the static analyzer enforces that.
 
 Responses::
 
@@ -84,7 +95,7 @@ __all__ = [
 
 MAX_LINE = 1 << 20  # 1 MiB per protocol line (reader buffer limit)
 
-OPS = ("score", "align", "stats", "ping", "shutdown")
+OPS = ("score", "align", "stats", "metrics", "trace", "ping", "shutdown")
 PAIR_OPS = ("score", "align")
 
 
@@ -114,6 +125,8 @@ class Request:
     gap_open: float | None = None
     gap_extend: float | None = None
     memory: str | None = None
+    trace_id: str | None = None  # non-semantic: tracing only annotates
+    span_id: str | None = None  # caller's span — the server span's parent
 
 
 # The wire request must carry exactly the registered knobs (plus the
@@ -145,6 +158,13 @@ def parse_request(obj: dict) -> Request:
     op = obj.get("op")
     if op not in OPS:
         raise ProtocolError(f"unknown op {op!r} (expected one of {OPS})")
+    # Trace context is accepted on *every* op: pair ops propagate it,
+    # and the trace op uses trace_id as its drain filter.
+    trace_id, span_id = obj.get("trace_id"), obj.get("span_id")
+    if trace_id is not None and not isinstance(trace_id, str):
+        raise ProtocolError(f"trace_id must be a string, got {trace_id!r}")
+    if span_id is not None and not isinstance(span_id, str):
+        raise ProtocolError(f"span_id must be a string, got {span_id!r}")
     if op in PAIR_OPS:
         a, b = obj.get("a"), obj.get("b")
         if not isinstance(a, str) or not isinstance(b, str):
@@ -176,8 +196,9 @@ def parse_request(obj: dict) -> Request:
         return Request(
             id=obj.get("id"), op=op, a=a, b=b, mode=mode, band=band,
             gap_open=gap_open, gap_extend=gap_extend, memory=memory,
+            trace_id=trace_id, span_id=span_id,
         )
-    return Request(id=obj.get("id"), op=op)
+    return Request(id=obj.get("id"), op=op, trace_id=trace_id, span_id=span_id)
 
 
 def ok_response(request_id: Any, result: Any, cached: bool | None = None) -> dict:

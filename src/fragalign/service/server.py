@@ -26,6 +26,16 @@ from dataclasses import dataclass, field
 from fragalign.align.scoring_matrices import SubstitutionModel
 from fragalign.engine.backends import linear_memory_conflict
 from fragalign.engine.facade import AlignmentEngine
+from fragalign.obs.kprof import KernelProfiler
+from fragalign.obs.logs import get_logger
+from fragalign.obs.metrics import MetricsRegistry
+from fragalign.obs.trace import (
+    Span,
+    TraceBuffer,
+    Tracer,
+    child_context,
+    leaf_entry,
+)
 from fragalign.service.batcher import MicroBatcher
 from fragalign.service.fields import cache_key_fields
 from fragalign.service.protocol import (
@@ -54,6 +64,8 @@ __all__ = [
 # ``memory`` is absent by registration: the linear walker returns
 # byte-identical alignments, so one cached entry serves every strategy.
 _CACHE_FIELDS = cache_key_fields()  # ("mode", "band", "gap_open", "gap_extend")
+
+_log = get_logger("service")
 
 
 def write_port_file(path: str, port: int) -> None:
@@ -130,6 +142,7 @@ class ServiceConfig:
     max_batch: int = 64  # flush a batch at this many queued jobs
     max_delay: float = 0.002  # seconds to wait for a batch to fill
     cache_size: int = 4096  # LRU result-cache entries (0 disables)
+    trace_buffer: int = 4096  # span ring-buffer capacity (see obs.trace)
     backend_options: dict = field(default_factory=dict)
 
 
@@ -159,13 +172,20 @@ class AlignmentService:
             memory=self.config.memory,
             **self.config.backend_options,
         )
-        self.stats = ServiceStats()
+        # One registry backs the stats snapshot, the Prometheus
+        # exposition, and the kernel profiler — they cannot disagree.
+        self.registry = MetricsRegistry()
+        self.stats = ServiceStats(registry=self.registry)
+        self.tracer = Tracer(TraceBuffer(self.config.trace_buffer))
+        self.profiler = KernelProfiler(self.registry)
+        self.engine.profiler = self.profiler
         self.cache = LRUCache(self.config.cache_size)
         self.batcher = MicroBatcher(
             self.engine,
             max_batch=self.config.max_batch,
             max_delay=self.config.max_delay,
             stats=self.stats,
+            tracer=self.tracer,
         )
         self._model_fp = model_fingerprint(self.engine.model)
         self._server: asyncio.AbstractServer | None = None
@@ -244,6 +264,35 @@ class AlignmentService:
             )
         return mode, band, gap_open, gap_extend, memory
 
+    # -- metrics exposition -------------------------------------------
+
+    def render_metrics(self) -> str:
+        """The Prometheus text exposition served by the ``metrics`` op.
+
+        Pull-model values (cache counters, uptime, trace-buffer drops)
+        are copied into gauges at render time; everything push-model
+        (requests, latency histogram, kernel profile) is already live
+        in the registry.
+        """
+        cache = self.cache.stats()
+        gauge = self.registry.gauge
+        gauge("fragalign_cache_hits", "Result-cache hits.").set(cache["hits"])
+        gauge("fragalign_cache_misses", "Result-cache misses.").set(cache["misses"])
+        gauge("fragalign_cache_evictions", "Result-cache evictions.").set(
+            cache["evictions"]
+        )
+        gauge("fragalign_cache_entries", "Result-cache entries resident.").set(
+            cache["size"]
+        )
+        gauge(
+            "fragalign_trace_spans_dropped",
+            "Spans evicted from the trace ring buffer.",
+        ).set(self.tracer.buffer.dropped)
+        gauge("fragalign_uptime_seconds", "Seconds since server start.").set(
+            time.monotonic() - self.stats.started
+        )
+        return self.registry.render()
+
     # -- lifecycle ----------------------------------------------------
 
     async def start(self) -> None:
@@ -301,6 +350,7 @@ class AlignmentService:
         tasks: set[asyncio.Task] = set()
         try:
             while True:
+                read_start = time.perf_counter()
                 try:
                     line = await reader.readline()
                 except (ConnectionError, ValueError):
@@ -311,7 +361,12 @@ class AlignmentService:
                     break
                 if not line.strip():
                     continue
-                task = asyncio.create_task(self._serve_line(line, writer, write_lock))
+                # Wire-read wait for this line; attributed to the
+                # request's trace (if any) once the line is parsed.
+                read_s = time.perf_counter() - read_start
+                task = asyncio.create_task(
+                    self._serve_line(line, writer, write_lock, read_s)
+                )
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
         finally:
@@ -326,25 +381,61 @@ class AlignmentService:
             writer.close()
 
     async def _serve_line(
-        self, line: bytes, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        read_s: float = 0.0,
     ) -> None:
         t0 = time.perf_counter()
         request_id = None
         request = None
+        ctx = None
+        tlog: list | None = None
         try:
             obj = decode_line(line)
             request_id = obj.get("id")
             request = parse_request(obj)
-            response = await self._dispatch(request)
+            # The server-side span for this request: parented under the
+            # caller's span, children are the per-stage spans below.
+            ctx = child_context(request.trace_id, request.span_id)
+            # Traced requests accumulate deferred span entries in a
+            # plain list and buffer them in ONE call at response-write
+            # time — per-span Tracer calls were the dominant tracing
+            # cost at full sampling.
+            if ctx is not None:
+                tlog = []
+                if request.op in ("score", "align"):
+                    tlog.append(
+                        leaf_entry(ctx, "server.read", time.time() - read_s, read_s)
+                    )
+            response = await self._dispatch(request, ctx, tlog)
         except ProtocolError as exc:
             self.stats.observe_error()
             response = error_response(request_id, str(exc))
         except Exception as exc:  # engine/backend failure: report, keep serving
             self.stats.observe_error()
             response = error_response(request_id, f"{type(exc).__name__}: {exc}")
-        self.stats.observe_latency(time.perf_counter() - t0)
+        duration = time.perf_counter() - t0
+        self.stats.observe_latency(duration)
         async with write_lock:
+            write_start = time.perf_counter()
             writer.write(encode_line(response))
+            if ctx is not None and tlog is not None:
+                # Buffered *before* any bytes flush, so a trace drain
+                # fired on response receipt always sees the full tree.
+                now = time.time()
+                write_s = time.perf_counter() - write_start
+                tlog.append(leaf_entry(ctx, "server.write", now - write_s, write_s))
+                tlog.append(
+                    Span(
+                        ctx.trace_id, ctx.span_id, ctx.parent_id,
+                        "server.request", now - duration, duration,
+                        {"op": request.op if request is not None else None,
+                         "ok": bool(response.get("ok"))},
+                    )
+                )
+                self.tracer.extend(tlog)
             try:
                 await writer.drain()
             except (ConnectionError, OSError):
@@ -354,7 +445,7 @@ class AlignmentService:
             # release wait_closed() to wind the service down.
             self.stop()
 
-    async def _dispatch(self, request) -> dict:
+    async def _dispatch(self, request, ctx=None, tlog=None) -> dict:
         self.stats.observe_request(request.op)
         if request.op == "ping":
             return ok_response(request.id, "pong")
@@ -369,6 +460,19 @@ class AlignmentService:
                     },
                 ),
             )
+        if request.op == "metrics":
+            return ok_response(request.id, self.render_metrics())
+        if request.op == "trace":
+            # Drain buffered spans — all of them, or one trace's (the
+            # request's own trace_id doubles as the filter).
+            spans = self.tracer.buffer.drain(request.trace_id)
+            return ok_response(
+                request.id,
+                {
+                    "spans": [span.to_dict() for span in spans],
+                    "dropped": self.tracer.buffer.dropped,
+                },
+            )
         if request.op == "shutdown":
             return ok_response(request.id, "bye")  # _serve_line stops after
         # score / align
@@ -377,7 +481,16 @@ class AlignmentService:
         key = self.cache_key(
             request.op, request.a, request.b, mode, band, gap_open, gap_extend
         )
+        cache_start = time.perf_counter()
         result = self.cache.get(key)
+        if tlog is not None:
+            cache_s = time.perf_counter() - cache_start
+            tlog.append(
+                leaf_entry(
+                    ctx, "server.cache", time.time() - cache_s, cache_s,
+                    {"hit": result is not None},
+                )
+            )
         if result is not None:
             return ok_response(request.id, result, cached=True)
         inflight = self._inflight.get(key)
@@ -386,10 +499,31 @@ class AlignmentService:
             # (The batcher also coalesces, but only until its batch is
             # dispatched — this closes the dispatch→cache-put window.)
             self.stats.observe_coalesced()
+            if tlog is not None:
+                join_start = time.perf_counter()
+                value = await inflight
+                join_s = time.perf_counter() - join_start
+                tlog.append(
+                    leaf_entry(ctx, "server.join", time.time() - join_s, join_s)
+                )
+                return ok_response(request.id, value, cached=False)
             return ok_response(request.id, await inflight, cached=False)
         future = asyncio.get_running_loop().create_future()
         self._inflight[key] = future
         try:
+            # Trace interest is registered beside submit (same args →
+            # same job key) so the batcher can report coalesce-wait and
+            # worker-thread compute without tracing touching its
+            # analyzer-checked submit signature.
+            if ctx is not None:
+                self.batcher.trace_job(
+                    request.op, request.a, request.b,
+                    {
+                        "mode": mode, "band": band, "gap_open": gap_open,
+                        "gap_extend": gap_extend, "memory": memory,
+                    },
+                    ctx,
+                )
             value = await self.batcher.submit(
                 request.op,
                 request.a,
@@ -428,6 +562,15 @@ def run_server(config: ServiceConfig, port_file: str | None = None) -> int:
         service = AlignmentService(config)
         await service.start()
         print(f"fragalign.service listening on {service.address}", flush=True)
+        _log.info(
+            "server started",
+            extra={
+                "port": service.port,
+                "backend": config.backend,
+                "mode": config.mode,
+                "max_batch": config.max_batch,
+            },
+        )
         if port_file:
             write_port_file(port_file, service.port)
         try:
@@ -441,6 +584,15 @@ def run_server(config: ServiceConfig, port_file: str | None = None) -> int:
                 f"{snap['batches']['dispatched']} batches, "
                 f"cache hit rate {snap['cache']['hit_rate']:.2f}",
                 flush=True,
+            )
+            _log.info(
+                "server stopped",
+                extra={
+                    "requests": snap["requests"]["total"],
+                    "errors": snap["requests"]["errors"],
+                    "batches": snap["batches"]["dispatched"],
+                    "cache_hit_rate": snap["cache"]["hit_rate"],
+                },
             )
 
     try:

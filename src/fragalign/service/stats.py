@@ -2,110 +2,155 @@
 
 One :class:`ServiceStats` instance lives on the server; the batcher
 and connection handlers feed it, and the ``stats`` request type
-returns :meth:`ServiceStats.snapshot`.  Latency keeps a bounded
-reservoir of the most recent request service times and reports p50/p95
-over it, so the surface stays O(1) memory under unbounded traffic.
+returns :meth:`ServiceStats.snapshot`.  Since the obs subsystem
+landed, the counters and the latency distribution are backed by a
+:class:`~fragalign.obs.metrics.MetricsRegistry` — the same instruments
+the ``metrics`` op renders as Prometheus text — so the ``stats`` JSON
+surface and the exposition can never disagree.
+
+The latency quantiles come from a **fixed-bucket log-spaced
+histogram**, not a sample reservoir.  The old implementation kept the
+most recent 4096 samples in a deque and took nearest-rank quantiles
+over them; once traffic exceeds the reservoir that estimator only
+sees the newest window, so a latency regression that happened
+*earlier* in the run vanishes from p95/p99 (recency bias — the
+regression test in ``tests/test_obs.py`` demonstrates the
+under-report).  The histogram keeps every observation since boot in
+O(#buckets) memory and its quantile estimate is exact to within one
+bucket width (bounds ratio ~1.33).
 """
 
 from __future__ import annotations
 
 import time
-from collections import Counter, deque
+from collections import Counter as _TallyCounter
+
+from fragalign.obs.metrics import MetricsRegistry
 
 __all__ = ["ServiceStats"]
 
-_RESERVOIR = 4096  # most recent latency samples kept for quantiles
-
-
-def _quantile(ordered: list[float], q: float) -> float:
-    """Nearest-rank quantile of an already-sorted sample."""
-    if not ordered:
-        return 0.0
-    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-    return ordered[idx]
-
 
 class ServiceStats:
-    """Mutable counters for one server instance (single-threaded owner)."""
+    """Mutable counters for one server instance.
 
-    def __init__(self) -> None:
+    ``registry`` is the shared metrics registry the instruments live
+    in (the server passes its own so the kernel profiler and the
+    ``metrics`` op see one coherent set); omitted, a private registry
+    is created — the standalone behaviour tests rely on.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self.started = time.monotonic()
-        self.requests: Counter[str] = Counter()
-        self.modes: Counter[str] = Counter()  # resolved mode per pair op
-        self.errors = 0
-        self.connections_open = 0
-        self.connections_total = 0
-        self.batches = 0
-        self.batched_pairs = 0
-        self.max_batch_size = 0
-        self.coalesced = 0  # requests folded into an identical in-flight job
-        self._latency: deque[float] = deque(maxlen=_RESERVOIR)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._requests = self.registry.counter(
+            "fragalign_requests_total", "Requests received, by op.", labels=("op",)
+        )
+        self._modes = self.registry.counter(
+            "fragalign_requests_by_mode_total",
+            "Pair-op requests by resolved alignment mode.",
+            labels=("mode",),
+        )
+        self._errors = self.registry.counter(
+            "fragalign_errors_total", "Requests answered with ok=false."
+        )
+        self._conn_open = self.registry.gauge(
+            "fragalign_connections_open", "Currently open client connections."
+        )
+        self._conn_total = self.registry.counter(
+            "fragalign_connections_total", "Client connections ever accepted."
+        )
+        self._batches = self.registry.counter(
+            "fragalign_batches_total", "Micro-batches dispatched to the engine."
+        )
+        self._batched_pairs = self.registry.counter(
+            "fragalign_batched_pairs_total", "Jobs dispatched inside micro-batches."
+        )
+        self._max_batch = self.registry.gauge(
+            "fragalign_batch_max_size", "Largest micro-batch dispatched."
+        )
+        self._coalesced = self.registry.counter(
+            "fragalign_coalesced_total",
+            "Requests folded into an identical in-flight job.",
+        )
+        self._latency = self.registry.histogram(
+            "fragalign_request_latency_seconds",
+            "Request service time, parse to response-ready.",
+        )
 
     # -- feeders ------------------------------------------------------
 
     def observe_request(self, op: str) -> None:
-        self.requests[op] += 1
+        self._requests.inc(op=op)
 
     def observe_mode(self, mode: str) -> None:
         """Count one pair-op request under its *resolved* alignment
         mode (the server's default already substituted), so cluster
         aggregation can break traffic down by mode."""
-        self.modes[mode] += 1
+        self._modes.inc(mode=mode)
 
     def observe_error(self) -> None:
-        self.errors += 1
+        self._errors.inc()
 
     def observe_connection(self, delta: int) -> None:
-        self.connections_open += delta
+        self._conn_open.add(delta)
         if delta > 0:
-            self.connections_total += delta
+            self._conn_total.inc(delta)
 
     def observe_batch(self, size: int) -> None:
-        self.batches += 1
-        self.batched_pairs += size
-        self.max_batch_size = max(self.max_batch_size, size)
+        self._batches.inc()
+        self._batched_pairs.inc(size)
+        self._max_batch.set_max(size)
 
     def observe_coalesced(self) -> None:
-        self.coalesced += 1
+        self._coalesced.inc()
 
     def observe_latency(self, seconds: float) -> None:
-        self._latency.append(seconds)
+        self._latency.observe(seconds)
 
     # -- surface ------------------------------------------------------
 
     def snapshot(self, cache_stats: dict | None = None, engine: dict | None = None) -> dict:
-        """The JSON-able stats object served by the ``stats`` op."""
-        ordered = sorted(self._latency)
-        total = sum(self.requests.values())
+        """The JSON-able stats object served by the ``stats`` op.
+
+        Schema-compatible with the pre-obs surface (additive only):
+        ``latency_ms`` quantiles are now histogram-derived, and the
+        additive ``latency_ms.estimator`` key says so.
+        """
+        requests = _TallyCounter(
+            {dict(key)["op"]: int(value) for key, value in self._requests.values().items()}
+        )
+        modes = {dict(key)["mode"]: int(value) for key, value in self._modes.values().items()}
+        batches = int(self._batches.value())
+        batched_pairs = int(self._batched_pairs.value())
+        samples = self._latency.count
         out = {
             "uptime_s": round(time.monotonic() - self.started, 3),
             "connections": {
-                "open": self.connections_open,
-                "total": self.connections_total,
+                "open": int(self._conn_open.value()),
+                "total": int(self._conn_total.value()),
             },
             "requests": {
-                "total": total,
-                "errors": self.errors,
-                **self.requests,
+                "total": sum(requests.values()),
+                "errors": int(self._errors.value()),
+                **requests,
                 # Additive key (older clients ignore it): pair-op
                 # traffic by resolved alignment mode.
-                "by_mode": dict(self.modes),
+                "by_mode": modes,
             },
             "batches": {
-                "dispatched": self.batches,
-                "pairs": self.batched_pairs,
-                "mean_size": round(self.batched_pairs / self.batches, 2)
-                if self.batches
-                else 0.0,
-                "max_size": self.max_batch_size,
-                "coalesced": self.coalesced,
+                "dispatched": batches,
+                "pairs": batched_pairs,
+                "mean_size": round(batched_pairs / batches, 2) if batches else 0.0,
+                "max_size": int(self._max_batch.value()),
+                "coalesced": int(self._coalesced.value()),
             },
             "latency_ms": {
-                "samples": len(ordered),
-                "p50": round(_quantile(ordered, 0.50) * 1e3, 3),
-                "p95": round(_quantile(ordered, 0.95) * 1e3, 3),
-                "p99": round(_quantile(ordered, 0.99) * 1e3, 3),
-                "mean": round(sum(ordered) / len(ordered) * 1e3, 3) if ordered else 0.0,
+                "samples": samples,
+                "p50": round(self._latency.quantile(0.50) * 1e3, 3),
+                "p95": round(self._latency.quantile(0.95) * 1e3, 3),
+                "p99": round(self._latency.quantile(0.99) * 1e3, 3),
+                "mean": round(self._latency.mean() * 1e3, 3),
+                "estimator": "histogram",  # additive: was a 4096-sample deque
             },
         }
         if cache_stats is not None:
