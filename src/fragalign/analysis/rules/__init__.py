@@ -6,6 +6,7 @@ from __future__ import annotations
 from fragalign.analysis.rules import (
     asyncio_hygiene,
     determinism,
+    io_timeout,
     kernel_parity,
     knob_propagation,
     numpy_hot_loops,
@@ -15,6 +16,7 @@ ALL_RULES = (
     kernel_parity,
     knob_propagation,
     asyncio_hygiene,
+    io_timeout,
     numpy_hot_loops,
     determinism,
 )

@@ -1,0 +1,115 @@
+"""io-timeout: awaited network I/O in service/ and cluster/ is bounded.
+
+An await on stream I/O with no timeout is an unbounded wait: a peer
+that stops talking (half-open TCP, a black-holed host, a wedged shard)
+parks the coroutine forever, and whatever resource it holds — a
+connection slot, an admission token, a caller's thread — leaks with
+it.  The resilience tier's contract is that *every* network wait is
+bounded somewhere, so this rule flags every ``await`` of a raw
+network-I/O call in ``service/`` and ``cluster/`` that is neither
+
+* wrapped in ``asyncio.wait_for(...)`` (the timeout is right there), nor
+* annotated with a justification directive::
+
+      data = await reader.readline()  # io-timeout: bounded by the caller
+
+The directive may sit on the awaited statement's own lines or the line
+directly above it, and must carry a non-empty justification after the
+colon.  Flagged calls are the stream-level waits (``readline``,
+``readexactly``, ``readuntil``, ``drain``, ``wait_closed``) plus
+``asyncio.open_connection`` — connection establishment against a host
+dropping SYNs hangs for the OS TCP timeout, minutes not seconds.
+Higher-level client verbs (``client.score(...)``) are deliberately not
+matched: their timeout obligations live inside the client and router,
+where this rule checks the raw calls they are built from.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from fragalign.analysis.findings import Finding
+from fragalign.analysis.project import Project, qualname_of
+
+ID = "io-timeout"
+DESCRIPTION = (
+    "awaited network I/O in service/ and cluster/ must be bounded by "
+    "asyncio.wait_for or carry an '# io-timeout:' justification"
+)
+
+_SUBDIRS = ("service", "cluster")
+
+# Stream-level waits that block until the peer acts.
+_STREAM_ATTRS = {"readline", "readexactly", "readuntil", "drain", "wait_closed"}
+# Dotted calls that establish connections (OS-timeout-bounded at best).
+_CONNECT_DOTTED = {"asyncio.open_connection"}
+
+_DIRECTIVE = re.compile(r"#\s*io-timeout:\s*\S")
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _io_call_name(call: ast.Call) -> str | None:
+    """The flaggable name of an awaited call, or None if benign."""
+    dotted = _dotted(call.func)
+    if dotted in _CONNECT_DOTTED:
+        return dotted
+    if isinstance(call.func, ast.Attribute) and call.func.attr in _STREAM_ATTRS:
+        return f"...{call.func.attr}"
+    return None
+
+
+def _justified(lines: list[str], node: ast.Await) -> bool:
+    """True when an ``# io-timeout: <why>`` directive covers the await
+    (its own lines, or the line directly above)."""
+    end = node.end_lineno if node.end_lineno is not None else node.lineno
+    for lineno in range(max(1, node.lineno - 1), end + 1):
+        if lineno <= len(lines) and _DIRECTIVE.search(lines[lineno - 1]):
+            return True
+    return False
+
+
+def check(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for path in project.files(*_SUBDIRS):
+        relpath = project.relpath(path)
+        lines = project.source(path).splitlines()
+        for node, stack in project.walk_with_stack(path):
+            if not isinstance(node, ast.Await):
+                continue
+            call = node.value
+            if not isinstance(call, ast.Call):
+                continue
+            # `await asyncio.wait_for(inner(...), timeout=...)` is the
+            # sanctioned shape: the inner call is not itself awaited,
+            # so matching the Await's direct call skips it naturally.
+            name = _io_call_name(call)
+            if name is None or _justified(lines, node):
+                continue
+            scope = [s for s in stack if isinstance(
+                s, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )]
+            findings.append(
+                Finding(
+                    rule=ID,
+                    path=relpath,
+                    line=node.lineno,
+                    symbol=qualname_of(scope) if scope else "<module>",
+                    message=(
+                        f"awaited network I/O {name}() has no timeout — wrap "
+                        "it in asyncio.wait_for(...) or justify with "
+                        "'# io-timeout: <why>'"
+                    ),
+                )
+            )
+    return findings

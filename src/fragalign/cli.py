@@ -16,6 +16,10 @@ Commands
                 cluster, merged) to stdout.
 ``top``       — the kernel-profile throughput table (Mcells/s by
                 family/backend/mode) from the same scrape.
+``chaos``     — the resilience drill: boot a fleet behind fault
+                proxies, walk a scripted fault schedule, assert the
+                invariants (no wrong answers, bounded latency,
+                breakers trip and recover, dead shards auto-heal).
 """
 
 from __future__ import annotations
@@ -61,6 +65,46 @@ def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
         "--trace",
         action="store_true",
         help="send one traced request after the run and print its span tree",
+    )
+
+
+def _add_deadline_flag(
+    parser: argparse.ArgumentParser, default: float | None = None
+) -> None:
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=default,
+        help="end-to-end budget per request in ms (expired work is "
+        "rejected server-side with DEADLINE_EXCEEDED)",
+    )
+
+
+def _add_admission_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--max-inflight-cells",
+        type=int,
+        default=0,
+        help="admission cap on estimated in-flight DP cells (0 = unlimited)",
+    )
+    parser.add_argument(
+        "--max-inflight-jobs",
+        type=int,
+        default=0,
+        help="admission cap on concurrently computing jobs (0 = unlimited)",
+    )
+    parser.add_argument(
+        "--degrade",
+        choices=["none", "widen", "score"],
+        default="none",
+        help="degraded mode past the load watermark: 'widen' stretches the "
+        "batch window, 'score' answers align requests score-only",
+    )
+    parser.add_argument(
+        "--degrade-watermark",
+        type=float,
+        default=0.75,
+        help="fraction of the cell cap that engages degraded mode",
     )
 
 
@@ -212,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=4096,
         help="span ring-buffer capacity (oldest spans drop beyond it)",
     )
+    _add_admission_flags(srv)
     _add_log_flags(srv)
 
     cli = sub.add_parser(
@@ -248,6 +293,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="align traceback strategy to request (align op only)",
     )
+    _add_deadline_flag(cli)
     cli.add_argument(
         "--reconnect",
         action="store_true",
@@ -302,6 +348,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="scratch dir for shard port files and logs",
     )
+    _add_admission_flags(cserve)
+    cserve.add_argument(
+        "--auto-heal",
+        action="store_true",
+        help="auto-restart crashed shards (exponential backoff + jitter, "
+        "crash-loop shards are left down)",
+    )
     _add_log_flags(cserve)
 
     croute = csub.add_parser(
@@ -343,6 +396,26 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="distinct shards tried per request before giving up",
+    )
+    _add_deadline_flag(croute)
+    croute.add_argument(
+        "--hedge-delay-ms",
+        type=float,
+        default=None,
+        help="fire a duplicate score attempt after this many ms without "
+        "an answer (hedged requests; default off)",
+    )
+    croute.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        help="consecutive shard failures that trip its circuit open",
+    )
+    croute.add_argument(
+        "--breaker-recovery-s",
+        type=float,
+        default=5.0,
+        help="seconds an open circuit waits before a half-open trial",
     )
     croute.add_argument(
         "--verify",
@@ -428,6 +501,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--expect-samples",
         action="store_true",
         help="exit nonzero unless kernel-profile samples exist (CI smoke)",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="resilience drill: a fleet behind fault proxies walks a "
+        "scripted fault schedule and asserts the invariants",
+    )
+    chaos.add_argument("--shards", type=int, default=3)
+    chaos.add_argument("--length", type=int, default=96, help="sequence length")
+    chaos.add_argument("--backend", default="numpy")
+    chaos.add_argument(
+        "--requests", type=int, default=40, help="requests per drill phase"
+    )
+    chaos.add_argument("--concurrency", type=int, default=16)
+    chaos.add_argument("--seed", type=int, default=2026)
+    _add_deadline_flag(chaos, default=5000.0)
+    chaos.add_argument(
+        "--base-dir", default=None, help="scratch dir for shard logs/ports"
+    )
+    chaos.add_argument(
+        "--verify",
+        action="store_true",
+        help="recompute every answer on a local engine (exit 1 on drift)",
+    )
+    chaos.add_argument(
+        "--json",
+        action="store_true",
+        help="print the drill report as JSON (machine-readable, for CI)",
     )
 
     check = sub.add_parser(
@@ -646,6 +747,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_delay=args.max_delay_ms / 1e3,
         cache_size=args.cache_size,
         trace_buffer=args.trace_buffer,
+        max_inflight_cells=args.max_inflight_cells,
+        max_inflight_jobs=args.max_inflight_jobs,
+        degrade=args.degrade,
+        degrade_watermark=args.degrade_watermark,
     )
     return run_server(config, port_file=args.port_file)
 
@@ -772,12 +877,13 @@ def _cmd_client(args: argparse.Namespace) -> int:
         if args.op == "score":
             run = lambda: client.score_many(
                 pairs, args.concurrency, args.mode, args.band,
-                args.gap_open, args.gap_extend,
+                args.gap_open, args.gap_extend, deadline_ms=args.deadline_ms,
             )
         else:
             run = lambda: client.align_many(
                 pairs, args.concurrency, args.mode, args.band,
                 args.gap_open, args.gap_extend, args.memory,
+                deadline_ms=args.deadline_ms,
             )
         t, results = time_call(run, repeat=1)
         stats = client.stats()
@@ -870,6 +976,11 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
         base_dir=args.base_dir,
         log_level=args.log_level,
         log_json=args.log_json,
+        max_inflight_cells=args.max_inflight_cells,
+        max_inflight_jobs=args.max_inflight_jobs,
+        degrade=args.degrade,
+        degrade_watermark=args.degrade_watermark,
+        auto_heal=args.auto_heal,
     )
     try:
         supervisor.start()
@@ -883,9 +994,13 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
         print(f"fragalign.cluster file written to {args.cluster_file}", flush=True)
     try:
         # Supervise until the whole fleet is gone (e.g. a routed
-        # --shutdown) or Ctrl-C.  Dead shards are reported once.
+        # --shutdown) or Ctrl-C.  Dead shards are reported once; with
+        # --auto-heal the heal thread may bring them back (the loop
+        # also waits out a pending respawn so a simultaneous all-shard
+        # crash doesn't read as "all exited").
         reported: set[int] = set()
-        while supervisor.alive_count > 0:
+        seen_events = 0
+        while supervisor.alive_count > 0 or supervisor.healing:
             for row in supervisor.poll():
                 if not row["alive"] and row["index"] not in reported:
                     reported.add(row["index"])
@@ -894,6 +1009,17 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
                         f"(code {row['returncode']})",
                         flush=True,
                     )
+                elif row["alive"]:
+                    reported.discard(row["index"])
+            events = supervisor.heal_events
+            while seen_events < len(events):
+                event = events[seen_events]
+                seen_events += 1
+                print(f"fragalign.cluster heal: {event}", flush=True)
+                if event.get("event") == "respawned" and args.cluster_file:
+                    # Respawned shards bind fresh ephemeral ports:
+                    # republish the layout for routers reading the file.
+                    supervisor.write_cluster_file(args.cluster_file)
             time.sleep(0.2)
         print("fragalign.cluster: all shards exited", flush=True)
     except KeyboardInterrupt:  # pragma: no cover - interactive path
@@ -906,9 +1032,10 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
 def _cmd_cluster_route(args: argparse.Namespace) -> int:
     import numpy as np
 
-    from fragalign.cluster import ClusterClient, ClusterError
+    from fragalign.cluster import ClusterClient
     from fragalign.engine import AlignmentEngine
     from fragalign.genome.dna import random_dna
+    from fragalign.util.errors import FragalignError
     from fragalign.util.timing import time_call
 
     addresses, defaults = _cluster_layout(args.cluster_file)
@@ -941,6 +1068,7 @@ def _cmd_cluster_route(args: argparse.Namespace) -> int:
             "band": args.band,
             "gap_open": args.gap_open,
             "gap_extend": args.gap_extend,
+            "deadline_ms": args.deadline_ms,
         }
         for k in range(args.requests)
     ]
@@ -961,11 +1089,16 @@ def _cmd_cluster_route(args: argparse.Namespace) -> int:
         default_band=defaults["band"],
         default_gap_open=defaults["gap_open"],
         default_gap_extend=defaults["gap_extend"],
+        breaker_threshold=args.breaker_threshold,
+        breaker_recovery=args.breaker_recovery_s,
+        hedge_delay=None if args.hedge_delay_ms is None else args.hedge_delay_ms / 1e3,
     ) as cluster:
         try:
             t, results = time_call(run, cluster, repeat=1)
-        except ClusterError as exc:
-            print(f"error: {exc}", file=sys.stderr)
+        except FragalignError as exc:
+            # ClusterError, DeadlineExceeded, CircuitOpen, Overloaded —
+            # every typed routing failure lands here.
+            print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
             return 1
         report = cluster.stats()
         if args.verify:
@@ -1152,6 +1285,12 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return handlers[args.cluster_command](args)
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from fragalign.resilience.chaos import run_chaos
+
+    return run_chaos(args)
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -1218,6 +1357,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "cluster": _cmd_cluster,
         "metrics": _cmd_metrics,
         "top": _cmd_top,
+        "chaos": _cmd_chaos,
         "check": _cmd_check,
         "solve": _cmd_solve,
     }

@@ -12,11 +12,38 @@ answers back **in request order**.
 Failover: a connection-level failure (refused, reset, mid-stream
 close, probe timeout) evicts the shard from the ring and retries the
 request on the next distinct shard in ring order, up to
-``max_attempts`` shards.  Server-side *answers* that are errors
-(:class:`~fragalign.service.protocol.ServiceError`, e.g. a band too
-narrow) are **not** retried — the shard is healthy and every replica
-would reject the same request the same way.  Readmission is the
-health monitor's job (:mod:`fragalign.cluster.health`).
+``max_attempts`` shards.  Server-side *answers* that are errors are
+split by the :mod:`fragalign.util.errors` taxonomy: a **retryable**
+answer (an ``OVERLOADED`` shed — the shard is healthy, just loaded)
+retries on the next replica *without* evicting anything, while a
+non-retryable answer (a band too narrow, an expired deadline) is
+raised as-is — every replica would reject the same request the same
+way.  Readmission is the health monitor's job
+(:mod:`fragalign.cluster.health`) — except for breaker-tripped shards
+(below), which readmit themselves.
+
+Each shard additionally sits behind a :class:`CircuitBreaker`
+(:mod:`fragalign.resilience.breaker`): consecutive connection-level
+failures or timeouts trip it open, an open breaker excludes the shard
+from candidate selection (fast-fail, no connection attempt), and
+after ``breaker_recovery`` seconds the half-open breaker readmits the
+shard for exactly one trial request — success closes it, failure
+re-opens it.
+
+Deadlines: pass ``deadline_ms`` and the router pins an absolute
+monotonic deadline on entry, clamps every per-attempt timeout to the
+remaining budget, forwards the *remaining* budget (relative,
+gRPC-style) to the shard on each attempt, and gives up with
+:class:`~fragalign.util.errors.DeadlineExceeded` instead of starting
+a retry the budget can no longer cover.
+
+Hedging (off by default): with ``hedge_delay`` set, a ``score``
+request whose first attempt is still unanswered after that many
+seconds fires a second copy at the next replica and takes whichever
+answers first — scores are idempotent and cheap, so the duplicate
+only costs one batch slot.  ``hedge_max_fraction`` caps hedges as a
+fraction of routed requests so a slow cluster can't double its own
+load.
 
 The blocking :class:`ClusterClient` wrapper runs the router (plus an
 optional health monitor) on a private event-loop thread, mirroring
@@ -36,11 +63,20 @@ from fragalign.cluster.ring import HashRing, ring_key
 from fragalign.obs.logs import get_logger
 from fragalign.obs.metrics import MetricsRegistry, merge_expositions
 from fragalign.obs.trace import TraceContext, Tracer
+from fragalign.resilience.breaker import CLOSED, HALF_OPEN, STATE_CODES, CircuitBreaker
+from fragalign.resilience.deadline import deadline_from_budget_ms, remaining_ms
 from fragalign.service.client import AlignmentClient, AsyncAlignmentClient
 from fragalign.service.protocol import ServiceError
-from fragalign.util.errors import FragalignError
+from fragalign.util.errors import (
+    CircuitOpen,
+    DeadlineExceeded,
+    FragalignError,
+    RetryableError,
+)
 
 __all__ = ["ClusterError", "ShardRouter", "ClusterClient"]
+
+_MISS = object()  # sentinel: no attempt has produced a value yet
 
 # Failures that mean "this shard, not this request": worth a retry on
 # the next replica.  ServiceError is deliberately absent.
@@ -88,6 +124,19 @@ class ShardRouter:
         is dropped unless the mode is banded) so requests that the
         *server* resolves to the same cache key also hash to the same
         shard.
+    breaker_threshold / breaker_recovery:
+        Consecutive connection-level failures (or timeouts) that trip
+        a shard's circuit open, and the cool-off in seconds before the
+        half-open breaker readmits the shard for one trial request.
+    hedge_delay:
+        Seconds to wait on a first ``score`` attempt before firing a
+        duplicate at the next replica (``None`` disables hedging).
+    hedge_max_fraction:
+        Cap on hedges as a fraction of routed requests.
+    retry_min_budget:
+        Seconds of deadline budget a retry must have left to be worth
+        starting (the observed cost of this request's failed attempts
+        raises the bar further).
     """
 
     def __init__(
@@ -102,6 +151,11 @@ class ShardRouter:
         default_band: int | None = None,
         default_gap_open: float | None = None,
         default_gap_extend: float | None = None,
+        breaker_threshold: int = 3,
+        breaker_recovery: float = 5.0,
+        hedge_delay: float | None = None,
+        hedge_max_fraction: float = 0.1,
+        retry_min_budget: float = 0.0,
     ) -> None:
         if not addresses:
             raise ValueError("at least one shard address is required")
@@ -119,6 +173,22 @@ class ShardRouter:
         self.default_band = default_band
         self.default_gap_open = default_gap_open
         self.default_gap_extend = default_gap_extend
+        if breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if breaker_recovery <= 0:
+            raise ValueError("breaker_recovery must be > 0")
+        if hedge_delay is not None and hedge_delay < 0:
+            raise ValueError("hedge_delay must be >= 0")
+        if not 0 < hedge_max_fraction <= 1:
+            raise ValueError("hedge_max_fraction must be in (0, 1]")
+        if retry_min_budget < 0:
+            raise ValueError("retry_min_budget must be >= 0")
+        self.breaker_threshold = breaker_threshold
+        self.breaker_recovery = breaker_recovery
+        self.hedge_delay = hedge_delay
+        self.hedge_max_fraction = hedge_max_fraction
+        self.retry_min_budget = retry_min_budget
+        self._breakers: dict[str, CircuitBreaker] = {}
         self._clients: dict[str, AsyncAlignmentClient] = {}
         self._connecting: dict[str, asyncio.Lock] = {}
         self._closing: set[asyncio.Task] = set()  # strong refs to close tasks
@@ -133,6 +203,11 @@ class ShardRouter:
         self.evictions = 0  # ring removals (reactive + health-driven)
         self.readmissions = 0  # ring re-additions (health-driven)
         self.failed_requests = 0  # requests that exhausted every replica
+        self.shed_retries = 0  # OVERLOADED answers retried elsewhere
+        self.hedges = 0  # duplicate attempts fired
+        self.hedge_wins = 0  # requests won by the hedged copy
+        self.deadline_gaveups = 0  # retries abandoned for lack of budget
+        self.breaker_fast_fails = 0  # requests refused with every circuit open
 
     # -- membership / keying ------------------------------------------
 
@@ -202,6 +277,28 @@ class ShardRouter:
                 extra={"shard": shard, "live_shards": len(self.ring.nodes)},
             )
 
+    # -- circuit breakers ---------------------------------------------
+
+    def _breaker(self, shard: str) -> CircuitBreaker:
+        breaker = self._breakers.get(shard)
+        if breaker is None:
+            breaker = self._breakers[shard] = CircuitBreaker(
+                failure_threshold=self.breaker_threshold,
+                recovery_time=self.breaker_recovery,
+            )
+        return breaker
+
+    def _breaker_readmit(self) -> None:
+        """Readmit evicted shards whose breaker has cooled into
+        half-open; the next request routed there is the trial.  Only
+        breaker-tripped shards come back this way — a shard evicted
+        while its breaker stayed closed (a one-off hard death) is the
+        health monitor's to readmit, so breaker recovery can never
+        flip-flop a shard the monitor keeps finding dead."""
+        for shard, breaker in self._breakers.items():
+            if breaker.state == HALF_OPEN and shard not in self.ring:
+                self.mark_shard_up(shard)
+
     def _drop_client(self, shard: str) -> None:
         client = self._clients.pop(shard, None)
         if client is None:
@@ -255,40 +352,89 @@ class ShardRouter:
 
     # -- request path -------------------------------------------------
 
-    async def _call_shard(self, shard: str, op: str, request) -> Any:
+    async def _call_shard(
+        self, shard: str, op: str, request, timeout: float | None = None
+    ) -> Any:
         async def attempt() -> Any:
             client = await self._client(shard)
             return await request(client)
 
-        if self.request_timeout is not None:
+        if timeout is None:
+            timeout = self.request_timeout
+        if timeout is not None:
             # The budget covers connect + round trip: a black-holing
             # shard times out here and fails over like any other death.
-            return await asyncio.wait_for(attempt(), timeout=self.request_timeout)
+            return await asyncio.wait_for(attempt(), timeout=timeout)
         return await attempt()
+
+    async def _abandon(self, tasks: dict) -> None:
+        """Cancel attempt tasks we no longer care about and reap them,
+        so a losing hedge can never log "exception was never
+        retrieved".  Its orphaned wire response (if one arrives) is
+        dropped by the client's done-future check.  Each abandoned
+        shard's breaker gets the cancellation reported: a cancelled
+        request is neither success nor failure, but it may have been
+        holding the half-open trial slot."""
+        for task, (t_shard, _ctx, _start) in tasks.items():
+            task.cancel()
+            self._breaker(t_shard).record_abandon()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    def _hedge_allowed(self) -> bool:
+        total = sum(self.routed.values()) + 1
+        return self.hedges < max(1.0, self.hedge_max_fraction * total)
 
     async def _route(
         self, op: str, a: str, b: str, mode, band, request,
         gap_open=None, gap_extend=None, trace: TraceContext | None = None,
+        deadline_ms: float | None = None,
     ) -> Any:
         """Send one request to its owning shard, failing over along
-        the ring; ``request(client, ctx)`` builds the coroutine (``ctx``
-        is the per-attempt trace context the shard parents under, or
-        ``None`` when untraced)."""
+        the ring; ``request(client, ctx, budget_ms)`` builds the
+        coroutine (``ctx`` is the per-attempt trace context the shard
+        parents under, or ``None`` when untraced; ``budget_ms`` is the
+        deadline budget still remaining when the attempt launches, or
+        ``None`` when the request carries no deadline)."""
         key = self.key_for(op, a, b, mode, band, gap_open, gap_extend)
+        deadline = deadline_from_budget_ms(deadline_ms)
+        self._breaker_readmit()
         # Fan-out span for the whole routing decision; each attempt is
         # a child, so a failover reads as sibling attempt spans.
         route_ctx = trace.child() if trace is not None else None
         route_start = _perf()
         tried: set[str] = set()
         last_error: Exception | None = None
+        blocked = False  # last candidate scan hit only open circuits
+        cheapest: float | None = None  # fastest failed attempt: retry floor
         for attempt in range(self.max_attempts):
+            if deadline is not None:
+                # A first attempt runs on any positive budget; a retry
+                # must clear the floor — no point starting an attempt
+                # the budget provably can't cover.
+                floor = max(self.retry_min_budget, cheapest or 0.0) if attempt else 0.0
+                if deadline - time.monotonic() <= floor:
+                    self.deadline_gaveups += 1
+                    if route_ctx is not None:
+                        self._finish_route(route_ctx, route_start, op, tried, False)
+                    raise DeadlineExceeded(
+                        f"deadline budget exhausted routing {op} request after "
+                        f"{len(tried)} attempt(s) (last error: {last_error})"
+                    )
             # Recompute candidates each attempt: evictions (ours or a
             # concurrent request's) reshape the ring under us.
             try:
                 candidates = self.ring.nodes_for(key, len(self.addresses))
             except LookupError:
                 break  # ring empty: nothing left to try
-            shard = next((s for s in candidates if s not in tried), None)
+            blocked, shard = False, None
+            for s in candidates:
+                if s in tried:
+                    continue
+                if self._breaker(s).allow():
+                    shard = s
+                    break
+                blocked = True
             if shard is None:
                 break
             tried.add(shard)
@@ -299,34 +445,120 @@ class ShardRouter:
                     extra={"op": op, "shard": shard, "attempt": attempt + 1,
                            "tried": sorted(tried)},
                 )
+            budget_ms = remaining_ms(deadline) if deadline is not None else None
+            timeout = self.request_timeout
+            if deadline is not None:
+                rem = deadline - time.monotonic()
+                timeout = rem if timeout is None else min(timeout, rem)
             attempt_ctx = route_ctx.child() if route_ctx is not None else None
             attempt_start = _perf()
-            try:
-                value = await self._call_shard(
-                    shard, op, lambda c: request(c, attempt_ctx)
+            # One task per in-flight copy of this attempt: the primary,
+            # plus (maybe) a hedge.  Value: (shard, trace ctx, start).
+            tasks: dict[asyncio.Task, tuple[str, Any, float]] = {}
+            primary = asyncio.ensure_future(self._call_shard(
+                shard, op,
+                lambda c, ctx=attempt_ctx: request(c, ctx, budget_ms),
+                timeout=timeout,
+            ))
+            tasks[primary] = (shard, attempt_ctx, attempt_start)
+            if self.hedge_delay is not None and op == "score" and attempt == 0:
+                done, _ = await asyncio.wait({primary}, timeout=self.hedge_delay)
+                if not done and self._hedge_allowed():
+                    hedge_shard = next(
+                        (s for s in candidates
+                         if s not in tried and self._breaker(s).allow()),
+                        None,
+                    )
+                    if hedge_shard is not None:
+                        tried.add(hedge_shard)
+                        self.hedges += 1
+                        hedge_ctx = route_ctx.child() if route_ctx is not None else None
+                        hedge_start = _perf()
+                        hedge = asyncio.ensure_future(self._call_shard(
+                            hedge_shard, op,
+                            lambda c, ctx=hedge_ctx: request(c, ctx, budget_ms),
+                            timeout=timeout,
+                        ))
+                        tasks[hedge] = (hedge_shard, hedge_ctx, hedge_start)
+            value, winner = _MISS, None
+            while tasks and value is _MISS:
+                done, _ = await asyncio.wait(
+                    tasks, return_when=asyncio.FIRST_COMPLETED
                 )
-            except ServiceError:
-                if route_ctx is not None:
-                    self._finish_attempt(
-                        attempt_ctx, attempt_start, shard, attempt, "rejected"
-                    )
-                    self._finish_route(route_ctx, route_start, op, tried, False)
-                raise  # the shard answered: the request itself is bad
-            except _SHARD_FAILURES as exc:
-                last_error = exc
-                if route_ctx is not None:
-                    self._finish_attempt(
-                        attempt_ctx, attempt_start, shard, attempt,
-                        f"failed: {type(exc).__name__}",
-                    )
-                self.mark_shard_down(shard)
-                continue
-            self.routed[shard] += 1
+                for task in done:
+                    t_shard, t_ctx, t_start = tasks.pop(task)
+                    exc = task.exception()
+                    if exc is None:
+                        # Success closes (or re-arms) the breaker even
+                        # when another copy already won — a half-open
+                        # trial must never leak its slot.
+                        self._breaker(t_shard).record_success()
+                        if value is _MISS:
+                            # The task is done: this await just unwraps it.
+                            value, winner = await task, t_shard
+                            if route_ctx is not None:
+                                self._finish_attempt(
+                                    t_ctx, t_start, t_shard, attempt, "ok"
+                                )
+                        continue
+                    elapsed = _perf() - t_start
+                    cheapest = elapsed if cheapest is None else min(cheapest, elapsed)
+                    if isinstance(exc, ServiceError) and isinstance(exc, RetryableError):
+                        # The shard answered with a shed: healthy but
+                        # loaded.  Retry elsewhere — no eviction, and
+                        # the breaker sees a *success* (the circuit
+                        # tracks connectivity, not load; a half-open
+                        # trial answered promptly is a passing trial).
+                        self._breaker(t_shard).record_success()
+                        self.shed_retries += 1
+                        last_error = exc
+                        if route_ctx is not None:
+                            self._finish_attempt(
+                                t_ctx, t_start, t_shard, attempt, "shed"
+                            )
+                        continue
+                    if isinstance(exc, ServiceError):
+                        # The shard answered: the request itself is bad
+                        # and every replica would reject it the same way.
+                        # Circuit-wise that's a healthy shard.
+                        self._breaker(t_shard).record_success()
+                        await self._abandon(tasks)
+                        if route_ctx is not None:
+                            self._finish_attempt(
+                                t_ctx, t_start, t_shard, attempt, "rejected"
+                            )
+                            self._finish_route(
+                                route_ctx, route_start, op, tried, False
+                            )
+                        raise exc
+                    if isinstance(exc, _SHARD_FAILURES):
+                        last_error = exc
+                        if route_ctx is not None:
+                            self._finish_attempt(
+                                t_ctx, t_start, t_shard, attempt,
+                                f"failed: {type(exc).__name__}",
+                            )
+                        self._breaker(t_shard).record_failure()
+                        self.mark_shard_down(t_shard)
+                        continue
+                    # Unknown failure: not evidence about the shard —
+                    # release any trial slot and surface it unchanged.
+                    self._breaker(t_shard).record_abandon()
+                    await self._abandon(tasks)
+                    raise exc
+            if value is _MISS:
+                continue  # every copy of this attempt failed
+            await self._abandon(tasks)
+            self.routed[winner] += 1
             if attempt > 0:
                 self.failovers += 1
+            if winner != shard:
+                self.hedge_wins += 1
             if route_ctx is not None:
-                self._finish_attempt(attempt_ctx, attempt_start, shard, attempt, "ok")
-                self._finish_route(route_ctx, route_start, op, tried, attempt > 0)
+                self._finish_route(
+                    route_ctx, route_start, op, tried,
+                    attempt > 0 or winner != shard,
+                )
             return value
         self.failed_requests += 1
         _log.error(
@@ -335,6 +567,16 @@ class ShardRouter:
         )
         if route_ctx is not None:
             self._finish_route(route_ctx, route_start, op, tried, False)
+        if isinstance(last_error, ServiceError) and isinstance(last_error, RetryableError):
+            # Every replica we reached shed the request: surface the
+            # typed OVERLOADED answer so callers can back off.
+            raise last_error
+        if blocked:
+            self.breaker_fast_fails += 1
+            raise CircuitOpen(
+                f"every untried replica's circuit is open for {op} request "
+                f"(tried {sorted(tried) or 'none'})"
+            )
         raise ClusterError(
             f"no shard could serve {op} request "
             f"(tried {sorted(tried) or 'none'}): {last_error}"
@@ -369,14 +611,15 @@ class ShardRouter:
         gap_open: float | None = None,
         gap_extend: float | None = None,
         trace: TraceContext | None = None,
+        deadline_ms: float | None = None,
     ) -> float:
         return await self._route(
             "score", a, b, mode, band,
-            lambda c, ctx: c.score(
+            lambda c, ctx, budget: c.score(
                 a, b, mode=mode, band=band, gap_open=gap_open,
-                gap_extend=gap_extend, trace=ctx,
+                gap_extend=gap_extend, trace=ctx, deadline_ms=budget,
             ),
-            gap_open, gap_extend, trace=trace,
+            gap_open, gap_extend, trace=trace, deadline_ms=deadline_ms,
         )
 
     async def align(
@@ -389,16 +632,18 @@ class ShardRouter:
         gap_extend: float | None = None,
         memory: str | None = None,
         trace: TraceContext | None = None,
+        deadline_ms: float | None = None,
     ) -> Alignment:
         # memory is an execution hint, not part of the routing key —
         # the result is byte-identical either way.
         return await self._route(
             "align", a, b, mode, band,
-            lambda c, ctx: c.align(
+            lambda c, ctx, budget: c.align(
                 a, b, mode=mode, band=band, gap_open=gap_open,
                 gap_extend=gap_extend, memory=memory, trace=ctx,
+                deadline_ms=budget,
             ),
-            gap_open, gap_extend, trace=trace,
+            gap_open, gap_extend, trace=trace, deadline_ms=deadline_ms,
         )
 
     async def request_many(
@@ -422,6 +667,7 @@ class ShardRouter:
                 "band": entry.get("band"),
                 "gap_open": entry.get("gap_open"),
                 "gap_extend": entry.get("gap_extend"),
+                "deadline_ms": entry.get("deadline_ms"),
             }
             if entry["op"] == "score":
                 fn = self.score
@@ -443,11 +689,13 @@ class ShardRouter:
         gap_open: float | None = None,
         gap_extend: float | None = None,
         memory: str | None = None,
+        deadline_ms: float | None = None,
     ) -> list:
         entries = [
             {
                 "op": op, "a": a, "b": b, "mode": mode, "band": band,
                 "gap_open": gap_open, "gap_extend": gap_extend, "memory": memory,
+                "deadline_ms": deadline_ms,
             }
             for a, b in pairs
         ]
@@ -461,9 +709,11 @@ class ShardRouter:
         band: int | None = None,
         gap_open: float | None = None,
         gap_extend: float | None = None,
+        deadline_ms: float | None = None,
     ) -> list[float]:
         return await self._many(
-            "score", pairs, concurrency, mode, band, gap_open, gap_extend
+            "score", pairs, concurrency, mode, band, gap_open, gap_extend,
+            deadline_ms=deadline_ms,
         )
 
     async def align_many(
@@ -475,9 +725,11 @@ class ShardRouter:
         gap_open: float | None = None,
         gap_extend: float | None = None,
         memory: str | None = None,
+        deadline_ms: float | None = None,
     ) -> list[Alignment]:
         return await self._many(
-            "align", pairs, concurrency, mode, band, gap_open, gap_extend, memory
+            "align", pairs, concurrency, mode, band, gap_open, gap_extend, memory,
+            deadline_ms=deadline_ms,
         )
 
     # -- stats --------------------------------------------------------
@@ -494,6 +746,17 @@ class ShardRouter:
             "evictions": self.evictions,
             "readmissions": self.readmissions,
             "failed_requests": self.failed_requests,
+            "shed_retries": self.shed_retries,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+            "deadline_gaveups": self.deadline_gaveups,
+            "breaker_fast_fails": self.breaker_fast_fails,
+            "breaker_opens": sum(b.opens for b in self._breakers.values()),
+            "breakers": {
+                shard: self._breakers[shard].state if shard in self._breakers
+                else CLOSED
+                for shard in self.configured_shards
+            },
         }
 
     async def cluster_stats(self) -> dict:
@@ -583,6 +846,38 @@ class ShardRouter:
             "fragalign_router_failed_requests_total",
             "Requests that exhausted every replica.",
         ).inc(self.failed_requests)
+        registry.counter(
+            "fragalign_router_shed_retries_total",
+            "OVERLOADED answers retried on another replica.",
+        ).inc(self.shed_retries)
+        registry.counter(
+            "fragalign_router_hedges_total", "Duplicate (hedged) attempts fired."
+        ).inc(self.hedges)
+        registry.counter(
+            "fragalign_router_hedge_wins_total",
+            "Requests won by the hedged copy.",
+        ).inc(self.hedge_wins)
+        registry.counter(
+            "fragalign_router_deadline_gaveups_total",
+            "Retries abandoned because the deadline budget ran out.",
+        ).inc(self.deadline_gaveups)
+        registry.counter(
+            "fragalign_router_breaker_fast_fails_total",
+            "Requests refused because every untried circuit was open.",
+        ).inc(self.breaker_fast_fails)
+        registry.counter(
+            "fragalign_router_breaker_opens_total",
+            "Circuit-breaker trips across all shards.",
+        ).inc(sum(b.opens for b in self._breakers.values()))
+        breaker_state = registry.gauge(
+            "fragalign_router_breaker_state",
+            "Circuit state per shard (0 closed, 1 half-open, 2 open).",
+            labels=("shard",),
+        )
+        for shard in self.configured_shards:
+            breaker = self._breakers.get(shard)
+            state = breaker.state if breaker is not None else CLOSED
+            breaker_state.set(STATE_CODES[state], shard=shard)
         registry.gauge(
             "fragalign_router_live_shards", "Shards currently on the ring."
         ).set(len(self.ring.nodes))
@@ -730,6 +1025,11 @@ class ClusterClient:
         default_gap_extend: float | None = None,
         health_interval: float | None = None,
         health_fail_after: int = 2,
+        breaker_threshold: int = 3,
+        breaker_recovery: float = 5.0,
+        hedge_delay: float | None = None,
+        hedge_max_fraction: float = 0.1,
+        retry_min_budget: float = 0.0,
     ) -> None:
         self.router = ShardRouter(
             addresses,
@@ -741,6 +1041,11 @@ class ClusterClient:
             default_band=default_band,
             default_gap_open=default_gap_open,
             default_gap_extend=default_gap_extend,
+            breaker_threshold=breaker_threshold,
+            breaker_recovery=breaker_recovery,
+            hedge_delay=hedge_delay,
+            hedge_max_fraction=hedge_max_fraction,
+            retry_min_budget=retry_min_budget,
         )
         self._monitor = None
         self._loop = asyncio.new_event_loop()
@@ -776,44 +1081,48 @@ class ClusterClient:
     # -- operations ---------------------------------------------------
 
     def score(
-        self, a, b, mode=None, band=None, gap_open=None, gap_extend=None, trace=None
+        self, a, b, mode=None, band=None, gap_open=None, gap_extend=None,
+        trace=None, deadline_ms=None,
     ) -> float:
         return self._call(
             self.router.score(
                 a, b, mode=mode, band=band, gap_open=gap_open,
-                gap_extend=gap_extend, trace=trace,
+                gap_extend=gap_extend, trace=trace, deadline_ms=deadline_ms,
             )
         )
 
     def align(
         self, a, b, mode=None, band=None, gap_open=None, gap_extend=None,
-        memory=None, trace=None,
+        memory=None, trace=None, deadline_ms=None,
     ) -> Alignment:
         return self._call(
             self.router.align(
                 a, b, mode=mode, band=band, gap_open=gap_open,
                 gap_extend=gap_extend, memory=memory, trace=trace,
+                deadline_ms=deadline_ms,
             )
         )
 
     def score_many(
-        self, pairs, concurrency=64, mode=None, band=None, gap_open=None, gap_extend=None
+        self, pairs, concurrency=64, mode=None, band=None, gap_open=None,
+        gap_extend=None, deadline_ms=None,
     ) -> list[float]:
         return self._call(
             self.router.score_many(
                 pairs, concurrency=concurrency, mode=mode, band=band,
-                gap_open=gap_open, gap_extend=gap_extend,
+                gap_open=gap_open, gap_extend=gap_extend, deadline_ms=deadline_ms,
             )
         )
 
     def align_many(
         self, pairs, concurrency=64, mode=None, band=None, gap_open=None,
-        gap_extend=None, memory=None,
+        gap_extend=None, memory=None, deadline_ms=None,
     ) -> list[Alignment]:
         return self._call(
             self.router.align_many(
                 pairs, concurrency=concurrency, mode=mode, band=band,
                 gap_open=gap_open, gap_extend=gap_extend, memory=memory,
+                deadline_ms=deadline_ms,
             )
         )
 

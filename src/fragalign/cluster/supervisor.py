@@ -13,18 +13,30 @@ It is intentionally sync/subprocess-based — no event loop — so it can
 run as a plain foreground process (``fragalign cluster serve``) and be
 driven from pytest without nesting loops.  ``kill_shard`` exists for
 exactly one purpose: failover drills.
+
+Auto-healing (``auto_heal=True``): a daemon thread watches for shards
+that died with a **nonzero** exit code (a graceful shutdown is not a
+crash) and respawns them after an exponential backoff with jitter —
+rapid re-deaths double the wait, the jitter keeps N shards killed by
+one event from thundering back together.  A shard that dies
+``crash_loop_threshold`` times inside ``crash_loop_window`` seconds is
+marked permanently ``failed`` and left down: restarting a shard whose
+config or host is broken would just burn CPU forever.  Every action
+lands in ``heal_events`` (tests and the chaos drill assert on it).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import random
 import shutil
 import signal
 import socket
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -43,6 +55,9 @@ class ShardProcess:
     log_path: str
     process: subprocess.Popen = field(repr=False)
     port: int | None = None
+    deaths: list[float] = field(default_factory=list)  # observed crash times
+    restarts: int = 0  # times auto-heal (or restart_shard) respawned this slot
+    failed: bool = False  # crash-looping: permanently left down
 
     @property
     def alive(self) -> bool:
@@ -97,9 +112,31 @@ class ClusterSupervisor:
         python: str = sys.executable,
         log_level: str | None = None,
         log_json: bool = False,
+        max_inflight_cells: int = 0,
+        max_inflight_jobs: int = 0,
+        degrade: str = "none",
+        degrade_watermark: float = 0.75,
+        auto_heal: bool = False,
+        heal_backoff: float = 0.5,
+        heal_backoff_max: float = 10.0,
+        heal_jitter: float = 0.5,
+        heal_boot_timeout: float = 60.0,
+        heal_poll: float = 0.1,
+        crash_loop_threshold: int = 5,
+        crash_loop_window: float = 30.0,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
+        if heal_backoff <= 0 or heal_backoff_max <= 0 or heal_poll <= 0:
+            raise ValueError("heal backoff/poll knobs must be > 0")
+        if heal_jitter < 0:
+            raise ValueError("heal_jitter must be >= 0")
+        if heal_boot_timeout <= 0:
+            raise ValueError("heal_boot_timeout must be > 0")
+        if crash_loop_threshold < 2:
+            raise ValueError("crash_loop_threshold must be >= 2")
+        if crash_loop_window <= 0:
+            raise ValueError("crash_loop_window must be > 0")
         self.n_shards = shards
         self.host = host
         self.backend = backend
@@ -115,6 +152,22 @@ class ClusterSupervisor:
         self.log_level = log_level
         self.log_json = log_json
         self.python = python
+        self.max_inflight_cells = max_inflight_cells
+        self.max_inflight_jobs = max_inflight_jobs
+        self.degrade = degrade
+        self.degrade_watermark = degrade_watermark
+        self.auto_heal = auto_heal
+        self.heal_backoff = heal_backoff
+        self.heal_backoff_max = heal_backoff_max
+        self.heal_jitter = heal_jitter
+        self.heal_boot_timeout = heal_boot_timeout
+        self.heal_poll = heal_poll
+        self.crash_loop_threshold = crash_loop_threshold
+        self.crash_loop_window = crash_loop_window
+        self.heal_events: list[dict] = []  # appended by the heal thread
+        self._heal_thread: threading.Thread | None = None
+        self._heal_stop = threading.Event()
+        self._heal_pending: dict[int, float] = {}  # index -> respawn-at time
         self._own_base_dir = base_dir is None
         self.base_dir = base_dir or tempfile.mkdtemp(prefix="fragalign-cluster-")
         self.procs: list[ShardProcess] = []
@@ -158,6 +211,13 @@ class ClusterSupervisor:
             cmd += ["--gap-open", str(self.gap_open)]
         if self.gap_extend is not None:
             cmd += ["--gap-extend", str(self.gap_extend)]
+        if self.max_inflight_cells:
+            cmd += ["--max-inflight-cells", str(self.max_inflight_cells)]
+        if self.max_inflight_jobs:
+            cmd += ["--max-inflight-jobs", str(self.max_inflight_jobs)]
+        if self.degrade != "none":
+            cmd += ["--degrade", self.degrade,
+                    "--degrade-watermark", str(self.degrade_watermark)]
         if self.log_level is not None:
             cmd += ["--log-level", self.log_level]
         if self.log_json:
@@ -203,6 +263,8 @@ class ClusterSupervisor:
             raise RuntimeError(
                 f"{which} failed to boot: {exc}\n{detail}"
             ) from exc
+        if self.auto_heal:
+            self.start_auto_heal()
         return self
 
     def _log_tail(self, shard: ShardProcess, n: int = 20) -> str:
@@ -222,6 +284,11 @@ class ClusterSupervisor:
     def alive_count(self) -> int:
         return sum(1 for s in self.procs if s.alive)
 
+    @property
+    def healing(self) -> bool:
+        """True while the heal thread has a respawn scheduled."""
+        return bool(self._heal_pending)
+
     def poll(self) -> list[dict]:
         """One status row per shard (the ``cluster serve`` heartbeat)."""
         return [
@@ -231,6 +298,8 @@ class ClusterSupervisor:
                 "pid": s.pid,
                 "alive": s.alive,
                 "returncode": s.process.poll(),
+                "restarts": s.restarts,
+                "failed": s.failed,
             }
             for s in self.procs
         ]
@@ -265,16 +334,119 @@ class ClusterSupervisor:
 
     def restart_shard(self, index: int, timeout: float = 60.0) -> tuple[str, int]:
         """Respawn a dead shard (new process, new ephemeral port);
-        returns its new address."""
+        returns its new address.  The fresh :class:`ShardProcess`
+        inherits the slot's death/restart history so crash-loop
+        detection survives the respawn."""
         old = self.procs[index]
         if old.alive:
             raise RuntimeError(f"shard {index} is still alive")
         fresh = self._spawn_one(index)
+        fresh.deaths = list(old.deaths)
+        fresh.restarts = old.restarts + 1
+        self.procs[index] = fresh
         fresh.port = wait_for_port_file(
             fresh.port_file, timeout=timeout, alive=lambda: fresh.alive
         )
-        self.procs[index] = fresh
         return (self.host, fresh.port)
+
+    # -- auto-healing -------------------------------------------------
+
+    def start_auto_heal(self) -> None:
+        """Start the heal thread (idempotent)."""
+        if self._heal_thread is not None and self._heal_thread.is_alive():
+            return
+        self._heal_stop.clear()
+        self._heal_thread = threading.Thread(
+            target=self._heal_loop, name="fragalign-heal", daemon=True
+        )
+        self._heal_thread.start()
+
+    def stop_auto_heal(self, timeout: float = 10.0) -> None:
+        """Stop the heal thread (idempotent); bounded join."""
+        self._heal_stop.set()
+        if self._heal_thread is not None:
+            self._heal_thread.join(timeout=timeout)
+            self._heal_thread = None
+
+    def _heal_loop(self) -> None:
+        while not self._heal_stop.wait(self.heal_poll):
+            try:
+                self._heal_tick()
+            except Exception as exc:  # pragma: no cover - defensive
+                self.heal_events.append(
+                    {"event": "heal_error", "error": f"{type(exc).__name__}: {exc}"}
+                )
+
+    def _heal_tick(self, now: float | None = None) -> None:
+        """One pass over the fleet: record fresh crashes, respawn the
+        ones whose backoff has elapsed.  Split out from the loop so
+        tests can drive healing deterministically."""
+        now = time.monotonic() if now is None else now
+        for index in range(len(self.procs)):
+            shard = self.procs[index]
+            code = shard.process.poll()
+            if code is None or code == 0 or shard.failed:
+                # Alive, gracefully stopped, or permanently failed —
+                # exit 0 is a shutdown op honored, never a crash.
+                continue
+            due = self._heal_pending.get(index)
+            if due is None:
+                # Newly observed crash: record it, decide crash-loop
+                # vs backed-off respawn.
+                shard.deaths.append(now)
+                recent = [t for t in shard.deaths if now - t <= self.crash_loop_window]
+                shard.deaths = recent
+                if len(recent) >= self.crash_loop_threshold:
+                    shard.failed = True
+                    self.heal_events.append({
+                        "event": "crash_loop", "index": index, "exit_code": code,
+                        "deaths_in_window": len(recent),
+                    })
+                    continue
+                backoff = min(
+                    self.heal_backoff_max,
+                    self.heal_backoff * 2 ** (len(recent) - 1),
+                )
+                backoff *= 1.0 + self.heal_jitter * random.random()
+                self._heal_pending[index] = now + backoff
+                self.heal_events.append({
+                    "event": "crash", "index": index, "exit_code": code,
+                    "respawn_in_s": round(backoff, 3),
+                })
+                continue
+            if now < due:
+                continue
+            del self._heal_pending[index]
+            self._respawn(index)
+
+    def _respawn(self, index: int) -> bool:
+        """Respawn one dead slot; a boot that never publishes its port
+        is killed and counts as the next crash the tick after."""
+        old = self.procs[index]
+        fresh = self._spawn_one(index)
+        fresh.deaths = list(old.deaths)
+        fresh.restarts = old.restarts + 1
+        self.procs[index] = fresh
+        try:
+            fresh.port = wait_for_port_file(
+                fresh.port_file,
+                timeout=self.heal_boot_timeout,
+                alive=lambda: fresh.alive,
+            )
+        except Exception as exc:
+            if fresh.alive:
+                fresh.process.kill()
+                fresh.process.wait(timeout=10)
+            self.heal_events.append({
+                "event": "respawn_failed", "index": index,
+                "error": f"{type(exc).__name__}: {exc}",
+            })
+            return False
+        self.heal_events.append({
+            "event": "respawned", "index": index, "port": fresh.port,
+            "pid": fresh.pid, "restarts": fresh.restarts,
+        })
+        return True
 
     def _request_shutdown(self, shard: ShardProcess, timeout: float = 2.0) -> bool:
         """Best-effort ``shutdown`` op over a raw socket (no event
@@ -294,6 +466,9 @@ class ClusterSupervisor:
         """Stop every shard: shutdown op → SIGTERM → SIGKILL; returns
         each shard's exit code.  Removes the scratch dir if this
         supervisor created it."""
+        # The heal thread must stop first or it would dutifully respawn
+        # every shard we are about to kill.
+        self.stop_auto_heal()
         codes: list[int | None] = []
         asked: set[int] = set()  # shards that acknowledged the shutdown op
         for shard in self.procs:

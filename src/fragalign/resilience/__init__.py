@@ -1,0 +1,25 @@
+"""fragalign.resilience — the robustness layer for the serving stack.
+
+End-to-end deadlines (:mod:`.deadline`), cost-aware admission control
+(:mod:`.admission`), per-shard circuit breakers (:mod:`.breaker`), TCP
+fault injection (:mod:`.faults`), and the scripted chaos drill behind
+``fragalign chaos`` (:mod:`.chaos`).  The serving tiers import the
+pieces; this package only defines them.
+"""
+
+from fragalign.resilience.admission import AdmissionController, estimate_cost
+from fragalign.resilience.breaker import CircuitBreaker
+from fragalign.resilience.deadline import deadline_from_budget_ms, expired, remaining_ms
+from fragalign.resilience.faults import FaultConfig, FaultProxy, FaultProxyThread
+
+__all__ = [
+    "AdmissionController",
+    "estimate_cost",
+    "CircuitBreaker",
+    "deadline_from_budget_ms",
+    "remaining_ms",
+    "expired",
+    "FaultConfig",
+    "FaultProxy",
+    "FaultProxyThread",
+]

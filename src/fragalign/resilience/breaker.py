@@ -1,0 +1,114 @@
+"""Per-shard circuit breaker (closed / open / half-open).
+
+The router already evicts shards on hard connection failures, but a
+*wedged* shard — accepting connections, never answering — only burns a
+full request timeout per routed request until a health probe notices.
+The breaker closes that gap: consecutive failures **or timeouts** trip
+it open, open shards are skipped without touching the network, and
+after ``recovery_time`` a single half-open trial request decides
+between closing it again and re-opening.
+
+The breaker is deliberately unaware of rings, clients, or clocks beyond
+the injected ``clock`` callable — the router owns the mapping from
+breaker state to ring membership (see ``cluster/router.py``).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN", "STATE_CODES"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+# Gauge encoding for the Prometheus exposition.
+STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """One shard's failure-driven admission gate.
+
+    ``closed``: all traffic allowed; ``failure_threshold`` consecutive
+    failures trip it ``open``.  ``open``: all traffic refused until
+    ``recovery_time`` has elapsed, then ``half_open``.  ``half_open``:
+    exactly one trial request is admitted at a time — success closes
+    the breaker, failure re-opens it (and restarts the recovery clock).
+    """
+
+    def __init__(self, failure_threshold: int = 3, recovery_time: float = 1.0,
+                 clock=time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if recovery_time <= 0:
+            raise ValueError("recovery_time must be > 0")
+        self.failure_threshold = int(failure_threshold)
+        self.recovery_time = float(recovery_time)
+        self._clock = clock
+        self._state = CLOSED
+        self._failures = 0  # consecutive
+        self._opened_at: float | None = None
+        self._trial_inflight = False
+        self.opens = 0  # total closed/half_open -> open transitions
+
+    @property
+    def state(self) -> str:
+        """Current state, accounting for recovery-time elapse."""
+        self._poll()
+        return self._state
+
+    @property
+    def failures(self) -> int:
+        return self._failures
+
+    def _poll(self) -> None:
+        if (
+            self._state == OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.recovery_time
+        ):
+            self._state = HALF_OPEN
+            self._trial_inflight = False
+
+    def allow(self) -> bool:
+        """Whether one request may be sent to this shard right now."""
+        self._poll()
+        if self._state == CLOSED:
+            return True
+        if self._state == HALF_OPEN and not self._trial_inflight:
+            self._trial_inflight = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._trial_inflight = False
+        self._state = CLOSED
+        self._opened_at = None
+
+    def record_abandon(self) -> None:
+        """An admitted request was cancelled with no outcome (a lost
+        hedge race, an attempt abandoned mid-flight).  Neither success
+        nor failure — but if it held the half-open trial slot, that
+        slot must be returned or ``allow()`` would refuse this shard
+        forever."""
+        self._trial_inflight = False
+
+    def record_failure(self) -> None:
+        self._poll()
+        self._failures += 1
+        self._trial_inflight = False
+        if self._state == HALF_OPEN or (
+            self._state == CLOSED and self._failures >= self.failure_threshold
+        ):
+            self._state = OPEN
+            self._opened_at = self._clock()
+            self.opens += 1
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "failures": self._failures,
+            "opens": self.opens,
+        }

@@ -1,0 +1,259 @@
+"""Toxiproxy-style TCP fault injection for the serving stack.
+
+A :class:`FaultProxy` sits between a client (usually the cluster
+router) and one shard, forwarding bytes both ways while a runtime-
+mutable :class:`FaultConfig` shapes the stream:
+
+``latency_ms`` (+ ``jitter_ms``)
+    delay each client->shard chunk — a slow network or slow shard.
+``blackhole``
+    swallow every byte in both directions while keeping connections
+    open — the wedged-but-accepting shard the circuit breaker exists
+    for.
+``deny_connect``
+    refuse new connections immediately (connection-level outage).
+``abrupt_close``
+    abort both directions mid-stream on the next client chunk — the
+    RST-style failure that leaves requests half-sent.
+``garble``
+    corrupt shard->client payload bytes (newlines preserved, so frames
+    still terminate but can never parse as valid JSON — a partial/
+    corrupted-frame fault that cannot silently produce a wrong answer).
+``byte_rate``
+    throttle each direction to N bytes/second.
+
+Faults apply per chunk, so flipping a field on a live proxy takes
+effect immediately.  ``set_upstream`` re-points new connections at a
+different backend — needed when the supervisor auto-restarts a shard
+onto a fresh ephemeral port.
+
+:class:`FaultProxyThread` runs a proxy on a private event loop so
+synchronous tests and the ``fragalign chaos`` drill can drive it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import random
+import threading
+from dataclasses import dataclass
+
+__all__ = ["FaultConfig", "FaultProxy", "FaultProxyThread"]
+
+_CHUNK = 1 << 16
+_NEWLINE = 0x0A
+_CONNECT_TIMEOUT = 5.0
+
+
+@dataclass
+class FaultConfig:
+    """Mutable fault switches, consulted once per forwarded chunk."""
+
+    latency_ms: float = 0.0
+    jitter_ms: float = 0.0
+    blackhole: bool = False
+    deny_connect: bool = False
+    abrupt_close: bool = False
+    garble: bool = False
+    byte_rate: float | None = None  # bytes/sec per direction; None = unthrottled
+
+
+def _garble_bytes(chunk: bytes) -> bytes:
+    """Corrupt every byte except newlines (frames terminate, JSON breaks).
+
+    Setting the high bit turns ASCII JSON into invalid UTF-8, so a
+    garbled frame is guaranteed to fail decoding — it can never parse
+    as a structurally valid response with a wrong number in it.
+    """
+    return bytes((b if b == _NEWLINE else b | 0x80) for b in chunk)
+
+
+class FaultProxy:
+    """Async TCP proxy for exactly one upstream (one shard)."""
+
+    def __init__(self, upstream_host: str, upstream_port: int,
+                 host: str = "127.0.0.1") -> None:
+        self.upstream = (upstream_host, int(upstream_port))
+        self.host = host
+        self.port: int | None = None
+        self.faults = FaultConfig()
+        self.connections = 0
+        self.denied = 0
+        self.aborted = 0
+        self.bytes_up = 0
+        self.bytes_down = 0
+        self._server: asyncio.base_events.Server | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    async def start(self) -> int:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, 0, limit=_CHUNK
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._writers):
+            with contextlib.suppress(Exception):
+                writer.transport.abort()
+        self._writers.clear()
+
+    def set_faults(self, **switches) -> None:
+        """Flip fault switches on the live config (unknown names raise)."""
+        for name, value in switches.items():
+            if not hasattr(self.faults, name):
+                raise ValueError(f"unknown fault switch {name!r}")
+            setattr(self.faults, name, value)
+
+    def clear_faults(self) -> None:
+        self.faults = FaultConfig()
+
+    def set_upstream(self, host: str, port: int) -> None:
+        """Re-point *new* connections (existing ones keep the old backend)."""
+        self.upstream = (host, int(port))
+
+    async def _handle(self, client_reader: asyncio.StreamReader,
+                      client_writer: asyncio.StreamWriter) -> None:
+        self.connections += 1
+        if self.faults.deny_connect:
+            self.denied += 1
+            client_writer.transport.abort()
+            return
+        try:
+            up_reader, up_writer = await asyncio.wait_for(
+                asyncio.open_connection(*self.upstream, limit=_CHUNK),
+                timeout=_CONNECT_TIMEOUT,
+            )
+        except (OSError, asyncio.TimeoutError):
+            client_writer.transport.abort()
+            return
+        self._writers.update((client_writer, up_writer))
+
+        def abort_both() -> None:
+            for writer in (client_writer, up_writer):
+                with contextlib.suppress(Exception):
+                    writer.transport.abort()
+
+        pumps = (
+            asyncio.ensure_future(
+                self._pump(client_reader, up_writer, abort_both, to_upstream=True)
+            ),
+            asyncio.ensure_future(
+                self._pump(up_reader, client_writer, abort_both, to_upstream=False)
+            ),
+        )
+        try:
+            await asyncio.wait(pumps)
+        except asyncio.CancelledError:
+            # Loop teardown mid-connection (proxy shutdown): finish
+            # quietly — a cancelled handler task would be logged by
+            # asyncio's connection_made callback.
+            for pump in pumps:
+                pump.cancel()
+        finally:
+            abort_both()
+            self._writers.difference_update((client_writer, up_writer))
+
+    async def _pump(self, reader: asyncio.StreamReader,
+                    writer: asyncio.StreamWriter, abort_both,
+                    to_upstream: bool) -> None:
+        try:
+            while True:
+                chunk = await reader.read(_CHUNK)
+                if not chunk:
+                    break
+                cfg = self.faults
+                if to_upstream:
+                    self.bytes_up += len(chunk)
+                else:
+                    self.bytes_down += len(chunk)
+                if cfg.blackhole:
+                    continue  # swallow; connection stays open and silent
+                if cfg.abrupt_close and to_upstream:
+                    self.aborted += 1
+                    abort_both()
+                    break
+                if to_upstream and (cfg.latency_ms > 0 or cfg.jitter_ms > 0):
+                    delay = cfg.latency_ms + random.random() * cfg.jitter_ms
+                    await asyncio.sleep(delay / 1000.0)
+                if cfg.garble and not to_upstream:
+                    chunk = _garble_bytes(chunk)
+                writer.write(chunk)
+                await writer.drain()
+                if cfg.byte_rate:
+                    await asyncio.sleep(len(chunk) / cfg.byte_rate)
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.write_eof()
+
+
+class FaultProxyThread:
+    """A :class:`FaultProxy` on a private event-loop thread.
+
+    Gives synchronous callers (tests, the chaos drill) a blocking
+    start/stop API; fault switches are plain attribute writes on the
+    shared :class:`FaultConfig`, safe cross-thread because every switch
+    is read afresh per chunk.
+    """
+
+    def __init__(self, upstream_host: str, upstream_port: int,
+                 host: str = "127.0.0.1") -> None:
+        self.proxy = FaultProxy(upstream_host, upstream_port, host=host)
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._boot_error: BaseException | None = None
+
+    @property
+    def port(self) -> int:
+        assert self.proxy.port is not None, "proxy not started"
+        return self.proxy.port
+
+    def start(self, timeout: float = 10.0) -> int:
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()), daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise TimeoutError("fault proxy failed to start in time")
+        if self._boot_error is not None:
+            raise RuntimeError("fault proxy failed to start") from self._boot_error
+        return self.port
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        try:
+            await self.proxy.start()
+        except BaseException as exc:  # surfaced to start()
+            self._boot_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._stop_event.wait()
+        await self.proxy.stop()
+
+    def set_faults(self, **switches) -> None:
+        self.proxy.set_faults(**switches)
+
+    def clear_faults(self) -> None:
+        self.proxy.clear_faults()
+
+    def set_upstream(self, host: str, port: int) -> None:
+        self.proxy.set_upstream(host, port)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None

@@ -36,6 +36,8 @@ Protocol details live in :mod:`fragalign.service.protocol`; the README
 from fragalign.service.batcher import MicroBatcher
 from fragalign.service.client import AlignmentClient, AsyncAlignmentClient
 from fragalign.service.protocol import (
+    DeadlineExceededError,
+    OverloadedError,
     ProtocolError,
     Request,
     ServiceError,
@@ -57,8 +59,10 @@ __all__ = [
     "AlignmentClient",
     "AlignmentService",
     "AsyncAlignmentClient",
+    "DeadlineExceededError",
     "LRUCache",
     "MicroBatcher",
+    "OverloadedError",
     "ProtocolError",
     "Request",
     "ServiceConfig",

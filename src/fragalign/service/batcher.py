@@ -29,6 +29,7 @@ from typing import Any
 from fragalign.engine.facade import AlignmentEngine
 from fragalign.obs.trace import TraceContext, Tracer, leaf_entry
 from fragalign.service.fields import group_key_fields
+from fragalign.util.errors import DeadlineExceeded
 
 __all__ = ["MicroBatcher", "GROUP_FIELDS"]
 
@@ -79,6 +80,13 @@ class MicroBatcher:
         # analyzer-checked submit signature stays exactly the group-key
         # fields: tracing must not look like a batching knob.
         self._trace_interest: dict[Key, list[tuple[TraceContext, float]]] = {}
+        # Deadlines likewise ride a side-channel (note_deadline), keyed
+        # like trace interest: a deadline is not a batching knob.
+        self._deadlines: dict[Key, float] = {}  # key -> absolute monotonic deadline
+        # Degraded-mode widening: the server scales the flush window up
+        # under load so batches amortize better (trading latency for
+        # throughput).  Multiplies max_delay; 1.0 = no widening.
+        self.delay_scale: float = 1.0
         self._pending: dict[Key, asyncio.Future] = {}  # queued and in-flight
         self._queue: list[Key] = []  # queued, not yet dispatched
         self._timer: asyncio.TimerHandle | None = None
@@ -128,10 +136,24 @@ class MicroBatcher:
         fut = self._loop.create_future()
         self._pending[key] = fut
         self._queue.append(key)
-        if len(self._queue) >= self.max_batch or self.max_delay <= 0:
+        # The flush window is the configured delay (widened under
+        # degraded mode) clamped to the tightest registered deadline —
+        # a job must not sit in the queue past its budget.
+        delay = self.max_delay * self.delay_scale
+        deadline = self._deadlines.get(key)
+        if deadline is not None:
+            # Clamp to *half* the remaining budget, not the deadline
+            # itself: a timer that fires on the deadline hands
+            # ``_run_batch`` an already-expired job, so a lone request
+            # tighter than the flush window could never succeed.  Half
+            # leaves the engine the other half to actually compute.
+            delay = min(delay, (deadline - time.monotonic()) / 2.0)
+        if len(self._queue) >= self.max_batch or delay <= 0:
             self.flush()
-        elif self._timer is None:
-            self._timer = self._loop.call_later(self.max_delay, self.flush)
+        elif self._timer is None or self._loop.time() + delay < self._timer.when():
+            if self._timer is not None:
+                self._timer.cancel()
+            self._timer = self._loop.call_later(delay, self.flush)
         return await fut
 
     def trace_job(
@@ -156,6 +178,25 @@ class MicroBatcher:
         key = (op, *(knobs[name] for name in GROUP_FIELDS), a, b)
         self._trace_interest.setdefault(key, []).append((ctx, time.perf_counter()))
 
+    def note_deadline(
+        self,
+        op: str,
+        a: str,
+        b: str,
+        knobs: dict,
+        deadline: float,
+    ) -> None:
+        """Register an absolute monotonic deadline for the job an
+        imminent ``submit`` with the same arguments will queue.  Same
+        side-channel contract as :meth:`trace_job`: a deadline never
+        changes the job's identity or batching; callers pair the call
+        with ``submit``.  If coalesced jobs carry different deadlines,
+        the tightest one governs the shared dispatch.
+        """
+        key = (op, *(knobs[name] for name in GROUP_FIELDS), a, b)
+        current = self._deadlines.get(key)
+        self._deadlines[key] = deadline if current is None else min(current, deadline)
+
     def flush(self) -> None:
         """Dispatch everything queued right now as one batch."""
         if self._timer is not None:
@@ -170,6 +211,27 @@ class MicroBatcher:
     # -- dispatch -----------------------------------------------------
 
     async def _run_batch(self, keys: list[Key]) -> None:
+        # Jobs whose deadline expired while queued are dropped before
+        # the engine sees them: computing an answer nobody is waiting
+        # for only steals worker time from live requests.
+        now_mono = time.monotonic()
+        live: list[Key] = []
+        for key in keys:
+            key_deadline = self._deadlines.pop(key, None)
+            if key_deadline is not None and now_mono >= key_deadline:
+                self._trace_interest.pop(key, None)
+                fut = self._pending.pop(key, None)
+                if self._stats is not None:
+                    self._stats.observe_deadline_exceeded()
+                if fut is not None and not fut.done():
+                    fut.set_exception(
+                        DeadlineExceeded("deadline expired while queued for batch dispatch")
+                    )
+                continue
+            live.append(key)
+        keys = live
+        if not keys:
+            return
         if self._stats is not None:
             self._stats.observe_batch(len(keys))
         # Consume trace interest up front: "batcher.wait" is the

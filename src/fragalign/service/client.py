@@ -22,10 +22,10 @@ from fragalign.align.pairwise import Alignment
 from fragalign.obs.trace import TraceContext
 from fragalign.service.protocol import (
     MAX_LINE,
-    ServiceError,
     alignment_from_dict,
     decode_line,
     encode_line,
+    service_error_from,
 )
 
 __all__ = ["AsyncAlignmentClient", "AlignmentClient"]
@@ -33,6 +33,10 @@ __all__ = ["AsyncAlignmentClient", "AlignmentClient"]
 
 class AsyncAlignmentClient:
     """One pipelined connection to a running alignment service."""
+
+    # Bound on a response-write drain: a server that stops reading for
+    # this long is treated as a connection failure, not waited on.
+    WRITE_TIMEOUT = 30.0
 
     def __init__(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -42,11 +46,18 @@ class AsyncAlignmentClient:
         self._waiting: dict[int, asyncio.Future] = {}
         self._next_id = 0
         self._conn_error: Exception | None = None
+        self.degraded_responses = 0  # answers flagged degraded by the server
         self._reader_task = asyncio.create_task(self._read_responses())
 
     @classmethod
-    async def connect(cls, host: str = "127.0.0.1", port: int = 8765) -> "AsyncAlignmentClient":
-        reader, writer = await asyncio.open_connection(host, port, limit=MAX_LINE)
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = 8765,
+        connect_timeout: float = 10.0,
+    ) -> "AsyncAlignmentClient":
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port, limit=MAX_LINE),
+            timeout=connect_timeout,
+        )
         return cls(reader, writer)
 
     @property
@@ -61,6 +72,7 @@ class AsyncAlignmentClient:
         error: Exception = ConnectionError("connection closed by server")
         try:
             while True:
+                # io-timeout: response arrival is unbounded by design; per-request bounds live in the router
                 line = await self._reader.readline()
                 if not line:
                     break
@@ -95,13 +107,25 @@ class AsyncAlignmentClient:
         payload = {k: v for k, v in fields.items() if v is not None}
         try:
             self._writer.write(encode_line({"id": rid, "op": op, **payload}))
-            await self._writer.drain()
-        except (ConnectionError, OSError):
+            # Bounded: a server that stopped reading must fail this
+            # request, not pin it forever.
+            await asyncio.wait_for(self._writer.drain(), timeout=self.WRITE_TIMEOUT)
+            response = await fut
+        except BaseException:
+            # Any exit — send failure, cancellation of a timed-out or
+            # abandoned attempt — must clear the slot and observe the
+            # future: a connection error set later on an unobserved
+            # future would warn "exception was never retrieved" at GC.
             self._waiting.pop(rid, None)
+            if fut.done() and not fut.cancelled():
+                fut.exception()
+            else:
+                fut.cancel()
             raise
-        response = await fut
         if not response.get("ok"):
-            raise ServiceError(response.get("error", "unknown service error"))
+            raise service_error_from(response)
+        if response.get("degraded"):
+            self.degraded_responses += 1
         return response
 
     # -- operations ---------------------------------------------------
@@ -120,12 +144,14 @@ class AsyncAlignmentClient:
         gap_open: float | None = None,
         gap_extend: float | None = None,
         trace: TraceContext | None = None,
+        deadline_ms: float | None = None,
     ) -> float:
         response = await self._request(
             "score", a=a, b=b, mode=mode, band=band,
             gap_open=gap_open, gap_extend=gap_extend,
             trace_id=trace.trace_id if trace is not None else None,
             span_id=trace.span_id if trace is not None else None,
+            deadline_ms=deadline_ms,
         )
         return float(response["result"])
 
@@ -138,6 +164,7 @@ class AsyncAlignmentClient:
         gap_open: float | None = None,
         gap_extend: float | None = None,
         trace: TraceContext | None = None,
+        deadline_ms: float | None = None,
     ) -> tuple[float, bool]:
         """Score plus whether the server answered from its cache."""
         response = await self._request(
@@ -145,6 +172,7 @@ class AsyncAlignmentClient:
             gap_open=gap_open, gap_extend=gap_extend,
             trace_id=trace.trace_id if trace is not None else None,
             span_id=trace.span_id if trace is not None else None,
+            deadline_ms=deadline_ms,
         )
         return float(response["result"]), bool(response.get("cached"))
 
@@ -158,12 +186,14 @@ class AsyncAlignmentClient:
         gap_extend: float | None = None,
         memory: str | None = None,
         trace: TraceContext | None = None,
+        deadline_ms: float | None = None,
     ) -> Alignment:
         response = await self._request(
             "align", a=a, b=b, mode=mode, band=band,
             gap_open=gap_open, gap_extend=gap_extend, memory=memory,
             trace_id=trace.trace_id if trace is not None else None,
             span_id=trace.span_id if trace is not None else None,
+            deadline_ms=deadline_ms,
         )
         return alignment_from_dict(response["result"])
 
@@ -198,9 +228,18 @@ class AsyncAlignmentClient:
         except (asyncio.CancelledError, Exception):
             pass
         self._writer.close()
+        # The close waiter is retrieved via a done-callback rather than
+        # only by the await below: if this coroutine is cancelled (or
+        # times out) before a broken peer's flush error lands on the
+        # waiter, the un-retrieved exception would warn at GC.
+        waiter = asyncio.ensure_future(self._writer.wait_closed())
+        waiter.add_done_callback(
+            lambda t: None if t.cancelled() else t.exception()
+        )
         try:
-            await self._writer.wait_closed()
-        except (ConnectionError, OSError):
+            # Bounded: closing must never hang on a wedged peer.
+            await asyncio.wait_for(asyncio.shield(waiter), timeout=5.0)
+        except (ConnectionError, OSError, asyncio.TimeoutError):
             pass
 
     async def __aenter__(self) -> "AsyncAlignmentClient":
@@ -267,6 +306,11 @@ class AlignmentClient:
     def _call(self, coro):
         return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
 
+    @property
+    def degraded_responses(self) -> int:
+        """Answers the server flagged degraded (resets on reconnect)."""
+        return self._client.degraded_responses
+
     def _with_retry(self, make_coro):
         """Run ``make_coro()`` on the loop; on connection loss, either
         fail fast (default) or reconnect with capped exponential
@@ -300,23 +344,25 @@ class AlignmentClient:
     # -- operations ---------------------------------------------------
 
     def score(
-        self, a, b, mode=None, band=None, gap_open=None, gap_extend=None, trace=None
+        self, a, b, mode=None, band=None, gap_open=None, gap_extend=None,
+        trace=None, deadline_ms=None,
     ) -> float:
         return self._with_retry(
             lambda: self._client.score(
                 a, b, mode=mode, band=band, gap_open=gap_open,
-                gap_extend=gap_extend, trace=trace,
+                gap_extend=gap_extend, trace=trace, deadline_ms=deadline_ms,
             )
         )
 
     def align(
         self, a, b, mode=None, band=None, gap_open=None, gap_extend=None,
-        memory=None, trace=None,
+        memory=None, trace=None, deadline_ms=None,
     ) -> Alignment:
         return self._with_retry(
             lambda: self._client.align(
                 a, b, mode=mode, band=band, gap_open=gap_open,
                 gap_extend=gap_extend, memory=memory, trace=trace,
+                deadline_ms=deadline_ms,
             )
         )
 
@@ -365,6 +411,7 @@ class AlignmentClient:
         gap_open: float | None = None,
         gap_extend: float | None = None,
         trace_ctxs: Sequence[TraceContext] | None = None,
+        deadline_ms: float | None = None,
     ) -> list[float]:
         """Scores for all pairs, pipelined ``concurrency`` at a time.
 
@@ -374,6 +421,7 @@ class AlignmentClient:
         return self._map(
             "score", pairs, concurrency, trace_ctxs=trace_ctxs, mode=mode,
             band=band, gap_open=gap_open, gap_extend=gap_extend,
+            deadline_ms=deadline_ms,
         )
 
     def align_many(
@@ -386,11 +434,13 @@ class AlignmentClient:
         gap_extend: float | None = None,
         memory: str | None = None,
         trace_ctxs: Sequence[TraceContext] | None = None,
+        deadline_ms: float | None = None,
     ) -> list[Alignment]:
         """Alignments for all pairs, pipelined ``concurrency`` at a time."""
         return self._map(
             "align", pairs, concurrency, trace_ctxs=trace_ctxs, mode=mode,
             band=band, gap_open=gap_open, gap_extend=gap_extend, memory=memory,
+            deadline_ms=deadline_ms,
         )
 
     # -- lifecycle ----------------------------------------------------

@@ -156,6 +156,22 @@ _SPECS = (
         "cli_flag": "--trace",  # one flag turns both wire fields on
         "doc": "caller's span id — becomes the server span's parent",
     },
+    # The end-to-end deadline (fragalign.resilience) is likewise
+    # non-semantic: the remaining budget changes *whether* a request is
+    # answered, never *what* the answer is, so every participation flag
+    # is off — the analyzer proves a deadline can't split a batch or
+    # poison a cache/ring key.
+    {
+        "name": "deadline_ms",
+        "kind": "float",
+        "ops": ("score", "align"),
+        "cache_key": False,  # non-semantic: budget never changes the result
+        "ring_key": False,  # ...nor where it is computed
+        "group_key": False,  # ...and never splits an engine batch
+        "keyset": False,
+        "cli_flag": "--deadline-ms",
+        "doc": "remaining end-to-end budget in ms (non-semantic; see fragalign.resilience)",
+    },
 )
 
 REQUEST_FIELDS: tuple[FieldSpec, ...] = tuple(FieldSpec(**spec) for spec in _SPECS)

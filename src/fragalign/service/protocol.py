@@ -48,6 +48,21 @@ registered in :mod:`fragalign.service.fields` with every
 participation flag off — tracing can never split a batch or enter a
 cache/routing key, and the static analyzer enforces that.
 
+``deadline_ms`` (pair ops) is the request's **remaining end-to-end
+budget** in milliseconds — relative, gRPC-style, so it survives hops
+without synchronized clocks.  The server converts it to an absolute
+monotonic deadline on receipt, rejects already-expired work before it
+joins a batch (error code ``DEADLINE_EXCEEDED``), and the batcher
+clamps its flush window to the tightest deadline in the group.  Like
+the trace fields it is registered with every participation flag off:
+a deadline can never split a batch or enter a cache/routing key.
+
+Error responses may carry a machine-readable ``code``
+(``DEADLINE_EXCEEDED``, ``OVERLOADED``); clients raise the matching
+typed exception (:func:`service_error_from`) so retry policy is an
+``isinstance`` check against the :mod:`fragalign.util.errors`
+taxonomy, never a string match.
+
 Responses::
 
     {"id": 1, "ok": true, "result": 2.0, "cached": false}
@@ -66,13 +81,14 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 from dataclasses import dataclass
 from typing import Any
 
 from fragalign.align.pairwise import Alignment, check_affine_gaps
 from fragalign.engine.backends import MEMORY_MODES, MODES
 from fragalign.service.fields import FIELD_NAMES
-from fragalign.util.errors import FragalignError
+from fragalign.util.errors import DeadlineExceeded, FragalignError, Overloaded
 
 __all__ = [
     "MAX_LINE",
@@ -83,6 +99,9 @@ __all__ = [
     "FIELD_NAMES",
     "ProtocolError",
     "ServiceError",
+    "DeadlineExceededError",
+    "OverloadedError",
+    "service_error_from",
     "Request",
     "parse_request",
     "encode_line",
@@ -104,7 +123,41 @@ class ProtocolError(FragalignError):
 
 
 class ServiceError(FragalignError):
-    """The server answered ``ok: false`` (raised client-side)."""
+    """The server answered ``ok: false`` (raised client-side).
+
+    ``code`` carries the machine-readable error code when the server
+    sent one (``DEADLINE_EXCEEDED``, ``OVERLOADED``) — clients and the
+    router branch on the *exception type*, never on the message text.
+    """
+
+    def __init__(self, message: str, code: str | None = None) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class DeadlineExceededError(ServiceError, DeadlineExceeded):
+    """Server-reported ``DEADLINE_EXCEEDED`` — non-retryable."""
+
+
+class OverloadedError(ServiceError, Overloaded):
+    """Server-reported ``OVERLOADED`` shed — retryable on another replica."""
+
+
+# Wire error code -> client-side exception class.  The typed classes
+# multiply inherit from the fragalign.util.errors taxonomy so retry
+# policy is an isinstance check against RetryableError/NonRetryableError.
+ERROR_CODES: dict[str, type[ServiceError]] = {
+    "DEADLINE_EXCEEDED": DeadlineExceededError,
+    "OVERLOADED": OverloadedError,
+}
+
+
+def service_error_from(response: dict) -> ServiceError:
+    """Typed client-side exception for an ``ok: false`` response."""
+    message = response.get("error", "unknown service error")
+    code = response.get("code")
+    cls = ERROR_CODES.get(code, ServiceError) if isinstance(code, str) else ServiceError
+    return cls(message, code=code if isinstance(code, str) else None)
 
 
 @dataclass(frozen=True)
@@ -127,6 +180,7 @@ class Request:
     memory: str | None = None
     trace_id: str | None = None  # non-semantic: tracing only annotates
     span_id: str | None = None  # caller's span — the server span's parent
+    deadline_ms: float | None = None  # remaining budget (non-semantic)
 
 
 # The wire request must carry exactly the registered knobs (plus the
@@ -193,23 +247,41 @@ def parse_request(obj: dict) -> Request:
                 )
             if op != "align":
                 raise ProtocolError("memory only applies to align requests")
+        deadline_ms = obj.get("deadline_ms")
+        if deadline_ms is not None:
+            if (
+                isinstance(deadline_ms, bool)
+                or not isinstance(deadline_ms, (int, float))
+                or not math.isfinite(deadline_ms)
+                or deadline_ms <= 0
+            ):
+                raise ProtocolError(
+                    f"deadline_ms must be a positive finite number, got {deadline_ms!r}"
+                )
+            deadline_ms = float(deadline_ms)
         return Request(
             id=obj.get("id"), op=op, a=a, b=b, mode=mode, band=band,
             gap_open=gap_open, gap_extend=gap_extend, memory=memory,
-            trace_id=trace_id, span_id=span_id,
+            trace_id=trace_id, span_id=span_id, deadline_ms=deadline_ms,
         )
     return Request(id=obj.get("id"), op=op, trace_id=trace_id, span_id=span_id)
 
 
-def ok_response(request_id: Any, result: Any, cached: bool | None = None) -> dict:
+def ok_response(request_id: Any, result: Any, cached: bool | None = None,
+                degraded: bool | None = None) -> dict:
     obj: dict = {"id": request_id, "ok": True, "result": result}
     if cached is not None:
         obj["cached"] = cached
+    if degraded:
+        obj["degraded"] = True
     return obj
 
 
-def error_response(request_id: Any, message: str) -> dict:
-    return {"id": request_id, "ok": False, "error": message}
+def error_response(request_id: Any, message: str, code: str | None = None) -> dict:
+    obj: dict = {"id": request_id, "ok": False, "error": message}
+    if code is not None:
+        obj["code"] = code
+    return obj
 
 
 def alignment_to_dict(aln: Alignment) -> dict:

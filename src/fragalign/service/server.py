@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import math
 import os
 import sys
 import time
@@ -49,6 +50,9 @@ from fragalign.service.protocol import (
     parse_request,
 )
 from fragalign.service.stats import ServiceStats
+from fragalign.resilience.admission import AdmissionController, estimate_cost
+from fragalign.resilience.deadline import deadline_from_budget_ms, expired
+from fragalign.util.errors import DeadlineExceeded, Overloaded
 from fragalign.util.lru import LRUCache
 
 __all__ = [
@@ -98,7 +102,16 @@ def wait_for_port_file(
     (e.g. ``process.poll() is None``): when it goes false the wait
     aborts immediately instead of burning the whole timeout on a
     server that already died.
+
+    The timeout is a **hard bound**: a non-positive or non-finite value
+    is rejected outright, so no boot path can ever turn this poll into
+    an unbounded wait (the supervisor's auto-heal loop depends on every
+    respawn attempt terminating).
     """
+    if not (isinstance(timeout, (int, float)) and math.isfinite(timeout) and timeout > 0):
+        raise ValueError(f"timeout must be a positive finite number, got {timeout!r}")
+    if not (isinstance(poll, (int, float)) and math.isfinite(poll) and poll > 0):
+        raise ValueError(f"poll must be a positive finite number, got {poll!r}")
     deadline = time.monotonic() + timeout
     while True:
         try:
@@ -143,6 +156,19 @@ class ServiceConfig:
     max_delay: float = 0.002  # seconds to wait for a batch to fill
     cache_size: int = 4096  # LRU result-cache entries (0 disables)
     trace_buffer: int = 4096  # span ring-buffer capacity (see obs.trace)
+    # Admission control (fragalign.resilience): bounded inflight
+    # compute in estimated DP cells plus an optional job-count bound.
+    # 0 disables either bound (the default — admission is opt-in).
+    max_inflight_cells: int = 0
+    max_inflight_jobs: int = 0
+    # Degradation policy past the load watermark: "none", "widen"
+    # (scale the micro-batch flush window up by degrade_widen_factor)
+    # or "score" (answer align requests with a score-only result).
+    degrade: str = "none"
+    degrade_watermark: float = 0.75  # engage degraded mode at this cell load
+    degrade_recover: float = 0.5  # ...and disengage below this (hysteresis)
+    degrade_widen_factor: float = 8.0
+    drain_timeout: float = 30.0  # seconds before a wedged client is dropped
     backend_options: dict = field(default_factory=dict)
 
 
@@ -186,6 +212,16 @@ class AlignmentService:
             max_delay=self.config.max_delay,
             stats=self.stats,
             tracer=self.tracer,
+        )
+        if self.config.degrade not in ("none", "widen", "score"):
+            raise ValueError(
+                f"degrade must be 'none', 'widen' or 'score', got {self.config.degrade!r}"
+            )
+        self.admission = AdmissionController(
+            max_cells=self.config.max_inflight_cells,
+            max_jobs=self.config.max_inflight_jobs,
+            degrade_watermark=self.config.degrade_watermark,
+            recover_watermark=self.config.degrade_recover,
         )
         self._model_fp = model_fingerprint(self.engine.model)
         self._server: asyncio.AbstractServer | None = None
@@ -291,6 +327,7 @@ class AlignmentService:
         gauge("fragalign_uptime_seconds", "Seconds since server start.").set(
             time.monotonic() - self.stats.started
         )
+        self.stats.set_inflight_cells(self.admission.inflight_cells)
         return self.registry.render()
 
     # -- lifecycle ----------------------------------------------------
@@ -319,6 +356,7 @@ class AlignmentService:
     async def wait_closed(self) -> None:
         assert self._stopped is not None, "start() first"
         await self._stopped.wait()
+        # io-timeout: batcher drain awaits local engine compute, not a peer
         await self.batcher.drain()
         # Drop any connection still open (an idle client would block
         # shutdown forever), then wait for every handler to finish —
@@ -329,6 +367,7 @@ class AlignmentService:
         while self._handlers:
             await asyncio.gather(*list(self._handlers), return_exceptions=True)
         if self._server is not None:
+            # io-timeout: completes as soon as close() (already called) lands
             await self._server.wait_closed()
 
     def close(self) -> None:
@@ -352,6 +391,7 @@ class AlignmentService:
             while True:
                 read_start = time.perf_counter()
                 try:
+                    # io-timeout: idle clients legitimately hold connections open; shutdown closes them
                     line = await reader.readline()
                 except (ConnectionError, ValueError):
                     # ValueError: a line over MAX_LINE (readline re-raises
@@ -409,10 +449,21 @@ class AlignmentService:
                     tlog.append(
                         leaf_entry(ctx, "server.read", time.time() - read_s, read_s)
                     )
-            response = await self._dispatch(request, ctx, tlog)
+            # The wire deadline is a *relative* budget; pin it to an
+            # absolute monotonic instant the moment the request is
+            # parsed — every later stage (admission, batcher) spends
+            # from this one deadline.
+            deadline = deadline_from_budget_ms(request.deadline_ms)
+            response = await self._dispatch(request, ctx, tlog, deadline)
         except ProtocolError as exc:
             self.stats.observe_error()
             response = error_response(request_id, str(exc))
+        except DeadlineExceeded as exc:
+            self.stats.observe_error()
+            response = error_response(request_id, str(exc), code="DEADLINE_EXCEEDED")
+        except Overloaded as exc:
+            self.stats.observe_error()
+            response = error_response(request_id, str(exc), code="OVERLOADED")
         except Exception as exc:  # engine/backend failure: report, keep serving
             self.stats.observe_error()
             response = error_response(request_id, f"{type(exc).__name__}: {exc}")
@@ -437,7 +488,11 @@ class AlignmentService:
                 )
                 self.tracer.extend(tlog)
             try:
-                await writer.drain()
+                # Bounded: a client that stops reading must not pin this
+                # handler (and its response buffers) forever.
+                await asyncio.wait_for(writer.drain(), timeout=self.config.drain_timeout)
+            except asyncio.TimeoutError:
+                writer.transport.abort()  # wedged peer: drop the connection
             except (ConnectionError, OSError):
                 pass
         if request is not None and request.op == "shutdown":
@@ -445,7 +500,7 @@ class AlignmentService:
             # release wait_closed() to wind the service down.
             self.stop()
 
-    async def _dispatch(self, request, ctx=None, tlog=None) -> dict:
+    async def _dispatch(self, request, ctx=None, tlog=None, deadline=None) -> dict:
         self.stats.observe_request(request.op)
         if request.op == "ping":
             return ok_response(request.id, "pong")
@@ -458,6 +513,7 @@ class AlignmentService:
                         "backend": self.engine.backend_name,
                         "mode": self.engine.mode,
                     },
+                    admission=self.admission.snapshot(),
                 ),
             )
         if request.op == "metrics":
@@ -477,6 +533,12 @@ class AlignmentService:
             return ok_response(request.id, "bye")  # _serve_line stops after
         # score / align
         mode, band, gap_open, gap_extend, memory = self._resolve_request(request)
+        # Already-expired work is rejected before it can touch the
+        # cache or join a batch: the caller has given up, so any cycles
+        # spent on it are stolen from live requests.
+        if expired(deadline):
+            self.stats.observe_deadline_exceeded()
+            raise DeadlineExceeded("deadline expired before the request was scheduled")
         self.stats.observe_mode(mode)
         key = self.cache_key(
             request.op, request.a, request.b, mode, band, gap_open, gap_extend
@@ -508,21 +570,61 @@ class AlignmentService:
                 )
                 return ok_response(request.id, value, cached=False)
             return ok_response(request.id, await inflight, cached=False)
+        # Cost-aware admission: only genuinely new compute is charged —
+        # cache hits and coalesced twins above ride for free.
+        cost = estimate_cost(request.op, request.a, request.b, mode, band)
+        try:
+            self.admission.try_admit(cost)
+        except Overloaded:
+            self.stats.observe_shed()
+            raise
+        self._apply_degrade()
+        knobs = {
+            "mode": mode, "band": band, "gap_open": gap_open,
+            "gap_extend": gap_extend, "memory": memory,
+        }
+        if (
+            self.admission.degraded
+            and self.config.degrade == "score"
+            and request.op == "align"
+        ):
+            # Degraded mode: answer align with the (exact) score and no
+            # pairs.  The response is flagged, never cached, and never
+            # registered inflight — a degraded answer must not poison
+            # the result cache or satisfy a twin's full-align await.
+            try:
+                score_knobs = dict(knobs, memory=None)
+                if deadline is not None:
+                    self.batcher.note_deadline(
+                        "score", request.a, request.b, score_knobs, deadline
+                    )
+                value = await self.batcher.submit(
+                    "score", request.a, request.b, mode, band,
+                    gap_open=gap_open, gap_extend=gap_extend, memory=None,
+                )
+            finally:
+                self.admission.release(cost)
+                self._apply_degrade()
+            self.stats.observe_degraded_response()
+            result = {
+                "score": float(value), "pairs": [],
+                "a_interval": [0, 0], "b_interval": [0, 0],
+            }
+            return ok_response(request.id, result, cached=False, degraded=True)
         future = asyncio.get_running_loop().create_future()
         self._inflight[key] = future
         try:
             # Trace interest is registered beside submit (same args →
             # same job key) so the batcher can report coalesce-wait and
             # worker-thread compute without tracing touching its
-            # analyzer-checked submit signature.
+            # analyzer-checked submit signature.  The deadline rides the
+            # same side-channel: it clamps the flush window but is not a
+            # batching knob.
             if ctx is not None:
-                self.batcher.trace_job(
-                    request.op, request.a, request.b,
-                    {
-                        "mode": mode, "band": band, "gap_open": gap_open,
-                        "gap_extend": gap_extend, "memory": memory,
-                    },
-                    ctx,
+                self.batcher.trace_job(request.op, request.a, request.b, knobs, ctx)
+            if deadline is not None:
+                self.batcher.note_deadline(
+                    request.op, request.a, request.b, knobs, deadline
                 )
             value = await self.batcher.submit(
                 request.op,
@@ -545,8 +647,21 @@ class AlignmentService:
             future.exception()  # mark retrieved: twins may not exist
             raise
         finally:
+            self.admission.release(cost)
+            self._apply_degrade()
             self._inflight.pop(key, None)
         return ok_response(request.id, result, cached=False)
+
+    def _apply_degrade(self) -> None:
+        """Map the admission controller's degrade state onto the
+        configured policy (batch-window widening) and the gauge."""
+        degraded = self.admission.degraded and self.config.degrade != "none"
+        self.batcher.delay_scale = (
+            self.config.degrade_widen_factor
+            if degraded and self.config.degrade == "widen"
+            else 1.0
+        )
+        self.stats.set_degraded_mode(degraded)
 
 
 def run_server(config: ServiceConfig, port_file: str | None = None) -> int:
@@ -574,6 +689,7 @@ def run_server(config: ServiceConfig, port_file: str | None = None) -> int:
         if port_file:
             write_port_file(port_file, service.port)
         try:
+            # io-timeout: the serve-forever wait — runs until shutdown/Ctrl-C
             await service.wait_closed()
         finally:
             service.close()

@@ -76,6 +76,27 @@ class ServiceStats:
             "fragalign_request_latency_seconds",
             "Request service time, parse to response-ready.",
         )
+        # Resilience counters (fragalign.resilience): the chaos drill
+        # asserts on these names in the merged cluster exposition.
+        self._shed = self.registry.counter(
+            "fragalign_shed_total", "Requests shed at admission (OVERLOADED)."
+        )
+        self._deadline_exceeded = self.registry.counter(
+            "fragalign_deadline_exceeded_total",
+            "Requests rejected or dropped because their deadline expired.",
+        )
+        self._degraded_responses = self.registry.counter(
+            "fragalign_degraded_responses_total",
+            "Align requests answered in degraded (score-only) form.",
+        )
+        self._degraded_mode = self.registry.gauge(
+            "fragalign_degraded_mode",
+            "1 while the server is past its load watermark, else 0.",
+        )
+        self._inflight_cells = self.registry.gauge(
+            "fragalign_inflight_cells",
+            "Estimated DP cells currently admitted to compute.",
+        )
 
     # -- feeders ------------------------------------------------------
 
@@ -107,9 +128,25 @@ class ServiceStats:
     def observe_latency(self, seconds: float) -> None:
         self._latency.observe(seconds)
 
+    def observe_shed(self) -> None:
+        self._shed.inc()
+
+    def observe_deadline_exceeded(self) -> None:
+        self._deadline_exceeded.inc()
+
+    def observe_degraded_response(self) -> None:
+        self._degraded_responses.inc()
+
+    def set_degraded_mode(self, degraded: bool) -> None:
+        self._degraded_mode.set(1 if degraded else 0)
+
+    def set_inflight_cells(self, cells: int) -> None:
+        self._inflight_cells.set(cells)
+
     # -- surface ------------------------------------------------------
 
-    def snapshot(self, cache_stats: dict | None = None, engine: dict | None = None) -> dict:
+    def snapshot(self, cache_stats: dict | None = None, engine: dict | None = None,
+                 admission: dict | None = None) -> dict:
         """The JSON-able stats object served by the ``stats`` op.
 
         Schema-compatible with the pre-obs surface (additive only):
@@ -153,6 +190,16 @@ class ServiceStats:
                 "estimator": "histogram",  # additive: was a 4096-sample deque
             },
         }
+        # Additive block (older clients ignore it): resilience counters
+        # plus the admission controller's view when the server has one.
+        out["resilience"] = {
+            "shed": int(self._shed.value()),
+            "deadline_exceeded": int(self._deadline_exceeded.value()),
+            "degraded_responses": int(self._degraded_responses.value()),
+            "degraded_mode": bool(self._degraded_mode.value()),
+        }
+        if admission is not None:
+            out["resilience"]["admission"] = admission
         if cache_stats is not None:
             out["cache"] = cache_stats
         if engine is not None:

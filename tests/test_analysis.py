@@ -366,6 +366,96 @@ class TestAsyncioHygiene:
 
 
 # ---------------------------------------------------------------------------
+# io-timeout
+# ---------------------------------------------------------------------------
+
+
+class TestIoTimeout:
+    def _run(self, root):
+        return run_check(root, tests=None, rules=["io-timeout"]).new
+
+    def test_unbounded_network_awaits_fire(self, pkg):
+        write(
+            pkg,
+            "service/conn.py",
+            """
+            import asyncio
+
+            async def bad_read(reader):
+                return await reader.readline()
+
+            async def bad_connect(host, port):
+                return await asyncio.open_connection(host, port)
+
+            async def bad_drain(writer):
+                await writer.drain()
+            """,
+        )
+        by_symbol = {f.symbol: f.message for f in self._run(pkg)}
+        assert set(by_symbol) == {"bad_read", "bad_connect", "bad_drain"}
+        assert "...readline()" in by_symbol["bad_read"]
+        assert "asyncio.open_connection()" in by_symbol["bad_connect"]
+        assert "wait_for" in by_symbol["bad_drain"]
+
+    def test_wait_for_wrapper_and_directive_pass(self, pkg):
+        write(
+            pkg,
+            "cluster/conn.py",
+            """
+            import asyncio
+
+            async def bounded(reader):
+                return await asyncio.wait_for(reader.readline(), timeout=2.0)
+
+            async def justified(reader):
+                # io-timeout: the caller's request_timeout bounds this wait
+                return await reader.readline()
+
+            async def inline_justified(writer):
+                await writer.drain()  # io-timeout: drain after abort is instant
+            """,
+        )
+        assert self._run(pkg) == []
+
+    def test_bare_directive_without_justification_fires(self, pkg):
+        write(
+            pkg,
+            "service/conn.py",
+            """
+            async def lazy(reader):
+                # io-timeout:
+                return await reader.readline()
+            """,
+        )
+        findings = self._run(pkg)
+        assert [f.symbol for f in findings] == ["lazy"]
+
+    def test_code_outside_serving_tiers_is_exempt(self, pkg):
+        write(
+            pkg,
+            "engine/io.py",
+            """
+            async def whatever(reader):
+                return await reader.readline()
+            """,
+        )
+        assert self._run(pkg) == []
+
+    def test_client_verbs_are_not_matched(self, pkg):
+        # Higher-level calls own their timeout obligations internally;
+        # the rule checks the raw stream waits they are built from.
+        write(
+            pkg,
+            "cluster/route.py",
+            """
+            async def route(client, a, b):
+                return await client.score(a, b)
+            """,
+        )
+        assert self._run(pkg) == []
+
+
+# ---------------------------------------------------------------------------
 # hot-kernel-numpy
 # ---------------------------------------------------------------------------
 

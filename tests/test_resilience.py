@@ -1,0 +1,632 @@
+"""The resilience layer: deadlines, admission, breakers, faults, healing.
+
+Standing invariants:
+
+* a fault can delay a request or fail it with a *typed* error from the
+  :mod:`fragalign.util.errors` taxonomy — it can never change an
+  answer: everything that completes equals the direct engine result;
+* every request a breaker admits reports an outcome back (success,
+  failure, or abandon), so the half-open trial slot can never leak and
+  wedge a shard out of the fleet forever;
+* deadlines are end-to-end: an expired budget is refused at whichever
+  tier notices first (router give-up, server admission, batch queue),
+  and a queued job never waits past its remaining budget.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from fragalign.cluster import ClusterSupervisor, ShardRouter
+from fragalign.engine import AlignmentEngine
+from fragalign.resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    FaultProxyThread,
+    deadline_from_budget_ms,
+    estimate_cost,
+    expired,
+    remaining_ms,
+)
+from fragalign.service import (
+    AlignmentClient,
+    AlignmentService,
+    AsyncAlignmentClient,
+    MicroBatcher,
+    ServiceConfig,
+    ServiceError,
+)
+from fragalign.service.protocol import DeadlineExceededError, OverloadedError, encode_line
+from fragalign.util.errors import (
+    CircuitOpen,
+    DeadlineExceeded,
+    FragalignError,
+    NonRetryableError,
+    Overloaded,
+    RetryableError,
+)
+
+
+class TestErrorTaxonomy:
+    """The router retries by isinstance, never by message text."""
+
+    def test_retryable_split(self):
+        assert issubclass(Overloaded, RetryableError)
+        assert issubclass(CircuitOpen, RetryableError)
+        assert issubclass(DeadlineExceeded, NonRetryableError)
+        assert not issubclass(DeadlineExceeded, RetryableError)
+        for cls in (Overloaded, CircuitOpen, DeadlineExceeded):
+            assert issubclass(cls, FragalignError)
+
+    def test_wire_errors_are_both_service_and_taxonomy_errors(self):
+        # A server-reported deadline/overload answer must satisfy both
+        # isinstance branches the router takes: "the shard answered"
+        # (ServiceError) and "is that answer retryable" (taxonomy).
+        assert issubclass(DeadlineExceededError, ServiceError)
+        assert issubclass(DeadlineExceededError, DeadlineExceeded)
+        assert issubclass(OverloadedError, ServiceError)
+        assert issubclass(OverloadedError, Overloaded)
+
+
+class TestCircuitBreaker:
+    def _breaker(self, threshold=3, recovery=10.0):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=threshold, recovery_time=recovery,
+            clock=lambda: clock[0],
+        )
+        return breaker, clock
+
+    def test_trips_after_consecutive_failures_only(self):
+        breaker, _ = self._breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()  # resets the consecutive count
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+        assert breaker.opens == 1
+
+    def test_half_open_admits_exactly_one_trial(self):
+        breaker, clock = self._breaker(threshold=1, recovery=5.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock[0] = 5.0
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # the trial slot
+        assert not breaker.allow()  # everyone else fast-fails
+
+    def test_trial_success_closes_and_trial_failure_reopens(self):
+        breaker, clock = self._breaker(threshold=1, recovery=5.0)
+        breaker.record_failure()
+        clock[0] = 5.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.allow()
+
+        breaker.record_failure()
+        clock[0] = 10.0
+        assert breaker.allow()
+        breaker.record_failure()  # failed trial: re-open, restart clock
+        assert breaker.state == "open"
+        clock[0] = 14.0
+        assert not breaker.allow()  # recovery restarted at t=10
+        clock[0] = 15.0
+        assert breaker.allow()
+        assert breaker.opens == 3
+
+    def test_abandon_releases_trial_slot_without_verdict(self):
+        # A cancelled request (lost hedge race, abandoned attempt) is
+        # neither success nor failure — but it must hand the half-open
+        # trial slot back or the shard is refused forever.
+        breaker, clock = self._breaker(threshold=1, recovery=5.0)
+        breaker.record_failure()
+        clock[0] = 5.0
+        assert breaker.allow()
+        assert not breaker.allow()
+        breaker.record_abandon()
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # slot returned, next caller gets the trial
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_snapshot_and_validation(self):
+        breaker, _ = self._breaker()
+        assert breaker.snapshot() == {"state": "closed", "failures": 0, "opens": 0}
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(recovery_time=0.0)
+
+
+class TestDeadlineHelpers:
+    def test_budget_round_trip_is_relative(self):
+        deadline = deadline_from_budget_ms(250.0, now=100.0)
+        assert deadline == pytest.approx(100.25)
+        assert remaining_ms(deadline, now=100.1) == pytest.approx(150.0)
+        assert remaining_ms(deadline, now=101.0) == pytest.approx(-750.0)
+
+    def test_expiry_and_none_passthrough(self):
+        assert not expired(None)
+        assert deadline_from_budget_ms(None) is None
+        assert remaining_ms(None) is None
+        assert expired(5.0, now=5.0)  # boundary counts as expired
+        assert not expired(5.0, now=4.999)
+
+
+class TestAdmissionController:
+    def test_cost_model(self):
+        assert estimate_cost("score", "A" * 10, "A" * 20) == 200
+        assert estimate_cost("align", "A" * 10, "A" * 20) == 400  # traceback pass
+        banded = estimate_cost("score", "A" * 100, "A" * 100, mode="banded", band=2)
+        assert banded == 5 * 100  # (2*band+1) * max(n, m)
+        # A band wider than the table never costs more than the table.
+        assert estimate_cost("score", "AC", "GT", mode="banded", band=50) == 4
+        assert estimate_cost("score", "", "") == 1  # floor
+
+    def test_cell_cap_sheds_but_always_admits_one(self):
+        ctl = AdmissionController(max_cells=100)
+        ctl.try_admit(1000)  # oversized, but nothing inflight: progress guarantee
+        assert ctl.inflight_jobs == 1
+        with pytest.raises(Overloaded):
+            ctl.try_admit(10)
+        assert ctl.shed_total == 1
+        ctl.release(1000)
+        assert ctl.inflight_cells == 0 and ctl.inflight_jobs == 0
+        ctl.try_admit(60)
+        ctl.try_admit(40)  # exactly at capacity is admitted
+        with pytest.raises(Overloaded):
+            ctl.try_admit(1)
+
+    def test_job_cap(self):
+        ctl = AdmissionController(max_jobs=2)
+        ctl.try_admit(1)
+        ctl.try_admit(1)
+        with pytest.raises(Overloaded):
+            ctl.try_admit(1)
+        ctl.release(1)
+        ctl.try_admit(1)
+
+    def test_degraded_mode_hysteresis(self):
+        ctl = AdmissionController(
+            max_cells=100, degrade_watermark=0.75, recover_watermark=0.5
+        )
+        for _ in range(8):
+            ctl.try_admit(10)
+        assert ctl.degraded  # load 0.8, past the watermark
+        ctl.release(10)
+        ctl.release(10)  # load 0.6: above recover, below degrade
+        assert ctl.degraded  # still engaged (hysteresis)
+        ctl.release(10)  # load 0.5: at the recover watermark
+        assert not ctl.degraded
+        ctl.try_admit(10)  # back to 0.6, rising: does not engage
+        assert not ctl.degraded
+
+    def test_disabled_and_snapshot(self):
+        ctl = AdmissionController()
+        assert not ctl.enabled and ctl.load() == 0.0
+        for _ in range(50):
+            ctl.try_admit(10**9)  # unbounded: never sheds
+        snap = ctl.snapshot()
+        assert snap["admitted"] == 50 and snap["shed"] == 0
+        assert not snap["degraded"]
+        with pytest.raises(ValueError):
+            AdmissionController(max_cells=-1)
+        with pytest.raises(ValueError):
+            AdmissionController(degrade_watermark=0.5, recover_watermark=0.8)
+
+
+_KNOBS = {"mode": None, "band": None, "gap_open": None, "gap_extend": None,
+          "memory": None}
+
+
+class TestBatcherDeadlines:
+    def test_note_deadline_keeps_the_tightest(self):
+        batcher = MicroBatcher(AlignmentEngine(), max_batch=4, max_delay=0.002)
+        try:
+            batcher.note_deadline("score", "ACGT", "AGGT", _KNOBS, 50.0)
+            batcher.note_deadline("score", "ACGT", "AGGT", _KNOBS, 20.0)
+            batcher.note_deadline("score", "ACGT", "AGGT", _KNOBS, 30.0)
+            assert list(batcher._deadlines.values()) == [20.0]
+        finally:
+            batcher.close()
+
+    def test_flush_window_clamps_to_registered_deadline(self):
+        async def run():
+            # An absurd flush window: only the deadline clamp can
+            # dispatch this job in time.
+            batcher = MicroBatcher(AlignmentEngine(), max_batch=64, max_delay=60.0)
+            try:
+                batcher.note_deadline(
+                    "score", "ACGTACGT", "AGGTACGT", _KNOBS,
+                    time.monotonic() + 0.2,
+                )
+                return await asyncio.wait_for(
+                    batcher.submit("score", "ACGTACGT", "AGGTACGT"), timeout=5.0
+                )
+            finally:
+                batcher.close()
+
+        score = asyncio.run(run())
+        assert score == AlignmentEngine().score("ACGTACGT", "AGGTACGT")
+
+    def test_job_expired_in_queue_is_dropped_not_computed(self):
+        class NeverEngine:
+            def score_many(self, pairs, **kw):  # pragma: no cover - must not run
+                raise AssertionError("expired job reached the engine")
+
+        async def run():
+            batcher = MicroBatcher(NeverEngine(), max_batch=4, max_delay=0.002)
+            try:
+                batcher.note_deadline(
+                    "score", "ACGT", "AGGT", _KNOBS, time.monotonic() - 1.0
+                )
+                with pytest.raises(DeadlineExceeded):
+                    await batcher.submit("score", "ACGT", "AGGT")
+            finally:
+                batcher.close()
+
+        asyncio.run(run())
+
+
+def _serve_in_thread(config: ServiceConfig):
+    """Start one service on a daemon thread; return its control handle."""
+    holder: dict = {}
+    ready = threading.Event()
+
+    def target():
+        async def main():
+            service = AlignmentService(config)
+            await service.start()
+            holder["service"] = service
+            holder["port"] = service.port
+            holder["loop"] = asyncio.get_running_loop()
+            ready.set()
+            await service.wait_closed()
+            service.close()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    assert ready.wait(10), "service failed to start"
+    holder["thread"] = thread
+    return holder
+
+
+def _stop_shard(holder) -> None:
+    try:
+        holder["loop"].call_soon_threadsafe(holder["service"].stop)
+    except RuntimeError:
+        pass  # loop already closed
+    holder["thread"].join(timeout=10)
+    assert not holder["thread"].is_alive()
+
+
+@pytest.fixture()
+def one_shard():
+    holder = _serve_in_thread(
+        ServiceConfig(port=0, max_batch=16, max_delay=0.002, cache_size=64)
+    )
+    yield holder
+    _stop_shard(holder)
+
+
+class TestServerDeadline:
+    def test_expired_budget_refused_before_any_compute(self, one_shard):
+        async def run():
+            client = await AsyncAlignmentClient.connect(port=one_shard["port"])
+            try:
+                with pytest.raises(DeadlineExceededError) as err:
+                    # A fraction of a microsecond: expired by the time
+                    # the server unpacks it, deterministically.
+                    await client.score("ACGT", "AGGT", deadline_ms=1e-4)
+                # The typed answer is non-retryable: every replica
+                # would refuse the same corpse the same way.
+                assert isinstance(err.value, DeadlineExceeded)
+                assert not isinstance(err.value, RetryableError)
+                return await client.stats()
+            finally:
+                await client.close()
+
+        stats = asyncio.run(run())
+        assert stats["resilience"]["deadline_exceeded"] >= 1
+
+    def test_generous_budget_answers_normally(self, one_shard):
+        async def run():
+            client = await AsyncAlignmentClient.connect(port=one_shard["port"])
+            try:
+                return await client.score("ACGTACGT", "AGGTACGT", deadline_ms=30_000)
+            finally:
+                await client.close()
+
+        assert asyncio.run(run()) == AlignmentEngine().score("ACGTACGT", "AGGTACGT")
+
+
+class TestFaultProxy:
+    """The chaos harness's own instrument, checked against one shard."""
+
+    @pytest.fixture()
+    def proxied(self, one_shard):
+        proxy = FaultProxyThread("127.0.0.1", one_shard["port"])
+        proxy.start()
+        yield proxy
+        proxy.stop()
+
+    def test_latency_fault_delays_but_never_corrupts(self, proxied):
+        async def run():
+            client = await AsyncAlignmentClient.connect(port=proxied.port)
+            try:
+                clean = await client.score("ACGTAC", "AGGTAC")
+                proxied.set_faults(latency_ms=250.0)
+                start = time.monotonic()
+                slow = await client.score("ACGTTC", "AGGTAC")
+                elapsed = time.monotonic() - start
+                return clean, slow, elapsed
+            finally:
+                proxied.clear_faults()
+                await client.close()
+
+        clean, slow, elapsed = asyncio.run(run())
+        with AlignmentEngine() as eng:
+            assert clean == eng.score("ACGTAC", "AGGTAC")
+            assert slow == eng.score("ACGTTC", "AGGTAC")
+        assert elapsed >= 0.2  # the injected delay actually applied
+
+    def test_blackhole_stalls_instead_of_answering(self, proxied):
+        async def run():
+            client = await AsyncAlignmentClient.connect(port=proxied.port)
+            try:
+                proxied.set_faults(blackhole=True)
+                with pytest.raises(asyncio.TimeoutError):
+                    await asyncio.wait_for(client.score("ACGT", "AGGT"), timeout=0.4)
+            finally:
+                proxied.clear_faults()
+                await client.close()
+
+        asyncio.run(run())
+
+    def test_garbled_response_can_never_parse_as_an_answer(self, proxied):
+        proxied.set_faults(garble=True)
+        with socket.create_connection(("127.0.0.1", proxied.port), timeout=5) as sock:
+            sock.settimeout(5)
+            sock.sendall(encode_line({"id": 0, "op": "score", "a": "ACGT", "b": "AGGT"}))
+            raw = sock.makefile("rb").readline()
+        assert raw.endswith(b"\n")  # frames still terminate...
+        with pytest.raises(ValueError):  # ...but can never decode as JSON
+            json.loads(raw)
+
+    def test_deny_connect_refuses_at_the_door(self, proxied):
+        proxied.set_faults(deny_connect=True)
+        with socket.create_connection(("127.0.0.1", proxied.port), timeout=5) as sock:
+            sock.settimeout(5)
+            try:
+                assert sock.recv(1) == b""  # clean EOF...
+            except OSError:
+                pass  # ...or an RST, depending on timing
+        assert proxied.proxy.denied >= 1
+
+    def test_set_upstream_repoints_new_connections(self, one_shard):
+        # Reserve a port that is certainly closed, then point the
+        # proxy at it: the shard "moved" and the proxy must follow.
+        with socket.socket() as placeholder:
+            placeholder.bind(("127.0.0.1", 0))
+            dead_port = placeholder.getsockname()[1]
+        proxy = FaultProxyThread("127.0.0.1", dead_port)
+        proxy.start()
+        try:
+            async def attempt():
+                client = await AsyncAlignmentClient.connect(port=proxy.port)
+                try:
+                    return await asyncio.wait_for(client.score("ACGT", "AGGT"), 5.0)
+                finally:
+                    await client.close()
+
+            with pytest.raises((ConnectionError, OSError, EOFError)):
+                asyncio.run(attempt())
+            proxy.set_upstream("127.0.0.1", one_shard["port"])
+            assert asyncio.run(attempt()) == AlignmentEngine().score("ACGT", "AGGT")
+        finally:
+            proxy.stop()
+
+
+@pytest.fixture()
+def two_shards():
+    holders = [
+        _serve_in_thread(
+            ServiceConfig(port=0, max_batch=16, max_delay=0.002, cache_size=64)
+        )
+        for _ in range(2)
+    ]
+    yield holders
+    for holder in holders:
+        _stop_shard(holder)
+
+
+def _owned_pairs(router: ShardRouter, shard: str, count: int) -> list[tuple[str, str]]:
+    """Distinct pairs whose routing key lands on ``shard``."""
+    owned, k = [], 0
+    while len(owned) < count:
+        pair = ("ACGTACGTACGT", "AGGTACGTACGT" + "T" * k)
+        k += 1
+        if router.shard_for("score", *pair) == shard:
+            owned.append(pair)
+    return owned
+
+
+class TestSlowShardStall:
+    """ISSUE scenario: a shard stalls; the breaker opens, traffic fails
+    over with zero wrong answers, and the half-open trial readmits the
+    shard once it recovers."""
+
+    def test_breaker_opens_failover_stays_correct_then_readmits(self, two_shards):
+        proxy = FaultProxyThread("127.0.0.1", two_shards[0]["port"])
+        proxy.start()
+        try:
+            async def run():
+                router = ShardRouter(
+                    [("127.0.0.1", proxy.port),
+                     ("127.0.0.1", two_shards[1]["port"])],
+                    max_attempts=2, request_timeout=0.4, connect_timeout=2.0,
+                    breaker_threshold=2, breaker_recovery=0.4,
+                )
+                async with router:
+                    stalled_shard = f"127.0.0.1:{proxy.port}"
+                    pairs = _owned_pairs(router, stalled_shard, 4)
+                    baseline = await asyncio.gather(
+                        *(router.score(a, b) for a, b in pairs)
+                    )
+                    # Stall the owner.  The requests are concurrent, so
+                    # the breaker sees enough timeouts to trip before
+                    # eviction hides the shard from later candidates.
+                    proxy.set_faults(blackhole=True)
+                    failed_over = await asyncio.gather(
+                        *(router.score(a, b) for a, b in pairs)
+                    )
+                    snap = router.router_stats()
+                    mid = (
+                        failed_over, snap["breakers"][stalled_shard],
+                        snap["breaker_opens"],
+                        stalled_shard in router.live_shards,
+                    )
+                    # Recovery: clear the fault, let the breaker cool
+                    # to half-open, then nudge the shard serially —
+                    # the first owned request is the trial.
+                    proxy.clear_faults()
+                    await asyncio.sleep(0.6)
+                    for a, b in pairs:
+                        await router.score(a, b)
+                    after = router.router_stats()
+                    healed = await asyncio.gather(
+                        *(router.score(a, b) for a, b in pairs)
+                    )
+                    return (
+                        baseline, mid, after["breakers"][stalled_shard],
+                        stalled_shard in router.live_shards, healed,
+                        after["failed_requests"],
+                    )
+
+            baseline, mid, breaker_after, live_after, healed, failed = asyncio.run(run())
+            failed_over, breaker_mid, opens, live_mid = mid
+            # Zero wrong answers through the stall and after recovery.
+            assert failed_over == baseline and healed == baseline
+            assert breaker_mid in ("open", "half_open")
+            assert opens >= 1
+            assert not live_mid  # evicted while stalled
+            assert breaker_after == "closed"  # trial passed
+            assert live_after  # readmitted into the ring
+            assert failed == 0  # every request found a live replica
+        finally:
+            proxy.stop()
+
+    def test_hedged_score_races_past_a_slow_owner(self, two_shards):
+        proxy = FaultProxyThread("127.0.0.1", two_shards[0]["port"])
+        proxy.start()
+        try:
+            async def run():
+                router = ShardRouter(
+                    [("127.0.0.1", proxy.port),
+                     ("127.0.0.1", two_shards[1]["port"])],
+                    max_attempts=2, request_timeout=5.0, connect_timeout=2.0,
+                    hedge_delay=0.05, hedge_max_fraction=1.0,
+                )
+                async with router:
+                    slow_shard = f"127.0.0.1:{proxy.port}"
+                    (pair,) = _owned_pairs(router, slow_shard, 1)
+                    proxy.set_faults(latency_ms=2_000.0)
+                    start = time.monotonic()
+                    score = await router.score(*pair)
+                    elapsed = time.monotonic() - start
+                    return score, elapsed, router.router_stats(), pair
+
+            score, elapsed, snap, pair = asyncio.run(run())
+            assert score == AlignmentEngine().score(*pair)
+            assert elapsed < 1.5  # the hedge answered, not the 2 s owner
+            assert snap["hedges"] >= 1 and snap["hedge_wins"] >= 1
+        finally:
+            proxy.stop()
+
+    def test_deadline_gives_up_instead_of_hopeless_retry(self, two_shards):
+        proxy = FaultProxyThread("127.0.0.1", two_shards[0]["port"])
+        proxy.start()
+        try:
+            async def run():
+                router = ShardRouter(
+                    [("127.0.0.1", proxy.port),
+                     ("127.0.0.1", two_shards[1]["port"])],
+                    max_attempts=3, connect_timeout=2.0,
+                )
+                async with router:
+                    stalled = f"127.0.0.1:{proxy.port}"
+                    (pair,) = _owned_pairs(router, stalled, 1)
+                    proxy.set_faults(blackhole=True)
+                    # No per-attempt timeout: the deadline alone bounds
+                    # the first attempt, and the retry floor (set by
+                    # that attempt's observed cost) forbids a second.
+                    with pytest.raises(DeadlineExceeded):
+                        await router.score(*pair, deadline_ms=300.0)
+                    return router.router_stats()
+
+            snap = asyncio.run(run())
+            assert snap["deadline_gaveups"] >= 1
+            assert snap["failed_requests"] == 0  # gave up, not exhausted
+        finally:
+            proxy.stop()
+
+
+class TestSupervisorAutoHeal:
+    """Healing driven deterministically through ``_heal_tick(now=...)``."""
+
+    def test_crash_is_respawned_after_backoff(self, tmp_path):
+        with ClusterSupervisor(
+            shards=1, cache_size=32, base_dir=str(tmp_path),
+            heal_backoff=0.2, heal_backoff_max=0.2, heal_jitter=0.0,
+        ) as sup:
+            sup.kill_shard(0)
+            sup.procs[0].process.wait(timeout=10)
+            t0 = time.monotonic()
+            sup._heal_tick(now=t0)
+            assert sup.heal_events[-1]["event"] == "crash"
+            sup._heal_tick(now=t0 + 0.1)  # backoff (0.2 s) not yet elapsed
+            assert sup.alive_count == 0
+            sup._heal_tick(now=t0 + 1.0)  # due: respawns and waits for boot
+            assert sup.heal_events[-1]["event"] == "respawned"
+            assert sup.alive_count == 1
+            assert sup.procs[0].restarts == 1
+            new_port = sup.addresses[0][1]
+            with AlignmentClient(port=new_port) as client:
+                assert client.score("ACGT", "AGGT") == AlignmentEngine().score(
+                    "ACGT", "AGGT"
+                )
+
+    def test_crash_loop_fails_permanently_instead_of_thrashing(self, tmp_path):
+        with ClusterSupervisor(
+            shards=1, cache_size=32, base_dir=str(tmp_path),
+            heal_backoff=0.1, heal_backoff_max=0.1, heal_jitter=0.0,
+            crash_loop_threshold=2, crash_loop_window=1_000.0,
+        ) as sup:
+            t0 = time.monotonic()
+            sup.kill_shard(0)
+            sup.procs[0].process.wait(timeout=10)
+            sup._heal_tick(now=t0)
+            sup._heal_tick(now=t0 + 10.0)
+            assert sup.heal_events[-1]["event"] == "respawned"
+            # Second death inside the window: one short of nothing —
+            # the threshold says this fleet slot is beyond healing.
+            sup.kill_shard(0)
+            sup.procs[0].process.wait(timeout=10)
+            sup._heal_tick(now=t0 + 20.0)
+            assert sup.heal_events[-1]["event"] == "crash_loop"
+            assert sup.procs[0].failed
+            events_before = len(sup.heal_events)
+            sup._heal_tick(now=t0 + 100.0)  # permanently failed: no respawn
+            assert len(sup.heal_events) == events_before
+            assert sup.alive_count == 0
