@@ -256,6 +256,48 @@ def build_parser() -> argparse.ArgumentParser:
         default=4096,
         help="span ring-buffer capacity (oldest spans drop beyond it)",
     )
+    srv.add_argument(
+        "--trace-sample",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="tail-based trace sampling: head-sample boring traces at "
+        "this rate, always retain slow/errored ones (default: keep all)",
+    )
+    srv.add_argument(
+        "--slow-trace-factor",
+        type=float,
+        default=3.0,
+        help="a trace is 'slow' (always retained) beyond this multiple "
+        "of the per-op mean latency",
+    )
+    srv.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="SLO target, e.g. 'score p99 < 50ms @ 99.9%%' or "
+        "'align availability @ 99.9%%' (repeatable; default: built-ins)",
+    )
+    srv.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="flight recorder: append sanitized request records here "
+        "(JSON lines, segment-rotated; replay with 'fragalign replay')",
+    )
+    srv.add_argument(
+        "--journal-sequences",
+        action="store_true",
+        help="journal raw sequences too (default records only "
+        "lengths + content hashes)",
+    )
+    srv.add_argument(
+        "--journal-max-mb",
+        type=float,
+        default=64.0,
+        help="rotate the journal segment beyond this size",
+    )
     _add_admission_flags(srv)
     _add_log_flags(srv)
 
@@ -337,6 +379,28 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4096,
         help="per-shard LRU result-cache entries (0 off)",
+    )
+    cserve.add_argument(
+        "--trace-sample",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="forward tail-based trace sampling to every shard "
+        "(latency exemplars need a sampling shard)",
+    )
+    cserve.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="SLO target forwarded to every shard (repeatable; burn "
+        "gauges then ride the merged exposition)",
+    )
+    cserve.add_argument(
+        "--journal",
+        action="store_true",
+        help="flight-record every shard (shard-N.journal.jsonl in "
+        "--base-dir; replay with 'fragalign replay')",
     )
     cserve.add_argument(
         "--cluster-file",
@@ -501,6 +565,141 @@ def build_parser() -> argparse.ArgumentParser:
         "--expect-samples",
         action="store_true",
         help="exit nonzero unless kernel-profile samples exist (CI smoke)",
+    )
+
+    slo = sub.add_parser(
+        "slo",
+        help="evaluate SLO burn rates against a server or a whole cluster",
+    )
+    slo.add_argument(
+        "--cluster-file",
+        default=None,
+        help="evaluate over the cluster's merged metrics (else --host/--port)",
+    )
+    slo.add_argument("--host", default="127.0.0.1")
+    slo.add_argument("--port", type=int, default=8765)
+    slo.add_argument(
+        "--spec",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="SLO target to evaluate (repeatable; default: the "
+        "server's/built-in set)",
+    )
+    slo.add_argument(
+        "--json", action="store_true", help="print the raw report as JSON"
+    )
+    slo.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="re-evaluate on this interval until interrupted",
+    )
+    slo.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --watch: stop after N evaluations (CI drills; burn "
+        "rates need at least two samples to see a delta)",
+    )
+    slo.add_argument(
+        "--expect-burn",
+        action="store_true",
+        help="exit nonzero unless at least one SLO is burning (CI drills)",
+    )
+    slo.add_argument(
+        "--expect-ok",
+        action="store_true",
+        help="exit nonzero if any SLO alert is firing (CI smoke)",
+    )
+
+    trc = sub.add_parser(
+        "trace",
+        help="fetch one trace's span tree (by id, or via a histogram exemplar)",
+    )
+    trc.add_argument(
+        "--cluster-file",
+        default=None,
+        help="search every shard in this cluster file (else --host/--port)",
+    )
+    trc.add_argument("--host", default="127.0.0.1")
+    trc.add_argument("--port", type=int, default=8765)
+    trc.add_argument(
+        "--trace-id", default=None, help="fetch this trace id directly"
+    )
+    trc.add_argument(
+        "--exemplar",
+        choices=["p50", "p95", "p99"],
+        default=None,
+        help="resolve the trace pinned to the bucket owning this request-"
+        "latency quantile (jump from a latency spike to its trace)",
+    )
+    trc.add_argument(
+        "--metric",
+        default="fragalign_request_latency_seconds",
+        help="histogram to take the exemplar from (with --exemplar)",
+    )
+
+    rep = sub.add_parser(
+        "replay",
+        help="re-drive a recorded journal against a server (or local "
+        "engine) and diff latency/hit-rate against the recorded run",
+    )
+    rep.add_argument("journal", help="journal path written by serve --journal")
+    rep.add_argument("--host", default="127.0.0.1")
+    rep.add_argument("--port", type=int, default=8765)
+    rep.add_argument(
+        "--local",
+        action="store_true",
+        help="replay against an in-process engine instead of a server",
+    )
+    rep.add_argument(
+        "--backend", default="numpy", help="engine backend (with --local)"
+    )
+    rep.add_argument(
+        "--speed",
+        type=float,
+        default=1.0,
+        help="inter-arrival pacing multiplier (0 = no pacing, 2 = 2x faster)",
+    )
+    rep.add_argument(
+        "--limit", type=int, default=None, help="replay only the first N records"
+    )
+    rep.add_argument(
+        "--json", action="store_true", help="print the diff report as JSON"
+    )
+    rep.add_argument(
+        "--expect-hit-rate-within",
+        type=float,
+        default=None,
+        metavar="PTS",
+        help="exit nonzero unless replayed cache hit-rate is within this "
+        "many points of the recorded run (CI)",
+    )
+
+    dash = sub.add_parser(
+        "dash",
+        help="live terminal dashboard: cluster health, SLO burn, top kernels",
+    )
+    dash.add_argument(
+        "--cluster-file",
+        default=None,
+        help="watch every shard in this cluster file (else --host/--port)",
+    )
+    dash.add_argument("--host", default="127.0.0.1")
+    dash.add_argument("--port", type=int, default=8765)
+    dash.add_argument(
+        "--interval", type=float, default=2.0, help="poll interval in seconds"
+    )
+    dash.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (no screen clearing; for CI)",
+    )
+    dash.add_argument(
+        "--no-color", action="store_true", help="plain ASCII, no ANSI colors"
     )
 
     chaos = sub.add_parser(
@@ -747,6 +946,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_delay=args.max_delay_ms / 1e3,
         cache_size=args.cache_size,
         trace_buffer=args.trace_buffer,
+        trace_sample=args.trace_sample,
+        slow_trace_factor=args.slow_trace_factor,
+        slo=tuple(args.slo or ()),
+        journal=args.journal,
+        journal_sequences=args.journal_sequences,
+        journal_max_mb=args.journal_max_mb,
         max_inflight_cells=args.max_inflight_cells,
         max_inflight_jobs=args.max_inflight_jobs,
         degrade=args.degrade,
@@ -814,6 +1019,7 @@ def _scrape_exposition(args: argparse.Namespace) -> str | None:
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from fragalign.obs.metrics import (
+        exemplar_for_quantile,
         histogram_quantile_from_samples,
         parse_exposition,
     )
@@ -823,14 +1029,26 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         return 1
     print(text, end="" if text.endswith("\n") else "\n")
     if args.summary:
-        samples = parse_exposition(text)["samples"]
+        parsed = parse_exposition(text)
+        samples = parsed["samples"]
         try:
             for q, label in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
                 value = histogram_quantile_from_samples(
                     samples, "fragalign_request_latency_seconds", q
                 )
+                ex = exemplar_for_quantile(
+                    parsed, "fragalign_request_latency_seconds", q
+                )
+                suffix = (
+                    f"  (exemplar trace {ex['trace_id']} @ "
+                    f"{ex['value'] * 1e3:.3f} ms — "
+                    f"fragalign trace --trace-id {ex['trace_id']})"
+                    if ex is not None
+                    else ""
+                )
                 print(
-                    f"summary: request latency {label} = {value * 1e3:.3f} ms",
+                    f"summary: request latency {label} = "
+                    f"{value * 1e3:.3f} ms{suffix}",
                     file=sys.stderr,
                 )
         except ValueError:
@@ -849,6 +1067,313 @@ def _cmd_top(args: argparse.Namespace) -> int:
     if args.expect_samples and not rows:
         print("error: expected kernel-profile samples, found none", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    import json as json_mod
+    import time
+
+    from fragalign.obs.slo import SLOEngine, format_slo_report
+
+    # Scrape-side engine for --spec against a single server; persists
+    # across --watch rounds so burn windows accumulate history.  The
+    # cluster client persists for the same reason: its router owns the
+    # cluster-level SLOEngine, and burn rates are deltas between
+    # samples — a fresh client every round would only ever see one
+    # snapshot and report burn 0.0 forever.
+    scrape_engine = (
+        SLOEngine.from_specs(tuple(args.spec))
+        if args.spec and not args.cluster_file
+        else None
+    )
+    cluster = None
+    if args.cluster_file:
+        from fragalign.cluster import ClusterClient
+
+        addresses, _defaults = _cluster_layout(args.cluster_file)
+        if not addresses:
+            print("error: cluster file lists no shards", file=sys.stderr)
+            return 1
+        cluster = ClusterClient(addresses)
+
+    def evaluate() -> dict | None:
+        """One evaluation round → {"slos": [...], ...} or None on error."""
+        if cluster is not None:
+            report = cluster.slo(args.spec)
+            for shard, message in sorted(report.get("errors", {}).items()):
+                print(f"warning: {shard}: {message}", file=sys.stderr)
+            if not report.get("shards_reporting"):
+                print("error: no shard answered the scrape", file=sys.stderr)
+                return None
+            return report
+        if scrape_engine is not None:
+            # A spec override against one server means scrape-side
+            # evaluation (the server's engine only knows its own set).
+            from fragalign.obs.metrics import parse_exposition
+
+            text = _scrape_exposition(args)
+            if text is None:
+                return None
+            scrape_engine.sample(parse_exposition(text))
+            return {"slos": scrape_engine.evaluate()}
+        from fragalign.service import AlignmentClient
+
+        try:
+            with AlignmentClient(args.host, args.port) as client:
+                return client.slo()
+        except OSError as exc:
+            print(f"error: {args.host}:{args.port}: {exc}", file=sys.stderr)
+            return None
+
+    burning: list[dict] = []
+    rounds_done = 0
+    try:
+        while True:
+            report = evaluate()
+            if report is None:
+                return 1
+            slos = report.get("slos", [])
+            if args.json:
+                print(json_mod.dumps(report, indent=2, sort_keys=True))
+            else:
+                print(format_slo_report(slos), end="")
+            # An alert seen in ANY round counts: a CI drill's burn is
+            # transient by design, and the final round may already have
+            # cooled back to ok.
+            burning.extend(s for s in slos if s.get("alert") in ("ticket", "page"))
+            rounds_done += 1
+            if args.watch is None:
+                break
+            if args.rounds is not None and rounds_done >= args.rounds:
+                break
+            time.sleep(args.watch)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if cluster is not None:
+            cluster.close()
+    if args.expect_burn and not burning:
+        print("error: expected an SLO to be burning, none is", file=sys.stderr)
+        return 1
+    if args.expect_ok and burning:
+        names = ", ".join(s["name"] for s in burning)
+        print(f"error: SLO alerts firing: {names}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if (args.trace_id is None) == (args.exemplar is None):
+        print("error: need exactly one of --trace-id / --exemplar",
+              file=sys.stderr)
+        return 2
+
+    trace_id = args.trace_id
+    if trace_id is None:
+        from fragalign.obs.metrics import exemplar_for_quantile, parse_exposition
+
+        text = _scrape_exposition(args)
+        if text is None:
+            return 1
+        q = {"p50": 0.5, "p95": 0.95, "p99": 0.99}[args.exemplar]
+        ex = exemplar_for_quantile(parse_exposition(text), args.metric, q)
+        if ex is None:
+            print(
+                f"error: no exemplar near {args.exemplar} of {args.metric} "
+                "(is the server sampling? has it seen traffic?)",
+                file=sys.stderr,
+            )
+            return 1
+        trace_id = ex["trace_id"]
+        print(
+            f"exemplar: {args.exemplar} bucket le={ex['le']} holds trace "
+            f"{trace_id} ({ex['value'] * 1e3:.3f} ms)",
+            file=sys.stderr,
+        )
+
+    if args.cluster_file:
+        from fragalign.cluster import ClusterClient
+
+        addresses, _defaults = _cluster_layout(args.cluster_file)
+        if not addresses:
+            print("error: cluster file lists no shards", file=sys.stderr)
+            return 1
+        with ClusterClient(addresses) as cluster:
+            reply = cluster.collect_trace(trace_id)
+        for shard, message in sorted(reply.get("errors", {}).items()):
+            print(f"warning: {shard}: {message}", file=sys.stderr)
+    else:
+        from fragalign.service import AlignmentClient
+
+        try:
+            with AlignmentClient(args.host, args.port) as client:
+                reply = client.trace_spans(trace_id)
+        except OSError as exc:
+            print(f"error: {args.host}:{args.port}: {exc}", file=sys.stderr)
+            return 1
+    spans = reply.get("spans", [])
+    if not spans:
+        print(
+            f"trace {trace_id}: no spans retained (sampled out, drained "
+            "earlier, or evicted from the ring)",
+            file=sys.stderr,
+        )
+        return 1
+    _print_span_tree(spans, reply.get("dropped", 0), trace_id)
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from fragalign.obs.journal import (
+        diff_report,
+        format_diff_report,
+        read_journal,
+        replay_journal,
+    )
+
+    records = read_journal(args.journal)
+    if args.limit is not None:
+        records = records[: args.limit]
+    if not records:
+        print(f"error: no journal records in {args.journal}", file=sys.stderr)
+        return 1
+
+    if args.local:
+        from fragalign.engine import AlignmentEngine
+
+        engine = AlignmentEngine(backend=args.backend)
+
+        def send(op: str, a: str, b: str, knobs: dict) -> tuple[bool, bool]:
+            try:
+                if op == "align":
+                    engine.align(a, b, **knobs)
+                else:
+                    engine.score(
+                        a, b,
+                        **{k: v for k, v in knobs.items() if k != "memory"},
+                    )
+                return True, False
+            except Exception:
+                return False, False
+
+        results = replay_journal(records, send, speed=args.speed)
+    else:
+        from fragalign.service import AlignmentClient
+
+        try:
+            with AlignmentClient(args.host, args.port) as client:
+
+                def send(op: str, a: str, b: str, knobs: dict) -> tuple[bool, bool]:
+                    try:
+                        if op == "align":
+                            _res, cached = client.align_detail(a, b, **knobs)
+                        else:
+                            _res, cached = client.score_detail(
+                                a, b,
+                                **{k: v for k, v in knobs.items()
+                                   if k != "memory"},
+                            )
+                        return True, cached
+                    except OSError:
+                        raise
+                    except Exception:
+                        return False, False
+
+                results = replay_journal(records, send, speed=args.speed)
+        except OSError as exc:
+            print(f"error: {args.host}:{args.port}: {exc}", file=sys.stderr)
+            return 1
+
+    report = diff_report(records, results)
+    if args.json:
+        print(json_mod.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_diff_report(report), end="")
+    if args.expect_hit_rate_within is not None:
+        delta = abs(report["replayed"]["hit_rate"] - report["recorded"]["hit_rate"])
+        if delta * 100.0 > args.expect_hit_rate_within:
+            print(
+                f"error: hit-rate drifted {delta * 100.0:.1f} points "
+                f"(> {args.expect_hit_rate_within})",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    import time
+
+    from fragalign.obs.dash import CLEAR, build_state, render_frame
+
+    color = not args.no_color and (sys.stdout.isatty() or args.once)
+
+    def frame() -> str:
+        cluster_stats = None
+        slo_reports = None
+        metrics_text = None
+        label = f"{args.host}:{args.port}"
+        if args.cluster_file:
+            from fragalign.cluster import ClusterClient
+
+            addresses, _defaults = _cluster_layout(args.cluster_file)
+            if not addresses:
+                return "no shards in cluster file\n"
+            label = f"cluster ({len(addresses)} shards)"
+            with ClusterClient(addresses) as cluster:
+                try:
+                    cluster_stats = cluster.stats()
+                except Exception:
+                    cluster_stats = None
+                try:
+                    report = cluster.metrics()
+                    metrics_text = report["merged"] if any(
+                        report["shards"].values()
+                    ) else None
+                except Exception:
+                    metrics_text = None
+                try:
+                    slo_reports = cluster.slo().get("slos")
+                except Exception:
+                    slo_reports = None
+        else:
+            from fragalign.service import AlignmentClient
+
+            try:
+                with AlignmentClient(args.host, args.port) as client:
+                    stats = client.stats()
+                    metrics_text = client.metrics()
+                    slo_reports = client.slo().get("slos")
+                # A single server rendered as a one-shard "cluster".
+                cluster_stats = {
+                    "router": {},
+                    "aggregate": {},
+                    "shards": {label: stats},
+                }
+            except OSError as exc:
+                return f"scrape failed: {exc}\n"
+        state = build_state(
+            cluster_stats=cluster_stats,
+            slo_reports=slo_reports,
+            metrics_text=metrics_text,
+            label=label,
+        )
+        return render_frame(state, color=color)
+
+    if args.once:
+        sys.stdout.write(frame())
+        return 0
+    try:
+        while True:
+            text = frame()
+            sys.stdout.write(CLEAR + text)
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        sys.stdout.write("\n")
     return 0
 
 
@@ -973,6 +1498,9 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_delay_ms=args.max_delay_ms,
         cache_size=args.cache_size,
+        trace_sample=args.trace_sample,
+        slo=args.slo,
+        journal=args.journal,
         base_dir=args.base_dir,
         log_level=args.log_level,
         log_json=args.log_json,
@@ -1357,6 +1885,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         "cluster": _cmd_cluster,
         "metrics": _cmd_metrics,
         "top": _cmd_top,
+        "slo": _cmd_slo,
+        "trace": _cmd_trace,
+        "replay": _cmd_replay,
+        "dash": _cmd_dash,
         "chaos": _cmd_chaos,
         "check": _cmd_check,
         "solve": _cmd_solve,

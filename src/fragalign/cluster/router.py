@@ -61,7 +61,8 @@ from typing import Any, Sequence
 from fragalign.align.pairwise import Alignment
 from fragalign.cluster.ring import HashRing, ring_key
 from fragalign.obs.logs import get_logger
-from fragalign.obs.metrics import MetricsRegistry, merge_expositions
+from fragalign.obs.metrics import MetricsRegistry, merge_expositions, parse_exposition
+from fragalign.obs.slo import SLOEngine
 from fragalign.obs.trace import TraceContext, Tracer
 from fragalign.resilience.breaker import CLOSED, HALF_OPEN, STATE_CODES, CircuitBreaker
 from fragalign.resilience.deadline import deadline_from_budget_ms, remaining_ms
@@ -196,6 +197,11 @@ class ShardRouter:
         # Router-side spans (fan-out, per-attempt, failover) land here;
         # collect_trace() merges them with the shards' buffers.
         self.tracer = Tracer()
+        # Cluster-level SLO engine: fed from the merged shard scrape on
+        # each cluster_slo() call (lazily built so the targets can come
+        # from the first caller).
+        self._slo_engine: SLOEngine | None = None
+        self._slo_specs: tuple | None = None
         # -- router-level counters (the cluster's own stats surface) --
         self.routed: Counter[str] = Counter()  # completed requests per shard
         self.retries = 0  # extra attempts made (failover hops)
@@ -922,6 +928,30 @@ class ShardRouter:
             "errors": errors,
         }
 
+    async def cluster_slo(self, specs: Sequence[str] | None = None) -> dict:
+        """Cluster-level SLO evaluation over the merged shard scrape.
+
+        The router holds its own :class:`~fragalign.obs.slo.SLOEngine`
+        fed from :meth:`cluster_metrics` — per-op histograms and
+        request/error counters sum across shards under merge, so the
+        burn rates here are the *cluster's*, not any one shard's.
+        ``specs`` (spec strings) configure the engine on first use; a
+        different set later rebuilds it (history restarts).
+        """
+        specs_key = tuple(specs) if specs else None
+        if self._slo_engine is None or (
+            specs_key is not None and specs_key != self._slo_specs
+        ):
+            self._slo_engine = SLOEngine.from_specs(specs_key)
+            self._slo_specs = specs_key
+        report = await self.cluster_metrics()
+        self._slo_engine.sample(parse_exposition(report["merged"]))
+        return {
+            "slos": self._slo_engine.evaluate(),
+            "errors": report["errors"],
+            "shards_reporting": sum(1 for t in report["shards"].values() if t),
+        }
+
     async def collect_trace(self, trace_id: str) -> dict:
         """Assemble one request's full span tree: drain the router's
         local spans for ``trace_id`` and fan a ``trace`` op out to every
@@ -1150,6 +1180,10 @@ class ClusterClient:
         """Scrape + merge every shard's Prometheus exposition (see
         :meth:`ShardRouter.cluster_metrics`)."""
         return self._call(self.router.cluster_metrics())
+
+    def slo(self, specs: Sequence[str] | None = None) -> dict:
+        """Cluster-merged SLO evaluation (see :meth:`ShardRouter.cluster_slo`)."""
+        return self._call(self.router.cluster_slo(specs))
 
     def collect_trace(self, trace_id: str) -> dict:
         """Assemble one trace's spans from the router and every shard

@@ -40,6 +40,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Sequence
 
 from fragalign.service.server import wait_for_port_file
 
@@ -108,6 +109,9 @@ class ClusterSupervisor:
         max_batch: int = 64,
         max_delay_ms: float = 2.0,
         cache_size: int = 4096,
+        trace_sample: float | None = None,
+        slo: Sequence[str] | None = None,
+        journal: bool = False,
         base_dir: str | None = None,
         python: str = sys.executable,
         log_level: str | None = None,
@@ -147,6 +151,15 @@ class ClusterSupervisor:
         self.max_batch = max_batch
         self.max_delay_ms = max_delay_ms
         self.cache_size = cache_size
+        # Observability knobs forwarded to every shard: tail-sampled
+        # tracing (exemplars only appear when a shard samples), shard-
+        # side SLO specs (burn gauges in each exposition, so the merged
+        # scrape carries them), and the flight recorder (one journal
+        # per shard slot, in base_dir, stable across auto-heal respawns
+        # because JournalWriter appends).
+        self.trace_sample = trace_sample
+        self.slo = list(slo) if slo else None
+        self.journal = journal
         # Forwarded to every spawned serve process so shard lifecycle
         # logs (in each shard-N.log) share the fleet's format/level.
         self.log_level = log_level
@@ -218,6 +231,15 @@ class ClusterSupervisor:
         if self.degrade != "none":
             cmd += ["--degrade", self.degrade,
                     "--degrade-watermark", str(self.degrade_watermark)]
+        if self.trace_sample is not None:
+            cmd += ["--trace-sample", str(self.trace_sample)]
+        for spec in self.slo or ():
+            cmd += ["--slo", spec]
+        if self.journal:
+            cmd += [
+                "--journal",
+                os.path.join(self.base_dir, f"shard-{index}.journal.jsonl"),
+            ]
         if self.log_level is not None:
             cmd += ["--log-level", self.log_level]
         if self.log_json:

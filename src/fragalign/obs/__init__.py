@@ -19,9 +19,39 @@ Three legs, all wired through every layer:
 :mod:`fragalign.obs.logs` adds structured (optionally JSON) logging
 for lifecycle events that metrics can't narrate: shard eviction,
 failover retries, server start/stop.
+
+The v2 layer turns the telemetry into operations:
+
+* :mod:`fragalign.obs.slo` — declarative SLO targets evaluated as
+  multi-window burn rates (the ``slo`` op, ``fragalign slo``, and the
+  ``fragalign_slo_*`` gauges).
+* :mod:`fragalign.obs.sampling` — tail-based trace sampling: head-
+  sample boring traces, always retain slow and errored ones, and pin
+  retained trace ids to histogram buckets as exemplars.
+* :mod:`fragalign.obs.journal` — the workload flight recorder and
+  ``fragalign replay``.
+* :mod:`fragalign.obs.dash` — the ``fragalign dash`` terminal
+  dashboard's pure state/render halves.
 """
 
+from fragalign.obs.dash import build_state, render_frame
+from fragalign.obs.journal import (
+    JournalWriter,
+    diff_report,
+    format_diff_report,
+    read_journal,
+    replay_journal,
+    synth_sequence,
+)
 from fragalign.obs.kprof import KernelProfiler, format_top, top_rows
+from fragalign.obs.sampling import TailSampler
+from fragalign.obs.slo import (
+    DEFAULT_SLOS,
+    SLOEngine,
+    SLOTarget,
+    format_slo_report,
+    parse_slo,
+)
 from fragalign.obs.logs import JsonFormatter, configure_logging, get_logger
 from fragalign.obs.metrics import (
     Counter,
@@ -29,6 +59,8 @@ from fragalign.obs.metrics import (
     Histogram,
     MetricsRegistry,
     default_latency_buckets,
+    exemplar_for_quantile,
+    histogram_quantile_from_samples,
     merge_expositions,
     parse_exposition,
 )
@@ -43,22 +75,38 @@ from fragalign.obs.trace import (
 
 __all__ = [
     "Counter",
+    "DEFAULT_SLOS",
     "Gauge",
     "Histogram",
+    "JournalWriter",
     "JsonFormatter",
     "KernelProfiler",
     "MetricsRegistry",
+    "SLOEngine",
+    "SLOTarget",
     "Span",
+    "TailSampler",
     "TraceBuffer",
     "TraceContext",
     "Tracer",
+    "build_state",
     "child_context",
     "configure_logging",
     "default_latency_buckets",
+    "diff_report",
+    "exemplar_for_quantile",
+    "format_diff_report",
+    "format_slo_report",
     "format_top",
     "get_logger",
+    "histogram_quantile_from_samples",
     "merge_expositions",
     "new_trace_context",
     "parse_exposition",
+    "parse_slo",
+    "read_journal",
+    "render_frame",
+    "replay_journal",
+    "synth_sequence",
     "top_rows",
 ]

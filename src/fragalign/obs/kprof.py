@@ -12,12 +12,17 @@ or a scraped exposition into the per-family throughput table behind
 ``fragalign top``.
 
 Recording runs on the batcher's worker thread while the event loop
-serves other traffic — the registry's per-instrument locks make that
-safe, and the per-call cost is a few dict updates.
+serves other traffic — and under the ``parallel`` backend several
+worker threads can dispatch kernels at once, so :meth:`record` takes
+one profiler-level lock around its cross-instrument update.  The
+per-instrument locks alone keep each counter uncorrupted, but not the
+*set* coherent: a reader could otherwise see this dispatch's seconds
+without its cells and compute a garbage Mcells/s for the row.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Sequence
 
 from fragalign.obs.metrics import MetricsRegistry, parse_exposition
@@ -32,6 +37,7 @@ class KernelProfiler:
 
     def __init__(self, registry: MetricsRegistry) -> None:
         self.registry = registry
+        self._lock = threading.Lock()
         self._calls = registry.counter(
             "fragalign_kernel_calls_total",
             "Engine kernel dispatches by family/backend/mode.",
@@ -72,11 +78,12 @@ class KernelProfiler:
         engine benchmarks count)."""
         labels = {"family": family, "backend": backend, "mode": mode}
         cells = sum(n * m for n, m in shapes)
-        self._calls.inc(**labels)
-        self._pairs.inc(len(shapes), **labels)
-        self._cells.inc(cells, **labels)
-        self._seconds.inc(seconds, **labels)
-        self._max_batch.set_max(len(shapes), **labels)
+        with self._lock:
+            self._calls.inc(**labels)
+            self._pairs.inc(len(shapes), **labels)
+            self._cells.inc(cells, **labels)
+            self._seconds.inc(seconds, **labels)
+            self._max_batch.set_max(len(shapes), **labels)
 
 
 def _rows_from_samples(samples: dict) -> list[dict]:

@@ -33,6 +33,7 @@ from __future__ import annotations
 import math
 import re
 import threading
+import time
 from typing import Iterable, Sequence
 
 __all__ = [
@@ -44,6 +45,8 @@ __all__ = [
     "render_exposition",
     "parse_exposition",
     "merge_expositions",
+    "histogram_quantile_from_samples",
+    "exemplar_for_quantile",
 ]
 
 
@@ -90,11 +93,27 @@ def _escape(value: str) -> str:
 
 
 def _fmt_float(x: float) -> str:
+    # NaN and the infinities first: int(nan)/int(inf) raise, so the
+    # integer shortcut below must never see them (a NaN gauge — e.g. a
+    # ratio with a zero denominator — must render, not crash the scrape).
+    if math.isnan(x):
+        return "NaN"
     if x == math.inf:
         return "+Inf"
+    if x == -math.inf:
+        return "-Inf"
     if x == int(x) and abs(x) < 1e15:
         return str(int(x))
     return repr(float(x))
+
+
+def _fmt_exemplar(ex: tuple[str, float, float] | None) -> str:
+    """OpenMetrics-style exemplar suffix for a bucket sample line:
+    `` # {trace_id="..."} value timestamp`` (empty when absent)."""
+    if ex is None:
+        return ""
+    trace_id, value, ts = ex
+    return f' # {{trace_id="{_escape(trace_id)}"}} {repr(float(value))} {repr(float(ts))}'
 
 
 class _Instrument:
@@ -218,8 +237,18 @@ class Histogram(_Instrument):
         self._counts = [0] * (len(bounds) + 1)
         self._sum = 0.0
         self._count = 0
+        # Last exemplar per bucket index: (label_value, value, wall_ts).
+        # One slot per bucket keeps memory O(#buckets) under any load.
+        self._exemplars: dict[int, tuple[str, float, float]] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
+        """Record one observation.
+
+        ``exemplar`` (optional) attaches an identifying string — by
+        convention a retained ``trace_id`` — to the bucket this value
+        lands in, rendered OpenMetrics-style on the bucket's exposition
+        line so a scrape can jump from a quantile to the exact trace.
+        """
         # Hand-rolled bisect over the (short, immutable) bounds tuple.
         lo, hi = 0, len(self.bounds)
         while lo < hi:
@@ -232,6 +261,8 @@ class Histogram(_Instrument):
             self._counts[lo] += 1
             self._sum += value
             self._count += 1
+            if exemplar is not None:
+                self._exemplars[lo] = (exemplar, value, time.time())
 
     @property
     def count(self) -> int:
@@ -288,11 +319,18 @@ class Histogram(_Instrument):
         with self._lock:
             counts = list(self._counts)
             total, total_sum = self._count, self._sum
+            exemplars = dict(self._exemplars)
         cum = 0
-        for bound, c in zip(self.bounds, counts):
+        for k, (bound, c) in enumerate(zip(self.bounds, counts)):
             cum += c
-            lines.append(f'{self.name}_bucket{{le="{_fmt_float(bound)}"}} {cum}')
-        lines.append(f'{self.name}_bucket{{le="+Inf"}} {total}')
+            lines.append(
+                f'{self.name}_bucket{{le="{_fmt_float(bound)}"}} {cum}'
+                f"{_fmt_exemplar(exemplars.get(k))}"
+            )
+        lines.append(
+            f'{self.name}_bucket{{le="+Inf"}} {total}'
+            f"{_fmt_exemplar(exemplars.get(len(self.bounds)))}"
+        )
         lines.append(f"{self.name}_sum {repr(float(total_sum))}")
         lines.append(f"{self.name}_count {total}")
         return lines
@@ -365,19 +403,44 @@ def _parse_value(text: str) -> float:
         return math.inf
     if text == "-Inf":
         return -math.inf
+    if text == "NaN":
+        return math.nan
     return float(text)
+
+
+def _parse_exemplar(text: str) -> tuple[str, float, float] | None:
+    """Parse an OpenMetrics exemplar suffix (``{trace_id="..."} value
+    [timestamp]``) back into the render-side tuple; None if malformed."""
+    body, brace, rest = text.partition("}")
+    if not brace or not body.startswith("{"):
+        return None
+    labels = dict(_LABEL_PAIR_RE.findall(body[1:]))
+    trace_id = labels.get("trace_id")
+    parts = rest.split()
+    if trace_id is None or not parts:
+        return None
+    try:
+        value = _parse_value(parts[0])
+        ts = _parse_value(parts[1]) if len(parts) > 1 else 0.0
+    except ValueError:
+        return None
+    return (trace_id, value, ts)
 
 
 def parse_exposition(text: str) -> dict:
     """Parse Prometheus text into ``{"types": {name: type},
-    "help": {name: str}, "samples": {(name, labelkey): value}}``.
+    "help": {name: str}, "samples": {(name, labelkey): value},
+    "exemplars": {(name, labelkey): (trace_id, value, ts)}}``.
 
     Strict enough for round-tripping our own output and validating CI
-    scrapes: unknown lines raise.
+    scrapes: unknown lines raise.  Bucket lines may carry an
+    OpenMetrics-style exemplar suffix (`` # {trace_id="..."} v ts``);
+    it is split off and returned under ``"exemplars"``.
     """
     types: dict[str, str] = {}
     helps: dict[str, str] = {}
     samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    exemplars: dict[tuple[str, tuple[tuple[str, str], ...]], tuple] = {}
     for lineno, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
             continue
@@ -393,6 +456,10 @@ def parse_exposition(text: str) -> dict:
             continue
         if line.startswith("#"):
             continue
+        exemplar = None
+        if " # {" in line:
+            line, _, exemplar_text = line.partition(" # ")
+            exemplar = _parse_exemplar(exemplar_text)
         match = _SAMPLE_RE.match(line)
         if match is None:
             raise ValueError(f"line {lineno}: not a metric sample: {line!r}")
@@ -402,8 +469,11 @@ def parse_exposition(text: str) -> dict:
                 for k, v in _LABEL_PAIR_RE.findall(match.group("labels") or "")
             )
         )
-        samples[(match.group("name"), labels)] = _parse_value(match.group("value"))
-    return {"types": types, "help": helps, "samples": samples}
+        key = (match.group("name"), labels)
+        samples[key] = _parse_value(match.group("value"))
+        if exemplar is not None:
+            exemplars[key] = exemplar
+    return {"types": types, "help": helps, "samples": samples, "exemplars": exemplars}
 
 
 def _base_name(sample_name: str, types: dict[str, str]) -> str | None:
@@ -425,16 +495,36 @@ def merge_expositions(texts: Sequence[str]) -> str:
     shards run the same code, so identical histogram bucket layouts
     are a given (and violations just produce extra bucket samples that
     stay visible rather than silently merging).
+
+    A metric registered with *different types* across shards raises
+    :class:`ValueError` — summing a counter into a gauge (or histogram
+    buckets into either) silently fabricates numbers, and a cluster
+    scrape must fail loudly rather than report them.
+
+    Bucket exemplars survive the merge: per bucket, the newest exemplar
+    (largest timestamp) across the inputs is kept.
     """
     merged: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    exemplars: dict[tuple[str, tuple[tuple[str, str], ...]], tuple] = {}
     types: dict[str, str] = {}
     helps: dict[str, str] = {}
     for text in texts:
         parsed = parse_exposition(text)
-        types.update(parsed["types"])
+        for name, kind in parsed["types"].items():
+            known = types.get(name)
+            if known is not None and known != kind:
+                raise ValueError(
+                    f"metric type conflict for {name!r}: "
+                    f"{known} vs {kind} across merged expositions"
+                )
+            types[name] = kind
         helps.update(parsed["help"])
         for key, value in parsed["samples"].items():
             merged[key] = merged.get(key, 0.0) + value
+        for key, ex in parsed["exemplars"].items():
+            kept = exemplars.get(key)
+            if kept is None or ex[2] >= kept[2]:
+                exemplars[key] = ex
     # Re-render grouped by family, families sorted by name.
     by_family: dict[str, list[tuple[str, tuple[tuple[str, str], ...], float]]] = {}
     for (name, labels), value in merged.items():
@@ -455,7 +545,10 @@ def merge_expositions(texts: Sequence[str]) -> str:
             return (rank, _parse_value(le) if le is not None else 0.0, name, labels)
 
         for name, labels, value in sorted(by_family[family], key=sample_order):
-            lines.append(f"{name}{_fmt_labels(labels)} {_fmt_float(value)}")
+            lines.append(
+                f"{name}{_fmt_labels(labels)} {_fmt_float(value)}"
+                f"{_fmt_exemplar(exemplars.get((name, labels)))}"
+            )
     return "\n".join(lines) + "\n" if lines else ""
 
 
@@ -490,3 +583,40 @@ def histogram_quantile_from_samples(
             return prev_bound + (bound - prev_bound) * frac
         prev_bound, prev_cum = (0.0 if math.isinf(bound) else bound), cum
     return prev_bound
+
+
+def exemplar_for_quantile(parsed: dict, name: str, q: float) -> dict | None:
+    """The exemplar nearest the q-quantile of histogram ``name`` in a
+    parsed (possibly merged) exposition.
+
+    Finds the bucket owning the quantile, then walks outward (upward
+    first — a p99 investigation wants the slower neighbour) until a
+    bucket with an exemplar is found.  Returns ``{"trace_id", "value",
+    "ts", "le"}`` or ``None`` when the histogram carries no exemplars.
+    """
+    samples, exemplars = parsed["samples"], parsed.get("exemplars", {})
+    by_le: dict[float, tuple] = {}
+    bounds: list[float] = []
+    for (sample_name, labels), _value in samples.items():
+        if sample_name != f"{name}_bucket":
+            continue
+        le = dict(labels).get("le")
+        if le is None:
+            continue
+        bound = _parse_value(le)
+        bounds.append(bound)
+        ex = exemplars.get((sample_name, labels))
+        if ex is not None:
+            by_le[bound] = ex
+    if not bounds or not by_le:
+        return None
+    bounds.sort()
+    target = histogram_quantile_from_samples(samples, name, q)
+    owner = next((i for i, b in enumerate(bounds) if target <= b), len(bounds) - 1)
+    order = list(range(owner, len(bounds))) + list(range(owner - 1, -1, -1))
+    for i in order:
+        ex = by_le.get(bounds[i])
+        if ex is not None:
+            trace_id, value, ts = ex
+            return {"trace_id": trace_id, "value": value, "ts": ts, "le": bounds[i]}
+    return None  # pragma: no cover - by_le non-empty makes this unreachable

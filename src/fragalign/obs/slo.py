@@ -1,0 +1,368 @@
+"""SLO engine: declarative targets evaluated as multi-window burn rates.
+
+An SLO is a spec string per op::
+
+    score p99 < 50ms @ 99.9%      # latency: 99.9% of scores under 50ms
+    align availability @ 99.9%    # availability: 99.9% of aligns succeed
+
+Both reduce to the same service-level indicator shape — a cumulative
+(good, total) event pair readable from the Prometheus exposition:
+
+* latency: good = requests that landed at or under the threshold
+  (read from the per-op latency histogram's cumulative bucket counts,
+  with the threshold snapped to the nearest bucket bound above it);
+* availability: good = ``requests_total{op}`` minus
+  ``errors_by_op_total{op}``.
+
+The engine snapshots (good, total) per target on every :meth:`sample`
+call and evaluates **burn rate** over four windows — the error-budget
+spend speed, where burn 1.0 means "spending exactly the budget the
+objective allows".  Alerting follows the multi-window multi-burn-rate
+recipe from the Google SRE workbook: *page* when the fast pair (5m and
+1h) both burn at >= 14.4x, *ticket* when the slow pair (30m and 6h)
+both burn at >= 6x.  The short window in each pair makes the alert
+reset quickly once the burn stops; the long window keeps one bad
+second from paging.
+
+Windows longer than the engine's uptime clamp to the oldest snapshot,
+so a freshly booted server reports burn over min(window, uptime)
+rather than pretending it has 6h of history.
+
+The engine is deliberately source-agnostic: it reads parsed exposition
+dicts (:func:`fragalign.obs.metrics.parse_exposition`), so the same
+class serves a single server (sampling its own registry) and the
+cluster router (sampling the shard-merged scrape).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from collections import deque
+
+from fragalign.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "SLOTarget",
+    "SLOEngine",
+    "parse_slo",
+    "DEFAULT_SLOS",
+    "WINDOWS",
+    "format_slo_report",
+]
+
+# The evaluation windows, paired fast (page) / slow (ticket).
+WINDOWS: dict[str, float] = {"5m": 300.0, "1h": 3600.0, "30m": 1800.0, "6h": 21600.0}
+_PAGE_PAIR = ("5m", "1h")
+_TICKET_PAIR = ("30m", "6h")
+PAGE_BURN = 14.4
+TICKET_BURN = 6.0
+
+# Out-of-the-box targets used when the operator passes none.
+DEFAULT_SLOS = (
+    "score p99 < 50ms @ 99.9%",
+    "align p99 < 250ms @ 99.9%",
+    "score availability @ 99.9%",
+    "align availability @ 99.9%",
+)
+
+_LATENCY_RE = re.compile(
+    r"^(?P<op>\w+)\s+p(?P<q>\d+(?:\.\d+)?)\s*<\s*"
+    r"(?P<num>\d+(?:\.\d+)?)\s*(?P<unit>us|ms|s)"
+    r"(?:\s*@\s*(?P<obj>\d+(?:\.\d+)?)\s*%?)?$"
+)
+_AVAIL_RE = re.compile(
+    r"^(?P<op>\w+)\s+avail(?:ability)?\s*@\s*(?P<obj>\d+(?:\.\d+)?)\s*%?$"
+)
+_UNIT_S = {"us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+class SLOTarget:
+    """One parsed target; identity is its (immutable) ``name``."""
+
+    __slots__ = ("name", "op", "kind", "objective", "threshold_s")
+
+    def __init__(
+        self,
+        op: str,
+        kind: str,
+        objective: float,
+        threshold_s: float | None = None,
+    ) -> None:
+        if kind not in ("latency", "availability"):
+            raise ValueError(f"unknown SLO kind {kind!r}")
+        if not 0.0 < objective < 1.0:
+            raise ValueError("objective must be a fraction in (0, 1)")
+        if kind == "latency" and (threshold_s is None or threshold_s <= 0):
+            raise ValueError("latency SLO needs a positive threshold")
+        self.op = op
+        self.kind = kind
+        self.objective = objective
+        self.threshold_s = threshold_s
+        if kind == "latency":
+            self.name = f"{op}_latency_{_fmt_threshold(threshold_s)}"
+        else:
+            self.name = f"{op}_availability"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SLOTarget(op={self.op!r}, kind={self.kind!r}, "
+            f"objective={self.objective}, threshold_s={self.threshold_s})"
+        )
+
+
+def _fmt_threshold(threshold_s: float) -> str:
+    if threshold_s < 1e-3:
+        return f"{threshold_s * 1e6:g}us"
+    if threshold_s < 1.0:
+        return f"{threshold_s * 1e3:g}ms"
+    return f"{threshold_s:g}s"
+
+
+def parse_slo(spec: str) -> SLOTarget:
+    """Parse one spec string into an :class:`SLOTarget`.
+
+    Latency form: ``<op> p<q> < <n><unit> [@ <obj>%]`` — the ``p<q>``
+    names the quantile the threshold is aimed at and doubles as the
+    default objective (``p99`` -> 99%) when no explicit ``@`` is given.
+    Availability form: ``<op> availability @ <obj>%``.
+    """
+    text = spec.strip()
+    m = _LATENCY_RE.match(text)
+    if m:
+        obj = float(m.group("obj")) if m.group("obj") else float(m.group("q"))
+        return SLOTarget(
+            op=m.group("op"),
+            kind="latency",
+            objective=obj / 100.0,
+            threshold_s=float(m.group("num")) * _UNIT_S[m.group("unit")],
+        )
+    m = _AVAIL_RE.match(text)
+    if m:
+        return SLOTarget(
+            op=m.group("op"),
+            kind="availability",
+            objective=float(m.group("obj")) / 100.0,
+        )
+    raise ValueError(
+        f"unparseable SLO spec {spec!r} "
+        "(expected e.g. 'score p99 < 50ms @ 99.9%' or 'align availability @ 99.9%')"
+    )
+
+
+def _sample_value(samples: dict, name: str, **labels) -> float | None:
+    key = (name, tuple(sorted(labels.items())))
+    return samples.get(key)
+
+
+def _histogram_good_total(
+    samples: dict, name: str, threshold_s: float
+) -> tuple[float, float, float] | None:
+    """(good, total, snapped threshold) from cumulative bucket counts,
+    or ``None`` when the histogram is absent from the exposition."""
+    buckets: list[tuple[float, float]] = []
+    total = None
+    for (sample_name, labels), value in samples.items():
+        if sample_name != f"{name}_bucket":
+            continue
+        le = dict(labels).get("le")
+        if le is None:
+            continue
+        bound = float("inf") if le == "+Inf" else float(le)
+        if bound == float("inf"):
+            total = value
+        else:
+            buckets.append((bound, value))
+    if total is None:
+        return None
+    buckets.sort()
+    # Snap up to the first bound at or above the threshold: the SLI
+    # becomes "under <snapped>s", the tightest bound the fixed bucket
+    # layout can actually measure without undercounting good events.
+    for bound, value in buckets:
+        if bound >= threshold_s:
+            return (value, total, bound)
+    return (total, total, float("inf"))
+
+
+class SLOEngine:
+    """Snapshot (good, total) per target; evaluate burn over windows.
+
+    Thread-safe: the server samples from the request path while the
+    metrics renderer exports gauges from another task.
+    """
+
+    # 6h window at one sample per second would need 21600 snapshots;
+    # in practice sampling happens per `slo` op / metrics render, far
+    # sparser.  The deque bound is a memory backstop, and `_prune`
+    # keeps only what the longest window can use.
+    MAX_SNAPSHOTS = 8192
+
+    def __init__(self, targets: tuple[SLOTarget, ...] | list[SLOTarget]) -> None:
+        if not targets:
+            raise ValueError("SLOEngine needs at least one target")
+        names = [t.name for t in targets]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO target names: {names}")
+        self.targets = tuple(targets)
+        self._lock = threading.Lock()
+        # target name -> deque of (ts, good, total)
+        self._history: dict[str, deque] = {
+            t.name: deque(maxlen=self.MAX_SNAPSHOTS) for t in self.targets
+        }
+
+    @staticmethod
+    def from_specs(specs) -> "SLOEngine":
+        return SLOEngine([parse_slo(s) for s in (specs or DEFAULT_SLOS)])
+
+    # -- sampling -----------------------------------------------------
+
+    def sample(self, parsed: dict, now: float | None = None) -> None:
+        """Record one (good, total) snapshot per target from a parsed
+        exposition (``parse_exposition`` / merged dict with a
+        ``"samples"`` key)."""
+        samples = parsed["samples"]
+        ts = time.time() if now is None else now
+        with self._lock:
+            for target in self.targets:
+                gt = self._read_good_total(samples, target)
+                if gt is None:
+                    continue
+                history = self._history[target.name]
+                history.append((ts, gt[0], gt[1]))
+                self._prune(history, ts)
+
+    @staticmethod
+    def _read_good_total(samples: dict, target: SLOTarget):
+        if target.kind == "latency":
+            got = _histogram_good_total(
+                samples,
+                f"fragalign_{target.op}_latency_seconds",
+                target.threshold_s,
+            )
+            return None if got is None else (got[0], got[1])
+        total = _sample_value(samples, "fragalign_requests_total", op=target.op)
+        if total is None:
+            return None
+        bad = (
+            _sample_value(samples, "fragalign_errors_by_op_total", op=target.op)
+            or 0.0
+        )
+        return (total - bad, total)
+
+    @staticmethod
+    def _prune(history: deque, now: float) -> None:
+        horizon = now - max(WINDOWS.values()) - 60.0
+        # Keep one snapshot older than the horizon as the 6h anchor.
+        while len(history) > 1 and history[1][0] < horizon:
+            history.popleft()
+
+    # -- evaluation ---------------------------------------------------
+
+    def evaluate(self, now: float | None = None) -> list[dict]:
+        """Burn rates, compliance, and alert state for every target."""
+        ts = time.time() if now is None else now
+        out = []
+        with self._lock:
+            for target in self.targets:
+                out.append(self._evaluate_one(target, ts))
+        return out
+
+    def _evaluate_one(self, target: SLOTarget, now: float) -> dict:
+        history = self._history[target.name]
+        report = {
+            "name": target.name,
+            "op": target.op,
+            "kind": target.kind,
+            "objective": target.objective,
+            "threshold_s": target.threshold_s,
+            "windows": {},
+            "compliance": None,
+            "alert": "ok",
+            "good": None,
+            "total": None,
+        }
+        if not history:
+            report["alert"] = "no-data"
+            return report
+        ts_now, good_now, total_now = history[-1]
+        report["good"] = good_now
+        report["total"] = total_now
+        if total_now > 0:
+            report["compliance"] = good_now / total_now
+        budget = 1.0 - target.objective
+        for label, window in WINDOWS.items():
+            anchor = self._anchor(history, ts_now - window)
+            d_total = total_now - anchor[2]
+            d_bad = d_total - (good_now - anchor[1])
+            if d_total <= 0:
+                report["windows"][label] = 0.0
+            else:
+                report["windows"][label] = (d_bad / d_total) / budget
+        burns = report["windows"]
+        if all(burns[w] >= PAGE_BURN for w in _PAGE_PAIR):
+            report["alert"] = "page"
+        elif all(burns[w] >= TICKET_BURN for w in _TICKET_PAIR):
+            report["alert"] = "ticket"
+        return report
+
+    @staticmethod
+    def _anchor(history: deque, target_ts: float):
+        """Newest snapshot at or before ``target_ts`` — or the oldest
+        one (window clamps to uptime on a young engine)."""
+        anchor = history[0]
+        for snap in history:
+            if snap[0] <= target_ts:
+                anchor = snap
+            else:
+                break
+        return anchor
+
+    # -- export -------------------------------------------------------
+
+    _ALERT_LEVEL = {"ok": 0.0, "ticket": 1.0, "page": 2.0, "no-data": -1.0}
+
+    def export_gauges(self, registry: MetricsRegistry, now: float | None = None) -> None:
+        """Publish the current evaluation as ``fragalign_slo_*`` gauges."""
+        burn = registry.gauge(
+            "fragalign_slo_burn_rate",
+            "Error-budget burn rate per SLO and window (1.0 = on budget).",
+            labels=("slo", "window"),
+        )
+        compliance = registry.gauge(
+            "fragalign_slo_compliance",
+            "Cumulative fraction of good events per SLO.",
+            labels=("slo",),
+        )
+        alert = registry.gauge(
+            "fragalign_slo_alert",
+            "Alert state per SLO: 0 ok, 1 ticket, 2 page, -1 no data.",
+            labels=("slo",),
+        )
+        for report in self.evaluate(now):
+            for window, value in report["windows"].items():
+                burn.set(value, slo=report["name"], window=window)
+            if report["compliance"] is not None:
+                compliance.set(report["compliance"], slo=report["name"])
+            alert.set(self._ALERT_LEVEL[report["alert"]], slo=report["name"])
+
+
+def format_slo_report(reports: list[dict]) -> str:
+    """The `fragalign slo` table: one row per target."""
+    header = (
+        f"{'SLO':<28} {'objective':>9} {'compliance':>10} "
+        f"{'5m':>8} {'1h':>8} {'30m':>8} {'6h':>8}  alert"
+    )
+    lines = [header, "-" * len(header)]
+    for r in reports:
+        comp = "-" if r["compliance"] is None else f"{100 * r['compliance']:.3f}%"
+        burns = [
+            f"{r['windows'][w]:.2f}" if w in r["windows"] else "-"
+            for w in ("5m", "1h", "30m", "6h")
+        ]
+        lines.append(
+            f"{r['name']:<28} {100 * r['objective']:>8.2f}% {comp:>10} "
+            f"{burns[0]:>8} {burns[1]:>8} {burns[2]:>8} {burns[3]:>8}  {r['alert']}"
+        )
+    return "\n".join(lines) + "\n"

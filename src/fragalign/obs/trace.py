@@ -222,6 +222,7 @@ class TraceBuffer:
         self._spans: deque = deque(maxlen=maxlen)
         self._appended = 0
         self._drained = 0
+        self._discarded = 0
         self.maxlen = maxlen
 
     def append(self, entry) -> None:
@@ -238,10 +239,40 @@ class TraceBuffer:
 
     @property
     def dropped(self) -> int:
-        """Spans the ring has discarded: everything appended that was
-        neither drained out nor is still buffered."""
+        """Spans the ring has silently lost to overflow: everything
+        appended that was neither drained out, deliberately discarded,
+        nor is still buffered."""
         with self._lock:
-            return max(0, self._appended - self._drained - len(self._spans))
+            return max(
+                0,
+                self._appended - self._drained - self._discarded - len(self._spans),
+            )
+
+    def discard(self, trace_id: str) -> int:
+        """Drop one trace's buffered spans without draining them.
+
+        The tail sampler's "not retained" path: a head-sampled-out
+        trace may already have out-of-band spans buffered (the batcher
+        records ``batcher.wait``/``batcher.compute`` at batch time,
+        before the retention decision exists), and leaving those
+        orphans in the ring would leak partial trees to later drains.
+        Deferred tuples carry ``trace_id`` at index 0, so no settling
+        is needed.  Returns the number of spans discarded; they are
+        counted separately from overflow ``dropped``.
+        """
+        with self._lock:
+            before = len(self._spans)
+            keep = [
+                e
+                for e in self._spans
+                if (e[0] if type(e) is tuple else e.trace_id) != trace_id
+            ]
+            removed = before - len(keep)
+            if removed:
+                self._spans.clear()
+                self._spans.extend(keep)
+                self._discarded += removed
+            return removed
 
     def __len__(self) -> int:
         with self._lock:

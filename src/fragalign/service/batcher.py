@@ -24,10 +24,11 @@ import asyncio
 import time
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial
+from operator import itemgetter
 from typing import Any
 
 from fragalign.engine.facade import AlignmentEngine
-from fragalign.obs.trace import TraceContext, Tracer, leaf_entry
+from fragalign.obs.trace import TraceContext, Tracer
 from fragalign.service.fields import group_key_fields
 from fragalign.util.errors import DeadlineExceeded
 
@@ -40,6 +41,9 @@ GROUP_FIELDS = group_key_fields()  # ("mode", "band", "gap_open", "gap_extend", 
 
 Key = tuple  # (op, *GROUP_FIELDS values, a, b)
 _GROUP = 1 + len(GROUP_FIELDS)  # leading key fields that define one engine batch
+# C-speed knob extraction for the per-request side channels (trace_job,
+# note_deadline) — a genexpr over GROUP_FIELDS costs ~1us per call.
+_GROUP_VALUES = itemgetter(*GROUP_FIELDS)
 
 
 class MicroBatcher:
@@ -79,7 +83,9 @@ class MicroBatcher:
         # Trace interest registered out-of-band (trace_job) so the
         # analyzer-checked submit signature stays exactly the group-key
         # fields: tracing must not look like a batching knob.
-        self._trace_interest: dict[Key, list[tuple[TraceContext, float]]] = {}
+        self._trace_interest: dict[
+            Key, list[tuple[TraceContext, list | None, float]]
+        ] = {}
         # Deadlines likewise ride a side-channel (note_deadline), keyed
         # like trace interest: a deadline is not a batching knob.
         self._deadlines: dict[Key, float] = {}  # key -> absolute monotonic deadline
@@ -163,6 +169,7 @@ class MicroBatcher:
         b: str,
         knobs: dict,
         ctx: TraceContext | None,
+        sink: list | None = None,
     ) -> None:
         """Register trace interest for the job an imminent ``submit``
         with the same arguments will queue (``knobs`` maps every
@@ -172,11 +179,20 @@ class MicroBatcher:
         runs; a job that never reaches ``submit`` after an interest
         registration would leak it, so callers pair the two calls
         (the server does, right next to each other).
+
+        ``sink``, when given, receives the deferred span entries
+        instead of the shared trace buffer.  The batch resolves every
+        job future *after* recording its spans, so by the time the
+        submitter's await returns the sink is complete — the caller
+        can then buffer or drop the whole trace atomically.  Without a
+        sink the entries go straight to the tracer (standalone use).
         """
         if ctx is None or self._tracer is None:
             return
-        key = (op, *(knobs[name] for name in GROUP_FIELDS), a, b)
-        self._trace_interest.setdefault(key, []).append((ctx, time.perf_counter()))
+        key = (op, *_GROUP_VALUES(knobs), a, b)
+        self._trace_interest.setdefault(key, []).append(
+            (ctx, sink, time.perf_counter())
+        )
 
     def note_deadline(
         self,
@@ -193,7 +209,7 @@ class MicroBatcher:
         with ``submit``.  If coalesced jobs carry different deadlines,
         the tightest one governs the shared dispatch.
         """
-        key = (op, *(knobs[name] for name in GROUP_FIELDS), a, b)
+        key = (op, *_GROUP_VALUES(knobs), a, b)
         current = self._deadlines.get(key)
         self._deadlines[key] = deadline if current is None else min(current, deadline)
 
@@ -245,17 +261,22 @@ class MicroBatcher:
         }
         if self._tracer is not None and interest:
             now = time.time()
-            self._tracer.extend(
-                [
-                    leaf_entry(
-                        ctx, "batcher.wait",
-                        now - (dispatched - enqueued), dispatched - enqueued,
-                        {"op": key[0], "batch": len(keys)},
+            n_keys = len(keys)
+            shared: list = []
+            for key, watchers in interest.items():
+                # One tags dict per job, shared by its watchers — the
+                # entries are read-only downstream (leaf_entry's "takes
+                # ownership" contract), so aliasing is safe.
+                tags = {"op": key[0], "batch": n_keys}
+                for ctx, sink, enqueued in watchers:
+                    wait = dispatched - enqueued
+                    entry = (
+                        ctx.trace_id, ctx.span_id, "batcher.wait",
+                        now - wait, wait, tags,
                     )
-                    for key, watchers in interest.items()
-                    for ctx, enqueued in watchers
-                ]
-            )
+                    (shared if sink is None else sink).append(entry)
+            if shared:
+                self._tracer.extend(shared)
         groups: dict[tuple, list[Key]] = {}
         for key in keys:
             groups.setdefault(key[:_GROUP], []).append(key)
@@ -276,21 +297,23 @@ class MicroBatcher:
                 values = await self._loop.run_in_executor(self._executor, call)
                 if self._tracer is not None and interest:
                     compute_s = time.perf_counter() - compute_start
-                    now = time.time()
+                    start = time.time() - compute_s
                     # Worker-thread engine call for this job's whole
-                    # dispatch group (queue + kernels).
-                    self._tracer.extend(
-                        [
-                            leaf_entry(
-                                ctx, "batcher.compute",
-                                now - compute_s, compute_s,
-                                {"op": op, "group": len(group),
-                                 "mode": knobs.get("mode")},
+                    # dispatch group (queue + kernels); one shared tags
+                    # dict for the group — read-only downstream.
+                    tags = {
+                        "op": op, "group": len(group), "mode": knobs.get("mode")
+                    }
+                    shared = []
+                    for key in group:
+                        for ctx, sink, _ in interest.get(key, ()):
+                            entry = (
+                                ctx.trace_id, ctx.span_id, "batcher.compute",
+                                start, compute_s, tags,
                             )
-                            for key in group
-                            for ctx, _ in interest.get(key, ())
-                        ]
-                    )
+                            (shared if sink is None else sink).append(entry)
+                    if shared:
+                        self._tracer.extend(shared)
                 if op == "score":
                     values = [float(v) for v in values]
                 results.update(zip(group, values))

@@ -197,12 +197,38 @@ class AsyncAlignmentClient:
         )
         return alignment_from_dict(response["result"])
 
+    async def align_detail(
+        self,
+        a: str,
+        b: str,
+        mode: str | None = None,
+        band: int | None = None,
+        gap_open: float | None = None,
+        gap_extend: float | None = None,
+        memory: str | None = None,
+        trace: TraceContext | None = None,
+        deadline_ms: float | None = None,
+    ) -> tuple[Alignment, bool]:
+        """Alignment plus whether the server answered from its cache."""
+        response = await self._request(
+            "align", a=a, b=b, mode=mode, band=band,
+            gap_open=gap_open, gap_extend=gap_extend, memory=memory,
+            trace_id=trace.trace_id if trace is not None else None,
+            span_id=trace.span_id if trace is not None else None,
+            deadline_ms=deadline_ms,
+        )
+        return alignment_from_dict(response["result"]), bool(response.get("cached"))
+
     async def stats(self) -> dict:
         return (await self._request("stats"))["result"]
 
     async def metrics(self) -> str:
         """The server's Prometheus text exposition (``metrics`` op)."""
         return (await self._request("metrics"))["result"]
+
+    async def slo(self) -> dict:
+        """The server's SLO burn-rate evaluation (``slo`` op)."""
+        return (await self._request("slo"))["result"]
 
     async def trace_spans(self, trace_id: str | None = None) -> dict:
         """Drain the server's span ring buffer (``trace`` op).
@@ -366,11 +392,37 @@ class AlignmentClient:
             )
         )
 
+    def score_detail(
+        self, a, b, mode=None, band=None, gap_open=None, gap_extend=None,
+        trace=None, deadline_ms=None,
+    ) -> tuple[float, bool]:
+        return self._with_retry(
+            lambda: self._client.score_detail(
+                a, b, mode=mode, band=band, gap_open=gap_open,
+                gap_extend=gap_extend, trace=trace, deadline_ms=deadline_ms,
+            )
+        )
+
+    def align_detail(
+        self, a, b, mode=None, band=None, gap_open=None, gap_extend=None,
+        memory=None, trace=None, deadline_ms=None,
+    ) -> tuple[Alignment, bool]:
+        return self._with_retry(
+            lambda: self._client.align_detail(
+                a, b, mode=mode, band=band, gap_open=gap_open,
+                gap_extend=gap_extend, memory=memory, trace=trace,
+                deadline_ms=deadline_ms,
+            )
+        )
+
     def stats(self) -> dict:
         return self._with_retry(lambda: self._client.stats())
 
     def metrics(self) -> str:
         return self._with_retry(lambda: self._client.metrics())
+
+    def slo(self) -> dict:
+        return self._with_retry(lambda: self._client.slo())
 
     def trace_spans(self, trace_id: str | None = None) -> dict:
         return self._with_retry(lambda: self._client.trace_spans(trace_id=trace_id))

@@ -20,6 +20,7 @@ Requests::
     {"id": 9, "op": "shutdown"}  # answered, then the server stops
     {"id": 10, "op": "metrics"}  # Prometheus text exposition (string)
     {"id": 11, "op": "trace", "trace_id": "..."}  # drain buffered spans
+    {"id": 12, "op": "slo"}      # SLO burn-rate evaluation (fragalign.obs.slo)
 
 ``mode`` selects the alignment mode per request (``global``,
 ``local``, ``overlap`` or ``banded``); omitted, the server's
@@ -114,7 +115,7 @@ __all__ = [
 
 MAX_LINE = 1 << 20  # 1 MiB per protocol line (reader buffer limit)
 
-OPS = ("score", "align", "stats", "metrics", "trace", "ping", "shutdown")
+OPS = ("score", "align", "stats", "metrics", "trace", "slo", "ping", "shutdown")
 PAIR_OPS = ("score", "align")
 
 

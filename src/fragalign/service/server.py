@@ -27,15 +27,19 @@ from dataclasses import dataclass, field
 from fragalign.align.scoring_matrices import SubstitutionModel
 from fragalign.engine.backends import linear_memory_conflict
 from fragalign.engine.facade import AlignmentEngine
+from fragalign.obs.journal import JournalWriter, build_record
 from fragalign.obs.kprof import KernelProfiler
 from fragalign.obs.logs import get_logger
-from fragalign.obs.metrics import MetricsRegistry
+from fragalign.obs.metrics import MetricsRegistry, parse_exposition
+from fragalign.obs.sampling import TailSampler
+from fragalign.obs.slo import SLOEngine
 from fragalign.obs.trace import (
     Span,
     TraceBuffer,
     Tracer,
     child_context,
     leaf_entry,
+    new_trace_context,
 )
 from fragalign.service.batcher import MicroBatcher
 from fragalign.service.fields import cache_key_fields
@@ -169,6 +173,19 @@ class ServiceConfig:
     degrade_recover: float = 0.5  # ...and disengage below this (hysteresis)
     degrade_widen_factor: float = 8.0
     drain_timeout: float = 30.0  # seconds before a wedged client is dropped
+    # Tail-based trace sampling (fragalign.obs.sampling): head-sample
+    # server-initiated traces at this rate, always retaining errored
+    # and slow ones.  None = off (only client-requested traces exist).
+    trace_sample: float | None = None
+    slow_trace_factor: float = 3.0  # "slow" = this many x the op's EWMA mean
+    # SLO targets (fragalign.obs.slo spec strings); () = the defaults.
+    slo: tuple = ()
+    # Workload flight recorder (fragalign.obs.journal): opt-in via a
+    # journal path; sequences stay out of the journal unless opted in.
+    journal: str | None = None
+    journal_sequences: bool = False
+    journal_max_mb: float = 64.0
+    journal_segments: int = 4
     backend_options: dict = field(default_factory=dict)
 
 
@@ -222,6 +239,25 @@ class AlignmentService:
             max_jobs=self.config.max_inflight_jobs,
             degrade_watermark=self.config.degrade_watermark,
             recover_watermark=self.config.degrade_recover,
+        )
+        self.sampler = (
+            TailSampler(
+                head_rate=self.config.trace_sample,
+                slow_factor=self.config.slow_trace_factor,
+                registry=self.registry,
+            )
+            if self.config.trace_sample is not None
+            else None
+        )
+        self.slo_engine = SLOEngine.from_specs(self.config.slo or None)
+        self.journal = (
+            JournalWriter(
+                self.config.journal,
+                max_bytes=int(self.config.journal_max_mb * 1024 * 1024),
+                segments=self.config.journal_segments,
+            )
+            if self.config.journal
+            else None
         )
         self._model_fp = model_fingerprint(self.engine.model)
         self._server: asyncio.AbstractServer | None = None
@@ -327,8 +363,24 @@ class AlignmentService:
         gauge("fragalign_uptime_seconds", "Seconds since server start.").set(
             time.monotonic() - self.stats.started
         )
+        if self.journal is not None:
+            gauge(
+                "fragalign_journal_records", "Journal records written since start."
+            ).set(self.journal.written)
         self.stats.set_inflight_cells(self.admission.inflight_cells)
+        if self.sampler is not None:
+            # Retention tallies batch on the hot path; flush them into
+            # the exposition counters now (same pull-model pattern as
+            # the cache and trace-drop gauges above).
+            self.sampler.publish()
+        # Feed the SLO engine a fresh (good, total) snapshot and publish
+        # the burn-rate gauges into the same exposition being rendered.
+        self._sample_slo()
+        self.slo_engine.export_gauges(self.registry)
         return self.registry.render()
+
+    def _sample_slo(self) -> None:
+        self.slo_engine.sample(parse_exposition(self.registry.render()))
 
     # -- lifecycle ----------------------------------------------------
 
@@ -374,6 +426,8 @@ class AlignmentService:
         """Release the batcher worker thread and the engine's backend."""
         self.batcher.close()
         self.engine.close()
+        if self.journal is not None:
+            self.journal.close()
 
     # -- connection handling ------------------------------------------
 
@@ -432,6 +486,8 @@ class AlignmentService:
         request = None
         ctx = None
         tlog: list | None = None
+        server_sampled = False  # trace exists only by the tail sampler's grace
+        jrec: dict | None = None  # journal disposition, filled by _dispatch
         try:
             obj = decode_line(line)
             request_id = obj.get("id")
@@ -439,6 +495,17 @@ class AlignmentService:
             # The server-side span for this request: parented under the
             # caller's span, children are the per-stage spans below.
             ctx = child_context(request.trace_id, request.span_id)
+            if (
+                ctx is None
+                and self.sampler is not None
+                and request.op in ("score", "align")
+            ):
+                # Tail sampling: trace every pair request in full and
+                # decide retention when the outcome is known.  Only
+                # server-initiated traces are the sampler's to drop —
+                # a client that sent a trace_id gets its trace kept.
+                ctx = new_trace_context()
+                server_sampled = True
             # Traced requests accumulate deferred span entries in a
             # plain list and buffer them in ONE call at response-write
             # time — per-span Tracer calls were the dominant tracing
@@ -449,30 +516,59 @@ class AlignmentService:
                     tlog.append(
                         leaf_entry(ctx, "server.read", time.time() - read_s, read_s)
                     )
+            if self.journal is not None and request.op in ("score", "align"):
+                jrec = {}
             # The wire deadline is a *relative* budget; pin it to an
             # absolute monotonic instant the moment the request is
             # parsed — every later stage (admission, batcher) spends
             # from this one deadline.
             deadline = deadline_from_budget_ms(request.deadline_ms)
-            response = await self._dispatch(request, ctx, tlog, deadline)
+            response = await self._dispatch(request, ctx, tlog, deadline, jrec)
         except ProtocolError as exc:
-            self.stats.observe_error()
+            self.stats.observe_error(op=request.op if request is not None else None)
             response = error_response(request_id, str(exc))
         except DeadlineExceeded as exc:
-            self.stats.observe_error()
+            self.stats.observe_error(op=request.op if request is not None else None)
             response = error_response(request_id, str(exc), code="DEADLINE_EXCEEDED")
         except Overloaded as exc:
-            self.stats.observe_error()
+            self.stats.observe_error(op=request.op if request is not None else None)
             response = error_response(request_id, str(exc), code="OVERLOADED")
         except Exception as exc:  # engine/backend failure: report, keep serving
-            self.stats.observe_error()
+            self.stats.observe_error(op=request.op if request is not None else None)
             response = error_response(request_id, f"{type(exc).__name__}: {exc}")
         duration = time.perf_counter() - t0
-        self.stats.observe_latency(duration)
+        # Retention is decided *before* the latency observation so the
+        # kept trace id lands as the exemplar on the very bucket this
+        # request fills — "p99 spiked" points at an actual trace.
+        retained = ctx is not None
+        if server_sampled:
+            retained = self.sampler.decide(
+                request.op, duration, bool(response.get("ok"))
+            ).retain
+        exemplar = ctx.trace_id if retained else None
+        self.stats.observe_latency(
+            duration,
+            op=request.op if request is not None else None,
+            exemplar=exemplar,
+        )
+        if request is not None and jrec is not None:
+            self.journal.write(
+                build_record(
+                    request.op, request.a, request.b, jrec.get("knobs", {}),
+                    ok=bool(response.get("ok")),
+                    code=response.get("code"),
+                    cached=jrec.get("cached"),
+                    disposition=jrec.get("disposition"),
+                    degraded=jrec.get("degraded"),
+                    duration_s=duration,
+                    deadline_ms=request.deadline_ms,
+                    include_sequences=self.config.journal_sequences,
+                )
+            )
         async with write_lock:
             write_start = time.perf_counter()
             writer.write(encode_line(response))
-            if ctx is not None and tlog is not None:
+            if ctx is not None and tlog is not None and retained:
                 # Buffered *before* any bytes flush, so a trace drain
                 # fired on response receipt always sees the full tree.
                 now = time.time()
@@ -487,6 +583,10 @@ class AlignmentService:
                     )
                 )
                 self.tracer.extend(tlog)
+            # Sampled out: nothing to undo.  Every span for this
+            # request — including the batcher's, routed through the
+            # tlog sink — only ever lived in the per-request list,
+            # so dropping the trace is just not extending the buffer.
             try:
                 # Bounded: a client that stops reading must not pin this
                 # handler (and its response buffers) forever.
@@ -500,10 +600,17 @@ class AlignmentService:
             # release wait_closed() to wind the service down.
             self.stop()
 
-    async def _dispatch(self, request, ctx=None, tlog=None, deadline=None) -> dict:
+    async def _dispatch(
+        self, request, ctx=None, tlog=None, deadline=None, jrec=None
+    ) -> dict:
         self.stats.observe_request(request.op)
         if request.op == "ping":
             return ok_response(request.id, "pong")
+        if request.op == "slo":
+            # Snapshot-then-evaluate: the op both feeds the engine's
+            # burn-rate history and reads it back.
+            self._sample_slo()
+            return ok_response(request.id, {"slos": self.slo_engine.evaluate()})
         if request.op == "stats":
             return ok_response(
                 request.id,
@@ -553,7 +660,15 @@ class AlignmentService:
                     {"hit": result is not None},
                 )
             )
+        if jrec is not None:
+            jrec["knobs"] = {
+                "mode": mode, "band": band, "gap_open": gap_open,
+                "gap_extend": gap_extend, "memory": memory,
+            }
         if result is not None:
+            if jrec is not None:
+                jrec["cached"] = True
+                jrec["disposition"] = "cache_hit"
             return ok_response(request.id, result, cached=True)
         inflight = self._inflight.get(key)
         if inflight is not None:
@@ -561,6 +676,9 @@ class AlignmentService:
             # (The batcher also coalesces, but only until its batch is
             # dispatched — this closes the dispatch→cache-put window.)
             self.stats.observe_coalesced()
+            if jrec is not None:
+                jrec["cached"] = False
+                jrec["disposition"] = "coalesced"
             if tlog is not None:
                 join_start = time.perf_counter()
                 value = await inflight
@@ -606,6 +724,10 @@ class AlignmentService:
                 self.admission.release(cost)
                 self._apply_degrade()
             self.stats.observe_degraded_response()
+            if jrec is not None:
+                jrec["cached"] = False
+                jrec["disposition"] = "degraded"
+                jrec["degraded"] = True
             result = {
                 "score": float(value), "pairs": [],
                 "a_interval": [0, 0], "b_interval": [0, 0],
@@ -621,7 +743,13 @@ class AlignmentService:
             # same side-channel: it clamps the flush window but is not a
             # batching knob.
             if ctx is not None:
-                self.batcher.trace_job(request.op, request.a, request.b, knobs, ctx)
+                # tlog rides along as the span sink: batcher spans join
+                # the request's deferred log instead of the shared
+                # buffer, so a sampled-out trace costs zero buffer
+                # traffic — no write, no discard scan.
+                self.batcher.trace_job(
+                    request.op, request.a, request.b, knobs, ctx, sink=tlog
+                )
             if deadline is not None:
                 self.batcher.note_deadline(
                     request.op, request.a, request.b, knobs, deadline
@@ -650,6 +778,9 @@ class AlignmentService:
             self.admission.release(cost)
             self._apply_degrade()
             self._inflight.pop(key, None)
+        if jrec is not None:
+            jrec["cached"] = False
+            jrec["disposition"] = "computed"
         return ok_response(request.id, result, cached=False)
 
     def _apply_degrade(self) -> None:

@@ -53,6 +53,13 @@ class ServiceStats:
         self._errors = self.registry.counter(
             "fragalign_errors_total", "Requests answered with ok=false."
         )
+        # Per-op error split: the availability SLO's bad-event counter
+        # (fragalign.obs.slo reads it out of the exposition).
+        self._errors_by_op = self.registry.counter(
+            "fragalign_errors_by_op_total",
+            "Requests answered with ok=false, by op.",
+            labels=("op",),
+        )
         self._conn_open = self.registry.gauge(
             "fragalign_connections_open", "Currently open client connections."
         )
@@ -76,6 +83,19 @@ class ServiceStats:
             "fragalign_request_latency_seconds",
             "Request service time, parse to response-ready.",
         )
+        # Per-op latency lives in separate histograms (histograms are
+        # unlabeled): the latency SLOs read their good/total counts
+        # from these, one per pair op.
+        self._op_latency = {
+            "score": self.registry.histogram(
+                "fragalign_score_latency_seconds",
+                "score request service time, parse to response-ready.",
+            ),
+            "align": self.registry.histogram(
+                "fragalign_align_latency_seconds",
+                "align request service time, parse to response-ready.",
+            ),
+        }
         # Resilience counters (fragalign.resilience): the chaos drill
         # asserts on these names in the merged cluster exposition.
         self._shed = self.registry.counter(
@@ -109,8 +129,10 @@ class ServiceStats:
         aggregation can break traffic down by mode."""
         self._modes.inc(mode=mode)
 
-    def observe_error(self) -> None:
+    def observe_error(self, op: str | None = None) -> None:
         self._errors.inc()
+        if op is not None:
+            self._errors_by_op.inc(op=op)
 
     def observe_connection(self, delta: int) -> None:
         self._conn_open.add(delta)
@@ -125,8 +147,16 @@ class ServiceStats:
     def observe_coalesced(self) -> None:
         self._coalesced.inc()
 
-    def observe_latency(self, seconds: float) -> None:
-        self._latency.observe(seconds)
+    def observe_latency(
+        self, seconds: float, op: str | None = None, exemplar: str | None = None
+    ) -> None:
+        """Record one request's service time.  ``exemplar`` is a
+        retained trace id attached to the histogram bucket the
+        observation lands in — the p99-to-trace jump."""
+        self._latency.observe(seconds, exemplar=exemplar)
+        per_op = self._op_latency.get(op)
+        if per_op is not None:
+            per_op.observe(seconds, exemplar=exemplar)
 
     def observe_shed(self) -> None:
         self._shed.inc()
