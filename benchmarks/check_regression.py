@@ -43,6 +43,8 @@ KEY_ROWS = (
     "parallel_score_many_x4",
     "numpy_affine_align_many",
     "numpy_affine_score_many",
+    "bitparallel_numpy_score_many",
+    "native_score_many",
 )
 
 # Rows whose quick-vs-full ratio is structurally depressed, not just
@@ -58,6 +60,24 @@ ROW_FLOORS = {
     # cost), so at quick sizes the traceback fraction balloons and the
     # row sits ~30% under the score-row peers that set the median.
     "numpy_affine_align_many": 0.45,
+    # Same traceback-fraction skew as the affine row above: the plain
+    # align path couples a vectorized sweep with a per-pair Python
+    # traceback, so quick sizes depress it against score-only peers.
+    "numpy_align_many": 0.45,
+    # The committed native_score_many number is the C bit-parallel
+    # kernel; a fresh quick run on a box with no compiler falls back to
+    # the numpy-uint64 kernel, ~30x slower.  The row must still exist
+    # (the backend silently vanishing is the regression we gate), but
+    # only a catastrophic collapse — the fallback itself breaking —
+    # should fail, hence the near-zero floor (measured ~0.013 on a
+    # compiler-less box).
+    "native_score_many": 0.005,
+    # 64-cell word packing amortizes poorly at quick sizes (16 pairs
+    # x 64 chars fills exactly one word per pair), so the bit-parallel
+    # numpy row sits far under the vectorized peers that set the
+    # median even on a healthy build (measured ~0.14-0.18 across
+    # loaded/unloaded boxes).
+    "bitparallel_numpy_score_many": 0.08,
 }
 
 

@@ -1,12 +1,33 @@
-"""Setup shim.
+"""Setup shim + optional native extension.
 
 This offline environment lacks the ``wheel`` package, so PEP 660
 editable installs (which need ``bdist_wheel``) fail; this shim lets
 ``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to
-the classic ``setup.py develop`` path.  All metadata lives in
-pyproject.toml.
+the classic ``setup.py develop`` path.
+
+It also declares the optional C extension behind
+:mod:`fragalign._native`:
+
+    python setup.py build_ext --inplace
+
+drops ``fragalign/_native/_kernels*.so`` next to its package.  The
+extension is marked ``optional`` — a missing compiler degrades the
+build to pure python (the ``native`` backend then falls back to the
+numpy uint64 bit-parallel kernels), it never fails it.
 """
 
-from setuptools import setup
+from setuptools import Extension, find_packages, setup
 
-setup()
+setup(
+    name="fragalign",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    ext_modules=[
+        Extension(
+            "fragalign._native._kernels",
+            sources=["src/fragalign/_native/_kernels.c"],
+            optional=True,
+            extra_compile_args=["-O3"],
+        )
+    ],
+)

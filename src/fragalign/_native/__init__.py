@@ -1,0 +1,98 @@
+"""Optional C kernels: import gate + numpy marshalling.
+
+The extension (``fragalign._native._kernels``) is built by
+``python setup.py build_ext --inplace`` and is deliberately optional:
+this package imports cleanly without it, exporting ``HAVE_NATIVE =
+False`` so :mod:`fragalign.engine.native` can fall back to the pure
+numpy uint64 kernels in :mod:`fragalign.align.bitparallel`.
+
+The wrappers here are intentionally low-level — uint8 code matrices in,
+int64 scores out.  Model/mode resolution (flat-family detection, N
+handling, empty pairs, score scaling) lives in the backend; these only
+marshal contiguous buffers into the extension's buffer-protocol entry
+points and size-check the output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised via the native-build CI job
+    from fragalign._native import _kernels as _K
+
+    HAVE_NATIVE = True
+    NATIVE_ERROR = None
+except ImportError as exc:  # no compiler / extension not built
+    _K = None
+    HAVE_NATIVE = False
+    NATIVE_ERROR = str(exc)
+
+_FAMILIES = {"unit": 0, "lev": 1}
+_MODES = {"global": 0, "overlap": 1}
+
+
+def _as_codes(arr: np.ndarray, name: str) -> np.ndarray:
+    arr = np.ascontiguousarray(arr, dtype=np.uint8)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be a (B, len) uint8 code matrix")
+    return arr
+
+
+def bitparallel_scores_native(
+    acodes: np.ndarray,
+    bcodes: np.ndarray,
+    family: str,
+    mode: str = "global",
+) -> np.ndarray:
+    """Batch Myers/BitPAl scores via the C kernel, in units of ``c``.
+
+    ``acodes``/``bcodes`` are (B, n)/(B, m) uint8 matrices with codes
+    0..3 (no N — the backend routes N-carrying pairs to numpy), n and
+    m both positive.  Raises :class:`RuntimeError` when the extension
+    is unavailable; callers gate on :data:`HAVE_NATIVE`.
+    """
+    if not HAVE_NATIVE:
+        raise RuntimeError(f"native kernels unavailable: {NATIVE_ERROR}")
+    acodes = _as_codes(acodes, "acodes")
+    bcodes = _as_codes(bcodes, "bcodes")
+    B, n = acodes.shape
+    Bb, m = bcodes.shape
+    if B != Bb:
+        raise ValueError("acodes and bcodes batch sizes differ")
+    if n == 0 or m == 0:
+        raise ValueError("native kernel requires non-empty sequences")
+    out = np.zeros(B, dtype=np.int64)
+    _K.bitparallel_scores(
+        acodes, bcodes, out, B, n, m, _FAMILIES[family], _MODES[mode]
+    )
+    return out
+
+
+def striped_local_scores_native(
+    acodes: np.ndarray,
+    bcodes: np.ndarray,
+    matrix: np.ndarray,
+    pen: int,
+) -> np.ndarray:
+    """Batch striped Smith-Waterman local scores via the C kernel.
+
+    ``matrix`` is the 5x5 integer substitution matrix (codes 0..4
+    incl. N), ``pen`` the positive linear gap penalty (``-model.gap``).
+    Returns int64 scores; the caller converts to float.
+    """
+    if not HAVE_NATIVE:
+        raise RuntimeError(f"native kernels unavailable: {NATIVE_ERROR}")
+    acodes = _as_codes(acodes, "acodes")
+    bcodes = _as_codes(bcodes, "bcodes")
+    B, n = acodes.shape
+    Bb, m = bcodes.shape
+    if B != Bb:
+        raise ValueError("acodes and bcodes batch sizes differ")
+    if n == 0 or m == 0:
+        raise ValueError("native kernel requires non-empty sequences")
+    mat = np.ascontiguousarray(matrix, dtype=np.int32)
+    if mat.shape != (5, 5):
+        raise ValueError("matrix must be 5x5")
+    out = np.zeros(B, dtype=np.int64)
+    _K.striped_local_scores(acodes, bcodes, out, B, n, m, mat, int(pen))
+    return out

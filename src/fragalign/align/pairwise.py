@@ -1541,6 +1541,143 @@ def _sweep_affine_banded(
     return r
 
 
+def _sweep_affine_banded_single(
+    ac: np.ndarray,
+    bc: np.ndarray,
+    band: int,
+    model: SubstitutionModel,
+    open_: float,
+    ext: float,
+    D: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Dispatch-trimmed single-pair banded Gotoh sweep; returns the
+    final (M, X, Y) frontiers (each length w).
+
+    Same trick as :func:`_sweep_banded_single`, applied to the affine
+    kernel: at batch 1 the batched sweep is dispatch-bound (three
+    frontiers x ~6 NumPy calls per DP row, each paying 2-D slicing
+    overhead over a narrow band).  This path pre-gathers the whole
+    band's substitution scores in one fancy-index gather, pre-builds
+    the rotating frontier views per parity, writes the up-shift
+    sentinels once at init instead of re-pinning per row, and masks
+    band edges only over the <= 2*band boundary rows.  Direction codes
+    (``D``: (n, w) uint8) are bit-for-bit the batch kernel's, so
+    :func:`_walk_affine` reads either.
+    """
+    n, m = len(ac), len(bc)
+    w = 2 * band + 1
+    M = w + 1  # slot w is the -inf sentinel feeding the up-shifts
+    ks = np.arange(w)
+    extks = ext * ks
+    src_shift = open_ - ext * (ks + 1.0)
+    Pm = model.matrix
+    jm1_all = np.clip(np.arange(n)[:, None] - band + ks, 0, max(m - 1, 0))
+    W_all = Pm[ac[:, None], bc[jm1_all]]  # (n, w), one gather
+    bufs = tuple(np.full(M, -np.inf) for _ in range(6))  # Mp Xp Yp Mc Xc Yc
+    # Row 0: j = k - band in [0, m]; M[0][0] = 0, Y[0][j] carries the
+    # leading gap in b (mirrors the batch kernel's init).
+    j0s = ks - band
+    valid0 = (j0s >= 0) & (j0s <= m)
+    bufs[0][:w][valid0 & (j0s == 0)] = 0.0
+    ypos = valid0 & (j0s >= 1)
+    if ypos.any():
+        bufs[2][:w][ypos] = open_ + (j0s[ypos] - 1) * ext
+    # Pre-built rotating views per parity: (band slice 0..w-1,
+    # up-shifted slice 1..w) for each of the three frontiers.
+    views = tuple(
+        tuple((buf[:w], buf[1:M]) for buf in trio)
+        for trio in (bufs[:3], bufs[3:])
+    )
+    bp, t, run = np.empty(w), np.empty(w), np.empty(w)
+    add, maximum, accum = np.add, np.maximum, np.maximum.accumulate
+    if D is not None:
+        e_x = np.empty(w, dtype=bool)
+        e_y = np.empty(w, dtype=bool)
+        b1 = np.empty(w, dtype=bool)
+        u8a = np.empty(w, dtype=np.uint8)
+        u8b = np.empty(w, dtype=np.uint8)
+    lo_int = min(band + 1, n + 1)  # rows below this mask at k's low end
+    hi_int = min(n, m - band)  # rows above this mask at k's high end
+    p = 0
+
+    def row(i: int, interior: bool) -> None:
+        (Mw, Mu), (Xw, Xu), (Yw, Yu) = views[p]
+        (Mcw, _), (Xcw, _), (Ycw, _) = views[1 - p]
+        # M: diagonal move is in-place in this layout.
+        maximum(Mw, Xw, out=bp)
+        if D is not None:
+            np.greater(Xw, Mw, out=e_x)
+            np.greater(Yw, bp, out=e_y)
+            np.multiply(e_y.view(np.uint8), 2, out=u8a)
+            np.logical_and(e_x, ~e_y, out=b1)
+            np.add(u8a, b1.view(np.uint8), out=u8a)
+        maximum(bp, Yw, out=bp)
+        add(bp, W_all[i - 1], out=Mcw)
+        # X: open/extend from k+1 of the previous row.
+        maximum(Mu, Yu, out=bp)
+        if D is not None:
+            np.greater(Yu, Mu, out=b1)  # bit 3
+            np.multiply(b1.view(np.uint8), 8, out=u8b)
+            np.add(u8a, u8b, out=u8a)
+        add(bp, open_, out=bp)
+        add(Xu, ext, out=t)
+        if D is not None:
+            np.greater(t, bp, out=b1)  # bit 2
+            np.multiply(b1.view(np.uint8), 4, out=u8b)
+            np.add(u8a, u8b, out=u8a)
+        maximum(bp, t, out=Xcw)
+        if not interior:
+            # Mask cells outside the matrix; plant the j == 0 boundary.
+            klo = band - i + 1
+            if klo > 0:
+                Mcw[: min(klo, w)] = -np.inf
+                Xcw[: min(klo, w)] = -np.inf
+                if klo - 1 < w:
+                    Xcw[klo - 1] = open_ + (i - 1) * ext
+            khi = m - i + band
+            if khi < w - 1:
+                Mcw[max(khi + 1, 0) : w] = -np.inf
+                Xcw[max(khi + 1, 0) : w] = -np.inf
+        # Y: in-row prefix max along k (predecessor is one slot left).
+        maximum(Mcw, Xcw, out=bp)
+        if D is not None:
+            b1[0] = False  # k = 0 has no in-row predecessor
+            np.greater(Xcw[: w - 1], Mcw[: w - 1], out=b1[1:w])  # bit 5
+            np.multiply(b1.view(np.uint8), 32, out=u8b)
+            np.add(u8a, u8b, out=u8a)
+        add(bp, src_shift, out=t)
+        run[0] = -np.inf
+        accum(t[: w - 1], out=run[1:w])
+        add(run, extks, out=Ycw)
+        Ycw[0] = -np.inf
+        if not interior:
+            khi = m - i + band
+            if khi < w - 1:
+                Ycw[max(khi + 1, 0) : w] = -np.inf
+            klo = band - i + 1
+            if klo > 0:
+                Ycw[: min(klo, w)] = -np.inf
+        if D is not None:
+            np.add(Ycw[: w - 1], ext, out=t[: w - 1])
+            np.add(bp[: w - 1], open_, out=run[: w - 1])
+            b1[0] = False
+            np.greater(t[: w - 1], run[: w - 1], out=b1[1:w])  # bit 4
+            np.multiply(b1.view(np.uint8), 16, out=u8b)
+            np.add(u8a, u8b, out=D[i - 1])
+
+    for i in range(1, lo_int):
+        row(i, False)
+        p = 1 - p
+    for i in range(lo_int, hi_int + 1):
+        row(i, True)
+        p = 1 - p
+    for i in range(max(lo_int, hi_int + 1), n + 1):
+        row(i, False)
+        p = 1 - p
+    (Mw, _), (Xw, _), (Yw, _) = views[p]
+    return Mw, Xw, Yw
+
+
 def affine_banded_scores_batch(
     pairs: Sequence[tuple[str | np.ndarray, str | np.ndarray]],
     band: int,
@@ -1560,6 +1697,16 @@ def affine_banded_scores_batch(
         return np.full(len(pairs), _affine_empty(n, m, open_, ext, "global")[0])
     k_end = m - n + band
     out = np.empty(len(pairs))
+    w = 2 * band + 1
+    if min(len(pairs), chunk) == 1 and n * w * 8 <= _BANDED_SINGLE_MAX_BYTES:
+        # Batch-of-one sweeps are dispatch-bound; take the trimmed
+        # single-pair path (identical scores, fewer NumPy calls).
+        for k, (a, b) in enumerate(pairs):
+            Mf, Xf, Yf = _sweep_affine_banded_single(
+                _as_codes(a), _as_codes(b), band, model, open_, ext
+            )
+            out[k] = max(float(Mf[k_end]), float(Xf[k_end]), float(Yf[k_end]))
+        return out
     for lo in range(0, len(pairs), chunk):
         A, B = _batch_codes(pairs[lo : lo + chunk])
         r = _sweep_affine_banded(A, B, band, model, open_, ext)
@@ -1590,6 +1737,17 @@ def affine_banded_align_batch(
     w = 2 * band + 1
     k_end = m - n + band
     out: list[Alignment] = []
+    if min(len(pairs), chunk) == 1 and n * w * 9 <= _BANDED_SINGLE_MAX_BYTES:
+        D1 = np.empty((n, w), dtype=np.uint8)
+        for a, b in pairs:
+            Mf, Xf, Yf = _sweep_affine_banded_single(
+                _as_codes(a), _as_codes(b), band, model, open_, ext, D=D1
+            )
+            state = _end_state(float(Mf[k_end]), float(Xf[k_end]), float(Yf[k_end]))
+            score = (Mf[k_end], Xf[k_end], Yf[k_end])[state]
+            walked, _, _ = _walk_affine(D1.tobytes(), w, n, m, state, band=band)
+            out.append(Alignment(float(score), tuple(walked), (0, n), (0, m)))
+        return out
     Dbuf = np.empty((n, min(chunk, len(pairs)), w), dtype=np.uint8)
     for lo in range(0, len(pairs), chunk):
         A, Bm = _batch_codes(pairs[lo : lo + chunk])

@@ -335,6 +335,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="align traceback strategy to request (align op only)",
     )
+    cli.add_argument(
+        "--backend",
+        default=None,
+        help="engine backend to request per call (default: server's backend)",
+    )
     _add_deadline_flag(cli)
     cli.add_argument(
         "--reconnect",
@@ -454,6 +459,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="align traceback strategy to request (align ops only)",
     )
+    croute.add_argument(
+        "--backend",
+        default=None,
+        help="engine backend to request per call (default: each shard's)",
+    )
     croute.add_argument("--seed", type=int, default=2026)
     croute.add_argument(
         "--max-attempts",
@@ -525,6 +535,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cwarm.add_argument("--band", type=int, default=None)
     _add_gap_flags(cwarm)
+    cwarm.add_argument(
+        "--backend",
+        default=None,
+        help="engine backend to stamp on generated keyset entries",
+    )
     cwarm.add_argument("--concurrency", type=int, default=32)
 
     cstats = csub.add_parser(
@@ -1402,13 +1417,14 @@ def _cmd_client(args: argparse.Namespace) -> int:
         if args.op == "score":
             run = lambda: client.score_many(
                 pairs, args.concurrency, args.mode, args.band,
-                args.gap_open, args.gap_extend, deadline_ms=args.deadline_ms,
+                args.gap_open, args.gap_extend, backend=args.backend,
+                deadline_ms=args.deadline_ms,
             )
         else:
             run = lambda: client.align_many(
                 pairs, args.concurrency, args.mode, args.band,
                 args.gap_open, args.gap_extend, args.memory,
-                deadline_ms=args.deadline_ms,
+                backend=args.backend, deadline_ms=args.deadline_ms,
             )
         t, results = time_call(run, repeat=1)
         stats = client.stats()
@@ -1420,13 +1436,14 @@ def _cmd_client(args: argparse.Namespace) -> int:
             if args.op == "score":
                 client.score(
                     *pairs[0], mode=args.mode, band=args.band,
-                    gap_open=args.gap_open, gap_extend=args.gap_extend, trace=root,
+                    gap_open=args.gap_open, gap_extend=args.gap_extend,
+                    backend=args.backend, trace=root,
                 )
             else:
                 client.align(
                     *pairs[0], mode=args.mode, band=args.band,
                     gap_open=args.gap_open, gap_extend=args.gap_extend,
-                    memory=args.memory, trace=root,
+                    memory=args.memory, backend=args.backend, trace=root,
                 )
             traced = (root.trace_id, client.trace_spans(root.trace_id))
         if args.shutdown:
@@ -1596,6 +1613,7 @@ def _cmd_cluster_route(args: argparse.Namespace) -> int:
             "band": args.band,
             "gap_open": args.gap_open,
             "gap_extend": args.gap_extend,
+            "backend": args.backend,
             "deadline_ms": args.deadline_ms,
         }
         for k in range(args.requests)
@@ -1665,6 +1683,7 @@ def _cmd_cluster_route(args: argparse.Namespace) -> int:
                         band=band,
                         gap_open=gap_open,
                         gap_extend=gap_extend,
+                        backend=args.backend,
                     )
                     memo.update(zip(keys, values))
             for k, result in enumerate(results):
@@ -1687,7 +1706,7 @@ def _cmd_cluster_route(args: argparse.Namespace) -> int:
             kwargs = {
                 "mode": entry["mode"], "band": entry["band"],
                 "gap_open": entry["gap_open"], "gap_extend": entry["gap_extend"],
-                "trace": root,
+                "backend": entry.get("backend"), "trace": root,
             }
             if entry["op"] == "score":
                 cluster.score(entry["a"], entry["b"], **kwargs)
@@ -1766,6 +1785,7 @@ def _cmd_cluster_warm(args: argparse.Namespace) -> int:
             band=args.band,
             gap_open=args.gap_open,
             gap_extend=args.gap_extend,
+            backend=args.backend,
         )
         dump_keyset(args.keyset, entries)
         print(f"wrote {len(entries)} entries to {args.keyset}", flush=True)

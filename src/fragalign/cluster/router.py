@@ -616,14 +616,18 @@ class ShardRouter:
         band: int | None = None,
         gap_open: float | None = None,
         gap_extend: float | None = None,
+        backend: str | None = None,
         trace: TraceContext | None = None,
         deadline_ms: float | None = None,
     ) -> float:
+        # backend is an execution hint, not part of the routing key —
+        # backends are parity-tested to return identical scores.
         return await self._route(
             "score", a, b, mode, band,
             lambda c, ctx, budget: c.score(
                 a, b, mode=mode, band=band, gap_open=gap_open,
-                gap_extend=gap_extend, trace=ctx, deadline_ms=budget,
+                gap_extend=gap_extend, backend=backend, trace=ctx,
+                deadline_ms=budget,
             ),
             gap_open, gap_extend, trace=trace, deadline_ms=deadline_ms,
         )
@@ -637,17 +641,18 @@ class ShardRouter:
         gap_open: float | None = None,
         gap_extend: float | None = None,
         memory: str | None = None,
+        backend: str | None = None,
         trace: TraceContext | None = None,
         deadline_ms: float | None = None,
     ) -> Alignment:
-        # memory is an execution hint, not part of the routing key —
-        # the result is byte-identical either way.
+        # memory and backend are execution hints, not part of the
+        # routing key — the result is byte-identical either way.
         return await self._route(
             "align", a, b, mode, band,
             lambda c, ctx, budget: c.align(
                 a, b, mode=mode, band=band, gap_open=gap_open,
-                gap_extend=gap_extend, memory=memory, trace=ctx,
-                deadline_ms=budget,
+                gap_extend=gap_extend, memory=memory, backend=backend,
+                trace=ctx, deadline_ms=budget,
             ),
             gap_open, gap_extend, trace=trace, deadline_ms=deadline_ms,
         )
@@ -673,6 +678,7 @@ class ShardRouter:
                 "band": entry.get("band"),
                 "gap_open": entry.get("gap_open"),
                 "gap_extend": entry.get("gap_extend"),
+                "backend": entry.get("backend"),
                 "deadline_ms": entry.get("deadline_ms"),
             }
             if entry["op"] == "score":
@@ -695,13 +701,14 @@ class ShardRouter:
         gap_open: float | None = None,
         gap_extend: float | None = None,
         memory: str | None = None,
+        backend: str | None = None,
         deadline_ms: float | None = None,
     ) -> list:
         entries = [
             {
                 "op": op, "a": a, "b": b, "mode": mode, "band": band,
                 "gap_open": gap_open, "gap_extend": gap_extend, "memory": memory,
-                "deadline_ms": deadline_ms,
+                "backend": backend, "deadline_ms": deadline_ms,
             }
             for a, b in pairs
         ]
@@ -715,11 +722,12 @@ class ShardRouter:
         band: int | None = None,
         gap_open: float | None = None,
         gap_extend: float | None = None,
+        backend: str | None = None,
         deadline_ms: float | None = None,
     ) -> list[float]:
         return await self._many(
             "score", pairs, concurrency, mode, band, gap_open, gap_extend,
-            deadline_ms=deadline_ms,
+            backend=backend, deadline_ms=deadline_ms,
         )
 
     async def align_many(
@@ -731,11 +739,12 @@ class ShardRouter:
         gap_open: float | None = None,
         gap_extend: float | None = None,
         memory: str | None = None,
+        backend: str | None = None,
         deadline_ms: float | None = None,
     ) -> list[Alignment]:
         return await self._many(
             "align", pairs, concurrency, mode, band, gap_open, gap_extend, memory,
-            deadline_ms=deadline_ms,
+            backend=backend, deadline_ms=deadline_ms,
         )
 
     # -- stats --------------------------------------------------------
@@ -1112,47 +1121,49 @@ class ClusterClient:
 
     def score(
         self, a, b, mode=None, band=None, gap_open=None, gap_extend=None,
-        trace=None, deadline_ms=None,
+        backend=None, trace=None, deadline_ms=None,
     ) -> float:
         return self._call(
             self.router.score(
                 a, b, mode=mode, band=band, gap_open=gap_open,
-                gap_extend=gap_extend, trace=trace, deadline_ms=deadline_ms,
+                gap_extend=gap_extend, backend=backend, trace=trace,
+                deadline_ms=deadline_ms,
             )
         )
 
     def align(
         self, a, b, mode=None, band=None, gap_open=None, gap_extend=None,
-        memory=None, trace=None, deadline_ms=None,
+        memory=None, backend=None, trace=None, deadline_ms=None,
     ) -> Alignment:
         return self._call(
             self.router.align(
                 a, b, mode=mode, band=band, gap_open=gap_open,
-                gap_extend=gap_extend, memory=memory, trace=trace,
-                deadline_ms=deadline_ms,
+                gap_extend=gap_extend, memory=memory, backend=backend,
+                trace=trace, deadline_ms=deadline_ms,
             )
         )
 
     def score_many(
         self, pairs, concurrency=64, mode=None, band=None, gap_open=None,
-        gap_extend=None, deadline_ms=None,
+        gap_extend=None, backend=None, deadline_ms=None,
     ) -> list[float]:
         return self._call(
             self.router.score_many(
                 pairs, concurrency=concurrency, mode=mode, band=band,
-                gap_open=gap_open, gap_extend=gap_extend, deadline_ms=deadline_ms,
+                gap_open=gap_open, gap_extend=gap_extend, backend=backend,
+                deadline_ms=deadline_ms,
             )
         )
 
     def align_many(
         self, pairs, concurrency=64, mode=None, band=None, gap_open=None,
-        gap_extend=None, memory=None, deadline_ms=None,
+        gap_extend=None, memory=None, backend=None, deadline_ms=None,
     ) -> list[Alignment]:
         return self._call(
             self.router.align_many(
                 pairs, concurrency=concurrency, mode=mode, band=band,
                 gap_open=gap_open, gap_extend=gap_extend, memory=memory,
-                deadline_ms=deadline_ms,
+                backend=backend, deadline_ms=deadline_ms,
             )
         )
 

@@ -87,6 +87,7 @@ def generate_keyset(
     gap_open: float | None = None,
     gap_extend: float | None = None,
     memory: str | None = None,
+    backend: str | None = None,
 ) -> list[dict]:
     """A synthetic keyset of ``n`` random DNA pairs (benchmarks, CI)."""
     import numpy as np
@@ -100,6 +101,7 @@ def generate_keyset(
         "gap_open": gap_open,
         "gap_extend": gap_extend,
         "memory": memory,
+        "backend": backend,
     }
     entries = []
     for _ in range(n):
@@ -131,14 +133,20 @@ async def warm_router(router, entries: Sequence[dict], concurrency: int = 32) ->
         nonlocal errors
         op = entry["op"]
         knobs = {name: entry.get(name) for name in keyset_fields()}
-        # memory is an execution hint (align only), never a routing field.
+        # memory and backend are execution hints, never routing fields.
         memory = knobs.pop("memory", None)
+        backend = knobs.pop("backend", None)
         async with semaphore:
             try:
                 if op == "score":
-                    await router.score(entry["a"], entry["b"], **knobs)
+                    await router.score(
+                        entry["a"], entry["b"], backend=backend, **knobs
+                    )
                 else:
-                    await router.align(entry["a"], entry["b"], memory=memory, **knobs)
+                    await router.align(
+                        entry["a"], entry["b"], memory=memory, backend=backend,
+                        **knobs,
+                    )
             except Exception as exc:
                 errors += 1
                 if len(samples) < 5:

@@ -1,7 +1,8 @@
 """fragalign.engine — the batched, vectorized alignment engine.
 
 A backend registry (``naive`` pure-Python, ``numpy`` vectorized,
-``parallel`` multiprocessing) behind a single :class:`AlignmentEngine`
+``parallel`` multiprocessing, ``native`` bit-parallel/striped-SIMD
+score kernels) behind a single :class:`AlignmentEngine`
 facade with ``align(a, b)`` / ``align_many(pairs)`` single and batch
 APIs plus memoized scoring-matrix and sequence preparation.
 
@@ -41,6 +42,7 @@ from fragalign.engine.backends import (
     linear_memory_conflict,
 )
 from fragalign.engine.facade import AlignmentEngine, default_model
+from fragalign.engine.native import NativeBackend
 from fragalign.engine.parallel import ParallelBackend
 from fragalign.engine.registry import (
     available_backends,
@@ -51,6 +53,7 @@ from fragalign.engine.registry import (
 register_backend("naive", NaiveBackend, overwrite=True)
 register_backend("numpy", NumpyBackend, overwrite=True)
 register_backend("parallel", ParallelBackend, overwrite=True)
+register_backend("native", NativeBackend, overwrite=True)
 
 __all__ = [
     "LINEAR_AUTO_CELLS",
@@ -59,6 +62,7 @@ __all__ = [
     "AlignmentEngine",
     "AlignmentBackend",
     "NaiveBackend",
+    "NativeBackend",
     "NumpyBackend",
     "ParallelBackend",
     "PreparedPair",

@@ -115,6 +115,25 @@ class AlignmentBackend:
 
     name = "?"
 
+    def accelerates(
+        self,
+        op: str,
+        model: SubstitutionModel,
+        mode: str,
+        band=None,
+        gap_open=None,
+        gap_extend=None,
+    ) -> bool:
+        """Does this backend natively cover the (op, model, mode) combo?
+
+        The facade consults this before dispatching: a ``False`` means
+        the request falls through to the numpy backend instead (same
+        scores — capability, not correctness).  Full-coverage backends
+        keep the default ``True``; partial backends like ``native``
+        report only the combos their kernels accelerate.
+        """
+        return True
+
     def score(
         self,
         p: PreparedPair,

@@ -20,6 +20,17 @@ must be passed together (both ``None`` keeps the model's linear gap);
 ``memory`` is ``"auto"`` (linear-memory traceback above
 ``LINEAR_AUTO_CELLS`` DP cells), ``"tensor"`` or ``"linear"``.
 
+Every verb also takes ``backend=`` — a registered backend name that
+overrides the engine's default for that call (instantiated lazily,
+once, and kept for the engine's lifetime).  Dispatch is
+capability-probed: the chosen backend's
+:meth:`AlignmentBackend.accelerates` is consulted and the call falls
+through to the numpy backend when the combo is not covered (the
+``native`` backend accelerates score verbs only, for flat models in
+``global``/``overlap`` and integer models in ``local``), so a
+``backend="native"`` request never errors on an uncovered knob
+combination — it just runs on numpy at numpy speed.
+
 The facade owns everything backends shouldn't care about: memoized
 sequence encoding (each distinct sequence is encoded once per engine),
 the memoized default scoring matrix, validation, and bucketing mixed
@@ -142,6 +153,9 @@ class AlignmentEngine:
             self._backend = backend
         else:
             self._backend = get_backend(backend, **backend_options)
+        # Per-call `backend=` overrides instantiate lazily, once per
+        # name, and live for the engine's lifetime (closed with it).
+        self._extra_backends: dict[str, AlignmentBackend] = {}
         self._codes = LRUCache(cache_size)
         # Optional KernelProfiler-shaped sink (see module docstring);
         # the serving tier attaches one so `fragalign top` has data.
@@ -154,6 +168,39 @@ class AlignmentEngine:
     @property
     def backend_name(self) -> str:
         return self._backend.name
+
+    def _get_backend(self, name: str | None) -> AlignmentBackend:
+        """The engine default, or a lazily-built per-call override."""
+        if name is None or name == self._backend.name:
+            return self._backend
+        be = self._extra_backends.get(name)
+        if be is None:
+            be = get_backend(name)
+            self._extra_backends[name] = be
+        return be
+
+    def _route(
+        self, op: str, mode: str, kw: dict, backend: str | None
+    ) -> AlignmentBackend:
+        """Capability-probed dispatch: the requested backend if it
+        accelerates this (op, model, mode, knobs) combo, else numpy.
+
+        Partial backends (``native``) self-report coverage through
+        :meth:`AlignmentBackend.accelerates`; the fallthrough keeps
+        every knob combination servable under any ``backend=`` without
+        the partial backend reimplementing the full matrix.
+        """
+        be = self._get_backend(backend)
+        if not be.accelerates(
+            op,
+            self.model,
+            mode,
+            band=kw.get("band"),
+            gap_open=kw.get("gap_open"),
+            gap_extend=kw.get("gap_extend"),
+        ):
+            be = self._get_backend("numpy")
+        return be
 
     # -- preparation -------------------------------------------------
 
@@ -215,15 +262,17 @@ class AlignmentEngine:
         band: int | None = None,
         gap_open: float | None = None,
         gap_extend: float | None = None,
+        backend: str | None = None,
     ) -> float:
         mode, kw = self._resolve(mode, band, gap_open, gap_extend)
+        be = self._route("score", mode, kw, backend)
         if self.profiler is None:
-            return self._backend.score(self.prepare(a, b), self.model, mode, **kw)
+            return be.score(self.prepare(a, b), self.model, mode, **kw)
         prep = self.prepare(a, b)
         start = time.perf_counter()
-        value = self._backend.score(prep, self.model, mode, **kw)
+        value = be.score(prep, self.model, mode, **kw)
         self.profiler.record(
-            "score", self.backend_name, mode, [prep.shape],
+            "score", be.name, mode, [prep.shape],
             time.perf_counter() - start,
         )
         return value
@@ -237,15 +286,17 @@ class AlignmentEngine:
         gap_open: float | None = None,
         gap_extend: float | None = None,
         memory: str | None = None,
+        backend: str | None = None,
     ) -> Alignment:
         mode, kw = self._resolve(mode, band, gap_open, gap_extend, memory, align=True)
+        be = self._route("align", mode, kw, backend)
         if self.profiler is None:
-            return self._backend.align(self.prepare(a, b), self.model, mode, **kw)
+            return be.align(self.prepare(a, b), self.model, mode, **kw)
         prep = self.prepare(a, b)
         start = time.perf_counter()
-        aln = self._backend.align(prep, self.model, mode, **kw)
+        aln = be.align(prep, self.model, mode, **kw)
         self.profiler.record(
-            "align", self.backend_name, mode, [prep.shape],
+            "align", be.name, mode, [prep.shape],
             time.perf_counter() - start,
         )
         return aln
@@ -267,6 +318,7 @@ class AlignmentEngine:
         band: int | None = None,
         gap_open: float | None = None,
         gap_extend: float | None = None,
+        backend: str | None = None,
     ) -> np.ndarray:
         """Scores for every (a, b) pair, in input order.
 
@@ -275,16 +327,17 @@ class AlignmentEngine:
         for a, b in pairs]`` (a standing test invariant).
         """
         mode, kw = self._resolve(mode, band, gap_open, gap_extend)
+        be = self._route("score_many", mode, kw, backend)
         preps = [self.prepare(a, b) for a, b in pairs]
         out = np.empty(len(preps))
         for idxs, bucket in self._buckets(preps):
             if self.profiler is None:
-                out[idxs] = self._backend.score_many(bucket, self.model, mode, **kw)
+                out[idxs] = be.score_many(bucket, self.model, mode, **kw)
                 continue
             start = time.perf_counter()
-            out[idxs] = self._backend.score_many(bucket, self.model, mode, **kw)
+            out[idxs] = be.score_many(bucket, self.model, mode, **kw)
             self.profiler.record(
-                "score_many", self.backend_name, mode,
+                "score_many", be.name, mode,
                 [p.shape for p in bucket], time.perf_counter() - start,
             )
         return out
@@ -297,18 +350,20 @@ class AlignmentEngine:
         gap_open: float | None = None,
         gap_extend: float | None = None,
         memory: str | None = None,
+        backend: str | None = None,
     ) -> list[Alignment]:
         """Full alignments for every pair, in input order (bucketed)."""
         mode, kw = self._resolve(mode, band, gap_open, gap_extend, memory, align=True)
+        be = self._route("align_many", mode, kw, backend)
         preps = [self.prepare(a, b) for a, b in pairs]
         out: list[Alignment | None] = [None] * len(preps)
         for idxs, bucket in self._buckets(preps):
             start = time.perf_counter() if self.profiler is not None else 0.0
-            for k, aln in zip(idxs, self._backend.align_many(bucket, self.model, mode, **kw)):
+            for k, aln in zip(idxs, be.align_many(bucket, self.model, mode, **kw)):
                 out[k] = aln
             if self.profiler is not None:
                 self.profiler.record(
-                    "align_many", self.backend_name, mode,
+                    "align_many", be.name, mode,
                     [p.shape for p in bucket], time.perf_counter() - start,
                 )
         return out  # type: ignore[return-value]
@@ -316,8 +371,10 @@ class AlignmentEngine:
     # -- lifecycle ---------------------------------------------------
 
     def close(self) -> None:
-        """Release backend resources (worker pools)."""
+        """Release backend resources (worker pools), overrides included."""
         self._backend.close()
+        for be in self._extra_backends.values():
+            be.close()
 
     def __enter__(self) -> "AlignmentEngine":
         return self

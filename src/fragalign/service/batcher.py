@@ -37,7 +37,7 @@ __all__ = ["MicroBatcher", "GROUP_FIELDS"]
 # One dispatch group = one engine batch call.  The knob fields that
 # split groups come from the shared request-field registry — adding a
 # knob there extends every group key here automatically.
-GROUP_FIELDS = group_key_fields()  # ("mode", "band", "gap_open", "gap_extend", "memory")
+GROUP_FIELDS = group_key_fields()  # ("mode", "band", "gap_open", "gap_extend", "memory", "backend")
 
 Key = tuple  # (op, *GROUP_FIELDS values, a, b)
 _GROUP = 1 + len(GROUP_FIELDS)  # leading key fields that define one engine batch
@@ -113,15 +113,17 @@ class MicroBatcher:
         gap_open: float | None = None,
         gap_extend: float | None = None,
         memory: str | None = None,
+        backend: str | None = None,
     ) -> Any:
         """Queue one job; await its batched result.
 
         Returns a float for ``op="score"`` and an
         :class:`~fragalign.align.pairwise.Alignment` for ``op="align"``.
-        ``mode``/``band``/``gap_open``/``gap_extend``/``memory`` select
-        the per-job knobs (``None`` means the engine's default); one
-        flush dispatches each distinct ``(op, mode, band, gaps,
-        memory)`` group as its own engine batch.
+        ``mode``/``band``/``gap_open``/``gap_extend``/``memory``/
+        ``backend`` select the per-job knobs (``None`` means the
+        engine's default); one flush dispatches each distinct ``(op,
+        mode, band, gaps, memory, backend)`` group as its own engine
+        batch — in particular a batch never mixes backends.
         """
         if self._loop is None:
             self._loop = asyncio.get_running_loop()
@@ -131,6 +133,7 @@ class MicroBatcher:
             "gap_open": gap_open,
             "gap_extend": gap_extend,
             "memory": memory,
+            "backend": backend,
         }
         key = (op, *(knobs[name] for name in GROUP_FIELDS), a, b)
         fut = self._pending.get(key)

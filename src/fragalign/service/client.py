@@ -143,12 +143,13 @@ class AsyncAlignmentClient:
         band: int | None = None,
         gap_open: float | None = None,
         gap_extend: float | None = None,
+        backend: str | None = None,
         trace: TraceContext | None = None,
         deadline_ms: float | None = None,
     ) -> float:
         response = await self._request(
             "score", a=a, b=b, mode=mode, band=band,
-            gap_open=gap_open, gap_extend=gap_extend,
+            gap_open=gap_open, gap_extend=gap_extend, backend=backend,
             trace_id=trace.trace_id if trace is not None else None,
             span_id=trace.span_id if trace is not None else None,
             deadline_ms=deadline_ms,
@@ -163,13 +164,14 @@ class AsyncAlignmentClient:
         band: int | None = None,
         gap_open: float | None = None,
         gap_extend: float | None = None,
+        backend: str | None = None,
         trace: TraceContext | None = None,
         deadline_ms: float | None = None,
     ) -> tuple[float, bool]:
         """Score plus whether the server answered from its cache."""
         response = await self._request(
             "score", a=a, b=b, mode=mode, band=band,
-            gap_open=gap_open, gap_extend=gap_extend,
+            gap_open=gap_open, gap_extend=gap_extend, backend=backend,
             trace_id=trace.trace_id if trace is not None else None,
             span_id=trace.span_id if trace is not None else None,
             deadline_ms=deadline_ms,
@@ -185,12 +187,14 @@ class AsyncAlignmentClient:
         gap_open: float | None = None,
         gap_extend: float | None = None,
         memory: str | None = None,
+        backend: str | None = None,
         trace: TraceContext | None = None,
         deadline_ms: float | None = None,
     ) -> Alignment:
         response = await self._request(
             "align", a=a, b=b, mode=mode, band=band,
             gap_open=gap_open, gap_extend=gap_extend, memory=memory,
+            backend=backend,
             trace_id=trace.trace_id if trace is not None else None,
             span_id=trace.span_id if trace is not None else None,
             deadline_ms=deadline_ms,
@@ -206,6 +210,7 @@ class AsyncAlignmentClient:
         gap_open: float | None = None,
         gap_extend: float | None = None,
         memory: str | None = None,
+        backend: str | None = None,
         trace: TraceContext | None = None,
         deadline_ms: float | None = None,
     ) -> tuple[Alignment, bool]:
@@ -213,6 +218,7 @@ class AsyncAlignmentClient:
         response = await self._request(
             "align", a=a, b=b, mode=mode, band=band,
             gap_open=gap_open, gap_extend=gap_extend, memory=memory,
+            backend=backend,
             trace_id=trace.trace_id if trace is not None else None,
             span_id=trace.span_id if trace is not None else None,
             deadline_ms=deadline_ms,
@@ -371,47 +377,49 @@ class AlignmentClient:
 
     def score(
         self, a, b, mode=None, band=None, gap_open=None, gap_extend=None,
-        trace=None, deadline_ms=None,
+        backend=None, trace=None, deadline_ms=None,
     ) -> float:
         return self._with_retry(
             lambda: self._client.score(
                 a, b, mode=mode, band=band, gap_open=gap_open,
-                gap_extend=gap_extend, trace=trace, deadline_ms=deadline_ms,
+                gap_extend=gap_extend, backend=backend, trace=trace,
+                deadline_ms=deadline_ms,
             )
         )
 
     def align(
         self, a, b, mode=None, band=None, gap_open=None, gap_extend=None,
-        memory=None, trace=None, deadline_ms=None,
+        memory=None, backend=None, trace=None, deadline_ms=None,
     ) -> Alignment:
         return self._with_retry(
             lambda: self._client.align(
                 a, b, mode=mode, band=band, gap_open=gap_open,
-                gap_extend=gap_extend, memory=memory, trace=trace,
-                deadline_ms=deadline_ms,
+                gap_extend=gap_extend, memory=memory, backend=backend,
+                trace=trace, deadline_ms=deadline_ms,
             )
         )
 
     def score_detail(
         self, a, b, mode=None, band=None, gap_open=None, gap_extend=None,
-        trace=None, deadline_ms=None,
+        backend=None, trace=None, deadline_ms=None,
     ) -> tuple[float, bool]:
         return self._with_retry(
             lambda: self._client.score_detail(
                 a, b, mode=mode, band=band, gap_open=gap_open,
-                gap_extend=gap_extend, trace=trace, deadline_ms=deadline_ms,
+                gap_extend=gap_extend, backend=backend, trace=trace,
+                deadline_ms=deadline_ms,
             )
         )
 
     def align_detail(
         self, a, b, mode=None, band=None, gap_open=None, gap_extend=None,
-        memory=None, trace=None, deadline_ms=None,
+        memory=None, backend=None, trace=None, deadline_ms=None,
     ) -> tuple[Alignment, bool]:
         return self._with_retry(
             lambda: self._client.align_detail(
                 a, b, mode=mode, band=band, gap_open=gap_open,
-                gap_extend=gap_extend, memory=memory, trace=trace,
-                deadline_ms=deadline_ms,
+                gap_extend=gap_extend, memory=memory, backend=backend,
+                trace=trace, deadline_ms=deadline_ms,
             )
         )
 
@@ -462,6 +470,7 @@ class AlignmentClient:
         band: int | None = None,
         gap_open: float | None = None,
         gap_extend: float | None = None,
+        backend: str | None = None,
         trace_ctxs: Sequence[TraceContext] | None = None,
         deadline_ms: float | None = None,
     ) -> list[float]:
@@ -473,7 +482,7 @@ class AlignmentClient:
         return self._map(
             "score", pairs, concurrency, trace_ctxs=trace_ctxs, mode=mode,
             band=band, gap_open=gap_open, gap_extend=gap_extend,
-            deadline_ms=deadline_ms,
+            backend=backend, deadline_ms=deadline_ms,
         )
 
     def align_many(
@@ -485,6 +494,7 @@ class AlignmentClient:
         gap_open: float | None = None,
         gap_extend: float | None = None,
         memory: str | None = None,
+        backend: str | None = None,
         trace_ctxs: Sequence[TraceContext] | None = None,
         deadline_ms: float | None = None,
     ) -> list[Alignment]:
@@ -492,7 +502,7 @@ class AlignmentClient:
         return self._map(
             "align", pairs, concurrency, trace_ctxs=trace_ctxs, mode=mode,
             band=band, gap_open=gap_open, gap_extend=gap_extend, memory=memory,
-            deadline_ms=deadline_ms,
+            backend=backend, deadline_ms=deadline_ms,
         )
 
     # -- lifecycle ----------------------------------------------------

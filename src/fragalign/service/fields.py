@@ -129,6 +129,17 @@ _SPECS = (
         "cli_flag": "--memory",
         "doc": "align traceback strategy: auto, tensor or linear",
     },
+    {
+        "name": "backend",
+        "kind": "str",
+        "ops": ("score", "align"),
+        "cache_key": False,  # backends are parity-tested: same scores,
+        "ring_key": False,  # ...so cache entries and routing are shared
+        "group_key": True,  # but one engine batch runs on one backend
+        "keyset": True,
+        "cli_flag": "--backend",
+        "doc": "engine backend for this request: numpy, native, naive or parallel",
+    },
     # Trace context (fragalign.obs.trace) rides the wire as
     # *non-semantic* fields: every participation flag is off, so the
     # knob-propagation rule proves tracing can never split a batch,

@@ -40,6 +40,14 @@ alignments), so it is *not* part of the result-cache key, but
 ``memory="linear"`` with banded mode or affine gaps is rejected
 before batching.
 
+``backend`` (pair ops) selects the engine backend for the request
+(``numpy``, ``native``, ``naive``, ``parallel``); omitted, the
+server's configured backend applies.  Backends are parity-tested to
+return identical scores, so the field is *not* part of the
+result-cache or routing keys — but it is part of the batch group key,
+because one engine batch dispatches to one backend.  Unknown names are
+rejected before the request joins a batch.
+
 ``trace_id``/``span_id`` are the **non-semantic** trace-context
 fields (:mod:`fragalign.obs.trace`): any request may carry them, the
 server records per-stage spans under the given trace with the
@@ -179,6 +187,7 @@ class Request:
     gap_open: float | None = None
     gap_extend: float | None = None
     memory: str | None = None
+    backend: str | None = None  # engine backend override for this request
     trace_id: str | None = None  # non-semantic: tracing only annotates
     span_id: str | None = None  # caller's span — the server span's parent
     deadline_ms: float | None = None  # remaining budget (non-semantic)
@@ -248,6 +257,11 @@ def parse_request(obj: dict) -> Request:
                 )
             if op != "align":
                 raise ProtocolError("memory only applies to align requests")
+        backend = obj.get("backend")
+        if backend is not None and not isinstance(backend, str):
+            # Membership in the registry is validated server-side
+            # (available_backends() is a runtime set, not a wire constant).
+            raise ProtocolError(f"backend must be a string, got {backend!r}")
         deadline_ms = obj.get("deadline_ms")
         if deadline_ms is not None:
             if (
@@ -263,7 +277,8 @@ def parse_request(obj: dict) -> Request:
         return Request(
             id=obj.get("id"), op=op, a=a, b=b, mode=mode, band=band,
             gap_open=gap_open, gap_extend=gap_extend, memory=memory,
-            trace_id=trace_id, span_id=span_id, deadline_ms=deadline_ms,
+            backend=backend, trace_id=trace_id, span_id=span_id,
+            deadline_ms=deadline_ms,
         )
     return Request(id=obj.get("id"), op=op, trace_id=trace_id, span_id=span_id)
 

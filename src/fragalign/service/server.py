@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from fragalign.align.scoring_matrices import SubstitutionModel
 from fragalign.engine.backends import linear_memory_conflict
 from fragalign.engine.facade import AlignmentEngine
+from fragalign.engine.registry import available_backends
 from fragalign.obs.journal import JournalWriter, build_record
 from fragalign.obs.kprof import KernelProfiler
 from fragalign.obs.logs import get_logger
@@ -295,14 +296,15 @@ class AlignmentService:
 
     def _resolve_request(
         self, request
-    ) -> tuple[str, int | None, float | None, float | None, str | None]:
+    ) -> tuple[str, int | None, float | None, float | None, str | None, str]:
         """Per-request knobs with the server's defaults applied.
 
         Raises :class:`ProtocolError` for requests that are unservable
-        (no band anywhere, a band too narrow for the pair, or
-        ``memory="linear"`` with banded mode / affine gaps) *before*
-        they reach the batcher, so a bad request can only ever fail
-        itself, never the batch it would have joined.
+        (no band anywhere, a band too narrow for the pair,
+        ``memory="linear"`` with banded mode / affine gaps, or an
+        unregistered backend name) *before* they reach the batcher, so
+        a bad request can only ever fail itself, never the batch it
+        would have joined.
         """
         mode = request.mode or self.engine.mode
         if request.gap_open is not None:
@@ -322,8 +324,17 @@ class AlignmentService:
                 raise ProtocolError(
                     f"memory='linear' is not supported with {conflict}"
                 )
+        # Backend resolves fully too (same batching rationale): the
+        # engine facade handles capability fallthrough, the server only
+        # rejects names the registry has never heard of.
+        backend = request.backend if request.backend is not None else self.engine.backend_name
+        if backend not in available_backends():
+            raise ProtocolError(
+                f"unknown backend {backend!r} "
+                f"(registered: {', '.join(available_backends())})"
+            )
         if mode != "banded":
-            return mode, None, gap_open, gap_extend, memory
+            return mode, None, gap_open, gap_extend, memory, backend
         band = request.band if request.band is not None else self.engine.band
         if band is None:
             raise ProtocolError(
@@ -334,7 +345,7 @@ class AlignmentService:
                 f"band {band} too narrow for lengths "
                 f"{len(request.a)}/{len(request.b)}"
             )
-        return mode, band, gap_open, gap_extend, memory
+        return mode, band, gap_open, gap_extend, memory, backend
 
     # -- metrics exposition -------------------------------------------
 
@@ -639,7 +650,9 @@ class AlignmentService:
         if request.op == "shutdown":
             return ok_response(request.id, "bye")  # _serve_line stops after
         # score / align
-        mode, band, gap_open, gap_extend, memory = self._resolve_request(request)
+        mode, band, gap_open, gap_extend, memory, backend = self._resolve_request(
+            request
+        )
         # Already-expired work is rejected before it can touch the
         # cache or join a batch: the caller has given up, so any cycles
         # spent on it are stolen from live requests.
@@ -664,6 +677,7 @@ class AlignmentService:
             jrec["knobs"] = {
                 "mode": mode, "band": band, "gap_open": gap_open,
                 "gap_extend": gap_extend, "memory": memory,
+                "backend": backend,
             }
         if result is not None:
             if jrec is not None:
@@ -699,7 +713,7 @@ class AlignmentService:
         self._apply_degrade()
         knobs = {
             "mode": mode, "band": band, "gap_open": gap_open,
-            "gap_extend": gap_extend, "memory": memory,
+            "gap_extend": gap_extend, "memory": memory, "backend": backend,
         }
         if (
             self.admission.degraded
@@ -719,6 +733,7 @@ class AlignmentService:
                 value = await self.batcher.submit(
                     "score", request.a, request.b, mode, band,
                     gap_open=gap_open, gap_extend=gap_extend, memory=None,
+                    backend=backend,
                 )
             finally:
                 self.admission.release(cost)
@@ -763,6 +778,7 @@ class AlignmentService:
                 gap_open=gap_open,
                 gap_extend=gap_extend,
                 memory=memory,
+                backend=backend,
             )
             # Cache the wire form, so warm hits skip serialization too.
             result = (

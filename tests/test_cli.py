@@ -56,7 +56,7 @@ def test_engine_numpy(capsys):
     assert main(["engine", "--backend", "numpy", "--batch", "8", "--length", "64"]) == 0
     out = capsys.readouterr().out
     assert "backend=numpy" in out and "Mcells/s" in out
-    assert "naive, numpy, parallel" in out
+    assert "naive, native, numpy, parallel" in out
 
 
 def test_engine_naive_local(capsys):

@@ -225,7 +225,7 @@ class TestAdmissionController:
 
 
 _KNOBS = {"mode": None, "band": None, "gap_open": None, "gap_extend": None,
-          "memory": None}
+          "memory": None, "backend": None}
 
 
 class TestBatcherDeadlines:

@@ -200,19 +200,24 @@ class CountingEngine:
         self._engine = engine
         self.calls: list[tuple[str, int]] = []
 
-    def score_many(self, pairs, mode=None, band=None, gap_open=None, gap_extend=None):
+    def score_many(
+        self, pairs, mode=None, band=None, gap_open=None, gap_extend=None,
+        backend=None,
+    ):
         self.calls.append(("score", len(pairs)))
         return self._engine.score_many(
-            pairs, mode=mode, band=band, gap_open=gap_open, gap_extend=gap_extend
+            pairs, mode=mode, band=band, gap_open=gap_open,
+            gap_extend=gap_extend, backend=backend,
         )
 
     def align_many(
-        self, pairs, mode=None, band=None, gap_open=None, gap_extend=None, memory=None
+        self, pairs, mode=None, band=None, gap_open=None, gap_extend=None,
+        memory=None, backend=None,
     ):
         self.calls.append(("align", len(pairs)))
         return self._engine.align_many(
             pairs, mode=mode, band=band, gap_open=gap_open,
-            gap_extend=gap_extend, memory=memory,
+            gap_extend=gap_extend, memory=memory, backend=backend,
         )
 
 
@@ -275,7 +280,7 @@ class TestMicroBatcher:
 
     def test_engine_error_propagates_to_all_waiters(self):
         class ExplodingEngine:
-            def score_many(self, pairs, mode=None, band=None, gap_open=None, gap_extend=None):
+            def score_many(self, pairs, **knobs):
                 raise RuntimeError("kernel on fire")
 
         async def run():
